@@ -1,0 +1,97 @@
+//! DiOMP implementation of the ring matmul.
+//!
+//! Stripes live in the symmetric global heap, so the ring shift is a
+//! single `ompx_put` per iteration — no receive posting, no request
+//! arrays (cf. Listing 1 vs 2 of the paper) — and intra-node hops ride
+//! GPUDirect P2P automatically.
+
+use std::sync::Arc;
+
+use diomp_core::{DiompConfig, DiompRuntime};
+use diomp_device::{DataMode, KernelBody};
+use diomp_sim::{ClusterSpec, Dur};
+use parking_lot::Mutex;
+
+use crate::matgen;
+
+use super::{gemm_body, verify_stripe, CannonConfig, CannonResult};
+
+/// Run the DiOMP ring matmul; returns the timed phase (max over ranks).
+pub fn run(cfg: &CannonConfig) -> CannonResult {
+    let cluster = ClusterSpec::with_total_gpus(cfg.platform.clone(), cfg.gpus);
+    let dcfg = DiompConfig::new(cluster)
+        .with_mode(cfg.mode)
+        .with_allocator(diomp_core::AllocKind::Linear)
+        .with_heap(cfg.heap_bytes());
+    let out: Arc<Mutex<(Dur, bool)>> = Arc::new(Mutex::new((Dur::ZERO, true)));
+    let out2 = out.clone();
+    let want_verify = cfg.verify && cfg.mode == DataMode::Functional;
+    let cfg = cfg.clone();
+
+    DiompRuntime::run(dcfg, move |ctx, rank| {
+        let p = rank.nranks();
+        let r = rank.rank;
+        let n = cfg.n;
+        let ns = cfg.ns();
+        let stripe = cfg.stripe_bytes();
+        let dev = rank.primary();
+
+        // Stripes in the symmetric heap: A, B (double-buffered), C.
+        let a = rank.alloc_sym(ctx, stripe).unwrap();
+        let b0 = rank.alloc_sym(ctx, stripe).unwrap();
+        let b1 = rank.alloc_sym(ctx, stripe).unwrap();
+        let c = rank.alloc_sym(ctx, stripe).unwrap();
+        if cfg.mode == DataMode::Functional {
+            rank.write_local(dev, a, 0, &matgen::to_bytes_f64(&matgen::a_stripe(n, r * ns, ns)));
+            rank.write_local(dev, b0, 0, &matgen::to_bytes_f64(&matgen::b_stripe(n, r * ns, ns)));
+        }
+        rank.barrier(ctx);
+
+        let t0 = ctx.now();
+        let bufs = [b0, b1];
+        for s in 0..p {
+            let j = (r + s) % p; // stripe currently held
+            let cur = bufs[s % 2];
+            let nxt = bufs[(s + 1) % 2];
+
+            // Launch the block GEMM on this device (nowait).
+            let body: Option<KernelBody> = if cfg.mode == DataMode::Functional {
+                let (aa, ba, ca) =
+                    (rank.dev_addr(dev, a.off), rank.dev_addr(dev, cur.off), rank.dev_addr(dev, c.off));
+                Some(Box::new(move |mem| gemm_body(mem, aa, ba, ca, ns, n, j)))
+            } else {
+                None
+            };
+            let kernel_done = rank.target_launch_nowait(ctx, dev, &cfg.gemm_cost(), body);
+
+            // Overlap: pull the next stripe from the right neighbour's
+            // current buffer while the GEMM runs. The exchange is
+            // pull-based (ompx_get): one-sided like the paper's ring, but
+            // immune to the documented Platform A put-path driver issue
+            // (Fig. 4a), which production runs on that system avoid.
+            if s + 1 < p {
+                let right = (r + 1) % p;
+                rank.get(ctx, right, cur, 0, nxt, 0, stripe).unwrap();
+            }
+            rank.fence(ctx); // puts remotely complete + streams settled
+            ctx.sleep_until(kernel_done);
+            rank.barrier(ctx); // everyone's next stripe has landed
+        }
+        let elapsed = ctx.now().since(t0);
+
+        let mut ok = true;
+        if cfg.verify && cfg.mode == DataMode::Functional {
+            let mut bytes = vec![0u8; stripe as usize];
+            rank.read_local(dev, c, 0, &mut bytes);
+            ok = verify_stripe(&matgen::from_bytes_f64(&bytes), n, r, ns);
+            assert!(ok, "rank {r}: C stripe mismatch");
+        }
+        let mut o = out2.lock();
+        o.0 = o.0.max(elapsed);
+        o.1 &= ok;
+    })
+    .unwrap();
+
+    let (elapsed, verified) = *out.lock();
+    CannonResult { elapsed, verified: verified && want_verify }
+}

@@ -1,0 +1,160 @@
+//! Deterministic input generators and serial references.
+//!
+//! Inputs are pure functions of the index so every rank (and the serial
+//! reference) can regenerate any part of the problem without
+//! communication — the standard trick for verifying distributed kernels.
+
+/// Deterministic A-matrix element.
+pub fn a_elem(i: usize, j: usize) -> f64 {
+    (((i * 31 + j * 17 + 3) % 13) as f64) - 6.0
+}
+
+/// Deterministic B-matrix element.
+pub fn b_elem(i: usize, j: usize) -> f64 {
+    (((i * 7 + j * 23 + 1) % 11) as f64) - 5.0
+}
+
+/// Row-major stripe `rows0..rows0+nrows` of the deterministic A matrix.
+pub fn a_stripe(n: usize, rows0: usize, nrows: usize) -> Vec<f64> {
+    let mut v = Vec::with_capacity(nrows * n);
+    for i in rows0..rows0 + nrows {
+        for j in 0..n {
+            v.push(a_elem(i, j));
+        }
+    }
+    v
+}
+
+/// Row-major stripe of the deterministic B matrix.
+pub fn b_stripe(n: usize, rows0: usize, nrows: usize) -> Vec<f64> {
+    let mut v = Vec::with_capacity(nrows * n);
+    for i in rows0..rows0 + nrows {
+        for j in 0..n {
+            v.push(b_elem(i, j));
+        }
+    }
+    v
+}
+
+/// Serial reference: rows `rows0..rows0+nrows` of `C = A × B`.
+pub fn serial_matmul_stripe(n: usize, rows0: usize, nrows: usize) -> Vec<f64> {
+    let mut c = vec![0.0; nrows * n];
+    for i in 0..nrows {
+        for k in 0..n {
+            let a = a_elem(rows0 + i, k);
+            if a == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                c[i * n + j] += a * b_elem(k, j);
+            }
+        }
+    }
+    c
+}
+
+/// 8th-order centred second-derivative coefficients (radius 4), the
+/// acoustic-isotropic stencil of Minimod.
+pub const STENCIL_COEFF: [f32; 5] =
+    [-205.0 / 72.0, 8.0 / 5.0, -1.0 / 5.0, 8.0 / 315.0, -1.0 / 560.0];
+
+/// Initial wavefield: a small Gaussian-ish bump in the grid centre.
+pub fn initial_field(nx: usize, ny: usize, nz: usize, x: usize, y: usize, z: usize) -> f32 {
+    let dx = x as f64 - nx as f64 / 2.0;
+    let dy = y as f64 - ny as f64 / 2.0;
+    let dz = z as f64 - nz as f64 / 2.0;
+    let r2 = dx * dx + dy * dy + dz * dz;
+    (10.0 * (-r2 / 6.0).exp()) as f32
+}
+
+/// One serial acoustic step over the full grid (reference implementation,
+/// zero boundary). Layout `[z][y][x]`, `u`/`up` are `nz*ny*nx` long.
+/// Writes `2u - up + k·∇²u` into `out`.
+pub fn serial_step(nx: usize, ny: usize, nz: usize, u: &[f32], up: &[f32], out: &mut [f32], k: f32) {
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    let r = 4usize;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let c = idx(x, y, z);
+                let mut lap = 3.0 * STENCIL_COEFF[0] * u[c];
+                for d in 1..=r {
+                    let cd = STENCIL_COEFF[d];
+                    let xm = if x >= d { u[idx(x - d, y, z)] } else { 0.0 };
+                    let xp = if x + d < nx { u[idx(x + d, y, z)] } else { 0.0 };
+                    let ym = if y >= d { u[idx(x, y - d, z)] } else { 0.0 };
+                    let yp = if y + d < ny { u[idx(x, y + d, z)] } else { 0.0 };
+                    let zm = if z >= d { u[idx(x, y, z - d)] } else { 0.0 };
+                    let zp = if z + d < nz { u[idx(x, y, z + d)] } else { 0.0 };
+                    lap += cd * (xm + xp + ym + yp + zm + zp);
+                }
+                out[c] = 2.0 * u[c] - up[c] + k * lap;
+            }
+        }
+    }
+}
+
+/// Bytes of a row-major f64 stripe.
+pub fn to_bytes_f64(vals: &[f64]) -> Vec<u8> {
+    vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Parse little-endian f64s.
+pub fn from_bytes_f64(bytes: &[u8]) -> Vec<f64> {
+    bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
+}
+
+/// Bytes of an f32 slice.
+pub fn to_bytes_f32(vals: &[f32]) -> Vec<u8> {
+    vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Parse little-endian f32s.
+pub fn from_bytes_f32(bytes: &[u8]) -> Vec<f32> {
+    bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_matmul_matches_naive_full_product() {
+        let n = 12;
+        let mut full = vec![0.0; n * n];
+        for i in 0..n {
+            for k in 0..n {
+                for j in 0..n {
+                    full[i * n + j] += a_elem(i, k) * b_elem(k, j);
+                }
+            }
+        }
+        let stripe = serial_matmul_stripe(n, 4, 4);
+        assert_eq!(&full[4 * n..8 * n], &stripe[..]);
+    }
+
+    #[test]
+    fn byte_roundtrips() {
+        let v = vec![1.5f64, -2.25, 0.0];
+        assert_eq!(from_bytes_f64(&to_bytes_f64(&v)), v);
+        let w = vec![1.5f32, -2.25];
+        assert_eq!(from_bytes_f32(&to_bytes_f32(&w)), w);
+    }
+
+    #[test]
+    fn stencil_coefficients_sum_matches_discrete_laplacian_property() {
+        // Applying the stencil to a constant field must give ~0.
+        let s: f32 = STENCIL_COEFF[0] + 2.0 * STENCIL_COEFF[1..].iter().sum::<f32>();
+        assert!(s.abs() < 1e-5, "sum {s}");
+    }
+
+    #[test]
+    fn serial_step_preserves_zero_field() {
+        let (nx, ny, nz) = (8, 8, 8);
+        let u = vec![0.0f32; nx * ny * nz];
+        let up = vec![0.0f32; nx * ny * nz];
+        let mut out = vec![9.0f32; nx * ny * nz];
+        serial_step(nx, ny, nz, &u, &up, &mut out, 0.1);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+}

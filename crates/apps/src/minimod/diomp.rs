@@ -1,0 +1,138 @@
+//! DiOMP implementation of Minimod (paper Listing 1).
+//!
+//! Halo exchange is two one-sided `ompx_put` calls and one fence —
+//! roughly half the code of the MPI version, which is the
+//! programmability claim of §4.5 (quantified in `crate::loc`).
+
+use std::sync::Arc;
+
+use diomp_core::{DiompConfig, DiompRuntime, GPtr};
+use diomp_device::{DataMode, KernelBody};
+use diomp_sim::{ClusterSpec, Dur};
+use parking_lot::Mutex;
+
+use crate::matgen;
+
+use super::{initial_slab, serial_reference, stencil_body, verify_slab, MinimodConfig, MinimodResult, RADIUS};
+
+/// Run the DiOMP Minimod; returns the stepping-loop time (max over ranks).
+pub fn run(cfg: &MinimodConfig) -> MinimodResult {
+    let cluster = ClusterSpec::with_total_gpus(cfg.platform.clone(), cfg.gpus);
+    let dcfg = DiompConfig::new(cluster)
+        .with_mode(cfg.mode)
+        .with_allocator(diomp_core::AllocKind::Linear)
+        .with_heap(cfg.heap_bytes());
+    let out: Arc<Mutex<(Dur, bool)>> = Arc::new(Mutex::new((Dur::ZERO, true)));
+    let out2 = out.clone();
+    let want_verify = cfg.verify && cfg.mode == DataMode::Functional;
+    let reference =
+        if want_verify { Arc::new(serial_reference(cfg)) } else { Arc::new(Vec::new()) };
+    let cfg = cfg.clone();
+
+    DiompRuntime::run(dcfg, move |ctx, rank| {
+        let p = rank.nranks();
+        let r = rank.rank;
+        let nzl = cfg.nz_local();
+        let plane = cfg.plane_bytes();
+        let halo = cfg.halo_bytes();
+        let slab = cfg.slab_bytes();
+        let dev = rank.primary();
+
+        // Three slabs rotate through the wave-equation time levels.
+        let mut u = rank.alloc_sym(ctx, slab).unwrap();
+        let mut up = rank.alloc_sym(ctx, slab).unwrap();
+        let mut un = rank.alloc_sym(ctx, slab).unwrap();
+        if cfg.mode == DataMode::Functional {
+            rank.write_local(dev, u, 0, &matgen::to_bytes_f32(&initial_slab(&cfg, r)));
+        }
+        rank.barrier(ctx);
+
+        let world = rank.shared.world_group();
+        let t0 = ctx.now();
+        for _step in 0..cfg.steps {
+            // Listing-1-shaped halo exchange, overlapped with the interior
+            // sweep (paper §3.2: "efficient overlap of communication and
+            // computation"). Pull-based one-sided gets avoid the
+            // documented Platform A put-path issue (Fig. 4a).
+            if r + 1 < p {
+                // upper neighbour's bottom RADIUS interior planes → my top halo
+                rank.get(ctx, r + 1, u, RADIUS as u64 * plane, u, (RADIUS + nzl) as u64 * plane, halo)
+                    .unwrap();
+            }
+            if r > 0 {
+                // lower neighbour's top RADIUS interior planes → my bottom halo
+                rank.get(ctx, r - 1, u, nzl as u64 * plane, u, 0, halo).unwrap();
+            }
+
+            // Interior sweep needs no halo data: launch it concurrently
+            // with the transfers.
+            let (ua, upa, una) = (
+                rank.dev_addr(dev, u.off),
+                rank.dev_addr(dev, up.off),
+                rank.dev_addr(dev, un.off),
+            );
+            let (nx, ny) = (cfg.nx, cfg.ny);
+            let (first, last) = (r == 0, r == p - 1);
+            let functional = cfg.mode == DataMode::Functional;
+            let mk_body = move |zl: std::ops::Range<usize>| -> Option<KernelBody> {
+                if !functional {
+                    return None;
+                }
+                Some(Box::new(move |mem: &diomp_device::DeviceMem| {
+                    stencil_body(mem, ua, upa, una, nx, ny, nzl, zl, first, last)
+                }))
+            };
+            let inner = cfg.interior_planes();
+            if inner > 0 {
+                rank.target_launch_nowait(
+                    ctx,
+                    dev,
+                    &cfg.stencil_cost(inner),
+                    mk_body(RADIUS..nzl - RADIUS),
+                );
+            }
+            // Hybrid polling: one fence drains network completions and the
+            // interior kernel's stream together (paper §3.2).
+            rank.fence(ctx);
+
+            // Boundary sweep once the halos are in place.
+            let low = 0..RADIUS.min(nzl);
+            let high = nzl.saturating_sub(RADIUS).max(RADIUS)..nzl;
+            let planes = low.len() + high.len();
+            if !low.is_empty() {
+                rank.target_launch_nowait(ctx, dev, &cfg.stencil_cost(low.len()), mk_body(low));
+            }
+            if !high.is_empty() {
+                rank.target_launch_nowait(ctx, dev, &cfg.stencil_cost(high.len()), mk_body(high));
+            }
+            let _ = planes;
+            rank.fence(ctx);
+            // Target-side quiescence: the next step's one-sided gets may
+            // only read a neighbour's slab once its kernel has written it.
+            rank.barrier_group(ctx, &world);
+
+            // Rotate time levels: up ← u, u ← un, un ← old up.
+            let tmp: GPtr = up;
+            up = u;
+            u = un;
+            un = tmp;
+        }
+        rank.barrier(ctx);
+        let elapsed = ctx.now().since(t0);
+
+        let mut ok = true;
+        if want_verify {
+            let mut bytes = vec![0u8; slab as usize];
+            rank.read_local(dev, u, 0, &mut bytes);
+            ok = verify_slab(&cfg, r, &matgen::from_bytes_f32(&bytes), &reference);
+            assert!(ok, "rank {r}: wavefield mismatch (DiOMP)");
+        }
+        let mut o = out2.lock();
+        o.0 = o.0.max(elapsed);
+        o.1 &= ok;
+    })
+    .unwrap();
+
+    let (elapsed, verified) = *out.lock();
+    MinimodResult { elapsed, verified: verified && want_verify }
+}

@@ -1,0 +1,164 @@
+//! End-to-end application tests: both matmul and Minimod implementations
+//! must produce bit-correct results and the paper's qualitative ordering
+//! (DiOMP ≥ MPI performance at scale).
+
+use diomp_apps::cannon::{self, CannonConfig};
+use diomp_apps::minimod::{self, MinimodConfig};
+use diomp_device::DataMode;
+use diomp_sim::PlatformSpec;
+
+fn matmul_cfg(gpus: usize, n: usize, mode: DataMode) -> CannonConfig {
+    CannonConfig {
+        platform: PlatformSpec::platform_a(),
+        gpus,
+        n,
+        mode,
+        verify: mode == DataMode::Functional,
+    }
+}
+
+#[test]
+fn diomp_matmul_is_correct_on_4_gpus() {
+    let r = cannon::diomp::run(&matmul_cfg(4, 64, DataMode::Functional));
+    assert!(r.verified);
+}
+
+#[test]
+fn mpi_matmul_is_correct_on_4_gpus() {
+    let r = cannon::mpi::run(&matmul_cfg(4, 64, DataMode::Functional));
+    assert!(r.verified);
+}
+
+#[test]
+fn matmul_is_correct_across_nodes() {
+    // 8 GPUs = 2 platform-A nodes: the ring crosses the network.
+    let d = cannon::diomp::run(&matmul_cfg(8, 96, DataMode::Functional));
+    let m = cannon::mpi::run(&matmul_cfg(8, 96, DataMode::Functional));
+    assert!(d.verified && m.verified);
+}
+
+#[test]
+fn diomp_matmul_beats_mpi_at_scale() {
+    // Fig. 7's qualitative claim at paper scale (CostOnly). At moderate
+    // GPU counts both are kernel-bound and tie; once the ring becomes
+    // communication-sensitive (32 GPUs), DiOMP's one-sided pull wins.
+    let d = cannon::diomp::run(&matmul_cfg(32, 30240, DataMode::CostOnly));
+    let m = cannon::mpi::run(&matmul_cfg(32, 30240, DataMode::CostOnly));
+    assert!(
+        d.elapsed < m.elapsed,
+        "DiOMP {} must beat MPI {}",
+        d.elapsed,
+        m.elapsed
+    );
+}
+
+#[test]
+fn matmul_strong_scaling_is_superlinear() {
+    // Fig. 7: fixed N, 4 → 16 GPUs should give more than 4× (cache term).
+    let t4 = cannon::diomp::run(&matmul_cfg(4, 30240, DataMode::CostOnly)).elapsed;
+    let t16 = cannon::diomp::run(&matmul_cfg(16, 30240, DataMode::CostOnly)).elapsed;
+    let speedup = t4.as_nanos() as f64 / t16.as_nanos() as f64;
+    assert!(
+        speedup > 4.2,
+        "expected superlinear speedup at 4x resources, got {speedup:.2}"
+    );
+}
+
+fn minimod_cfg(gpus: usize, grid: usize, steps: usize, mode: DataMode) -> MinimodConfig {
+    MinimodConfig {
+        platform: PlatformSpec::platform_a(),
+        gpus,
+        nx: grid,
+        ny: grid,
+        nz: grid,
+        steps,
+        mode,
+        verify: mode == DataMode::Functional,
+    }
+}
+
+#[test]
+fn diomp_minimod_matches_serial_reference() {
+    let r = minimod::diomp::run(&minimod_cfg(4, 16, 4, DataMode::Functional));
+    assert!(r.verified);
+}
+
+#[test]
+fn mpi_minimod_matches_serial_reference() {
+    let r = minimod::mpi::run(&minimod_cfg(4, 16, 4, DataMode::Functional));
+    assert!(r.verified);
+}
+
+#[test]
+fn minimod_is_correct_across_nodes() {
+    // 8 ranks need nz ≥ 8·RADIUS so each slab covers the stencil radius.
+    let d = minimod::diomp::run(&minimod_cfg(8, 32, 3, DataMode::Functional));
+    let m = minimod::mpi::run(&minimod_cfg(8, 32, 3, DataMode::Functional));
+    assert!(d.verified && m.verified);
+}
+
+#[test]
+fn diomp_minimod_beats_mpi_at_paper_scale() {
+    // Fig. 8's qualitative claim: 1200³ grid (CostOnly), multi-node.
+    let cfg_d = MinimodConfig {
+        platform: PlatformSpec::platform_a(),
+        gpus: 16,
+        nx: 1200,
+        ny: 1200,
+        nz: 1200,
+        steps: 10,
+        mode: DataMode::CostOnly,
+        verify: false,
+    };
+    let d = minimod::diomp::run(&cfg_d);
+    let m = minimod::mpi::run(&cfg_d);
+    assert!(
+        d.elapsed < m.elapsed,
+        "DiOMP {} must beat MPI {}",
+        d.elapsed,
+        m.elapsed
+    );
+}
+
+#[test]
+fn app_runs_are_deterministic() {
+    let a = cannon::diomp::run(&matmul_cfg(8, 30240, DataMode::CostOnly)).elapsed;
+    let b = cannon::diomp::run(&matmul_cfg(8, 30240, DataMode::CostOnly)).elapsed;
+    assert_eq!(a, b);
+    let c = minimod::mpi::run(&minimod_cfg(4, 16, 3, DataMode::Functional)).elapsed;
+    let d = minimod::mpi::run(&minimod_cfg(4, 16, 3, DataMode::Functional)).elapsed;
+    assert_eq!(c, d);
+}
+
+#[test]
+fn micro_latency_orders_diomp_below_mpi() {
+    // Fig. 3 sign: DiOMP small-message RMA latency under MPI's.
+    use diomp_apps::micro::{diomp_p2p_latency, mpi_p2p, RmaOp};
+    let p = PlatformSpec::platform_a();
+    let sizes = [8u64, 1024];
+    let d = diomp_p2p_latency(&p, RmaOp::Put, &sizes);
+    let m = mpi_p2p(&p, RmaOp::Put, &sizes, false);
+    for (dd, mm) in d.iter().zip(&m) {
+        assert!(dd.1 < mm.1, "size {}: DiOMP {:.2} µs vs MPI {:.2} µs", dd.0, dd.1, mm.1);
+    }
+}
+
+#[test]
+fn micro_bandwidth_shows_put_anomaly_on_platform_a() {
+    use diomp_apps::micro::{diomp_p2p_bandwidth, RmaOp};
+    let p = PlatformSpec::platform_a();
+    let put = diomp_p2p_bandwidth(&p, RmaOp::Put, &[64 << 20]);
+    let get = diomp_p2p_bandwidth(&p, RmaOp::Get, &[64 << 20]);
+    assert!(put[0].1 < 4.0, "Fig. 4a anomaly: put capped, got {:.1} GB/s", put[0].1);
+    assert!(get[0].1 > 15.0, "get unaffected, got {:.1} GB/s", get[0].1);
+}
+
+#[test]
+fn gpi_beats_gasnet_for_small_puts_on_infiniband() {
+    // Fig. 5's qualitative claim.
+    use diomp_apps::micro::conduit_single_put_us;
+    use diomp_core::Conduit;
+    let gas = conduit_single_put_us(Conduit::GasnetEx, 2048);
+    let gpi = conduit_single_put_us(Conduit::Gpi2, 2048);
+    assert!(gpi < gas, "GPI-2 {gpi:.2} µs should beat GASNet-EX {gas:.2} µs at 2 KiB");
+}

@@ -1,0 +1,145 @@
+//! Ablation benches for the design decisions DESIGN.md calls out.
+//!
+//! Each ablation reports the *virtual-time* effect of a design choice by
+//! running the simulation both ways inside the measured closure and
+//! asserting the expected ordering; Criterion tracks the (wall-time)
+//! harness cost so regressions in either dimension show up.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diomp_core::{AllocKind, DiompConfig, DiompRuntime};
+use diomp_sim::{Dur, PlatformSpec, Sim};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// D4 — asymmetric access: remote-pointer cache hit vs cold two-stage
+/// access.
+fn ablation_asym_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_asym_cache");
+    g.sample_size(10);
+    g.bench_function("cold_vs_cached", |b| {
+        b.iter(|| {
+            let cold = Arc::new(AtomicU64::new(0));
+            let warm = Arc::new(AtomicU64::new(0));
+            let (c2, w2) = (cold.clone(), warm.clone());
+            let cfg =
+                DiompConfig::on_platform(PlatformSpec::platform_a(), 2).with_heap(4 << 20);
+            DiompRuntime::run(cfg, move |ctx, rank| {
+                let mine = rank.alloc_asym(ctx, 4096).unwrap();
+                let scratch = rank.alloc_sym(ctx, 256).unwrap();
+                rank.barrier(ctx);
+                if rank.rank == 0 {
+                    let t0 = ctx.now();
+                    rank.get_asym(ctx, 7, &mine, 0, scratch, 0, 64).unwrap();
+                    rank.fence(ctx);
+                    c2.store(ctx.now().since(t0).as_nanos(), Ordering::Relaxed);
+                    let t1 = ctx.now();
+                    rank.get_asym(ctx, 7, &mine, 0, scratch, 64, 64).unwrap();
+                    rank.fence(ctx);
+                    w2.store(ctx.now().since(t1).as_nanos(), Ordering::Relaxed);
+                }
+                rank.barrier(ctx);
+                rank.free_asym(ctx, mine);
+            })
+            .unwrap();
+            let (cold, warm) = (cold.load(Ordering::Relaxed), warm.load(Ordering::Relaxed));
+            assert!(warm * 3 < cold * 2, "cache must remove the extra round trip");
+        })
+    });
+    g.finish();
+}
+
+/// D5 — bounded stream concurrency: sweep MAX_ACTIVE_STREAMS and check
+/// that partial synchronisation keeps the pipeline moving.
+fn ablation_streams(c: &mut Criterion) {
+    use diomp_device::StreamPool;
+    let mut g = c.benchmark_group("ablation_streams");
+    g.sample_size(10);
+    for bound in [2usize, 8, 32] {
+        g.bench_function(format!("bound_{bound}"), |b| {
+            b.iter(|| {
+                let mut sim = Sim::new();
+                let done = Arc::new(AtomicU64::new(0));
+                let done2 = done.clone();
+                sim.spawn("driver", move |ctx| {
+                    let mut pool = StreamPool::new(bound);
+                    for _ in 0..64 {
+                        let s = pool.acquire(ctx);
+                        pool.enqueue(s, ctx.now(), Dur::micros(10.0));
+                        pool.release(s);
+                    }
+                    diomp_device::sync_device(ctx, &pool);
+                    done2.store(ctx.now().nanos(), Ordering::Relaxed);
+                });
+                sim.run().unwrap();
+                assert!(done.load(Ordering::Relaxed) > 0);
+            })
+        });
+    }
+    g.finish();
+}
+
+/// D6 — symmetric heap strategy: buddy (per-object free) vs linear
+/// (phase reset) under a collective allocate/free churn.
+fn ablation_alloc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_alloc");
+    g.sample_size(10);
+    for (name, kind) in [("buddy", AllocKind::Buddy), ("linear", AllocKind::Linear)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = DiompConfig::on_platform(PlatformSpec::platform_a(), 1)
+                    .with_allocator(kind)
+                    .with_heap(8 << 20);
+                DiompRuntime::run(cfg, move |ctx, rank| {
+                    let mut held = Vec::new();
+                    for i in 0..12 {
+                        let p = rank.alloc_sym(ctx, 1024 * (i + 1)).unwrap();
+                        held.push(p);
+                    }
+                    if kind == AllocKind::Buddy {
+                        for p in held.drain(..) {
+                            rank.free_sym(ctx, p);
+                        }
+                    }
+                })
+                .unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+/// D-path — hierarchical path selection: GPUDirect P2P vs forced IPC
+/// staging for intra-node puts (the paper's topology-aware transfer).
+fn ablation_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_paths");
+    g.sample_size(10);
+    for (name, p2p) in [("p2p", true), ("ipc_staged", false)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let t = Arc::new(AtomicU64::new(0));
+                let t2 = t.clone();
+                let mut cfg =
+                    DiompConfig::on_platform(PlatformSpec::platform_a(), 1).with_heap(4 << 20);
+                if !p2p {
+                    cfg = cfg.without_p2p();
+                }
+                DiompRuntime::run(cfg, move |ctx, rank| {
+                    let ptr = rank.alloc_sym(ctx, 1 << 20).unwrap();
+                    if rank.rank == 0 {
+                        let t0 = ctx.now();
+                        rank.put(ctx, 2, ptr, 0, ptr, 0, 512 << 10).unwrap();
+                        rank.fence(ctx);
+                        t2.store(ctx.now().since(t0).as_nanos(), Ordering::Relaxed);
+                    }
+                    rank.barrier(ctx);
+                })
+                .unwrap();
+                assert!(t.load(Ordering::Relaxed) > 0);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ablation_asym_cache, ablation_streams, ablation_alloc, ablation_paths);
+criterion_main!(benches);

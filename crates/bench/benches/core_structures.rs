@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks of the hot runtime data structures: the
+//! wall-time cost of the simulator itself (event arena, scheduler
+//! handoff, allocators, bandwidth curves).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use diomp_core::BuddyAlloc;
+use diomp_sim::{BwCurve, Dur, Sim};
+
+fn bench_buddy(c: &mut Criterion) {
+    c.bench_function("buddy_alloc_free_churn", |b| {
+        b.iter(|| {
+            let mut alloc = BuddyAlloc::new(1 << 20, 64);
+            let mut held = Vec::with_capacity(64);
+            for i in 0..256u64 {
+                if i % 3 == 0 && !held.is_empty() {
+                    let off = held.swap_remove((i as usize * 7) % held.len());
+                    alloc.free(off);
+                } else if let Some(off) = alloc.alloc(64 + (i % 13) * 256) {
+                    held.push(off);
+                }
+            }
+            for off in held {
+                alloc.free(off);
+            }
+            assert!(alloc.fully_coalesced());
+        })
+    });
+}
+
+fn bench_scheduler_handoff(c: &mut Criterion) {
+    c.bench_function("des_ping_pong_1000_events", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new();
+            for r in 0..2 {
+                sim.spawn(format!("t{r}"), |ctx| {
+                    for _ in 0..250 {
+                        ctx.delay(Dur::nanos(10));
+                    }
+                });
+            }
+            let rep = sim.run().unwrap();
+            black_box(rep.entries_processed);
+        })
+    });
+}
+
+fn bench_event_churn(c: &mut Criterion) {
+    c.bench_function("event_arena_recycling", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new();
+            sim.spawn("t", |ctx| {
+                for _ in 0..500 {
+                    let ev = ctx.new_event();
+                    ctx.complete(ev);
+                    ctx.wait_free(ev);
+                }
+            });
+            sim.run().unwrap();
+        })
+    });
+}
+
+fn bench_bw_curve(c: &mut Criterion) {
+    let curve = BwCurve::new(vec![(1024, 2.0), (1 << 16, 8.0), (1 << 22, 20.0), (1 << 26, 24.0)]);
+    c.bench_function("bw_curve_interpolation", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for shift in 8..26 {
+                acc += curve.gbps(black_box(1u64 << shift));
+            }
+            black_box(acc);
+        })
+    });
+}
+
+criterion_group!(benches, bench_buddy, bench_scheduler_handoff, bench_event_churn, bench_bw_curve);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for the Fig. 3 experiment: wall-time cost of
+//! regenerating one latency cell (DiOMP vs MPI RMA) — tracks harness
+//! performance and guards the calibrated virtual-time results.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diomp_apps::micro::{diomp_p2p_latency, mpi_p2p, RmaOp};
+use diomp_sim::PlatformSpec;
+
+fn bench(c: &mut Criterion) {
+    let platform = PlatformSpec::platform_a();
+    let mut g = c.benchmark_group("fig3_latency");
+    g.sample_size(10);
+    g.bench_function("diomp_put_1kb", |b| {
+        b.iter(|| {
+            let r = diomp_p2p_latency(&platform, RmaOp::Put, &[1024]);
+            assert!(r[0].1 > 0.0);
+        })
+    });
+    g.bench_function("mpi_put_1kb", |b| {
+        b.iter(|| {
+            let r = mpi_p2p(&platform, RmaOp::Put, &[1024], false);
+            assert!(r[0].1 > 0.0);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for the Fig. 4 experiment: one bandwidth cell per
+//! implementation, including the Platform A put-anomaly path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diomp_apps::micro::{diomp_p2p_bandwidth, mpi_p2p, RmaOp};
+use diomp_sim::PlatformSpec;
+
+fn bench(c: &mut Criterion) {
+    let platform = PlatformSpec::platform_a();
+    let mut g = c.benchmark_group("fig4_bandwidth");
+    g.sample_size(10);
+    g.bench_function("diomp_get_16mb", |b| {
+        b.iter(|| {
+            let r = diomp_p2p_bandwidth(&platform, RmaOp::Get, &[16 << 20]);
+            assert!(r[0].1 > 10.0, "get should be near wire speed");
+        })
+    });
+    g.bench_function("diomp_put_16mb_anomalous", |b| {
+        b.iter(|| {
+            let r = diomp_p2p_bandwidth(&platform, RmaOp::Put, &[16 << 20]);
+            assert!(r[0].1 < 4.0, "put capped by the documented anomaly");
+        })
+    });
+    g.bench_function("mpi_get_16mb", |b| {
+        b.iter(|| {
+            let r = mpi_p2p(&platform, RmaOp::Get, &[16 << 20], true);
+            assert!(r[0].1 > 5.0);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

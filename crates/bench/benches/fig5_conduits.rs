@@ -1,0 +1,26 @@
+//! Criterion bench for the Fig. 5 experiment: GASNet-EX vs GPI-2 put
+//! over NDR InfiniBand.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diomp_apps::micro::{diomp_p2p, RmaOp};
+use diomp_core::Conduit;
+use diomp_sim::PlatformSpec;
+
+fn bench(c: &mut Criterion) {
+    let platform = PlatformSpec::platform_c();
+    let mut g = c.benchmark_group("fig5_conduits");
+    g.sample_size(10);
+    for (name, conduit) in [("gasnet_put_8kb", Conduit::GasnetEx), ("gpi_put_8kb", Conduit::Gpi2)]
+    {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let r = diomp_p2p(&platform, conduit, RmaOp::Put, &[8 << 10], true);
+                assert!(r[0].1 > 0.0);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

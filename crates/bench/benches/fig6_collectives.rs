@@ -1,0 +1,29 @@
+//! Criterion bench for the Fig. 6 experiment: one collective heatmap
+//! cell per library (OMPCCL vs MPI) at 4 MB on 64 A100s.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diomp_apps::micro::{diomp_collective, fig6_nodes, mpi_collective, CollKind};
+use diomp_sim::PlatformSpec;
+
+fn bench(c: &mut Criterion) {
+    let platform = PlatformSpec::platform_a();
+    let nodes = fig6_nodes(&platform);
+    let mut g = c.benchmark_group("fig6_collectives");
+    g.sample_size(10);
+    g.bench_function("ompccl_allreduce_4mb_64gpus", |b| {
+        b.iter(|| {
+            let r = diomp_collective(&platform, nodes, CollKind::AllReduce, &[4 << 20]);
+            assert!(r[0].1 > 0.0);
+        })
+    });
+    g.bench_function("mpi_allreduce_4mb_64gpus", |b| {
+        b.iter(|| {
+            let r = mpi_collective(&platform, nodes, CollKind::AllReduce, &[4 << 20]);
+            assert!(r[0].1 > 0.0);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

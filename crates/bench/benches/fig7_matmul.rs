@@ -1,0 +1,38 @@
+//! Criterion bench for the Fig. 7 experiment: one paper-scale matmul
+//! point (N = 30240 on 16 GPUs) per implementation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diomp_apps::cannon::{self, CannonConfig};
+use diomp_device::DataMode;
+use diomp_sim::PlatformSpec;
+
+fn cfg() -> CannonConfig {
+    CannonConfig {
+        platform: PlatformSpec::platform_a(),
+        gpus: 16,
+        n: 30240,
+        mode: DataMode::CostOnly,
+        verify: false,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_matmul");
+    g.sample_size(10);
+    g.bench_function("diomp_n30240_16gpus", |b| {
+        b.iter(|| {
+            let r = cannon::diomp::run(&cfg());
+            assert!(r.elapsed.as_ms() > 1.0);
+        })
+    });
+    g.bench_function("mpi_n30240_16gpus", |b| {
+        b.iter(|| {
+            let r = cannon::mpi::run(&cfg());
+            assert!(r.elapsed.as_ms() > 1.0);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for the Fig. 8 experiment: one paper-scale Minimod
+//! point (1200³ on 16 GPUs, 10 steps) per implementation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diomp_apps::minimod::{self, MinimodConfig};
+use diomp_device::DataMode;
+use diomp_sim::PlatformSpec;
+
+fn cfg() -> MinimodConfig {
+    MinimodConfig {
+        platform: PlatformSpec::platform_a(),
+        gpus: 16,
+        nx: 1200,
+        ny: 1200,
+        nz: 1200,
+        steps: 10,
+        mode: DataMode::CostOnly,
+        verify: false,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_minimod");
+    g.sample_size(10);
+    g.bench_function("diomp_1200cubed_16gpus", |b| {
+        b.iter(|| {
+            let r = minimod::diomp::run(&cfg());
+            assert!(r.elapsed.as_ms() > 1.0);
+        })
+    });
+    g.bench_function("mpi_1200cubed_16gpus", |b| {
+        b.iter(|| {
+            let r = minimod::mpi::run(&cfg());
+            assert!(r.elapsed.as_ms() > 1.0);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

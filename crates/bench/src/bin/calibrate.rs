@@ -1,0 +1,25 @@
+//! Calibration probe (maintenance tool): prints raw MPI and DiOMP
+//! collective times per Fig. 6 cell so the XCCL achieved-bandwidth curves
+//! in `diomp-sim::platform` can be refitted after MPI-side changes.
+
+use diomp_apps::micro::{diomp_collective, fig6_nodes, mpi_collective, CollKind};
+use diomp_bench::paper;
+use diomp_sim::PlatformSpec;
+
+fn main() {
+    for (pname, platform) in
+        [("A", PlatformSpec::platform_a()), ("B", PlatformSpec::platform_b()), ("C", PlatformSpec::platform_c())]
+    {
+        let nodes = fig6_nodes(&platform);
+        for (op, opname, sizes) in [
+            (CollKind::Broadcast, "bcast", &paper::FIG6_BCAST_SIZES[..]),
+            (CollKind::AllReduce, "allred", &paper::FIG6_ALLRED_SIZES[..]),
+        ] {
+            let mpi = mpi_collective(&platform, nodes, op, sizes);
+            let diomp = diomp_collective(&platform, nodes, op, sizes);
+            for (&(s, m), &(_, d)) in mpi.iter().zip(&diomp) {
+                println!("{pname} {opname} {s} mpi_us={m:.2} diomp_us={d:.2}");
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Fig. 4 — point-to-point RMA bandwidth, 1/64 MB – 1 GB. Higher is
+//! better. Platform A reproduces the documented DiOMP-Put driver anomaly
+//! (run with `--no-anomaly` for the corrected curve).
+
+use diomp_apps::micro::{diomp_p2p_bandwidth, mpi_p2p, RmaOp};
+use diomp_bench::{paper, size_label};
+use diomp_sim::PlatformSpec;
+
+fn main() {
+    let no_anomaly = std::env::args().any(|a| a == "--no-anomaly");
+    let sizes = &paper::FIG4_SIZES;
+    for (name, mut platform, max) in [
+        ("(a) Slingshot 11 + A100", PlatformSpec::platform_a(), 64 << 20),
+        ("(b) Slingshot 11 + MI250X", PlatformSpec::platform_b(), 1 << 30),
+        ("(c) NDR InfiniBand + Grace Hopper", PlatformSpec::platform_c(), 1 << 30),
+    ] {
+        if no_anomaly {
+            platform.put_anomaly_gbps = None;
+        }
+        let sizes: Vec<u64> = sizes.iter().copied().filter(|&s| s <= max).collect();
+        println!("\n== Fig. 4{name}: bandwidth (GB/s) ==");
+        let dg = diomp_p2p_bandwidth(&platform, RmaOp::Get, &sizes);
+        let dp = diomp_p2p_bandwidth(&platform, RmaOp::Put, &sizes);
+        let mg = mpi_p2p(&platform, RmaOp::Get, &sizes, true);
+        let mp = mpi_p2p(&platform, RmaOp::Put, &sizes, true);
+        println!(
+            "{:>8} {:>11} {:>11} {:>11} {:>11}",
+            "size", "DiOMP Get", "DiOMP Put", "MPI Get", "MPI Put"
+        );
+        for i in 0..sizes.len() {
+            println!(
+                "{:>8} {:>11.2} {:>11.2} {:>11.2} {:>11.2}",
+                size_label(sizes[i]),
+                dg[i].1,
+                dp[i].1,
+                mg[i].1,
+                mp[i].1
+            );
+        }
+    }
+    println!("\npaper shape: DiOMP above MPI everywhere except the documented");
+    println!("Platform A DiOMP-Put anomaly (external driver issue, Fig. 4a).");
+}

@@ -1,0 +1,33 @@
+//! Fig. 5 — the two DiOMP conduits compared: GASNet-EX vs GPI-2 Put/Get
+//! bandwidth over NDR InfiniBand, 32 B – 128 KB.
+
+use diomp_apps::micro::{diomp_p2p, RmaOp};
+use diomp_bench::{paper, size_label};
+use diomp_core::Conduit;
+use diomp_sim::PlatformSpec;
+
+fn main() {
+    let sizes = &paper::FIG5_SIZES;
+    let c = PlatformSpec::platform_c();
+    let gas_get = diomp_p2p(&c, Conduit::GasnetEx, RmaOp::Get, sizes, true);
+    let gas_put = diomp_p2p(&c, Conduit::GasnetEx, RmaOp::Put, sizes, true);
+    let gpi_get = diomp_p2p(&c, Conduit::Gpi2, RmaOp::Get, sizes, true);
+    let gpi_put = diomp_p2p(&c, Conduit::Gpi2, RmaOp::Put, sizes, true);
+    println!("== Fig. 5: conduit bandwidth over NDR InfiniBand (GB/s) ==");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "size", "GASNet Get", "GASNet Put", "GPI Get", "GPI Put"
+    );
+    for i in 0..sizes.len() {
+        println!(
+            "{:>8} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+            size_label(sizes[i]),
+            gas_get[i].1,
+            gas_put[i].1,
+            gpi_get[i].1,
+            gpi_put[i].1
+        );
+    }
+    println!("\npaper shape: GPI-2 Put outperforms GASNet-EX Put in the small/medium");
+    println!("range; all four converge as the wire saturates.");
+}

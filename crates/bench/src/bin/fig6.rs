@@ -1,0 +1,45 @@
+//! Fig. 6 — collective latency heatmaps: `log10(t_MPI / t_DiOMP)` for
+//! Broadcast (32 KB–64 MB) and AllReduce (128 KB–64 MB) on the paper's
+//! three platforms (64 A100s, 64 GCDs, 16 GH200s).
+
+use diomp_apps::micro::{diomp_collective, fig6_nodes, log_ratio, mpi_collective, CollKind};
+use diomp_bench::{mae, paper, print_ratio_row, sign_agreement};
+use diomp_sim::PlatformSpec;
+
+fn run_op(kind: CollKind, sizes: &[u64], refs: [(&str, PlatformSpec, &[f64]); 3]) {
+    for (name, platform, paper_row) in refs {
+        let nodes = fig6_nodes(&platform);
+        let mpi = mpi_collective(&platform, nodes, kind, sizes);
+        let diomp = diomp_collective(&platform, nodes, kind, sizes);
+        let ratio = log_ratio(&mpi, &diomp);
+        print_ratio_row(name, sizes, &ratio, paper_row);
+        println!(
+            "   sign agreement {:.0}%   MAE {:.2}",
+            100.0 * sign_agreement(&ratio, paper_row),
+            mae(&ratio, paper_row)
+        );
+    }
+}
+
+fn main() {
+    println!("Fig. 6(a) Broadcast — log10(MPI/DiOMP), positive = DiOMP faster");
+    run_op(
+        CollKind::Broadcast,
+        &paper::FIG6_BCAST_SIZES,
+        [
+            ("Slingshot 11 + A100 (64 GPUs)", PlatformSpec::platform_a(), &paper::FIG6_BCAST_A),
+            ("NDR IB + GH200 (16 GPUs)", PlatformSpec::platform_c(), &paper::FIG6_BCAST_C),
+            ("Slingshot 11 + MI250X (64 GCDs)", PlatformSpec::platform_b(), &paper::FIG6_BCAST_B),
+        ],
+    );
+    println!("\nFig. 6(b) AllReduce(sum) — log10(MPI/DiOMP)");
+    run_op(
+        CollKind::AllReduce,
+        &paper::FIG6_ALLRED_SIZES,
+        [
+            ("Slingshot 11 + A100 (64 GPUs)", PlatformSpec::platform_a(), &paper::FIG6_ALLRED_A),
+            ("NDR IB + GH200 (16 GPUs)", PlatformSpec::platform_c(), &paper::FIG6_ALLRED_C),
+            ("Slingshot 11 + MI250X (64 GCDs)", PlatformSpec::platform_b(), &paper::FIG6_ALLRED_B),
+        ],
+    );
+}

@@ -1,0 +1,45 @@
+//! Fig. 7 — ring matmul strong scaling (N = 30240): DiOMP vs MPI+OpenMP
+//! speedup over the single-node baseline on platforms A and B. The paper
+//! observes superlinear scaling (shrinking per-rank working sets).
+
+use diomp_apps::cannon::{self, CannonConfig};
+use diomp_bench::paper;
+use diomp_device::DataMode;
+use diomp_sim::PlatformSpec;
+
+type Speedups = Vec<(usize, f64)>;
+
+fn series(platform: &PlatformSpec, gpus: &[usize]) -> (Speedups, Speedups) {
+    let cfg = |g: usize| CannonConfig {
+        platform: platform.clone(),
+        gpus: g,
+        n: paper::FIG7_N,
+        mode: DataMode::CostOnly,
+        verify: false,
+    };
+    let d = cannon::speedup_series(|g| cannon::diomp::run(&cfg(g)), gpus, None);
+    let m = cannon::speedup_series(|g| cannon::mpi::run(&cfg(g)), gpus, None);
+    (d, m)
+}
+
+fn main() {
+    for (name, platform, gpus, peaks) in [
+        ("(a) Slingshot 11 + A100", PlatformSpec::platform_a(), &paper::FIG7_GPUS_A[..], paper::FIG7_PEAK_A),
+        ("(b) Slingshot 11 + MI250X", PlatformSpec::platform_b(), &paper::FIG7_GPUS_B[..], paper::FIG7_PEAK_B),
+    ] {
+        println!("\n== Fig. 7{name}: matmul speedup vs {}-GPU baseline ==", gpus[0]);
+        let (d, m) = series(&platform, gpus);
+        println!("{:>6} {:>10} {:>10}", "GPUs", "DiOMP", "MPI");
+        for (dd, mm) in d.iter().zip(&m) {
+            println!("{:>6} {:>10.2} {:>10.2}", dd.0, dd.1, mm.1);
+        }
+        println!(
+            "peak: DiOMP {:.1} (paper ≈{:.1}), MPI {:.1} (paper ≈{:.1}); superlinear = speedup > {}",
+            d.last().unwrap().1,
+            peaks.0,
+            m.last().unwrap().1,
+            peaks.1,
+            gpus.last().unwrap() / gpus[0],
+        );
+    }
+}

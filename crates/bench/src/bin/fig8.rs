@@ -1,0 +1,48 @@
+//! Fig. 8 — Minimod (1200³ grid) speedup: DiOMP vs MPI on platforms A
+//! and B, both normalised to MPI's single-node time (the paper's
+//! baseline). Steady-state per-step times make speedups step-count
+//! invariant, so the harness simulates 40 steps instead of 1000.
+
+use diomp_apps::minimod::{self, MinimodConfig};
+use diomp_bench::paper;
+use diomp_device::DataMode;
+use diomp_sim::PlatformSpec;
+
+const SIM_STEPS: usize = 40;
+
+fn main() {
+    for (name, platform, gpus, peaks) in [
+        ("(a) Slingshot 11 + A100", PlatformSpec::platform_a(), &paper::FIG8_GPUS_A[..], paper::FIG8_PEAK_A),
+        ("(b) Slingshot 11 + MI250X", PlatformSpec::platform_b(), &paper::FIG8_GPUS_B[..], paper::FIG8_PEAK_B),
+    ] {
+        let cfg = |g: usize| MinimodConfig {
+            platform: platform.clone(),
+            gpus: g,
+            nx: paper::FIG8_GRID,
+            ny: paper::FIG8_GRID,
+            nz: paper::FIG8_GRID,
+            steps: SIM_STEPS,
+            mode: DataMode::CostOnly,
+            verify: false,
+        };
+        println!(
+            "\n== Fig. 8{name}: Minimod speedup vs MPI {}-GPU baseline ({} of {} steps simulated) ==",
+            gpus[0],
+            SIM_STEPS,
+            paper::FIG8_STEPS
+        );
+        let base = minimod::mpi::run(&cfg(gpus[0])).elapsed.as_nanos() as f64;
+        println!("{:>6} {:>10} {:>10}", "GPUs", "DiOMP", "MPI");
+        let mut last = (0.0, 0.0);
+        for &g in gpus {
+            let d = base / minimod::diomp::run(&cfg(g)).elapsed.as_nanos() as f64;
+            let m = base / minimod::mpi::run(&cfg(g)).elapsed.as_nanos() as f64;
+            println!("{g:>6} {d:>10.2} {m:>10.2}");
+            last = (d, m);
+        }
+        println!(
+            "peak: DiOMP {:.1} (paper ≈{:.1}), MPI {:.1} (paper ≈{:.1})",
+            last.0, peaks.0, last.1, peaks.1
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Runtime configuration.
+
+use diomp_device::DataMode;
+use diomp_sim::{ClusterSpec, PlatformSpec};
+
+use crate::galloc::AllocKind;
+
+/// Which communication middleware DiOMP runs over (paper §3.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Conduit {
+    /// GASNet-EX (default; all platforms).
+    GasnetEx,
+    /// GPI-2 (InfiniBand platforms only).
+    Gpi2,
+}
+
+/// Device-binding strategy (paper §3.3 "hierarchical device binding").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Binding {
+    /// One device per rank — compatible with conventional MPI layouts.
+    DevicePerRank,
+    /// One rank per node owning every device on it — the single-process
+    /// multi-GPU mode that keeps all CPU threads under one OpenMP runtime.
+    RankPerNode,
+}
+
+/// Full configuration of a DiOMP job.
+#[derive(Clone)]
+pub struct DiompConfig {
+    /// The simulated cluster.
+    pub cluster: ClusterSpec,
+    /// Device binding strategy.
+    pub binding: Binding,
+    /// Conduit selection.
+    pub conduit: Conduit,
+    /// Symmetric+asymmetric global heap size per device, bytes.
+    pub heap_bytes: u64,
+    /// Fraction of the heap reserved for the asymmetric region.
+    pub asym_frac: f64,
+    /// Symmetric allocator strategy.
+    pub allocator: AllocKind,
+    /// Functional (real bytes) or CostOnly (paper-scale sweeps).
+    pub mode: DataMode,
+    /// Override the modelled device memory capacity (tests).
+    pub mem_capacity: Option<u64>,
+    /// Use GPUDirect P2P for intra-node transfers when available
+    /// (disable to force the IPC staging path).
+    pub use_p2p: bool,
+}
+
+impl DiompConfig {
+    /// Sensible defaults for a cluster: device-per-rank binding, GASNet-EX
+    /// conduit, 16 MiB functional heap, buddy allocator.
+    pub fn new(cluster: ClusterSpec) -> Self {
+        DiompConfig {
+            cluster,
+            binding: Binding::DevicePerRank,
+            conduit: Conduit::GasnetEx,
+            heap_bytes: 16 << 20,
+            asym_frac: 0.25,
+            allocator: AllocKind::Buddy,
+            mode: DataMode::Functional,
+            mem_capacity: None,
+            use_p2p: true,
+        }
+    }
+
+    /// Convenience: platform + node count, all devices used.
+    pub fn on_platform(platform: PlatformSpec, nodes: usize) -> Self {
+        Self::new(ClusterSpec::full_nodes(platform, nodes))
+    }
+
+    /// Number of ranks implied by the binding.
+    pub fn nranks(&self) -> usize {
+        match self.binding {
+            Binding::DevicePerRank => self.cluster.total_gpus(),
+            Binding::RankPerNode => self.cluster.nodes,
+        }
+    }
+
+    /// Builder-style setters.
+    pub fn with_binding(mut self, b: Binding) -> Self {
+        self.binding = b;
+        self
+    }
+
+    /// Select the conduit.
+    pub fn with_conduit(mut self, c: Conduit) -> Self {
+        self.conduit = c;
+        self
+    }
+
+    /// Set the per-device global heap size.
+    pub fn with_heap(mut self, bytes: u64) -> Self {
+        self.heap_bytes = bytes;
+        self
+    }
+
+    /// Set the symmetric allocator strategy.
+    pub fn with_allocator(mut self, k: AllocKind) -> Self {
+        self.allocator = k;
+        self
+    }
+
+    /// Set the data mode.
+    pub fn with_mode(mut self, m: DataMode) -> Self {
+        self.mode = m;
+        self
+    }
+
+    /// Cap the modelled device memory (test OOM paths).
+    pub fn with_mem_capacity(mut self, cap: u64) -> Self {
+        self.mem_capacity = Some(cap);
+        self
+    }
+
+    /// Force the IPC path by disabling GPUDirect P2P.
+    pub fn without_p2p(mut self) -> Self {
+        self.use_p2p = false;
+        self
+    }
+}

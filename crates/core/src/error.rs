@@ -1,0 +1,43 @@
+//! Runtime errors.
+
+use diomp_device::MemError;
+
+/// Errors surfaced by the DiOMP runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiompError {
+    /// The collective symmetric allocation could not be satisfied.
+    OutOfGlobalMemory {
+        /// Bytes requested.
+        requested: u64,
+    },
+    /// The per-device asymmetric region is exhausted.
+    OutOfAsymMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Device that failed.
+        dev: usize,
+    },
+    /// An underlying device-memory error.
+    Mem(MemError),
+}
+
+impl From<MemError> for DiompError {
+    fn from(e: MemError) -> Self {
+        DiompError::Mem(e)
+    }
+}
+
+impl std::fmt::Display for DiompError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiompError::OutOfGlobalMemory { requested } => {
+                write!(f, "global symmetric heap exhausted ({requested} B requested)")
+            }
+            DiompError::OutOfAsymMemory { requested, dev } => {
+                write!(f, "asymmetric region exhausted on device {dev} ({requested} B requested)")
+            }
+            DiompError::Mem(e) => write!(f, "device memory error: {e}"),
+        }
+    }
+}
+impl std::error::Error for DiompError {}

@@ -1,0 +1,191 @@
+//! Buddy allocator for the global segment.
+//!
+//! The second strategy of paper §3.1. Power-of-two block sizes with
+//! splitting and coalescing give bounded fragmentation and true
+//! per-object free — needed when SPMD phases allocate and release global
+//! memory with mixed lifetimes.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Buddy allocator over `[0, capacity)` (capacity is rounded *down* to a
+/// power of two times `min_block`).
+#[derive(Debug, Clone)]
+pub struct BuddyAlloc {
+    /// Log2 of the smallest block size.
+    min_order: u32,
+    /// Log2 of the full segment size.
+    max_order: u32,
+    /// Free blocks per order: set of offsets.
+    free: Vec<BTreeSet<u64>>,
+    /// Live allocations: offset → order.
+    live: BTreeMap<u64, u32>,
+}
+
+impl BuddyAlloc {
+    /// Allocator with the given capacity and minimum block size (both
+    /// powers of two, `capacity >= min_block`).
+    pub fn new(capacity: u64, min_block: u64) -> Self {
+        assert!(capacity.is_power_of_two(), "buddy capacity must be a power of two");
+        assert!(min_block.is_power_of_two() && min_block >= 1);
+        assert!(capacity >= min_block);
+        let min_order = min_block.trailing_zeros();
+        let max_order = capacity.trailing_zeros();
+        let mut free = vec![BTreeSet::new(); (max_order - min_order + 1) as usize];
+        free.last_mut().unwrap().insert(0);
+        BuddyAlloc { min_order, max_order, free, live: BTreeMap::new() }
+    }
+
+    fn order_for(&self, len: u64) -> u32 {
+        let len = len.max(1).next_power_of_two();
+        len.trailing_zeros().max(self.min_order)
+    }
+
+    fn slot(&self, order: u32) -> usize {
+        (order - self.min_order) as usize
+    }
+
+    /// Allocate at least `len` bytes; the returned offset is aligned to
+    /// the block size. Returns `None` when no block is available.
+    pub fn alloc(&mut self, len: u64) -> Option<u64> {
+        let want = self.order_for(len);
+        if want > self.max_order {
+            return None;
+        }
+        // Find the smallest free block that fits.
+        let mut order = want;
+        while order <= self.max_order && self.free[self.slot(order)].is_empty() {
+            order += 1;
+        }
+        if order > self.max_order {
+            return None;
+        }
+        let slot = self.slot(order);
+        let off = *self.free[slot].iter().next().unwrap();
+        self.free[slot].remove(&off);
+        // Split down to the target order.
+        while order > want {
+            order -= 1;
+            let buddy = off + (1u64 << order);
+            let slot = self.slot(order);
+            self.free[slot].insert(buddy);
+        }
+        self.live.insert(off, want);
+        Some(off)
+    }
+
+    /// Free a previous allocation, coalescing buddies greedily.
+    pub fn free(&mut self, off: u64) {
+        let mut order = self.live.remove(&off).expect("free of unallocated offset");
+        let mut off = off;
+        while order < self.max_order {
+            let buddy = off ^ (1u64 << order);
+            let slot = self.slot(order);
+            if !self.free[slot].remove(&buddy) {
+                break;
+            }
+            off = off.min(buddy);
+            order += 1;
+        }
+        let slot = self.slot(order);
+        self.free[slot].insert(off);
+    }
+
+    /// Block size actually reserved for an allocation of `len` bytes.
+    pub fn block_size(&self, len: u64) -> u64 {
+        1u64 << self.order_for(len)
+    }
+
+    /// Number of live allocations.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Total free bytes.
+    pub fn total_free(&self) -> u64 {
+        self.free
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.len() as u64 * (1u64 << (self.min_order + i as u32)))
+            .sum()
+    }
+
+    /// True when the allocator has coalesced back to one maximal block.
+    pub fn fully_coalesced(&self) -> bool {
+        self.live.is_empty()
+            && self.free[self.slot(self.max_order)].len() == 1
+            && self.free[..self.slot(self.max_order)].iter().all(|s| s.is_empty())
+    }
+
+    /// Live allocation ranges `(offset, block_len)` — for invariant tests.
+    pub fn live_ranges(&self) -> Vec<(u64, u64)> {
+        self.live.iter().map(|(&o, &ord)| (o, 1u64 << ord)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_rounds_to_power_of_two_blocks() {
+        let mut b = BuddyAlloc::new(1024, 32);
+        assert_eq!(b.block_size(33), 64);
+        assert_eq!(b.block_size(5), 32, "min block floor");
+        let x = b.alloc(100).unwrap();
+        assert_eq!(x % 128, 0, "offset aligned to its block size");
+    }
+
+    #[test]
+    fn split_and_coalesce_roundtrip() {
+        let mut b = BuddyAlloc::new(1024, 32);
+        let offs: Vec<u64> = (0..8).map(|_| b.alloc(100).unwrap()).collect(); // 8×128 = full
+        assert!(b.alloc(1).is_none(), "segment exhausted");
+        for o in &offs {
+            b.free(*o);
+        }
+        assert!(b.fully_coalesced(), "all blocks must merge back");
+        assert_eq!(b.alloc(1024), Some(0), "full-size allocation possible again");
+    }
+
+    #[test]
+    fn buddies_merge_only_with_their_pair() {
+        let mut b = BuddyAlloc::new(256, 32);
+        let a = b.alloc(32).unwrap(); // 0
+        let c = b.alloc(32).unwrap(); // 32
+        let d = b.alloc(32).unwrap(); // 64
+        b.free(a);
+        b.free(d);
+        // 0 and 64 are not buddies of each other; nothing above order 5 yet.
+        assert!(!b.fully_coalesced());
+        b.free(c);
+        assert!(b.alloc(128).is_some(), "0..128 coalesced after c freed");
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn double_free_panics() {
+        let mut b = BuddyAlloc::new(256, 32);
+        let a = b.alloc(32).unwrap();
+        b.free(a);
+        b.free(a);
+    }
+
+    #[test]
+    fn no_live_overlap_under_churn() {
+        let mut b = BuddyAlloc::new(4096, 32);
+        let mut held = Vec::new();
+        for i in 0..64u64 {
+            if i % 3 == 0 && !held.is_empty() {
+                b.free(held.swap_remove((i as usize * 7) % held.len()));
+            } else if let Some(o) = b.alloc(32 + (i % 5) * 40) {
+                held.push(o);
+            }
+            // Invariant: live blocks never overlap.
+            let mut ranges = b.live_ranges();
+            ranges.sort_unstable();
+            for w in ranges.windows(2) {
+                assert!(w[0].0 + w[0].1 <= w[1].0, "overlap: {:?}", w);
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Linear (bump) heap allocator.
+//!
+//! One of the two strategies DiOMP uses to carve the conduit-registered
+//! global segment into allocations (paper §3.1: "strategies such as a
+//! linear heap allocator or a buddy allocator"). O(1) allocation, no
+//! per-object free — freeing happens wholesale via `reset` (phase
+//! allocation), which fits the collective, phase-structured allocation
+//! pattern of SPMD applications.
+
+/// Bump allocator over `[0, capacity)`.
+#[derive(Debug, Clone)]
+pub struct LinearAlloc {
+    capacity: u64,
+    cursor: u64,
+    live: usize,
+}
+
+impl LinearAlloc {
+    /// Allocator over `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        LinearAlloc { capacity, cursor: 0, live: 0 }
+    }
+
+    /// Allocate `len` bytes aligned to `align` (power of two). Returns the
+    /// offset, or `None` if the segment is exhausted.
+    pub fn alloc(&mut self, len: u64, align: u64) -> Option<u64> {
+        assert!(align.is_power_of_two());
+        let off = (self.cursor + align - 1) & !(align - 1);
+        let end = off.checked_add(len.max(1))?;
+        if end > self.capacity {
+            return None;
+        }
+        self.cursor = end;
+        self.live += 1;
+        Some(off)
+    }
+
+    /// Release one allocation. The space is only reclaimed by `reset`
+    /// once every allocation has been released.
+    pub fn free(&mut self) {
+        assert!(self.live > 0, "free without live allocations");
+        self.live -= 1;
+    }
+
+    /// Reclaim the whole segment. Panics if allocations are still live.
+    pub fn reset(&mut self) {
+        assert_eq!(self.live, 0, "reset with {} live allocations", self.live);
+        self.cursor = 0;
+    }
+
+    /// Bytes consumed so far (including alignment padding).
+    pub fn used(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Remaining bytes.
+    pub fn remaining(&self) -> u64 {
+        self.capacity - self.cursor
+    }
+
+    /// Live allocation count.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_allocates_sequentially_with_alignment() {
+        let mut a = LinearAlloc::new(1024);
+        assert_eq!(a.alloc(10, 1), Some(0));
+        assert_eq!(a.alloc(10, 64), Some(64));
+        assert_eq!(a.alloc(10, 64), Some(128));
+        assert_eq!(a.used(), 138);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut a = LinearAlloc::new(100);
+        assert!(a.alloc(60, 1).is_some());
+        assert!(a.alloc(60, 1).is_none());
+        assert!(a.alloc(40, 1).is_some(), "exact fit still works");
+    }
+
+    #[test]
+    fn reset_requires_all_freed() {
+        let mut a = LinearAlloc::new(100);
+        a.alloc(10, 1).unwrap();
+        a.alloc(10, 1).unwrap();
+        a.free();
+        a.free();
+        a.reset();
+        assert_eq!(a.used(), 0);
+        assert_eq!(a.alloc(10, 1), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "live allocations")]
+    fn reset_with_live_allocations_panics() {
+        let mut a = LinearAlloc::new(100);
+        a.alloc(10, 1).unwrap();
+        a.reset();
+    }
+}

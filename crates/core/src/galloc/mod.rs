@@ -1,0 +1,29 @@
+//! Global memory management (paper §3.2).
+//!
+//! The conduit-attached device segment of every device is carved up by a
+//! shared layout:
+//!
+//! ```text
+//! ┌──────────────────────────────┬───────────────────────────┐
+//! │ symmetric region             │ asymmetric region         │
+//! │ (identical offsets on every  │ (per-device sizes; reached│
+//! │  device; offset translation  │  through 32-byte second-  │
+//! │  is remote_base + offset)    │  level pointers)          │
+//! └──────────────────────────────┴───────────────────────────┘
+//! ```
+//!
+//! * [`SymHeap`] — the collective symmetric allocator (linear or buddy).
+//! * [`AsymRegion`] / [`AsymRegistry`] — per-device asymmetric
+//!   allocations registered under symmetric wrapper slots.
+//! * [`PtrCache`] — the remote second-level-pointer cache that removes
+//!   the extra round trip from repeated asymmetric accesses.
+
+mod asym;
+mod buddy;
+mod linear;
+mod sym;
+
+pub use asym::{AsymRegion, AsymRegistry, PtrCache, WRAPPER_BYTES};
+pub use buddy::BuddyAlloc;
+pub use linear::LinearAlloc;
+pub use sym::{AllocKind, SymHeap};

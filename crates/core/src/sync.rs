@@ -1,0 +1,56 @@
+//! Synchronisation: `ompx_fence` and `ompx_barrier` (paper §3.2–3.3).
+
+use diomp_sim::Ctx;
+
+use crate::config::Conduit;
+use crate::group::DiompGroup;
+use crate::runtime::DiompRank;
+
+impl DiompRank {
+    /// `ompx_fence`: block until every RMA operation this rank initiated
+    /// is remotely complete.
+    ///
+    /// This is the paper's *hybrid event polling*: the runtime
+    /// simultaneously drains network completions (GASNet-EX events or
+    /// GPI-2 queues) and device-side stream events in one unified loop,
+    /// so neither source of completion stalls the other. In the
+    /// simulation the unified loop is realised by waiting on the merged
+    /// pending-event list (network events and stream-tail events are the
+    /// same [`diomp_sim::EventId`] currency) and then settling the
+    /// device stream horizon.
+    pub fn fence(&mut self, ctx: &mut Ctx) {
+        // Network + stream events, in arrival order.
+        let pending = std::mem::take(&mut *self.shared.pending[self.rank].lock());
+        for ev in pending {
+            ctx.wait_free(ev);
+        }
+        // GPI-2 tracks completions on its queues rather than per-op events.
+        if self.shared.cfg.conduit == Conduit::Gpi2 {
+            diomp_fabric::gpi::wait_queue(ctx, &self.shared.world, self.rank, diomp_fabric::gpi::QueueId(0));
+        }
+        // Device horizon: all streams the RMA path touched.
+        for d in self.my_devices() {
+            let tail = self.shared.world.devs.dev(d).pool.lock().max_tail();
+            ctx.sleep_until(tail);
+        }
+    }
+
+    /// `ompx_barrier()`: world barrier.
+    pub fn barrier(&mut self, ctx: &mut Ctx) {
+        self.shared.world.barrier.arrive_and_wait(ctx);
+    }
+
+    /// `ompx_barrier(group)`: barrier scoped to a DiOMP group, avoiding
+    /// unnecessary global synchronisation (paper §3.3).
+    pub fn barrier_group(&mut self, ctx: &mut Ctx, group: &DiompGroup) {
+        assert!(group.index_of(self.rank).is_some(), "rank not in group");
+        group.barrier.arrive_and_wait(ctx);
+    }
+
+    /// `ompx_fence(group)`: local fence plus a group barrier — after it
+    /// returns, every member's prior RMA is visible to every member.
+    pub fn fence_group(&mut self, ctx: &mut Ctx, group: &DiompGroup) {
+        self.fence(ctx);
+        self.barrier_group(ctx, group);
+    }
+}

@@ -1,0 +1,189 @@
+//! The libomptarget-style mapping table.
+//!
+//! OpenMP target offloading tracks, per device, which host objects are
+//! *present* on the device: a table of `H-Ptr → (D-Ptr, Size, Flags,
+//! RefCount)` (paper Fig. 1a). `target enter data` / map clauses increment
+//! reference counts and trigger allocation + H2D on first presence;
+//! `target exit data` decrements and triggers D2H (`from`) and
+//! deallocation on last release.
+//!
+//! The DiOMP runtime *extends* each entry with a segment offset
+//! (`Seg_offset`, paper Fig. 1b) so the same object is addressable by RMA
+//! without re-registration; that extension lives in `diomp-core` and
+//! reuses this table via [`MapEntry::seg_offset`].
+
+use std::collections::HashMap;
+
+/// Opaque identity of a host object (stands in for the host pointer).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct HostId(pub u64);
+
+/// OpenMP map-clause kind.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MapKind {
+    /// `map(to:)` — copy host→device at entry.
+    To,
+    /// `map(from:)` — copy device→host at exit.
+    From,
+    /// `map(tofrom:)` — both.
+    ToFrom,
+    /// `map(alloc:)` — allocate only.
+    Alloc,
+}
+
+impl MapKind {
+    /// Does entry to the region copy host→device?
+    pub fn copies_in(self) -> bool {
+        matches!(self, MapKind::To | MapKind::ToFrom)
+    }
+
+    /// Does exit from the region copy device→host?
+    pub fn copies_out(self) -> bool {
+        matches!(self, MapKind::From | MapKind::ToFrom)
+    }
+}
+
+/// One row of the mapping table.
+#[derive(Clone, Debug)]
+pub struct MapEntry {
+    /// Device-memory offset of the object.
+    pub d_off: u64,
+    /// Object size in bytes.
+    pub size: u64,
+    /// Map kind recorded at first mapping.
+    pub kind: MapKind,
+    /// Present-table reference count.
+    pub refcount: u32,
+    /// DiOMP extension: offset inside the PGAS segment (paper Fig. 1b).
+    pub seg_offset: Option<u64>,
+}
+
+/// Result of a lookup-or-insert on the mapping table.
+#[derive(Debug, PartialEq, Eq)]
+pub enum MapOutcome {
+    /// Object was absent: caller must allocate and (for `to` maps) copy in.
+    New,
+    /// Object already present: refcount bumped, no transfer needed.
+    Present {
+        /// Device offset recorded at first mapping.
+        d_off: u64,
+    },
+}
+
+/// Per-device mapping table.
+#[derive(Default)]
+pub struct MappingTable {
+    entries: HashMap<HostId, MapEntry>,
+}
+
+impl MappingTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up `host`; bump the refcount when present.
+    pub fn enter(&mut self, host: HostId) -> MapOutcome {
+        match self.entries.get_mut(&host) {
+            Some(e) => {
+                e.refcount += 1;
+                MapOutcome::Present { d_off: e.d_off }
+            }
+            None => MapOutcome::New,
+        }
+    }
+
+    /// Record a fresh mapping after the caller allocated device memory.
+    pub fn insert(&mut self, host: HostId, d_off: u64, size: u64, kind: MapKind) {
+        let prev =
+            self.entries.insert(host, MapEntry { d_off, size, kind, refcount: 1, seg_offset: None });
+        assert!(prev.is_none(), "insert over live mapping for {host:?}");
+    }
+
+    /// Attach the DiOMP segment offset to an entry (paper Fig. 1b).
+    pub fn set_seg_offset(&mut self, host: HostId, seg_offset: u64) {
+        self.entries
+            .get_mut(&host)
+            .expect("set_seg_offset on unmapped object")
+            .seg_offset = Some(seg_offset);
+    }
+
+    /// Present-table lookup without refcount changes.
+    pub fn lookup(&self, host: HostId) -> Option<&MapEntry> {
+        self.entries.get(&host)
+    }
+
+    /// Decrement the refcount; returns the entry when it drops to zero
+    /// (caller performs D2H for `from` maps and frees device memory).
+    pub fn exit(&mut self, host: HostId) -> Option<MapEntry> {
+        let e = self.entries.get_mut(&host).expect("exit on unmapped object");
+        assert!(e.refcount > 0);
+        e.refcount -= 1;
+        if e.refcount == 0 {
+            self.entries.remove(&host)
+        } else {
+            None
+        }
+    }
+
+    /// Number of live mappings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no objects are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_enter_is_new_then_present() {
+        let mut t = MappingTable::new();
+        let h = HostId(1);
+        assert_eq!(t.enter(h), MapOutcome::New);
+        t.insert(h, 4096, 256, MapKind::ToFrom);
+        assert_eq!(t.enter(h), MapOutcome::Present { d_off: 4096 });
+        assert_eq!(t.lookup(h).unwrap().refcount, 2);
+    }
+
+    #[test]
+    fn exit_releases_only_at_zero() {
+        let mut t = MappingTable::new();
+        let h = HostId(9);
+        t.insert(h, 0, 64, MapKind::To);
+        assert_eq!(t.enter(h), MapOutcome::Present { d_off: 0 });
+        assert!(t.exit(h).is_none(), "refcount 2→1 keeps the mapping");
+        let freed = t.exit(h).expect("refcount 1→0 releases");
+        assert_eq!(freed.size, 64);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn seg_offset_extension_sticks() {
+        let mut t = MappingTable::new();
+        let h = HostId(3);
+        t.insert(h, 128, 64, MapKind::Alloc);
+        t.set_seg_offset(h, 128);
+        assert_eq!(t.lookup(h).unwrap().seg_offset, Some(128));
+    }
+
+    #[test]
+    fn map_kind_transfer_direction() {
+        assert!(MapKind::To.copies_in() && !MapKind::To.copies_out());
+        assert!(!MapKind::From.copies_in() && MapKind::From.copies_out());
+        assert!(MapKind::ToFrom.copies_in() && MapKind::ToFrom.copies_out());
+        assert!(!MapKind::Alloc.copies_in() && !MapKind::Alloc.copies_out());
+    }
+
+    #[test]
+    #[should_panic(expected = "exit on unmapped")]
+    fn exit_unmapped_panics() {
+        let mut t = MappingTable::new();
+        let _ = t.exit(HostId(42));
+    }
+}

@@ -1,0 +1,367 @@
+//! Device memory: modelled address space with optional real backing.
+//!
+//! Every device owns a flat address space of `capacity` bytes. In
+//! [`DataMode::Functional`] the space is backed by real host memory so
+//! copies and kernels move and compute real bytes (tests, examples,
+//! correctness runs). In [`DataMode::CostOnly`] only the *bookkeeping*
+//! exists — allocations, offsets and sizes are tracked and timing is
+//! charged, but no bytes move. This lets the paper-scale experiments
+//! (7 GiB matrices, 1200³ grids) run on a laptop through exactly the same
+//! code path that the correctness tests exercise at small sizes.
+
+use parking_lot::Mutex;
+
+/// Whether simulated memory is really backed (see module docs).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DataMode {
+    /// Real bytes: copies copy, kernels compute, results are checkable.
+    Functional,
+    /// Bookkeeping + timing only: for paper-scale parameter sweeps.
+    CostOnly,
+}
+
+/// Errors from device memory operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// Allocation would exceed device capacity.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes available.
+        available: u64,
+    },
+    /// Access outside the device address space.
+    OutOfBounds {
+        /// Offset of the access.
+        offset: u64,
+        /// Length of the access.
+        len: u64,
+        /// Device capacity.
+        capacity: u64,
+    },
+    /// Free of an offset that is not an allocation start.
+    BadFree {
+        /// The offending offset.
+        offset: u64,
+    },
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::OutOfMemory { requested, available } => {
+                write!(f, "device OOM: requested {requested} B, available {available} B")
+            }
+            MemError::OutOfBounds { offset, len, capacity } => {
+                write!(f, "device access [{offset}, +{len}) outside capacity {capacity}")
+            }
+            MemError::BadFree { offset } => write!(f, "free of non-allocated offset {offset}"),
+        }
+    }
+}
+impl std::error::Error for MemError {}
+
+/// The memory of one device.
+pub struct DeviceMem {
+    capacity: u64,
+    mode: DataMode,
+    /// Real backing (Functional mode only). Grown lazily to the high-water
+    /// mark so small tests stay small.
+    backing: Mutex<Vec<u8>>,
+}
+
+impl DeviceMem {
+    /// Create a device memory of `capacity` modelled bytes.
+    pub fn new(capacity: u64, mode: DataMode) -> Self {
+        DeviceMem { capacity, mode, backing: Mutex::new(Vec::new()) }
+    }
+
+    /// Modelled capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// The data mode this memory was created with.
+    pub fn mode(&self) -> DataMode {
+        self.mode
+    }
+
+    fn check(&self, offset: u64, len: u64) -> Result<(), MemError> {
+        if offset.checked_add(len).is_none_or(|end| end > self.capacity) {
+            return Err(MemError::OutOfBounds { offset, len, capacity: self.capacity });
+        }
+        Ok(())
+    }
+
+    fn ensure_backing(&self, backing: &mut Vec<u8>, end: u64) {
+        let end = end as usize;
+        if backing.len() < end {
+            backing.resize(end, 0);
+        }
+    }
+
+    /// Copy bytes out of device memory. Unwritten memory reads as zero.
+    /// In `CostOnly` mode the output is zero-filled.
+    pub fn read(&self, offset: u64, out: &mut [u8]) -> Result<(), MemError> {
+        self.check(offset, out.len() as u64)?;
+        if self.mode == DataMode::CostOnly {
+            out.fill(0);
+            return Ok(());
+        }
+        let backing = self.backing.lock();
+        let start = offset as usize;
+        let have = backing.len().saturating_sub(start).min(out.len());
+        if have > 0 {
+            out[..have].copy_from_slice(&backing[start..start + have]);
+        }
+        out[have..].fill(0);
+        Ok(())
+    }
+
+    /// Copy bytes into device memory. A no-op (besides bounds checking) in
+    /// `CostOnly` mode.
+    pub fn write(&self, offset: u64, data: &[u8]) -> Result<(), MemError> {
+        self.check(offset, data.len() as u64)?;
+        if self.mode == DataMode::CostOnly {
+            return Ok(());
+        }
+        let mut backing = self.backing.lock();
+        self.ensure_backing(&mut backing, offset + data.len() as u64);
+        backing[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Device-to-device copy within this memory.
+    pub fn copy_within(&self, src: u64, dst: u64, len: u64) -> Result<(), MemError> {
+        self.check(src, len)?;
+        self.check(dst, len)?;
+        if self.mode == DataMode::CostOnly || len == 0 {
+            return Ok(());
+        }
+        let mut backing = self.backing.lock();
+        self.ensure_backing(&mut backing, (src + len).max(dst + len));
+        backing.copy_within(src as usize..(src + len) as usize, dst as usize);
+        Ok(())
+    }
+
+    /// Run `f` over a mutable view of `[offset, offset+len)` — the kernel
+    /// execution hook. Returns `false` (without running `f`) in `CostOnly`
+    /// mode.
+    pub fn with_slice_mut<R>(
+        &self,
+        offset: u64,
+        len: u64,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<Option<R>, MemError> {
+        self.check(offset, len)?;
+        if self.mode == DataMode::CostOnly {
+            return Ok(None);
+        }
+        let mut backing = self.backing.lock();
+        self.ensure_backing(&mut backing, offset + len);
+        Ok(Some(f(&mut backing[offset as usize..(offset + len) as usize])))
+    }
+
+    /// Like [`Self::with_slice_mut`] but for two disjoint ranges (e.g. a
+    /// GEMM reading one buffer and accumulating into another).
+    pub fn with_two_slices_mut<R>(
+        &self,
+        a: (u64, u64),
+        b: (u64, u64),
+        f: impl FnOnce(&mut [u8], &mut [u8]) -> R,
+    ) -> Result<Option<R>, MemError> {
+        self.check(a.0, a.1)?;
+        self.check(b.0, b.1)?;
+        assert!(
+            a.0 + a.1 <= b.0 || b.0 + b.1 <= a.0,
+            "with_two_slices_mut ranges must be disjoint"
+        );
+        if self.mode == DataMode::CostOnly {
+            return Ok(None);
+        }
+        let mut backing = self.backing.lock();
+        self.ensure_backing(&mut backing, (a.0 + a.1).max(b.0 + b.1));
+        let (first, second) = if a.0 < b.0 { (a, b) } else { (b, a) };
+        let (lo, hi) = backing.split_at_mut(second.0 as usize);
+        let sa = &mut lo[first.0 as usize..(first.0 + first.1) as usize];
+        let sb = &mut hi[..second.1 as usize];
+        let r = if a.0 < b.0 { f(sa, sb) } else { f(sb, sa) };
+        Ok(Some(r))
+    }
+}
+
+/// A first-fit free-list allocator over a device address space — the
+/// `cudaMalloc`-style allocator used by the *baseline* (non-DiOMP) memory
+/// path. The DiOMP runtime replaces this with its own segment allocators
+/// (paper §3.1); see `diomp-core::galloc`.
+pub struct FreeListAlloc {
+    capacity: u64,
+    /// Sorted, coalesced free ranges `(offset, len)`.
+    free: Vec<(u64, u64)>,
+    /// Live allocations `(offset, len)`, for validation.
+    live: Vec<(u64, u64)>,
+}
+
+impl FreeListAlloc {
+    /// Allocator over `[0, capacity)`.
+    pub fn new(capacity: u64) -> Self {
+        FreeListAlloc { capacity, free: vec![(0, capacity)], live: Vec::new() }
+    }
+
+    /// Allocate `len` bytes aligned to `align` (power of two).
+    pub fn alloc(&mut self, len: u64, align: u64) -> Result<u64, MemError> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let len = len.max(1);
+        for i in 0..self.free.len() {
+            let (off, flen) = self.free[i];
+            let aligned = (off + align - 1) & !(align - 1);
+            let pad = aligned - off;
+            if flen >= pad + len {
+                // Carve [aligned, aligned+len) out of the free block.
+                self.free.remove(i);
+                if pad > 0 {
+                    self.free.insert(i, (off, pad));
+                }
+                let rest = flen - pad - len;
+                if rest > 0 {
+                    let at = self.free.partition_point(|r| r.0 < aligned + len);
+                    self.free.insert(at, (aligned + len, rest));
+                }
+                let at = self.live.partition_point(|r| r.0 < aligned);
+                self.live.insert(at, (aligned, len));
+                return Ok(aligned);
+            }
+        }
+        Err(MemError::OutOfMemory { requested: len, available: self.largest_free() })
+    }
+
+    /// Free a previous allocation by its start offset.
+    pub fn free(&mut self, offset: u64) -> Result<(), MemError> {
+        let i = self
+            .live
+            .binary_search_by_key(&offset, |r| r.0)
+            .map_err(|_| MemError::BadFree { offset })?;
+        let (off, len) = self.live.remove(i);
+        let at = self.free.partition_point(|r| r.0 < off);
+        self.free.insert(at, (off, len));
+        // Coalesce with neighbours.
+        if at + 1 < self.free.len() && self.free[at].0 + self.free[at].1 == self.free[at + 1].0 {
+            self.free[at].1 += self.free[at + 1].1;
+            self.free.remove(at + 1);
+        }
+        if at > 0 && self.free[at - 1].0 + self.free[at - 1].1 == self.free[at].0 {
+            self.free[at - 1].1 += self.free[at].1;
+            self.free.remove(at);
+        }
+        Ok(())
+    }
+
+    /// Total bytes currently free.
+    pub fn total_free(&self) -> u64 {
+        self.free.iter().map(|r| r.1).sum()
+    }
+
+    /// Largest single free block.
+    pub fn largest_free(&self) -> u64 {
+        self.free.iter().map(|r| r.1).max().unwrap_or(0)
+    }
+
+    /// Number of live allocations.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Capacity this allocator manages.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functional_memory_roundtrips() {
+        let m = DeviceMem::new(1 << 20, DataMode::Functional);
+        m.write(100, &[1, 2, 3, 4]).unwrap();
+        let mut out = [0u8; 6];
+        m.read(98, &mut out).unwrap();
+        assert_eq!(out, [0, 0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cost_only_memory_reads_zero() {
+        let m = DeviceMem::new(1 << 40, DataMode::CostOnly); // 1 TiB, no backing
+        m.write(1 << 39, &[9; 16]).unwrap();
+        let mut out = [7u8; 16];
+        m.read(1 << 39, &mut out).unwrap();
+        assert_eq!(out, [0; 16]);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let m = DeviceMem::new(1024, DataMode::Functional);
+        assert!(matches!(m.write(1020, &[0; 8]), Err(MemError::OutOfBounds { .. })));
+        let mut out = [0u8; 8];
+        assert!(matches!(m.read(1020, &mut out), Err(MemError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn copy_within_moves_bytes() {
+        let m = DeviceMem::new(1024, DataMode::Functional);
+        m.write(0, &[5, 6, 7]).unwrap();
+        m.copy_within(0, 512, 3).unwrap();
+        let mut out = [0u8; 3];
+        m.read(512, &mut out).unwrap();
+        assert_eq!(out, [5, 6, 7]);
+    }
+
+    #[test]
+    fn two_slices_disjoint_views() {
+        let m = DeviceMem::new(1024, DataMode::Functional);
+        m.write(0, &[1, 1, 1, 1]).unwrap();
+        let ran = m
+            .with_two_slices_mut((0, 4), (512, 4), |a, b| {
+                b.copy_from_slice(a);
+            })
+            .unwrap();
+        assert!(ran.is_some());
+        let mut out = [0u8; 4];
+        m.read(512, &mut out).unwrap();
+        assert_eq!(out, [1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn free_list_allocates_aligned_and_coalesces() {
+        let mut a = FreeListAlloc::new(1024);
+        let x = a.alloc(100, 64).unwrap();
+        assert_eq!(x % 64, 0);
+        let y = a.alloc(100, 64).unwrap();
+        let z = a.alloc(100, 64).unwrap();
+        a.free(y).unwrap();
+        a.free(x).unwrap();
+        a.free(z).unwrap();
+        assert_eq!(a.total_free(), 1024);
+        assert_eq!(a.free.len(), 1, "freed blocks must coalesce to one");
+        assert_eq!(a.live_count(), 0);
+    }
+
+    #[test]
+    fn free_list_oom_and_bad_free() {
+        let mut a = FreeListAlloc::new(256);
+        let _x = a.alloc(200, 1).unwrap();
+        assert!(matches!(a.alloc(100, 1), Err(MemError::OutOfMemory { .. })));
+        assert!(matches!(a.free(5), Err(MemError::BadFree { .. })));
+    }
+
+    #[test]
+    fn free_list_reuses_holes_first_fit() {
+        let mut a = FreeListAlloc::new(1024);
+        let x = a.alloc(128, 1).unwrap();
+        let _y = a.alloc(128, 1).unwrap();
+        a.free(x).unwrap();
+        let z = a.alloc(64, 1).unwrap();
+        assert_eq!(z, x, "first-fit should reuse the first hole");
+    }
+}

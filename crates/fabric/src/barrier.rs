@@ -1,0 +1,144 @@
+//! Reusable dissemination-style barrier domains.
+//!
+//! A [`BarrierDomain`] synchronises a fixed set of `n` participants. The
+//! cost model is that of a dissemination barrier: the barrier completes
+//! ⌈log2 n⌉ network latencies after the last participant arrives. The
+//! same object backs `MPI_Barrier`, GASNet barriers and the group-scoped
+//! `ompx_barrier` of the DiOMP runtime.
+
+use std::collections::VecDeque;
+
+use diomp_sim::{Ctx, Dur, EventId};
+use parking_lot::Mutex;
+
+struct Episode {
+    ev: EventId,
+    arrived: usize,
+    /// Participants still inside `arrive_and_wait` (for event recycling).
+    inside: usize,
+}
+
+/// A reusable barrier for `n` participants.
+///
+/// Episodes are queued: a fast participant may re-enter the barrier (the
+/// next episode) while slow participants are still leaving the previous
+/// one — exactly what back-to-back barriers in an application do.
+pub struct BarrierDomain {
+    n: usize,
+    hop: Dur,
+    episodes: Mutex<VecDeque<Episode>>,
+}
+
+impl BarrierDomain {
+    /// Barrier over `n` participants with per-hop latency `hop`.
+    pub fn new(n: usize, hop: Dur) -> Self {
+        assert!(n >= 1);
+        BarrierDomain { n, hop, episodes: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Number of participants.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Enter the barrier and block until all `n` participants have
+    /// entered (plus the modelled ⌈log2 n⌉ hop fan-in/fan-out latency).
+    pub fn arrive_and_wait(&self, ctx: &mut Ctx) {
+        if self.n == 1 {
+            return;
+        }
+        let ev = {
+            let mut eps = self.episodes.lock();
+            let needs_new = eps.back().map(|e| e.arrived == self.n).unwrap_or(true);
+            if needs_new {
+                eps.push_back(Episode { ev: ctx.new_event(), arrived: 0, inside: 0 });
+            }
+            let ep = eps.back_mut().unwrap();
+            ep.arrived += 1;
+            ep.inside += 1;
+            let ev = ep.ev;
+            if ep.arrived == self.n {
+                let hops = usize::BITS - (self.n - 1).leading_zeros(); // ⌈log2 n⌉
+                let done = ctx.now() + Dur::nanos(self.hop.as_nanos() * hops as u64);
+                ctx.complete_at(ev, done);
+            }
+            ev
+        };
+        ctx.wait(ev);
+        let mut eps = self.episodes.lock();
+        let pos = eps.iter().position(|e| e.ev == ev).expect("barrier episode vanished");
+        eps[pos].inside -= 1;
+        if eps[pos].inside == 0 {
+            let done = eps.remove(pos).unwrap();
+            ctx.free_event(done.ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diomp_sim::{Sim, SimTime};
+    use std::sync::Arc;
+
+    #[test]
+    fn all_ranks_leave_after_last_arrival_plus_hops() {
+        let mut sim = Sim::new();
+        let bar = Arc::new(BarrierDomain::new(4, Dur::micros(1.0)));
+        for r in 0..4u64 {
+            let bar = bar.clone();
+            sim.spawn(format!("r{r}"), move |ctx| {
+                ctx.delay(Dur::micros(r as f64 * 10.0));
+                bar.arrive_and_wait(ctx);
+                // Last arrival at 30 µs; ⌈log2 4⌉ = 2 hops of 1 µs.
+                assert_eq!(ctx.now(), SimTime(32_000));
+            });
+        }
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn barrier_is_reusable_across_episodes() {
+        let mut sim = Sim::new();
+        let bar = Arc::new(BarrierDomain::new(3, Dur::micros(0.5)));
+        for r in 0..3u64 {
+            let bar = bar.clone();
+            sim.spawn(format!("r{r}"), move |ctx| {
+                for round in 0..5u64 {
+                    ctx.delay(Dur::micros((r + 1) as f64));
+                    bar.arrive_and_wait(ctx);
+                    let _ = round;
+                }
+            });
+        }
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn single_rank_barrier_is_free() {
+        let mut sim = Sim::new();
+        let bar = Arc::new(BarrierDomain::new(1, Dur::micros(1.0)));
+        sim.spawn("solo", move |ctx| {
+            bar.arrive_and_wait(ctx);
+            assert_eq!(ctx.now(), SimTime::ZERO);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn barrier_events_are_recycled() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let bar = Arc::new(BarrierDomain::new(2, Dur::micros(0.1)));
+        for r in 0..2 {
+            let bar = bar.clone();
+            sim.spawn(format!("r{r}"), move |ctx| {
+                for _ in 0..100 {
+                    bar.arrive_and_wait(ctx);
+                }
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(h.live_events(), 0, "barrier must free its events");
+    }
+}

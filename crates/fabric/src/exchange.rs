@@ -1,0 +1,134 @@
+//! Bootstrap all-gather domains.
+//!
+//! An [`ExchangeDomain`] lets `n` participants each contribute one value
+//! and receive everyone's contributions — the CPU-side bootstrap primitive
+//! used for segment-address exchange at attach time and for broadcasting
+//! the XCCL UniqueId (paper §3.3: "identifiers are broadcast across
+//! processes via a CPU-side communication mechanism").
+
+use std::collections::VecDeque;
+
+use diomp_sim::{Ctx, Dur, EventId};
+use parking_lot::Mutex;
+
+struct Episode<T> {
+    ev: EventId,
+    slots: Vec<Option<T>>,
+    arrived: usize,
+    inside: usize,
+}
+
+/// A reusable all-gather over `n` participants.
+pub struct ExchangeDomain<T> {
+    n: usize,
+    hop: Dur,
+    episodes: Mutex<VecDeque<Episode<T>>>,
+}
+
+impl<T: Clone + Send> ExchangeDomain<T> {
+    /// Domain over `n` participants with per-hop latency `hop`.
+    pub fn new(n: usize, hop: Dur) -> Self {
+        assert!(n >= 1);
+        ExchangeDomain { n, hop, episodes: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Contribute `value` as participant `idx`; blocks until every
+    /// participant of this episode contributed, then returns all values in
+    /// participant order.
+    pub fn exchange(&self, ctx: &mut Ctx, idx: usize, value: T) -> Vec<T> {
+        assert!(idx < self.n);
+        let ev = {
+            let mut eps = self.episodes.lock();
+            // Join the newest incomplete episode, or open a fresh one.
+            let needs_new = eps.back().map(|e| e.arrived == self.n).unwrap_or(true);
+            if needs_new {
+                eps.push_back(Episode {
+                    ev: ctx.new_event(),
+                    slots: vec![None; self.n],
+                    arrived: 0,
+                    inside: 0,
+                });
+            }
+            let ep = eps.back_mut().unwrap();
+            assert!(ep.slots[idx].is_none(), "participant {idx} contributed twice");
+            ep.slots[idx] = Some(value);
+            ep.arrived += 1;
+            ep.inside += 1;
+            if ep.arrived == self.n {
+                let hops = usize::BITS - (self.n - 1).leading_zeros();
+                let done = ctx.now() + Dur::nanos(self.hop.as_nanos() * hops.max(1) as u64);
+                ctx.complete_at(ep.ev, done);
+            }
+            ep.ev
+        };
+        ctx.wait(ev);
+        let mut eps = self.episodes.lock();
+        let pos = eps.iter().position(|e| e.ev == ev).expect("episode vanished");
+        let result: Vec<T> =
+            eps[pos].slots.iter().map(|s| s.clone().expect("missing contribution")).collect();
+        eps[pos].inside -= 1;
+        if eps[pos].inside == 0 {
+            let done = eps.remove(pos).unwrap();
+            ctx.free_event(done.ev);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diomp_sim::Sim;
+    use std::sync::Arc;
+
+    #[test]
+    fn everyone_sees_all_values_in_order() {
+        let mut sim = Sim::new();
+        let dom = Arc::new(ExchangeDomain::new(4, Dur::micros(0.5)));
+        for r in 0..4usize {
+            let dom = dom.clone();
+            sim.spawn(format!("r{r}"), move |ctx| {
+                ctx.delay(Dur::micros(r as f64));
+                let vals = dom.exchange(ctx, r, (r * 100) as u64);
+                assert_eq!(vals, vec![0, 100, 200, 300]);
+            });
+        }
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn domain_is_reusable_back_to_back() {
+        let mut sim = Sim::new();
+        let dom = Arc::new(ExchangeDomain::new(3, Dur::micros(0.1)));
+        for r in 0..3usize {
+            let dom = dom.clone();
+            sim.spawn(format!("r{r}"), move |ctx| {
+                for round in 0..10u64 {
+                    let vals = dom.exchange(ctx, r, round * 10 + r as u64);
+                    assert_eq!(vals.len(), 3);
+                    for (i, v) in vals.iter().enumerate() {
+                        assert_eq!(*v, round * 10 + i as u64);
+                    }
+                }
+            });
+        }
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn exchange_events_are_recycled() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let dom: Arc<ExchangeDomain<u8>> = Arc::new(ExchangeDomain::new(2, Dur::micros(0.1)));
+        for r in 0..2usize {
+            let dom = dom.clone();
+            sim.spawn(format!("r{r}"), move |ctx| {
+                for _ in 0..50 {
+                    dom.exchange(ctx, r, r as u8);
+                }
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(h.live_events(), 0);
+    }
+}

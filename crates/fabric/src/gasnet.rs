@@ -1,0 +1,256 @@
+//! GASNet-EX-like conduit: one-sided RMA, active messages, barriers.
+//!
+//! This is DiOMP's default communication layer (paper §3.1). The key
+//! semantic property — and the root of the Fig. 3 latency advantage over
+//! MPI RMA — is that a Put/Get against an attached segment involves **no
+//! target-side software**: the initiator pays a small, constant conduit
+//! overhead and the payload is deposited by the (modelled) NIC at the
+//! computed arrival time. MPI one-sided, by contrast, drags window
+//! synchronisation and a per-byte software pipeline along (see
+//! `crate::mpi::rma`).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use diomp_device::MemError;
+use diomp_sim::{Ctx, Dur, EventId, SimHandle};
+use parking_lot::Mutex;
+
+use crate::loc::Loc;
+use crate::path::{control_msg, raw_path, End};
+use crate::segment::SegmentId;
+use crate::world::FabricWorld;
+
+/// Completion events of a non-blocking Put.
+#[derive(Clone, Copy, Debug)]
+pub struct PutHandle {
+    /// Source buffer reusable (local completion, `GEX_EVENT_LC`).
+    pub local: EventId,
+    /// Data visible at the target and acknowledged (what `ompx_fence`
+    /// waits for).
+    pub remote: EventId,
+}
+
+fn ends(world: &FabricWorld, rank: usize, loc: &Loc) -> End {
+    match loc.dev_flat() {
+        Some(f) => End::Dev(f),
+        None => End::Node(world.node_of(rank)),
+    }
+}
+
+fn initiator_overhead(world: &FabricWorld, src: &Loc, dst: &Loc, base_us: f64) -> Dur {
+    let g = &world.platform.gasnet;
+    let touches_device = src.dev_flat().is_some() || dst.dev_flat().is_some();
+    Dur::micros(base_us + if touches_device { g.gpu_reg_us } else { 0.0 })
+}
+
+/// Transfers below this size are unaffected by the Platform A put
+/// anomaly: the paper's Fig. 3a latency curves (4 B – 8 KB) stay flat
+/// while the Fig. 4a bandwidth curves (16 KB up) are capped, so the
+/// documented driver issue bites the bulk-transfer path only.
+const PUT_ANOMALY_MIN_BYTES: u64 = 16 << 10;
+
+/// Effective wire efficiency for a device Put, applying the documented
+/// Platform A hardware/driver anomaly (Fig. 4a) for inter-node device
+/// sources.
+fn put_eff(world: &FabricWorld, src_end: End, dst_end: End, inter_node: bool, len: u64) -> f64 {
+    let g = &world.platform.gasnet;
+    let device_src = matches!(src_end, End::Dev(_)) && matches!(dst_end, End::Dev(_));
+    match world.platform.put_anomaly_gbps {
+        Some(cap) if device_src && inter_node && len >= PUT_ANOMALY_MIN_BYTES => {
+            g.eff.min(cap / world.platform.net.nic_gbps)
+        }
+        _ => g.eff,
+    }
+}
+
+/// Non-blocking one-sided Put of `len` bytes from a local buffer into a
+/// remote segment (`gex_RMA_PutNB`).
+pub fn put_nb(
+    ctx: &mut Ctx,
+    world: &Arc<FabricWorld>,
+    src_rank: usize,
+    src: Loc,
+    dst: SegmentId,
+    dst_off: u64,
+    len: u64,
+) -> Result<PutHandle, MemError> {
+    let seg = world.segment(dst);
+    let dst_loc = seg.loc(dst_off);
+    src.check(&world.devs, len)?;
+    dst_loc.check(&world.devs, len)?;
+
+    // Initiator-side conduit software (serialises on the calling thread,
+    // bounding the achievable message rate).
+    ctx.delay(initiator_overhead(world, &src, &dst_loc, world.platform.gasnet.put_o_us));
+
+    let src_end = ends(world, src_rank, &src);
+    let dst_end = ends(world, dst.rank, &dst_loc);
+    let inter = world.node_of(src_rank) != world.node_of(dst.rank);
+    let eff = put_eff(world, src_end, dst_end, inter, len);
+
+    let snapshot = src.snapshot(&world.devs, len)?;
+    let h = ctx.handle();
+    let times = raw_path(h, &world.devs, src_end, dst_end, ctx.now(), len, eff);
+
+    if let Some(bytes) = snapshot {
+        let devs = world.devs.clone();
+        h.schedule_at(times.arrive, move |_| dst_loc.deposit(&devs, &bytes));
+    }
+
+    let local = h.new_event();
+    h.complete_at(local, times.depart);
+    let remote = h.new_event();
+    let ack = control_msg(h, &world.devs, dst_end, src_end, times.arrive);
+    h.complete_at(remote, ack);
+    Ok(PutHandle { local, remote })
+}
+
+/// Non-blocking one-sided Get of `len` bytes from a remote segment into a
+/// local buffer (`gex_RMA_GetNB`). The returned event completes when the
+/// data has landed locally.
+pub fn get_nb(
+    ctx: &mut Ctx,
+    world: &Arc<FabricWorld>,
+    rank: usize,
+    dst: Loc,
+    src: SegmentId,
+    src_off: u64,
+    len: u64,
+) -> Result<EventId, MemError> {
+    let seg = world.segment(src);
+    let src_loc = seg.loc(src_off);
+    dst.check(&world.devs, len)?;
+    src_loc.check(&world.devs, len)?;
+
+    ctx.delay(initiator_overhead(world, &src_loc, &dst, world.platform.gasnet.get_o_us));
+
+    let local_end = ends(world, rank, &dst);
+    let remote_end = ends(world, src.rank, &src_loc);
+    let h = ctx.handle().clone();
+    // Request travels to the data owner's NIC...
+    let req_arrive = control_msg(&h, &world.devs, local_end, remote_end, ctx.now());
+    // ...which streams the payload back without target-CPU involvement.
+    let eff = world.platform.gasnet.eff;
+    let times = raw_path(&h, &world.devs, remote_end, local_end, req_arrive, len, eff);
+
+    // Snapshot at the remote read time for causal correctness: the bytes
+    // leave the owner when the NIC reads them, i.e. at transfer start.
+    let ev = h.new_event();
+    let devs = world.devs.clone();
+    let h2 = h.clone();
+    h.schedule_at(times.start_or_arrive().0, move |_| {
+        let bytes = src_loc.snapshot(&devs, len).expect("bounds pre-checked");
+        if let Some(bytes) = bytes {
+            let devs2 = devs.clone();
+            h2.schedule_at(times.arrive, move |_| dst.deposit(&devs2, &bytes));
+        }
+    });
+    h.complete_at(ev, times.arrive);
+    Ok(ev)
+}
+
+impl crate::path::PathTimes {
+    /// `(start-of-wire, arrival)` pair — the snapshot and deposit instants
+    /// of a one-sided read.
+    pub fn start_or_arrive(&self) -> (diomp_sim::SimTime, diomp_sim::SimTime) {
+        (self.depart, self.arrive)
+    }
+}
+
+/// Blocking Put: initiate and wait for remote completion.
+pub fn put_blocking(
+    ctx: &mut Ctx,
+    world: &Arc<FabricWorld>,
+    src_rank: usize,
+    src: Loc,
+    dst: SegmentId,
+    dst_off: u64,
+    len: u64,
+) -> Result<(), MemError> {
+    let hdl = put_nb(ctx, world, src_rank, src, dst, dst_off, len)?;
+    ctx.wait_free(hdl.local);
+    ctx.wait_free(hdl.remote);
+    Ok(())
+}
+
+/// Blocking Get.
+pub fn get_blocking(
+    ctx: &mut Ctx,
+    world: &Arc<FabricWorld>,
+    rank: usize,
+    dst: Loc,
+    src: SegmentId,
+    src_off: u64,
+    len: u64,
+) -> Result<(), MemError> {
+    let ev = get_nb(ctx, world, rank, dst, src, src_off, len)?;
+    ctx.wait_free(ev);
+    Ok(())
+}
+
+/// An active message delivered to a rank: small scalar arguments plus an
+/// optional payload (GASNet "medium" AM).
+pub struct AmMsg {
+    /// Sending rank.
+    pub from: usize,
+    /// Scalar arguments.
+    pub args: Vec<u64>,
+    /// Optional payload bytes.
+    pub payload: Option<Vec<u8>>,
+}
+
+type Handler = Arc<dyn Fn(&SimHandle, AmMsg) + Send + Sync>;
+
+/// Per-rank active-message handler tables.
+pub struct AmRegistry {
+    tables: Mutex<Vec<HashMap<u16, Handler>>>,
+}
+
+impl AmRegistry {
+    pub(crate) fn new(nranks: usize) -> Self {
+        AmRegistry { tables: Mutex::new(vec![HashMap::new(); nranks]) }
+    }
+
+    /// Register handler `index` on `rank`.
+    pub fn register(
+        &self,
+        rank: usize,
+        index: u16,
+        f: impl Fn(&SimHandle, AmMsg) + Send + Sync + 'static,
+    ) {
+        self.tables.lock()[rank].insert(index, Arc::new(f));
+    }
+
+    fn get(&self, rank: usize, index: u16) -> Handler {
+        self.tables.lock()[rank]
+            .get(&index)
+            .unwrap_or_else(|| panic!("no AM handler {index} on rank {rank}"))
+            .clone()
+    }
+}
+
+/// Send an active message; the handler runs on the target at the modelled
+/// arrival time (plus handler dispatch cost).
+pub fn am_request(
+    ctx: &mut Ctx,
+    world: &Arc<FabricWorld>,
+    from: usize,
+    to: usize,
+    index: u16,
+    args: Vec<u64>,
+    payload: Option<Vec<u8>>,
+) {
+    let g = &world.platform.gasnet;
+    ctx.delay(Dur::micros(g.am_o_us));
+    let bytes = 64 + payload.as_ref().map(|p| p.len() as u64).unwrap_or(0);
+    let src_end = End::Node(world.node_of(from));
+    let dst_end = End::Node(world.node_of(to));
+    let h = ctx.handle();
+    let times = raw_path(h, &world.devs, src_end, dst_end, ctx.now(), bytes, 1.0);
+    let handler = world.am.get(to, index);
+    let dispatch = Dur::micros(g.am_o_us);
+    h.schedule_at(times.arrive + dispatch, move |h| {
+        handler(h, AmMsg { from, args, payload });
+    });
+}

@@ -1,0 +1,208 @@
+//! GPI-2-like conduit (InfiniBand only, paper §4.1 / Fig. 5).
+//!
+//! GPI-2 (GASPI) exposes one-sided `write`/`read` over *queues* plus
+//! lightweight *notifications* for remote completion signalling. DiOMP can
+//! use it as an alternative communication middleware to GASNet-EX; the
+//! paper's Fig. 5 compares the two over NDR InfiniBand, with GPI-2's
+//! leaner per-message path winning for small/medium writes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use diomp_device::MemError;
+use diomp_sim::{Ctx, Dur, EventId};
+use parking_lot::Mutex;
+
+use crate::loc::Loc;
+use crate::path::{control_msg, raw_path, End};
+use crate::segment::SegmentId;
+use crate::world::FabricWorld;
+
+/// Queue handle (GASPI queues order completions, not data).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct QueueId(pub u8);
+
+struct NotifySlot {
+    value: Option<u64>,
+    waiter: Option<EventId>,
+}
+
+/// Per-world GPI-2 state: queue completion lists and notification boards.
+pub struct GpiState {
+    /// `[rank] → queue → pending remote-completion events`.
+    queues: Mutex<Vec<HashMap<QueueId, Vec<EventId>>>>,
+    /// `[rank] → notification id → slot`.
+    notifications: Mutex<Vec<HashMap<u32, NotifySlot>>>,
+}
+
+impl GpiState {
+    pub(crate) fn new(nranks: usize) -> Self {
+        GpiState {
+            queues: Mutex::new(vec![HashMap::new(); nranks]),
+            notifications: Mutex::new((0..nranks).map(|_| HashMap::new()).collect()),
+        }
+    }
+}
+
+impl Clone for NotifySlot {
+    fn clone(&self) -> Self {
+        NotifySlot { value: self.value, waiter: self.waiter }
+    }
+}
+
+fn model(world: &FabricWorld) -> &diomp_sim::GpiModel {
+    world
+        .platform
+        .gpi
+        .as_ref()
+        .expect("GPI-2 conduit requires an InfiniBand platform (paper §4.1)")
+}
+
+fn end_of(world: &FabricWorld, rank: usize, loc: &Loc) -> End {
+    match loc.dev_flat() {
+        Some(f) => End::Dev(f),
+        None => End::Node(world.node_of(rank)),
+    }
+}
+
+/// One-sided write into a remote segment (`gaspi_write`). Completion is
+/// tracked on `queue`; use [`wait_queue`] to drain.
+#[allow(clippy::too_many_arguments)]
+pub fn write(
+    ctx: &mut Ctx,
+    world: &Arc<FabricWorld>,
+    src_rank: usize,
+    queue: QueueId,
+    src: Loc,
+    dst: SegmentId,
+    dst_off: u64,
+    len: u64,
+) -> Result<(), MemError> {
+    let m = model(world).clone();
+    let seg = world.segment(dst);
+    let dst_loc = seg.loc(dst_off);
+    src.check(&world.devs, len)?;
+    dst_loc.check(&world.devs, len)?;
+
+    ctx.delay(Dur::micros(m.put_o_us));
+    let src_end = end_of(world, src_rank, &src);
+    let dst_end = end_of(world, dst.rank, &dst_loc);
+    let snapshot = src.snapshot(&world.devs, len)?;
+    let h = ctx.handle();
+    let times = raw_path(h, &world.devs, src_end, dst_end, ctx.now(), len, m.eff);
+    if let Some(bytes) = snapshot {
+        let devs = world.devs.clone();
+        h.schedule_at(times.arrive, move |_| dst_loc.deposit(&devs, &bytes));
+    }
+    let ev = h.new_event();
+    let ack = control_msg(h, &world.devs, dst_end, src_end, times.arrive);
+    h.complete_at(ev, ack);
+    world.gpi.queues.lock()[src_rank].entry(queue).or_default().push(ev);
+    Ok(())
+}
+
+/// One-sided read from a remote segment (`gaspi_read`).
+#[allow(clippy::too_many_arguments)]
+pub fn read(
+    ctx: &mut Ctx,
+    world: &Arc<FabricWorld>,
+    rank: usize,
+    queue: QueueId,
+    dst: Loc,
+    src: SegmentId,
+    src_off: u64,
+    len: u64,
+) -> Result<(), MemError> {
+    let m = model(world).clone();
+    let seg = world.segment(src);
+    let src_loc = seg.loc(src_off);
+    dst.check(&world.devs, len)?;
+    src_loc.check(&world.devs, len)?;
+
+    ctx.delay(Dur::micros(m.get_o_us));
+    let local_end = end_of(world, rank, &dst);
+    let remote_end = end_of(world, src.rank, &src_loc);
+    let h = ctx.handle().clone();
+    let req = control_msg(&h, &world.devs, local_end, remote_end, ctx.now());
+    let times = raw_path(&h, &world.devs, remote_end, local_end, req, len, m.eff);
+    let devs = world.devs.clone();
+    let h2 = h.clone();
+    h.schedule_at(times.depart, move |_| {
+        if let Some(bytes) = src_loc.snapshot(&devs, len).expect("bounds pre-checked") {
+            let devs2 = devs.clone();
+            h2.schedule_at(times.arrive, move |_| dst.deposit(&devs2, &bytes));
+        }
+    });
+    let ev = h.new_event();
+    h.complete_at(ev, times.arrive);
+    world.gpi.queues.lock()[rank].entry(queue).or_default().push(ev);
+    Ok(())
+}
+
+/// Drain a queue: block until every posted operation on it has completed
+/// (`gaspi_wait`).
+pub fn wait_queue(ctx: &mut Ctx, world: &Arc<FabricWorld>, rank: usize, queue: QueueId) {
+    let pending: Vec<EventId> = {
+        let mut q = world.gpi.queues.lock();
+        q[rank].get_mut(&queue).map(std::mem::take).unwrap_or_default()
+    };
+    for ev in pending {
+        ctx.wait_free(ev);
+    }
+}
+
+/// Write with a remote notification (`gaspi_write_notify`): after the data
+/// lands, notification `id` with `value` becomes visible at the target.
+#[allow(clippy::too_many_arguments)]
+pub fn write_notify(
+    ctx: &mut Ctx,
+    world: &Arc<FabricWorld>,
+    src_rank: usize,
+    queue: QueueId,
+    src: Loc,
+    dst: SegmentId,
+    dst_off: u64,
+    len: u64,
+    id: u32,
+    value: u64,
+) -> Result<(), MemError> {
+    let m = model(world).clone();
+    write(ctx, world, src_rank, queue, src, dst, dst_off, len)?;
+    ctx.delay(Dur::micros(m.notify_us));
+    // The notification rides behind the data on the same path; model its
+    // visibility one control-message after the write is posted.
+    let dst_rank = dst.rank;
+    let src_end = End::Node(world.node_of(src_rank));
+    let dst_end = End::Node(world.node_of(dst_rank));
+    let h = ctx.handle();
+    let when = control_msg(h, &world.devs, src_end, dst_end, ctx.now());
+    let world2 = world.clone();
+    h.schedule_at(when, move |h| {
+        let mut boards = world2.gpi.notifications.lock();
+        let slot = boards[dst_rank].entry(id).or_insert(NotifySlot { value: None, waiter: None });
+        slot.value = Some(value);
+        if let Some(ev) = slot.waiter.take() {
+            h.complete(ev);
+        }
+    });
+    Ok(())
+}
+
+/// Block until notification `id` arrives; returns its value and resets the
+/// slot (`gaspi_notify_waitsome` + `gaspi_notify_reset`).
+pub fn notify_wait(ctx: &mut Ctx, world: &Arc<FabricWorld>, rank: usize, id: u32) -> u64 {
+    loop {
+        let ev = {
+            let mut boards = world.gpi.notifications.lock();
+            let slot = boards[rank].entry(id).or_insert(NotifySlot { value: None, waiter: None });
+            if let Some(v) = slot.value.take() {
+                return v;
+            }
+            let ev = ctx.new_event();
+            slot.waiter = Some(ev);
+            ev
+        };
+        ctx.wait(ev);
+        ctx.free_event(ev);
+    }
+}

@@ -1,0 +1,34 @@
+//! # diomp-fabric — communication substrates
+//!
+//! The three communication layers the paper builds on or compares with:
+//!
+//! * [`gasnet`] — a GASNet-EX-like conduit (segments, one-sided Put/Get
+//!   with events, active messages): DiOMP's default middleware.
+//! * [`gpi`] — a GPI-2-like conduit (queues, notifications): the
+//!   InfiniBand alternative of Fig. 5.
+//! * [`mpi`] — the full MPI baseline (eager/rendezvous P2P with match
+//!   queues, RMA windows, binomial/recursive-doubling/ring collectives).
+//!
+//! All three run over the same modelled links ([`path`]) and the same
+//! simulated devices, so their performance differences come from
+//! *protocol structure* and the calibrated per-middleware software costs.
+
+#![warn(missing_docs)]
+
+pub mod barrier;
+pub mod exchange;
+pub mod gasnet;
+pub mod gpi;
+mod loc;
+pub mod mpi;
+pub mod path;
+mod segment;
+mod world;
+
+pub use barrier::BarrierDomain;
+pub use exchange::ExchangeDomain;
+pub use loc::Loc;
+pub use mpi::{MpiRank, MpiReq, ReduceOp, WinId};
+pub use path::{End, PathTimes};
+pub use segment::{Segment, SegmentId, SegmentMem};
+pub use world::FabricWorld;

@@ -1,0 +1,346 @@
+//! MPI collectives: broadcast, reduce, allreduce.
+//!
+//! Real algorithm implementations over the two-sided layer, matching what
+//! Cray MPICH / OpenMPI run on GPU buffers:
+//!
+//! * **Bcast** — binomial tree for small messages; scatter + ring
+//!   allgather (van de Geijn) for large ones.
+//! * **Allreduce** — recursive doubling (with the standard fold-in for
+//!   non-power-of-two rank counts). Each round moves the *full* vector,
+//!   which is exactly why MPI allreduce on GPU buffers falls behind
+//!   NCCL's bandwidth-optimal rings at large sizes (Fig. 6b).
+//! * **Reduce** — binomial tree.
+//!
+//! Data movement is real (Functional mode): the reduction arithmetic runs
+//! on the actual payload bytes, so collective correctness is testable
+//! against a sequential reference.
+
+use diomp_device::MemError;
+use diomp_sim::{Ctx, Dur};
+
+use crate::loc::Loc;
+
+use super::MpiRank;
+
+/// Tag space reserved for collective rounds (above user tags).
+const COLL_TAG_BASE: u64 = 1 << 32;
+
+/// Bcast switches from binomial tree to scatter+allgather at this size.
+const BCAST_LARGE: u64 = 512 << 10;
+
+/// Element-wise reduction operators over raw little-endian buffers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReduceOp {
+    /// Sum of f64 elements.
+    SumF64,
+    /// Sum of f32 elements.
+    SumF32,
+    /// Max of f64 elements.
+    MaxF64,
+    /// Wrapping sum of u64 elements.
+    SumU64,
+}
+
+impl ReduceOp {
+    /// `acc ⊕= other`, element-wise.
+    pub fn combine(self, acc: &mut [u8], other: &[u8]) {
+        assert_eq!(acc.len(), other.len(), "reduce operand length mismatch");
+        match self {
+            ReduceOp::SumF64 => {
+                for (a, b) in acc.chunks_exact_mut(8).zip(other.chunks_exact(8)) {
+                    let v = f64::from_le_bytes(a[..8].try_into().unwrap())
+                        + f64::from_le_bytes(b[..8].try_into().unwrap());
+                    a.copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            ReduceOp::SumF32 => {
+                for (a, b) in acc.chunks_exact_mut(4).zip(other.chunks_exact(4)) {
+                    let v = f32::from_le_bytes(a[..4].try_into().unwrap())
+                        + f32::from_le_bytes(b[..4].try_into().unwrap());
+                    a.copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            ReduceOp::MaxF64 => {
+                for (a, b) in acc.chunks_exact_mut(8).zip(other.chunks_exact(8)) {
+                    let x = f64::from_le_bytes(a[..8].try_into().unwrap());
+                    let y = f64::from_le_bytes(b[..8].try_into().unwrap());
+                    a.copy_from_slice(&x.max(y).to_le_bytes());
+                }
+            }
+            ReduceOp::SumU64 => {
+                for (a, b) in acc.chunks_exact_mut(8).zip(other.chunks_exact(8)) {
+                    let v = u64::from_le_bytes(a[..8].try_into().unwrap())
+                        .wrapping_add(u64::from_le_bytes(b[..8].try_into().unwrap()));
+                    a.copy_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+    }
+}
+
+impl MpiRank {
+    fn next_coll_tag(&mut self) -> u64 {
+        self.coll_seq += 1;
+        COLL_TAG_BASE + self.coll_seq
+    }
+
+    /// Charge the local reduction cost for `len` bytes at `loc`.
+    fn charge_reduce(&self, ctx: &mut Ctx, loc: &Loc, len: u64) {
+        let ns = match loc.dev_flat() {
+            Some(_) => {
+                // GPU reduction kernel: launch + 3 streaming passes.
+                let gpu = &self.world.platform.gpu;
+                gpu.launch_us * 1e3 + 3.0 * len as f64 / (gpu.hbm_gbps * 0.5)
+            }
+            None => len as f64 / self.world.platform.host_memcpy_gbps,
+        };
+        ctx.delay(Dur::nanos(ns.ceil() as u64));
+    }
+
+    /// Combine `scratch` into `buf` in place (task context, post-wait).
+    fn combine_local(&self, ctx: &mut Ctx, buf: &Loc, scratch: &Loc, len: u64, op: ReduceOp) {
+        self.charge_reduce(ctx, buf, len);
+        let a = buf.snapshot(&self.world.devs, len).expect("bounds pre-checked");
+        let b = scratch.snapshot(&self.world.devs, len).expect("bounds pre-checked");
+        if let (Some(mut a), Some(b)) = (a, b) {
+            op.combine(&mut a, &b);
+            buf.deposit(&self.world.devs, &a);
+        }
+    }
+
+    /// Allocate a scratch buffer with the same locality as `like`.
+    fn scratch_like(&self, like: &Loc, len: u64) -> Result<(Loc, Option<(usize, u64)>), MemError> {
+        match like.dev_flat() {
+            Some(f) => {
+                let off = self.world.devs.dev(f).malloc(len.max(1), 256)?;
+                Ok((Loc::dev(f, off), Some((f, off))))
+            }
+            None => Ok((Loc::host(diomp_device::HostBuf::zeroed(len), 0), None)),
+        }
+    }
+
+    fn free_scratch(&self, hold: Option<(usize, u64)>) {
+        if let Some((f, off)) = hold {
+            self.world.devs.dev(f).mfree(off).expect("scratch free");
+        }
+    }
+
+    /// Broadcast `len` bytes at `buf` from `root` to all ranks
+    /// (`MPI_Bcast`).
+    pub fn bcast(
+        &mut self,
+        ctx: &mut Ctx,
+        root: usize,
+        buf: Loc,
+        len: u64,
+    ) -> Result<(), MemError> {
+        let p = self.size();
+        if p == 1 {
+            return Ok(());
+        }
+        let tag = self.next_coll_tag();
+        if len < BCAST_LARGE {
+            self.bcast_binomial(ctx, root, &buf, len, tag)
+        } else {
+            self.bcast_scatter_allgather(ctx, root, &buf, len, tag)
+        }
+    }
+
+    fn bcast_binomial(
+        &self,
+        ctx: &mut Ctx,
+        root: usize,
+        buf: &Loc,
+        len: u64,
+        tag: u64,
+    ) -> Result<(), MemError> {
+        let p = self.size();
+        let vrank = (self.rank + p - root) % p;
+        let mut mask = 1usize;
+        while mask < p {
+            if vrank & mask != 0 {
+                let src = (vrank - mask + root) % p;
+                self.recv(ctx, Some(src), Some(tag), buf.clone(), len)?;
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if vrank + mask < p {
+                let dst = (vrank + mask + root) % p;
+                self.send(ctx, dst, tag, buf.clone(), len)?;
+            }
+            mask >>= 1;
+        }
+        Ok(())
+    }
+
+    /// Van de Geijn large-message broadcast: scatter chunks, then a ring
+    /// allgather. (Scatter is modelled as direct root sends — the root NIC
+    /// serialises the same total bytes a binomial scatter would.)
+    fn bcast_scatter_allgather(
+        &self,
+        ctx: &mut Ctx,
+        root: usize,
+        buf: &Loc,
+        len: u64,
+        tag: u64,
+    ) -> Result<(), MemError> {
+        let p = self.size();
+        let chunk = len.div_ceil(p as u64);
+        let chunk_range = |i: usize| -> (u64, u64) {
+            let lo = (i as u64 * chunk).min(len);
+            let hi = ((i as u64 + 1) * chunk).min(len);
+            (lo, hi - lo)
+        };
+        // Scatter phase.
+        if self.rank == root {
+            let mut reqs = Vec::new();
+            for i in 0..p {
+                if i == root {
+                    continue;
+                }
+                let (off, n) = chunk_range(i);
+                if n > 0 {
+                    reqs.push(self.isend(ctx, i, tag, buf.offset_by(off), n)?);
+                }
+            }
+            self.waitall(ctx, &reqs);
+        } else {
+            let (off, n) = chunk_range(self.rank);
+            if n > 0 {
+                self.recv(ctx, Some(root), Some(tag), buf.offset_by(off), n)?;
+            }
+        }
+        // Ring allgather phase: after step s, a rank holds chunks
+        // (rank - s .. rank).
+        let right = (self.rank + 1) % p;
+        let left = (self.rank + p - 1) % p;
+        for s in 0..p - 1 {
+            let send_chunk = (self.rank + p - s) % p;
+            let recv_chunk = (self.rank + p - s - 1) % p;
+            let (soff, sn) = chunk_range(send_chunk);
+            let (roff, rn) = chunk_range(recv_chunk);
+            let rtag = tag + 1 + s as u64;
+            let rr = if rn > 0 {
+                Some(self.irecv(ctx, Some(left), Some(rtag), buf.offset_by(roff), rn)?)
+            } else {
+                None
+            };
+            if sn > 0 {
+                self.send(ctx, right, rtag, buf.offset_by(soff), sn)?;
+            }
+            if let Some(rr) = rr {
+                self.wait(ctx, rr);
+            }
+        }
+        Ok(())
+    }
+
+    /// All-reduce `len` bytes at `buf` with `op` (`MPI_Allreduce`),
+    /// recursive doubling with non-power-of-two fold-in.
+    pub fn allreduce(
+        &mut self,
+        ctx: &mut Ctx,
+        buf: Loc,
+        len: u64,
+        op: ReduceOp,
+    ) -> Result<(), MemError> {
+        let p = self.size();
+        if p == 1 {
+            return Ok(());
+        }
+        let tag = self.next_coll_tag();
+        let pof2 = 1usize << (usize::BITS - 1 - p.leading_zeros());
+        let rem = p - pof2;
+        let (scratch, hold) = self.scratch_like(&buf, len)?;
+
+        // Fold: the first 2*rem ranks pair up; evens push their data to
+        // odds and sit out the doubling phase.
+        let newrank: isize = if self.rank < 2 * rem {
+            if self.rank.is_multiple_of(2) {
+                self.send(ctx, self.rank + 1, tag, buf.clone(), len)?;
+                -1
+            } else {
+                self.recv(ctx, Some(self.rank - 1), Some(tag), scratch.clone(), len)?;
+                self.combine_local(ctx, &buf, &scratch, len, op);
+                (self.rank / 2) as isize
+            }
+        } else {
+            (self.rank - rem) as isize
+        };
+
+        if newrank >= 0 {
+            let to_real = |nr: usize| if nr < rem { nr * 2 + 1 } else { nr + rem };
+            let mut mask = 1usize;
+            let mut round = 0u64;
+            while mask < pof2 {
+                let partner = to_real(newrank as usize ^ mask);
+                let rtag = tag + 1 + round;
+                self.sendrecv(
+                    ctx,
+                    partner,
+                    rtag,
+                    buf.clone(),
+                    len,
+                    Some(partner),
+                    Some(rtag),
+                    scratch.clone(),
+                    len,
+                )?;
+                self.combine_local(ctx, &buf, &scratch, len, op);
+                mask <<= 1;
+                round += 1;
+            }
+        }
+
+        // Unfold: odds push the finished vector back to their even partner.
+        if self.rank < 2 * rem {
+            let ftag = tag + 100;
+            if self.rank.is_multiple_of(2) {
+                self.recv(ctx, Some(self.rank + 1), Some(ftag), buf.clone(), len)?;
+            } else {
+                self.send(ctx, self.rank - 1, ftag, buf.clone(), len)?;
+            }
+        }
+        self.free_scratch(hold);
+        Ok(())
+    }
+
+    /// Reduce to `root` (`MPI_Reduce`), binomial tree. The result lands in
+    /// `buf` on the root; other ranks' buffers are clobbered with partial
+    /// sums (as permitted for the scratch semantics used here).
+    pub fn reduce(
+        &mut self,
+        ctx: &mut Ctx,
+        root: usize,
+        buf: Loc,
+        len: u64,
+        op: ReduceOp,
+    ) -> Result<(), MemError> {
+        let p = self.size();
+        if p == 1 {
+            return Ok(());
+        }
+        let tag = self.next_coll_tag();
+        let (scratch, hold) = self.scratch_like(&buf, len)?;
+        let vrank = (self.rank + p - root) % p;
+        let mut mask = 1usize;
+        while mask < p {
+            if vrank & mask != 0 {
+                let dst = (vrank - mask + root) % p;
+                self.send(ctx, dst, tag, buf.clone(), len)?;
+                break;
+            }
+            if vrank + mask < p {
+                let src = (vrank + mask + root) % p;
+                self.recv(ctx, Some(src), Some(tag), scratch.clone(), len)?;
+                self.combine_local(ctx, &buf, &scratch, len, op);
+            }
+            mask <<= 1;
+        }
+        self.free_scratch(hold);
+        Ok(())
+    }
+}

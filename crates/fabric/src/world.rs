@@ -1,0 +1,120 @@
+//! The fabric world: ranks, their devices, and shared conduit state.
+
+use std::sync::Arc;
+
+use diomp_device::{Device, DeviceTable, MemError};
+use diomp_sim::{Dur, PlatformSpec, Topology};
+use parking_lot::Mutex;
+
+use crate::barrier::BarrierDomain;
+use crate::exchange::ExchangeDomain;
+use crate::mpi::MpiWorld;
+use crate::segment::{Segment, SegmentId, SegmentMem};
+
+/// Shared state of a fabric job: `nranks` ranks spread over the cluster,
+/// each bound to `gpus_per_rank` consecutive devices (paper §3.3's
+/// "hierarchical device binding": one device per rank for MPI
+/// compatibility, or several for the single-process multi-GPU mode).
+pub struct FabricWorld {
+    /// Cluster topology.
+    pub topo: Arc<Topology>,
+    /// All devices in the job.
+    pub devs: Arc<DeviceTable>,
+    /// Number of ranks.
+    pub nranks: usize,
+    /// Devices bound to each rank.
+    pub gpus_per_rank: usize,
+    /// The platform's calibrated software models.
+    pub platform: PlatformSpec,
+    /// World barrier (GASNet named barrier / `MPI_Barrier`).
+    pub barrier: BarrierDomain,
+    /// CPU-side bootstrap all-gather (segment exchange, UniqueId bcast).
+    pub bootstrap: ExchangeDomain<u64>,
+    /// Registered segments, per rank.
+    pub(crate) segments: Mutex<Vec<Vec<Segment>>>,
+    /// MPI baseline state (match queues, windows).
+    pub(crate) mpi: MpiWorld,
+    /// GASNet active-message handler tables.
+    pub am: crate::gasnet::AmRegistry,
+    /// GPI-2 conduit state (queues, notifications).
+    pub(crate) gpi: crate::gpi::GpiState,
+}
+
+impl FabricWorld {
+    /// Create a world of `nranks` ranks over the given devices. The device
+    /// count must be divisible by `nranks`; each rank gets a contiguous
+    /// block of devices.
+    pub fn new(topo: Arc<Topology>, devs: Arc<DeviceTable>, nranks: usize) -> Arc<FabricWorld> {
+        assert!(nranks >= 1 && devs.len().is_multiple_of(nranks), "devices must divide evenly into ranks");
+        let gpus_per_rank = devs.len() / nranks;
+        let platform = topo.spec.platform.clone();
+        let hop = Dur::micros(platform.net.latency_us);
+        Arc::new(FabricWorld {
+            topo,
+            devs,
+            nranks,
+            gpus_per_rank,
+            platform,
+            barrier: BarrierDomain::new(nranks, hop),
+            bootstrap: ExchangeDomain::new(nranks, hop),
+            segments: Mutex::new(vec![Vec::new(); nranks]),
+            mpi: MpiWorld::new(nranks),
+            am: crate::gasnet::AmRegistry::new(nranks),
+            gpi: crate::gpi::GpiState::new(nranks),
+        })
+    }
+
+    /// The node a rank's process runs on.
+    pub fn node_of(&self, rank: usize) -> usize {
+        self.devs.dev(rank * self.gpus_per_rank).loc.node
+    }
+
+    /// The flat indices of the devices bound to `rank`.
+    pub fn devices_of(&self, rank: usize) -> std::ops::Range<usize> {
+        rank * self.gpus_per_rank..(rank + 1) * self.gpus_per_rank
+    }
+
+    /// A rank's first (primary) device.
+    pub fn primary_dev(&self, rank: usize) -> &Arc<Device> {
+        self.devs.dev(rank * self.gpus_per_rank)
+    }
+
+    /// The rank that owns a device.
+    pub fn rank_of_dev(&self, flat: usize) -> usize {
+        flat / self.gpus_per_rank
+    }
+
+    /// Register a device segment for `rank` by carving `len` bytes out of
+    /// the device allocator (the conduit pins this memory; the DiOMP
+    /// runtime then sub-allocates its global heap from it).
+    pub fn attach_device_segment(
+        &self,
+        rank: usize,
+        flat: usize,
+        len: u64,
+    ) -> Result<SegmentId, MemError> {
+        assert!(self.devices_of(rank).contains(&flat), "rank {rank} does not own device {flat}");
+        let base = self.devs.dev(flat).malloc(len, 4096)?;
+        let mut segs = self.segments.lock();
+        let index = segs[rank].len();
+        segs[rank].push(Segment { rank, mem: SegmentMem::Device { flat, base }, len });
+        Ok(SegmentId { rank, index })
+    }
+
+    /// Register a host segment for `rank`.
+    pub fn attach_host_segment(&self, rank: usize, buf: diomp_device::HostBuf) -> SegmentId {
+        let mut segs = self.segments.lock();
+        let index = segs[rank].len();
+        let len = buf.len();
+        segs[rank].push(Segment { rank, mem: SegmentMem::Host { buf }, len });
+        SegmentId { rank, index }
+    }
+
+    /// Look up a segment.
+    pub fn segment(&self, id: SegmentId) -> Segment {
+        self.segments.lock()[id.rank]
+            .get(id.index)
+            .cloned()
+            .unwrap_or_else(|| panic!("unknown segment {id:?}"))
+    }
+}

@@ -1,0 +1,484 @@
+//! Integration tests for the fabric: GASNet-EX conduit, GPI-2 conduit,
+//! and the MPI baseline (P2P, RMA, collectives).
+
+use std::sync::Arc;
+
+use diomp_device::{DataMode, DeviceTable, HostBuf};
+use diomp_fabric::{gasnet, gpi, FabricWorld, Loc, ReduceOp};
+use diomp_sim::{ClusterSpec, Dur, PlatformSpec, Sim, Topology};
+
+/// Build a world of `nranks` ranks, one device each, on `platform`.
+fn boot(
+    sim: &Sim,
+    platform: PlatformSpec,
+    nodes: usize,
+    gpus_per_node: usize,
+    nranks: usize,
+) -> Arc<FabricWorld> {
+    let spec = ClusterSpec { platform, nodes, gpus_per_node };
+    let topo = Arc::new(Topology::build(&sim.handle(), spec));
+    let devs = DeviceTable::build(&sim.handle(), topo.clone(), DataMode::Functional, Some(4 << 20));
+    FabricWorld::new(topo, devs, nranks)
+}
+
+fn world_a(sim: &Sim, nranks: usize) -> Arc<FabricWorld> {
+    let nodes = nranks.div_ceil(4);
+    boot(sim, PlatformSpec::platform_a(), nodes, 4, nranks)
+}
+
+#[test]
+fn gasnet_put_moves_bytes_across_nodes() {
+    let mut sim = Sim::new();
+    let world = world_a(&sim, 8);
+    let w = world.clone();
+    // Rank 4 (node 1) attaches a segment; rank 0 (node 0) puts into it.
+    let seg = w.attach_device_segment(4, 4, 1 << 16).unwrap();
+    let w0 = world.clone();
+    sim.spawn("rank0", move |ctx| {
+        let dev0 = w0.primary_dev(0).clone();
+        dev0.mem.write(0, &[42u8; 256]).unwrap();
+        gasnet::put_blocking(ctx, &w0, 0, Loc::dev(0, 0), seg, 512, 256).unwrap();
+        // After remote completion the bytes are visible at the target.
+        let seg_obj = w0.segment(seg);
+        let target = seg_obj.loc(512);
+        let bytes = target.snapshot(&w0.devs, 256).unwrap().unwrap();
+        assert_eq!(bytes, vec![42u8; 256]);
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn gasnet_small_put_latency_matches_platform_a_calibration() {
+    // Fig. 3a: DiOMP Put at small sizes ≈ 5 µs on Slingshot-11 + A100.
+    let mut sim = Sim::new();
+    let world = world_a(&sim, 8);
+    let seg = world.attach_device_segment(4, 4, 1 << 16).unwrap();
+    let w0 = world.clone();
+    sim.spawn("rank0", move |ctx| {
+        let t0 = ctx.now();
+        gasnet::put_blocking(ctx, &w0, 0, Loc::dev(0, 0), seg, 0, 8).unwrap();
+        let us = ctx.now().since(t0).as_us();
+        assert!((3.5..8.0).contains(&us), "8 B put latency {us:.2} µs out of band");
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn gasnet_get_latency_exceeds_put_latency() {
+    // A get pays the request round trip; puts only the ack.
+    let mut sim = Sim::new();
+    let world = world_a(&sim, 8);
+    let seg = world.attach_device_segment(4, 4, 1 << 16).unwrap();
+    let w0 = world.clone();
+    sim.spawn("rank0", move |ctx| {
+        let t0 = ctx.now();
+        gasnet::put_blocking(ctx, &w0, 0, Loc::dev(0, 0), seg, 0, 8).unwrap();
+        let put_us = ctx.now().since(t0).as_us();
+        let t1 = ctx.now();
+        gasnet::get_blocking(ctx, &w0, 0, Loc::dev(0, 64), seg, 0, 8).unwrap();
+        let get_us = ctx.now().since(t1).as_us();
+        assert!(get_us > put_us, "get {get_us:.2} µs should exceed put {put_us:.2} µs");
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn platform_a_put_anomaly_caps_bandwidth_but_get_is_unaffected() {
+    // Fig. 4a: the documented driver issue caps DiOMP Put throughput.
+    let measure = |anomaly: bool| -> (f64, f64) {
+        let mut sim = Sim::new();
+        let mut platform = PlatformSpec::platform_a();
+        if !anomaly {
+            platform.put_anomaly_gbps = None;
+        }
+        let world = boot(&sim, platform, 2, 4, 8);
+        let seg = world.attach_device_segment(4, 4, 2 << 20).unwrap();
+        let out = Arc::new(parking_lot::Mutex::new((0.0, 0.0)));
+        let out2 = out.clone();
+        let w0 = world.clone();
+        sim.spawn("rank0", move |ctx| {
+            let len = 1 << 20;
+            let t0 = ctx.now();
+            gasnet::put_blocking(ctx, &w0, 0, Loc::dev(0, 0), seg, 0, len).unwrap();
+            let put_bw = diomp_sim::bandwidth_gbps(len, ctx.now().since(t0));
+            let t1 = ctx.now();
+            gasnet::get_blocking(ctx, &w0, 0, Loc::dev(0, 0), seg, 0, len).unwrap();
+            let get_bw = diomp_sim::bandwidth_gbps(len, ctx.now().since(t1));
+            *out2.lock() = (put_bw, get_bw);
+        });
+        sim.run().unwrap();
+        let r = *out.lock();
+        r
+    };
+    let (put_anom, get_anom) = measure(true);
+    let (put_fixed, _) = measure(false);
+    assert!(put_anom < 4.0, "anomalous put bw {put_anom:.1} GB/s should be capped ~3.2");
+    assert!(put_fixed > 15.0, "corrected put bw {put_fixed:.1} GB/s should approach wire");
+    assert!(get_anom > 15.0, "get is not affected by the put anomaly");
+}
+
+#[test]
+fn gasnet_same_node_put_is_faster_than_internode() {
+    let mut sim = Sim::new();
+    let world = world_a(&sim, 8);
+    let seg_near = world.attach_device_segment(1, 1, 1 << 16).unwrap(); // same node as rank 0
+    let seg_far = world.attach_device_segment(4, 4, 1 << 16).unwrap(); // other node
+    let w0 = world.clone();
+    sim.spawn("rank0", move |ctx| {
+        let len = 64 << 10;
+        let t0 = ctx.now();
+        gasnet::put_blocking(ctx, &w0, 0, Loc::dev(0, 0), seg_near, 0, len).unwrap();
+        let near = ctx.now().since(t0);
+        let t1 = ctx.now();
+        gasnet::put_blocking(ctx, &w0, 0, Loc::dev(0, 0), seg_far, 0, len).unwrap();
+        let far = ctx.now().since(t1);
+        assert!(near < far, "intra-node staging {near} should beat the NIC path {far}");
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn gasnet_active_message_runs_handler_at_target() {
+    let mut sim = Sim::new();
+    let world = world_a(&sim, 8);
+    let hits = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let hits2 = hits.clone();
+    world.am.register(3, 7, move |_h, msg| {
+        hits2.lock().push((msg.from, msg.args.clone()));
+    });
+    let w0 = world.clone();
+    sim.spawn("rank0", move |ctx| {
+        gasnet::am_request(ctx, &w0, 0, 3, 7, vec![11, 22], None);
+        ctx.delay(Dur::millis(1.0)); // let it land
+    });
+    sim.run().unwrap();
+    assert_eq!(*hits.lock(), vec![(0, vec![11, 22])]);
+}
+
+#[test]
+fn gpi_write_notify_roundtrip_on_platform_c() {
+    let mut sim = Sim::new();
+    let world = boot(&sim, PlatformSpec::platform_c(), 4, 1, 4);
+    let seg = world.attach_device_segment(2, 2, 1 << 16).unwrap();
+    let w0 = world.clone();
+    sim.spawn("rank0", move |ctx| {
+        let dev = w0.primary_dev(0).clone();
+        dev.mem.write(0, &[9u8; 128]).unwrap();
+        gpi::write_notify(
+            ctx,
+            &w0,
+            0,
+            gpi::QueueId(0),
+            Loc::dev(0, 0),
+            seg,
+            256,
+            128,
+            42,
+            7,
+        )
+        .unwrap();
+        gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0));
+    });
+    let w2 = world.clone();
+    sim.spawn("rank2", move |ctx| {
+        let v = gpi::notify_wait(ctx, &w2, 2, 42);
+        assert_eq!(v, 7);
+        // Data arrived before/with the notification.
+        let seg_obj = w2.segment(seg);
+        let bytes = seg_obj.loc(256).snapshot(&w2.devs, 128).unwrap().unwrap();
+        assert_eq!(bytes, vec![9u8; 128]);
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+#[should_panic(expected = "InfiniBand")]
+fn gpi_on_slingshot_platform_panics() {
+    let mut sim = Sim::new();
+    let world = world_a(&sim, 8);
+    let seg = world.attach_device_segment(1, 1, 1 << 16).unwrap();
+    let w0 = world.clone();
+    sim.spawn("rank0", move |ctx| {
+        let _ = gpi::write(ctx, &w0, 0, gpi::QueueId(0), Loc::dev(0, 0), seg, 0, 64);
+    });
+    let _ = sim.run();
+}
+
+// ---------------- MPI baseline ----------------
+
+#[test]
+fn mpi_eager_send_recv_delivers_posted_and_unexpected() {
+    let mut sim = Sim::new();
+    let world = world_a(&sim, 8);
+    let w0 = world.clone();
+    sim.spawn("rank0", move |ctx| {
+        let mpi = diomp_fabric::MpiRank::new(w0.clone(), 0);
+        let dev = w0.primary_dev(0).clone();
+        dev.mem.write(0, &[1u8; 64]).unwrap();
+        // First send races ahead of the recv (unexpected path)...
+        mpi.send(ctx, 4, 100, Loc::dev(0, 0), 64).unwrap();
+        ctx.delay(Dur::millis(1.0));
+        // ...second send arrives after the recv was posted.
+        dev.mem.write(0, &[2u8; 64]).unwrap();
+        mpi.send(ctx, 4, 101, Loc::dev(0, 0), 64).unwrap();
+    });
+    let w4 = world.clone();
+    sim.spawn("rank4", move |ctx| {
+        let mpi = diomp_fabric::MpiRank::new(w4.clone(), 4);
+        let dev = w4.primary_dev(4).clone();
+        ctx.delay(Dur::micros(500.0)); // guarantee the unexpected path for tag 100
+        mpi.recv(ctx, Some(0), Some(100), Loc::dev(4, 0), 64).unwrap();
+        let r2 = mpi.irecv(ctx, Some(0), Some(101), Loc::dev(4, 64), 64).unwrap();
+        mpi.wait(ctx, r2);
+        let mut a = [0u8; 64];
+        let mut b = [0u8; 64];
+        dev.mem.read(0, &mut a).unwrap();
+        dev.mem.read(64, &mut b).unwrap();
+        assert_eq!(a, [1u8; 64]);
+        assert_eq!(b, [2u8; 64]);
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn mpi_rendezvous_transfers_large_payload() {
+    let mut sim = Sim::new();
+    let world = world_a(&sim, 8);
+    let len: u64 = 256 << 10; // far above eager_max = 8 KiB
+    let w0 = world.clone();
+    sim.spawn("rank0", move |ctx| {
+        let mpi = diomp_fabric::MpiRank::new(w0.clone(), 0);
+        let dev = w0.primary_dev(0).clone();
+        let pattern: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        dev.mem.write(0, &pattern).unwrap();
+        mpi.send(ctx, 4, 9, Loc::dev(0, 0), len).unwrap();
+    });
+    let w4 = world.clone();
+    sim.spawn("rank4", move |ctx| {
+        let mpi = diomp_fabric::MpiRank::new(w4.clone(), 4);
+        let dev = w4.primary_dev(4).clone();
+        mpi.recv(ctx, Some(0), Some(9), Loc::dev(4, 0), len).unwrap();
+        let mut got = vec![0u8; len as usize];
+        dev.mem.read(0, &mut got).unwrap();
+        let expect: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        assert_eq!(got, expect);
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn mpi_wildcard_recv_matches_any_source() {
+    let mut sim = Sim::new();
+    let world = world_a(&sim, 8);
+    for r in [1usize, 2] {
+        let w = world.clone();
+        sim.spawn(format!("rank{r}"), move |ctx| {
+            let mpi = diomp_fabric::MpiRank::new(w.clone(), r);
+            let host = HostBuf::from_bytes(vec![r as u8; 16]);
+            ctx.delay(Dur::micros(r as f64 * 50.0));
+            mpi.send(ctx, 0, 5, Loc::host(host, 0), 16).unwrap();
+        });
+    }
+    let w0 = world.clone();
+    sim.spawn("rank0", move |ctx| {
+        let mpi = diomp_fabric::MpiRank::new(w0.clone(), 0);
+        let a = HostBuf::zeroed(16);
+        let b = HostBuf::zeroed(16);
+        mpi.recv(ctx, None, Some(5), Loc::host(a.clone(), 0), 16).unwrap();
+        mpi.recv(ctx, None, Some(5), Loc::host(b.clone(), 0), 16).unwrap();
+        let mut got = vec![a.to_bytes()[0], b.to_bytes()[0]];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn mpi_rma_put_latency_exceeds_gasnet_put_latency() {
+    // The Fig. 3 headline: DiOMP RMA beats MPI RMA at small sizes.
+    let mut sim = Sim::new();
+    let world = world_a(&sim, 8);
+    let seg = world.attach_device_segment(4, 4, 1 << 16).unwrap();
+    for r in 0..8usize {
+        let w = world.clone();
+        sim.spawn(format!("rank{r}"), move |ctx| {
+            let mpi = diomp_fabric::MpiRank::new(w.clone(), r);
+            let win = mpi.win_create(ctx, Loc::dev(r, 1 << 15), 4096);
+            if r == 0 {
+                let t0 = ctx.now();
+                mpi.win_put(ctx, win, 4, 0, Loc::dev(0, 0), 8).unwrap();
+                mpi.win_flush(ctx, win);
+                let mpi_us = ctx.now().since(t0).as_us();
+                let t1 = ctx.now();
+                gasnet::put_blocking(ctx, &w, 0, Loc::dev(0, 0), seg, 0, 8).unwrap();
+                let gas_us = ctx.now().since(t1).as_us();
+                assert!(
+                    mpi_us > 1.3 * gas_us,
+                    "MPI put+flush {mpi_us:.2} µs must exceed GASNet put {gas_us:.2} µs"
+                );
+            }
+            mpi.barrier(ctx);
+        });
+    }
+    sim.run().unwrap();
+}
+
+#[test]
+fn mpi_rma_get_moves_correct_bytes() {
+    let mut sim = Sim::new();
+    let world = world_a(&sim, 8);
+    for r in 0..8usize {
+        let w = world.clone();
+        sim.spawn(format!("rank{r}"), move |ctx| {
+            let mpi = diomp_fabric::MpiRank::new(w.clone(), r);
+            let dev = w.primary_dev(r).clone();
+            dev.mem.write(0, &[r as u8 + 10; 64]).unwrap();
+            let win = mpi.win_create(ctx, Loc::dev(r, 0), 4096);
+            mpi.barrier(ctx);
+            if r == 0 {
+                mpi.win_get(ctx, win, 7, 0, Loc::dev(0, 2048), 64).unwrap();
+                mpi.win_flush(ctx, win);
+                let mut got = [0u8; 64];
+                dev.mem.read(2048, &mut got).unwrap();
+                assert_eq!(got, [17u8; 64]);
+            }
+            mpi.barrier(ctx);
+        });
+    }
+    sim.run().unwrap();
+}
+
+fn run_allreduce(nranks: usize, elems: usize) {
+    let mut sim = Sim::new();
+    let world = boot(&sim, PlatformSpec::platform_a(), nranks, 1, nranks);
+    for r in 0..nranks {
+        let w = world.clone();
+        sim.spawn(format!("rank{r}"), move |ctx| {
+            let mut mpi = diomp_fabric::MpiRank::new(w.clone(), r);
+            let dev = w.primary_dev(r).clone();
+            let off = dev.malloc((elems * 8) as u64, 256).unwrap();
+            let vals: Vec<f64> = (0..elems).map(|i| (r * elems + i) as f64).collect();
+            let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+            dev.mem.write(off, &bytes).unwrap();
+            mpi.allreduce(ctx, Loc::dev(r, off), (elems * 8) as u64, ReduceOp::SumF64)
+                .unwrap();
+            let mut out = vec![0u8; elems * 8];
+            dev.mem.read(off, &mut out).unwrap();
+            for i in 0..elems {
+                let got = f64::from_le_bytes(out[i * 8..i * 8 + 8].try_into().unwrap());
+                let expect: f64 = (0..nranks).map(|k| (k * elems + i) as f64).sum();
+                assert!(
+                    (got - expect).abs() < 1e-9,
+                    "rank {r} elem {i}: got {got}, expect {expect}"
+                );
+            }
+        });
+    }
+    sim.run().unwrap();
+}
+
+#[test]
+fn mpi_allreduce_matches_sequential_sum_power_of_two() {
+    run_allreduce(8, 32);
+}
+
+#[test]
+fn mpi_allreduce_matches_sequential_sum_odd_ranks() {
+    run_allreduce(6, 17);
+}
+
+#[test]
+fn mpi_allreduce_matches_sequential_sum_large_payload() {
+    run_allreduce(4, 4096); // 32 KiB → rendezvous path inside the rounds
+}
+
+fn run_bcast(nranks: usize, len: u64, root: usize) {
+    let mut sim = Sim::new();
+    let world = boot(&sim, PlatformSpec::platform_a(), nranks, 1, nranks);
+    for r in 0..nranks {
+        let w = world.clone();
+        sim.spawn(format!("rank{r}"), move |ctx| {
+            let mut mpi = diomp_fabric::MpiRank::new(w.clone(), r);
+            let dev = w.primary_dev(r).clone();
+            let off = dev.malloc(len, 256).unwrap();
+            if r == root {
+                let pattern: Vec<u8> = (0..len).map(|i| (i % 253) as u8).collect();
+                dev.mem.write(off, &pattern).unwrap();
+            }
+            mpi.bcast(ctx, root, Loc::dev(r, off), len).unwrap();
+            let mut got = vec![0u8; len as usize];
+            dev.mem.read(off, &mut got).unwrap();
+            let expect: Vec<u8> = (0..len).map(|i| (i % 253) as u8).collect();
+            assert_eq!(got, expect, "rank {r} bcast payload mismatch");
+        });
+    }
+    sim.run().unwrap();
+}
+
+#[test]
+fn mpi_bcast_binomial_small_message() {
+    run_bcast(8, 4096, 0);
+}
+
+#[test]
+fn mpi_bcast_nonzero_root() {
+    run_bcast(6, 2048, 3);
+}
+
+#[test]
+fn mpi_bcast_scatter_allgather_large_message() {
+    run_bcast(8, 1 << 20, 0); // 1 MiB → van de Geijn path
+}
+
+#[test]
+fn mpi_reduce_collects_at_root() {
+    let nranks = 8;
+    let mut sim = Sim::new();
+    let world = world_a(&sim, nranks);
+    for r in 0..nranks {
+        let w = world.clone();
+        sim.spawn(format!("rank{r}"), move |ctx| {
+            let mut mpi = diomp_fabric::MpiRank::new(w.clone(), r);
+            let dev = w.primary_dev(r).clone();
+            let off = dev.malloc(64, 256).unwrap();
+            let bytes: Vec<u8> = (0..8).flat_map(|i| ((r + i) as f64).to_le_bytes()).collect();
+            dev.mem.write(off, &bytes).unwrap();
+            mpi.reduce(ctx, 2, Loc::dev(r, off), 64, ReduceOp::SumF64).unwrap();
+            if r == 2 {
+                let mut out = vec![0u8; 64];
+                dev.mem.read(off, &mut out).unwrap();
+                for i in 0..8usize {
+                    let got = f64::from_le_bytes(out[i * 8..i * 8 + 8].try_into().unwrap());
+                    let expect: f64 = (0..nranks).map(|k| (k + i) as f64).sum();
+                    assert!((got - expect).abs() < 1e-9);
+                }
+            }
+        });
+    }
+    sim.run().unwrap();
+}
+
+#[test]
+fn fabric_runs_are_deterministic() {
+    let run = || -> u64 {
+        let mut sim = Sim::new();
+        let world = world_a(&sim, 8);
+        let done = Arc::new(parking_lot::Mutex::new(0u64));
+        for r in 0..8usize {
+            let w = world.clone();
+            let done = done.clone();
+            sim.spawn(format!("rank{r}"), move |ctx| {
+                let mut mpi = diomp_fabric::MpiRank::new(w.clone(), r);
+                mpi.allreduce(ctx, Loc::dev(r, 0), 1024, ReduceOp::SumF64).unwrap();
+                mpi.barrier(ctx);
+                if r == 0 {
+                    *done.lock() = ctx.now().nanos();
+                }
+            });
+        }
+        sim.run().unwrap();
+        let v = *done.lock();
+        v
+    };
+    assert_eq!(run(), run());
+}

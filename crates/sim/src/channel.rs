@@ -1,0 +1,115 @@
+//! Virtual-time message channels between tasks.
+//!
+//! A [`SimChannel`] is an unbounded MPMC queue whose `recv` blocks in
+//! *virtual* time. Senders may be tasks or scheduled actions (the kernel
+//! delivering a network message). Used for MPI match-queue progress,
+//! bootstrap exchanges, and test plumbing.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::ctx::Ctx;
+use crate::event::EventId;
+use crate::kernel::SimHandle;
+
+struct ChanInner<T> {
+    queue: VecDeque<T>,
+    /// Events to complete when a message arrives (one per blocked receiver).
+    waiters: Vec<EventId>,
+    closed: bool,
+}
+
+/// An unbounded virtual-time channel. Clone freely; all clones share state.
+pub struct SimChannel<T> {
+    inner: Arc<Mutex<ChanInner<T>>>,
+}
+
+impl<T> Clone for SimChannel<T> {
+    fn clone(&self) -> Self {
+        SimChannel { inner: self.inner.clone() }
+    }
+}
+
+impl<T> Default for SimChannel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SimChannel<T> {
+    /// Create an empty open channel.
+    pub fn new() -> Self {
+        SimChannel {
+            inner: Arc::new(Mutex::new(ChanInner {
+                queue: VecDeque::new(),
+                waiters: Vec::new(),
+                closed: false,
+            })),
+        }
+    }
+
+    /// Enqueue a message, waking any blocked receivers. Callable from task
+    /// or action context.
+    pub fn send(&self, h: &SimHandle, value: T) {
+        let waiters = {
+            let mut inner = self.inner.lock();
+            assert!(!inner.closed, "send on closed SimChannel");
+            inner.queue.push_back(value);
+            std::mem::take(&mut inner.waiters)
+        };
+        for ev in waiters {
+            h.complete(ev);
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.lock().queue.pop_front()
+    }
+
+    /// Blocking receive in virtual time. Returns `None` only if the channel
+    /// was closed and drained.
+    pub fn recv(&self, ctx: &mut Ctx) -> Option<T> {
+        loop {
+            let ev = {
+                let mut inner = self.inner.lock();
+                if let Some(v) = inner.queue.pop_front() {
+                    return Some(v);
+                }
+                if inner.closed {
+                    return None;
+                }
+                let ev = ctx.new_event();
+                inner.waiters.push(ev);
+                ev
+            };
+            ctx.wait(ev);
+            ctx.free_event(ev);
+        }
+    }
+
+    /// Close the channel: blocked and future receivers see `None` once the
+    /// queue drains.
+    pub fn close(&self, h: &SimHandle) {
+        let waiters = {
+            let mut inner = self.inner.lock();
+            inner.closed = true;
+            std::mem::take(&mut inner.waiters)
+        };
+        for ev in waiters {
+            h.complete(ev);
+        }
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// True if no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -1,0 +1,162 @@
+//! Task-side blocking API.
+//!
+//! A [`Ctx`] is handed to every task closure. It dereferences to
+//! [`SimHandle`] for the non-blocking kernel API and adds the blocking
+//! primitives (`wait`, `delay`, …) that park the calling task and hand the
+//! baton back to the scheduler.
+
+use crossbeam::channel::Receiver;
+
+use crate::event::{EventId, Waiter};
+use crate::kernel::SimHandle;
+use crate::task::{TaskId, TaskStatus, YieldMsg};
+use crate::time::{Dur, SimTime};
+
+/// Per-task execution context. Not `Send`: it belongs to one task thread.
+pub struct Ctx {
+    handle: SimHandle,
+    id: TaskId,
+    name: String,
+    wake_rx: Receiver<()>,
+}
+
+impl std::ops::Deref for Ctx {
+    type Target = SimHandle;
+    fn deref(&self) -> &SimHandle {
+        &self.handle
+    }
+}
+
+impl Ctx {
+    pub(crate) fn new(handle: SimHandle, id: TaskId, name: String, wake_rx: Receiver<()>) -> Self {
+        Ctx { handle, id, name, wake_rx }
+    }
+
+    /// This task's id.
+    pub fn task_id(&self) -> TaskId {
+        self.id
+    }
+
+    /// This task's name (as given to `spawn`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Borrow the underlying non-blocking handle (cloneable, `Send`).
+    pub fn handle(&self) -> &SimHandle {
+        &self.handle
+    }
+
+    /// The park performed by a freshly spawned thread before its closure
+    /// runs; resumed by the wake entry pushed by `spawn`.
+    pub(crate) fn initial_park(&self) -> Result<(), ()> {
+        self.wake_rx.recv().map_err(|_| ())
+    }
+
+    /// Park this task. The caller must already have (under the kernel
+    /// lock) registered a wake-up, bumped `park_seq` and set the status to
+    /// `Blocked`; see the blocking ops below for the pattern.
+    fn park(&self) {
+        self.handle.kernel.yield_tx.send(YieldMsg::Parked).expect("scheduler vanished");
+        self.wake_rx.recv().expect("scheduler vanished while parked");
+    }
+
+    /// Block until `ev` completes. Returns immediately if it already has.
+    pub fn wait(&mut self, ev: EventId) {
+        loop {
+            {
+                let mut st = self.handle.kernel.state.lock();
+                if st.events.get(ev).completed {
+                    return;
+                }
+                let park_seq = st.park_seqs[self.id.index()] + 1;
+                st.park_seqs[self.id.index()] = park_seq;
+                st.events.get_mut(ev).waiters.push(Waiter { task: self.id, park_seq });
+                st.tasks[self.id.index()].status = TaskStatus::Blocked;
+            }
+            self.park();
+        }
+    }
+
+    /// Block until `ev` completes, then recycle it.
+    pub fn wait_free(&mut self, ev: EventId) {
+        self.wait(ev);
+        self.handle.free_event(ev);
+    }
+
+    /// Block until *all* events complete (they are waited in order; since
+    /// completion is monotonic this is equivalent to waiting on the set).
+    pub fn wait_all(&mut self, evs: &[EventId]) {
+        for &ev in evs {
+            self.wait(ev);
+        }
+    }
+
+    /// Block until *any* of the events completes; returns the index of a
+    /// completed event (the first found in argument order).
+    pub fn wait_any(&mut self, evs: &[EventId]) -> usize {
+        assert!(!evs.is_empty(), "wait_any on empty set");
+        loop {
+            {
+                let mut st = self.handle.kernel.state.lock();
+                if let Some(i) = evs.iter().position(|&e| st.events.get(e).completed) {
+                    return i;
+                }
+                let park_seq = st.park_seqs[self.id.index()] + 1;
+                st.park_seqs[self.id.index()] = park_seq;
+                for &ev in evs {
+                    st.events.get_mut(ev).waiters.push(Waiter { task: self.id, park_seq });
+                }
+                st.tasks[self.id.index()].status = TaskStatus::Blocked;
+            }
+            self.park();
+        }
+    }
+
+    /// Advance this task's virtual time by `d` (models local computation
+    /// or fixed software overhead).
+    pub fn delay(&mut self, d: Dur) {
+        let t = {
+            let st = self.handle.kernel.state.lock();
+            st_now(&st) + d
+        };
+        self.sleep_until(t);
+    }
+
+    /// Block until the virtual clock reaches `t` (no-op if already past).
+    pub fn sleep_until(&mut self, t: SimTime) {
+        {
+            let mut st = self.handle.kernel.state.lock();
+            if t <= st_now(&st) {
+                // Still yield once so same-time entries queued earlier run
+                // in deterministic order? No: sleeping to "now" is a no-op;
+                // use `yield_now` for explicit rescheduling.
+                return;
+            }
+            let park_seq = st.park_seqs[self.id.index()] + 1;
+            st.park_seqs[self.id.index()] = park_seq;
+            st.tasks[self.id.index()].status = TaskStatus::Blocked;
+            self.handle.push_wake(&mut st, t, self.id, park_seq);
+        }
+        self.park();
+    }
+
+    /// Re-queue this task at the current virtual time, letting every
+    /// already-queued same-time entry run first. Deterministic fairness
+    /// point for polling loops.
+    pub fn yield_now(&mut self) {
+        {
+            let mut st = self.handle.kernel.state.lock();
+            let now = st_now(&st);
+            let park_seq = st.park_seqs[self.id.index()] + 1;
+            st.park_seqs[self.id.index()] = park_seq;
+            st.tasks[self.id.index()].status = TaskStatus::Blocked;
+            self.handle.push_wake(&mut st, now, self.id, park_seq);
+        }
+        self.park();
+    }
+}
+
+fn st_now(st: &crate::kernel::KState) -> SimTime {
+    st.now()
+}

@@ -1,0 +1,130 @@
+//! One-shot completion events.
+//!
+//! An [`EventId`] names a one-shot event inside the simulation kernel.
+//! Events start *pending*; any number of tasks may block on one
+//! ([`crate::Ctx::wait`]); completing the event (from a task or from a
+//! scheduled action) wakes every waiter at the current virtual time.
+//! Events are the only blocking primitive — channels, barriers, RMA
+//! completion and stream synchronisation are all built on top of them.
+
+use crate::task::TaskId;
+
+/// Handle to a one-shot completion event. Cheap to copy.
+///
+/// Generation-tagged so that a stale handle to a recycled slot is detected
+/// rather than silently aliasing a fresh event.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId {
+    pub(crate) index: u32,
+    pub(crate) gen: u32,
+}
+
+/// A task parked on an event, together with the park it must be resumed
+/// from (stale wakes for earlier parks are discarded by the scheduler).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Waiter {
+    pub(crate) task: TaskId,
+    pub(crate) park_seq: u64,
+}
+
+/// Kernel-internal state of one event slot.
+#[derive(Debug)]
+pub(crate) struct EventSlot {
+    pub(crate) gen: u32,
+    pub(crate) completed: bool,
+    /// Tasks blocked on this event (woken on completion).
+    pub(crate) waiters: Vec<Waiter>,
+    /// Slot is live (allocated and not yet freed).
+    pub(crate) live: bool,
+}
+
+impl EventSlot {
+    pub(crate) fn fresh(gen: u32) -> Self {
+        EventSlot { gen, completed: false, waiters: Vec::new(), live: true }
+    }
+}
+
+/// Free-list based event arena. Events are created at a very high rate
+/// (every RMA operation makes one), so slots are recycled.
+#[derive(Default)]
+pub(crate) struct EventArena {
+    slots: Vec<EventSlot>,
+    free: Vec<u32>,
+}
+
+impl EventArena {
+    pub(crate) fn alloc(&mut self) -> EventId {
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            let gen = slot.gen.wrapping_add(1);
+            *slot = EventSlot::fresh(gen);
+            EventId { index, gen }
+        } else {
+            let index = self.slots.len() as u32;
+            self.slots.push(EventSlot::fresh(0));
+            EventId { index, gen: 0 }
+        }
+    }
+
+    pub(crate) fn get(&self, id: EventId) -> &EventSlot {
+        let slot = &self.slots[id.index as usize];
+        assert!(slot.live && slot.gen == id.gen, "stale or freed EventId {:?}", id);
+        slot
+    }
+
+    pub(crate) fn get_mut(&mut self, id: EventId) -> &mut EventSlot {
+        let slot = &mut self.slots[id.index as usize];
+        assert!(slot.live && slot.gen == id.gen, "stale or freed EventId {:?}", id);
+        slot
+    }
+
+    /// Recycle a completed event slot. Callers must guarantee no task will
+    /// wait on the handle again.
+    pub(crate) fn free(&mut self, id: EventId) {
+        let slot = &mut self.slots[id.index as usize];
+        assert!(slot.live && slot.gen == id.gen, "double free of EventId {:?}", id);
+        assert!(slot.waiters.is_empty(), "freeing event with live waiters");
+        slot.live = false;
+        self.free.push(id.index);
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_recycles_with_new_generation() {
+        let mut arena = EventArena::default();
+        let a = arena.alloc();
+        arena.get_mut(a).completed = true;
+        arena.free(a);
+        let b = arena.alloc();
+        assert_eq!(a.index, b.index);
+        assert_ne!(a.gen, b.gen);
+        assert!(!arena.get(b).completed, "recycled slot must be pending");
+    }
+
+    #[test]
+    #[should_panic(expected = "stale or freed")]
+    fn stale_handle_detected() {
+        let mut arena = EventArena::default();
+        let a = arena.alloc();
+        arena.free(a);
+        let _ = arena.get(a);
+    }
+
+    #[test]
+    fn live_count_tracks_alloc_and_free() {
+        let mut arena = EventArena::default();
+        let a = arena.alloc();
+        let _b = arena.alloc();
+        assert_eq!(arena.len(), 2);
+        arena.free(a);
+        assert_eq!(arena.len(), 1);
+    }
+}

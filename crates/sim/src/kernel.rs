@@ -1,0 +1,541 @@
+//! The discrete-event scheduler.
+//!
+//! Design (DESIGN.md D1): a *sequential* deterministic discrete-event
+//! simulation. Simulated ranks run as ordinary OS threads writing ordinary
+//! blocking code, but a single scheduler hands a baton between them so at
+//! most one task executes at any moment. The scheduler owns a priority
+//! queue of `(virtual time, sequence number)`-ordered entries; ties are
+//! broken by insertion order, so a given program produces a bit-identical
+//! event trace on every run.
+//!
+//! Two kinds of queue entries exist:
+//!
+//! * **Wake** — resume a parked task (used by `delay`, event completion,
+//!   barriers, channel receives).
+//! * **Action** — run a closure on the scheduler thread at a given virtual
+//!   time. Actions are how *one-sided* operations complete without any
+//!   participation from the target rank (DESIGN.md D2): an RMA put
+//!   schedules an action at the modelled arrival time which copies the
+//!   bytes into the target segment and completes the initiator's event.
+//!
+//! Spurious wake-ups are impossible by construction: every park increments
+//! the task's `park_seq`, and every wake entry carries the sequence number
+//! of the park it is meant to resume; mismatched entries are skipped.
+
+use std::collections::BinaryHeap;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::ctx::Ctx;
+use crate::event::{EventArena, EventId};
+use crate::resource::{ResSlot, ResourceId, Transfer};
+use crate::task::{TaskId, TaskSlot, TaskStatus, YieldMsg};
+use crate::time::{Dur, SimTime};
+use crate::trace::TraceRec;
+
+/// Closure run on the scheduler thread at a scheduled virtual time.
+pub type Action = Box<dyn FnOnce(&SimHandle) + Send + 'static>;
+
+enum Item {
+    /// Resume task if it is still parked on the park numbered `park_seq`.
+    Wake { task: TaskId, park_seq: u64 },
+    Action(Action),
+}
+
+struct Entry {
+    t: SimTime,
+    seq: u64,
+    item: Item,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (t, seq) pops first.
+        (other.t, other.seq).cmp(&(self.t, self.seq))
+    }
+}
+
+pub(crate) struct KState {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Entry>,
+    pub(crate) tasks: Vec<TaskSlot>,
+    /// Per-task park counter used to invalidate stale wakes.
+    pub(crate) park_seqs: Vec<u64>,
+    pub(crate) events: EventArena,
+    pub(crate) resources: Vec<ResSlot>,
+    n_done: usize,
+    entries_processed: u64,
+    trace: Option<Vec<TraceRec>>,
+    limit_entries: Option<u64>,
+    limit_time: Option<SimTime>,
+}
+
+impl KState {
+    pub(crate) fn now(&self) -> SimTime {
+        self.now
+    }
+}
+
+pub(crate) struct Kernel {
+    pub(crate) state: Mutex<KState>,
+    pub(crate) yield_tx: Sender<YieldMsg>,
+}
+
+/// Cloneable, `Send` handle to the simulation kernel.
+///
+/// Usable from tasks, scheduled actions, and before `run()`. All methods
+/// are non-blocking; blocking operations live on [`Ctx`].
+#[derive(Clone)]
+pub struct SimHandle {
+    pub(crate) kernel: Arc<Kernel>,
+}
+
+/// Statistics for a completed simulation.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Virtual time at which the last entry was processed.
+    pub end_time: SimTime,
+    /// Total queue entries processed (wakes + actions, including stale).
+    pub entries_processed: u64,
+    /// Number of tasks that ran to completion.
+    pub tasks_completed: usize,
+    /// Event trace, if tracing was enabled.
+    pub trace: Vec<TraceRec>,
+}
+
+/// Why a simulation failed to complete.
+#[derive(Debug, Clone)]
+pub enum SimError {
+    /// The event queue drained while tasks were still blocked: nothing can
+    /// ever wake them.
+    Deadlock {
+        /// Names of the blocked tasks.
+        blocked: Vec<String>,
+        /// Virtual time of the deadlock.
+        at: SimTime,
+    },
+    /// A configured safety limit was exceeded (runaway simulation).
+    LimitExceeded {
+        /// Human-readable description of the limit hit.
+        what: String,
+        /// Virtual time when the limit tripped.
+        at: SimTime,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { blocked, at } => {
+                write!(f, "simulation deadlock at {at}: blocked tasks {blocked:?}")
+            }
+            SimError::LimitExceeded { what, at } => {
+                write!(f, "simulation limit exceeded at {at}: {what}")
+            }
+        }
+    }
+}
+impl std::error::Error for SimError {}
+
+/// A complete simulation: scheduler plus the set of spawned task threads.
+pub struct Sim {
+    handle: SimHandle,
+    yield_rx: Receiver<YieldMsg>,
+    join: Vec<JoinHandle<()>>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Create an empty simulation at virtual time zero.
+    pub fn new() -> Self {
+        let (yield_tx, yield_rx) = unbounded();
+        let kernel = Arc::new(Kernel {
+            state: Mutex::new(KState {
+                now: SimTime::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                tasks: Vec::new(),
+                park_seqs: Vec::new(),
+                events: EventArena::default(),
+                resources: Vec::new(),
+                n_done: 0,
+                entries_processed: 0,
+                trace: None,
+                limit_entries: None,
+                limit_time: None,
+            }),
+            yield_tx,
+        });
+        Sim { handle: SimHandle { kernel }, yield_rx, join: Vec::new() }
+    }
+
+    /// Handle usable to spawn tasks and schedule actions before `run()`.
+    pub fn handle(&self) -> SimHandle {
+        self.handle.clone()
+    }
+
+    /// Record a trace of every wake and user `trace()` call (see
+    /// [`SimReport::trace`]). Used by the determinism property tests.
+    pub fn enable_trace(&self) {
+        self.handle.kernel.state.lock().trace = Some(Vec::new());
+    }
+
+    /// Abort with [`SimError::LimitExceeded`] after this many queue entries.
+    pub fn limit_entries(&self, n: u64) {
+        self.handle.kernel.state.lock().limit_entries = Some(n);
+    }
+
+    /// Abort with [`SimError::LimitExceeded`] once virtual time passes `t`.
+    pub fn limit_time(&self, t: SimTime) {
+        self.handle.kernel.state.lock().limit_time = Some(t);
+    }
+
+    /// Spawn a task before the simulation starts. See [`SimHandle::spawn`].
+    pub fn spawn<F>(&mut self, name: impl Into<String>, f: F) -> TaskId
+    where
+        F: FnOnce(&mut Ctx) + Send + 'static,
+    {
+        let (id, jh) = self.handle.spawn_inner(name.into(), f);
+        self.join.push(jh);
+        id
+    }
+
+    /// Run the simulation to completion.
+    ///
+    /// Returns `Ok` when every task has finished, [`SimError::Deadlock`]
+    /// when the queue drains with tasks still blocked, or re-raises the
+    /// panic of any task that panicked.
+    pub fn run(mut self) -> Result<SimReport, SimError> {
+        loop {
+            let action_or_wake = {
+                let mut st = self.handle.kernel.state.lock();
+                if let Some(limit) = st.limit_entries {
+                    if st.entries_processed > limit {
+                        let at = st.now;
+                        return Err(SimError::LimitExceeded {
+                            what: format!("more than {limit} queue entries"),
+                            at,
+                        });
+                    }
+                }
+                match st.queue.pop() {
+                    None => break,
+                    Some(entry) => {
+                        debug_assert!(entry.t >= st.now, "time went backwards");
+                        st.now = entry.t;
+                        st.entries_processed += 1;
+                        if let Some(limit) = st.limit_time {
+                            if st.now > limit {
+                                return Err(SimError::LimitExceeded {
+                                    what: format!("virtual time past {limit}"),
+                                    at: st.now,
+                                });
+                            }
+                        }
+                        match entry.item {
+                            Item::Wake { task, park_seq } => {
+                                let fresh = st.tasks[task.index()].status == TaskStatus::Blocked
+                                    && st.park_seqs[task.index()] == park_seq;
+                                if fresh {
+                                    st.tasks[task.index()].status = TaskStatus::Running;
+                                    if st.trace.is_some() {
+                                        let name = st.tasks[task.index()].name.clone();
+                                        let t = st.now;
+                                        st.trace
+                                            .as_mut()
+                                            .unwrap()
+                                            .push(TraceRec::new(t, name, "wake"));
+                                    }
+                                    let tx = st.tasks[task.index()].wake_tx.clone();
+                                    drop(st);
+                                    tx.send(()).expect("task thread vanished");
+                                    Some(None) // must wait for a yield
+                                } else {
+                                    None // stale wake: skip
+                                }
+                            }
+                            Item::Action(f) => {
+                                drop(st);
+                                Some(Some(f))
+                            }
+                        }
+                    }
+                }
+            };
+            match action_or_wake {
+                None => continue, // stale entry
+                Some(Some(f)) => f(&self.handle),
+                Some(None) => {
+                    // A task holds the baton; wait for it to give it back.
+                    match self.yield_rx.recv().expect("all tasks vanished") {
+                        YieldMsg::Parked => {}
+                        YieldMsg::Done => {}
+                        YieldMsg::Panicked(id, msg) => {
+                            let name =
+                                self.handle.kernel.state.lock().tasks[id.index()].name.clone();
+                            // Re-raise so test assertions inside ranks propagate.
+                            panic!("simulated task '{name}' panicked: {msg}");
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut st = self.handle.kernel.state.lock();
+        let report = SimReport {
+            end_time: st.now,
+            entries_processed: st.entries_processed,
+            tasks_completed: st.n_done,
+            trace: st.trace.take().unwrap_or_default(),
+        };
+        if st.n_done != st.tasks.len() {
+            let blocked = st
+                .tasks
+                .iter()
+                .filter(|t| t.status != TaskStatus::Done)
+                .map(|t| t.name.clone())
+                .collect();
+            let at = st.now;
+            drop(st);
+            // Blocked task threads are abandoned (they sit in recv()); this
+            // is an error path and the process is normally about to exit or
+            // the test to assert. Documented leak.
+            for jh in self.join.drain(..) {
+                drop(jh);
+            }
+            return Err(SimError::Deadlock { blocked, at });
+        }
+        drop(st);
+        for jh in self.join.drain(..) {
+            let _ = jh.join();
+        }
+        Ok(report)
+    }
+}
+
+impl SimHandle {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.state.lock().now
+    }
+
+    fn push(&self, st: &mut KState, t: SimTime, item: Item) {
+        let seq = st.seq;
+        st.seq += 1;
+        st.queue.push(Entry { t, seq, item });
+    }
+
+    /// Spawn a task during the simulation (e.g. a per-node progress
+    /// engine). The new task starts at the current virtual time.
+    ///
+    /// Threads spawned mid-run are detached; they exit when their closure
+    /// returns.
+    pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> TaskId
+    where
+        F: FnOnce(&mut Ctx) + Send + 'static,
+    {
+        let (id, _jh) = self.spawn_inner(name.into(), f);
+        id
+    }
+
+    pub(crate) fn spawn_inner<F>(&self, name: String, f: F) -> (TaskId, JoinHandle<()>)
+    where
+        F: FnOnce(&mut Ctx) + Send + 'static,
+    {
+        let (wake_tx, wake_rx) = unbounded();
+        let id = {
+            let mut st = self.kernel.state.lock();
+            let id = TaskId(st.tasks.len() as u32);
+            st.tasks.push(TaskSlot { name: name.clone(), status: TaskStatus::Blocked, wake_tx });
+            st.park_seqs.push(0);
+            // Initial wake resumes park_seq 0 (the task's startup park).
+            let t = st.now;
+            self.push(&mut st, t, Item::Wake { task: id, park_seq: 0 });
+            id
+        };
+        let handle = self.clone();
+        let thread_name = format!("sim-{name}");
+        let jh = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || {
+                let mut ctx = Ctx::new(handle, id, name, wake_rx);
+                // Startup park: wait for the scheduler to hand us the baton.
+                if ctx.initial_park().is_err() {
+                    return; // simulation torn down before we started
+                }
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+                let kernel = ctx.handle().kernel.clone();
+                match result {
+                    Ok(()) => {
+                        {
+                            let mut st = kernel.state.lock();
+                            st.tasks[id.index()].status = TaskStatus::Done;
+                            st.n_done += 1;
+                        }
+                        let _ = kernel.yield_tx.send(YieldMsg::Done);
+                    }
+                    Err(payload) => {
+                        let msg = panic_message(payload.as_ref());
+                        {
+                            let mut st = kernel.state.lock();
+                            st.tasks[id.index()].status = TaskStatus::Done;
+                            st.n_done += 1;
+                        }
+                        let _ = kernel.yield_tx.send(YieldMsg::Panicked(id, msg));
+                    }
+                }
+            })
+            .expect("failed to spawn task thread");
+        (id, jh)
+    }
+
+    /// Create a pending one-shot event.
+    pub fn new_event(&self) -> EventId {
+        self.kernel.state.lock().events.alloc()
+    }
+
+    /// Has this event completed?
+    pub fn event_done(&self, ev: EventId) -> bool {
+        self.kernel.state.lock().events.get(ev).completed
+    }
+
+    /// Complete an event now, waking all waiters at the current time.
+    /// Completing an already-completed event is a no-op.
+    pub fn complete(&self, ev: EventId) {
+        let mut st = self.kernel.state.lock();
+        let slot = st.events.get_mut(ev);
+        if slot.completed {
+            return;
+        }
+        slot.completed = true;
+        let waiters = std::mem::take(&mut slot.waiters);
+        let now = st.now;
+        for w in waiters {
+            self.push(&mut st, now, Item::Wake { task: w.task, park_seq: w.park_seq });
+        }
+    }
+
+    /// Schedule completion of an event at an absolute virtual time.
+    pub fn complete_at(&self, ev: EventId, t: SimTime) {
+        let h = self.clone();
+        self.schedule_at(t, move |_| h.complete(ev));
+    }
+
+    /// Schedule completion of an event after a delay.
+    pub fn complete_in(&self, ev: EventId, d: Dur) {
+        let t = self.now() + d;
+        self.complete_at(ev, t);
+    }
+
+    /// Recycle a completed event. The handle must not be used again.
+    pub fn free_event(&self, ev: EventId) {
+        self.kernel.state.lock().events.free(ev);
+    }
+
+    /// Run a closure on the scheduler thread at absolute virtual time `t`
+    /// (clamped to now). This is the primitive behind one-sided completion.
+    pub fn schedule_at<F>(&self, t: SimTime, f: F)
+    where
+        F: FnOnce(&SimHandle) + Send + 'static,
+    {
+        let mut st = self.kernel.state.lock();
+        let t = t.max(st.now);
+        self.push(&mut st, t, Item::Action(Box::new(f)));
+    }
+
+    /// Run a closure on the scheduler thread after a virtual delay.
+    pub fn schedule_in<F>(&self, d: Dur, f: F)
+    where
+        F: FnOnce(&SimHandle) + Send + 'static,
+    {
+        let mut st = self.kernel.state.lock();
+        let t = st.now + d;
+        self.push(&mut st, t, Item::Action(Box::new(f)));
+    }
+
+    /// Register a FIFO bandwidth resource (a link, NIC or copy engine).
+    pub fn new_resource(&self, bytes_per_ns: f64, latency: Dur) -> ResourceId {
+        let mut st = self.kernel.state.lock();
+        let id = ResourceId(st.resources.len() as u32);
+        st.resources.push(ResSlot::new(bytes_per_ns, latency));
+        id
+    }
+
+    /// Reserve a transfer of `bytes` on a resource. Returns the modelled
+    /// departure/arrival times; the caller schedules completion actions.
+    pub fn transfer(&self, res: ResourceId, bytes: u64) -> Transfer {
+        let mut st = self.kernel.state.lock();
+        let now = st.now;
+        st.resources[res.index()].transfer(now, bytes)
+    }
+
+    /// Reserve a transfer whose payload only becomes available at `at`
+    /// (chained staging stages, software-overhead-delayed NIC injection).
+    pub fn transfer_from(&self, res: ResourceId, at: SimTime, bytes: u64) -> Transfer {
+        let mut st = self.kernel.state.lock();
+        let now = st.now;
+        st.resources[res.index()].transfer_from(now, at, bytes)
+    }
+
+    /// Occupy a resource for a fixed duration (e.g. a handler running on a
+    /// progress engine). Returns `(start, end)`.
+    pub fn occupy(&self, res: ResourceId, d: Dur) -> (SimTime, SimTime) {
+        let mut st = self.kernel.state.lock();
+        let now = st.now;
+        st.resources[res.index()].occupy(now, d)
+    }
+
+    /// Next time the resource is free (for diagnostics / tests).
+    pub fn resource_free_at(&self, res: ResourceId) -> SimTime {
+        self.kernel.state.lock().resources[res.index()].free_at()
+    }
+
+    /// Append a record to the trace, if tracing is enabled.
+    pub fn trace(&self, who: impl Into<String>, what: impl Into<String>) {
+        let mut st = self.kernel.state.lock();
+        let t = st.now;
+        if let Some(trace) = st.trace.as_mut() {
+            trace.push(TraceRec::new(t, who.into(), what.into()));
+        }
+    }
+
+    /// Number of live (allocated, unfreed) events — used by leak tests.
+    pub fn live_events(&self) -> usize {
+        self.kernel.state.lock().events.len()
+    }
+
+    pub(crate) fn push_wake(&self, st: &mut KState, t: SimTime, task: TaskId, park_seq: u64) {
+        self.push(st, t, Item::Wake { task, park_seq });
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}

@@ -1,0 +1,142 @@
+//! FIFO bandwidth resources.
+//!
+//! A resource models a serialising pipe: a NIC port, a NVLink/xGMI lane, a
+//! PCIe link, a GPU copy engine, or shared-memory bandwidth. Transfers
+//! queue FIFO and occupy the resource for `bytes / bandwidth`; delivery is
+//! cut-through (`start + latency + bytes/bandwidth`). This closed-form
+//! model needs no extra simulation events per queued transfer, which keeps
+//! big collective benchmarks cheap while still capturing serialisation —
+//! two messages racing for one NIC really do take twice as long.
+
+use crate::time::{Dur, SimTime};
+
+/// Handle to a registered resource.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ResourceId(pub(crate) u32);
+
+impl ResourceId {
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Modelled times for one reserved transfer.
+#[derive(Clone, Copy, Debug)]
+pub struct Transfer {
+    /// When the transfer began occupying the resource.
+    pub start: SimTime,
+    /// When the resource becomes free again (`start + bytes/bw`).
+    pub depart: SimTime,
+    /// When the last byte arrives at the far side
+    /// (`start + latency + bytes/bw`).
+    pub arrive: SimTime,
+}
+
+#[derive(Debug)]
+pub(crate) struct ResSlot {
+    free_at: SimTime,
+    bytes_per_ns: f64,
+    latency: Dur,
+    /// Cumulative bytes pushed through (for utilisation reporting).
+    total_bytes: u64,
+}
+
+impl ResSlot {
+    pub(crate) fn new(bytes_per_ns: f64, latency: Dur) -> Self {
+        assert!(bytes_per_ns > 0.0, "resource bandwidth must be positive");
+        ResSlot { free_at: SimTime::ZERO, bytes_per_ns, latency, total_bytes: 0 }
+    }
+
+    pub(crate) fn transfer(&mut self, now: SimTime, bytes: u64) -> Transfer {
+        let start = now.max(self.free_at);
+        let busy = Dur::nanos((bytes as f64 / self.bytes_per_ns).ceil() as u64);
+        let depart = start + busy;
+        self.free_at = depart;
+        self.total_bytes += bytes;
+        Transfer { start, depart, arrive: start + self.latency + busy }
+    }
+
+    /// Like `transfer`, but the payload is only ready at `at` (chained
+    /// stages of a staged copy, or post-software-overhead NIC injection).
+    pub(crate) fn transfer_from(&mut self, now: SimTime, at: SimTime, bytes: u64) -> Transfer {
+        self.transfer(now.max(at), bytes)
+    }
+
+    pub(crate) fn occupy(&mut self, now: SimTime, d: Dur) -> (SimTime, SimTime) {
+        let start = now.max(self.free_at);
+        let end = start + d;
+        self.free_at = end;
+        (start, end)
+    }
+
+    pub(crate) fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+}
+
+/// Convert a link speed in GB/s (10^9 bytes per second) to the internal
+/// bytes-per-nanosecond unit.
+#[inline]
+pub fn gbps(gigabytes_per_sec: f64) -> f64 {
+    // 1 GB/s = 1e9 B / 1e9 ns = 1 B/ns.
+    gigabytes_per_sec
+}
+
+/// Convert a link speed quoted in Gbit/s to bytes per nanosecond.
+#[inline]
+pub fn gbits(gigabits_per_sec: f64) -> f64 {
+    gigabits_per_sec / 8.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_is_cut_through() {
+        let mut r = ResSlot::new(1.0, Dur::nanos(100)); // 1 B/ns, 100 ns latency
+        let t = r.transfer(SimTime(0), 1000);
+        assert_eq!(t.start, SimTime(0));
+        assert_eq!(t.depart, SimTime(1000));
+        assert_eq!(t.arrive, SimTime(1100));
+    }
+
+    #[test]
+    fn back_to_back_transfers_serialise() {
+        let mut r = ResSlot::new(2.0, Dur::nanos(10));
+        let a = r.transfer(SimTime(0), 100); // busy 50 ns
+        let b = r.transfer(SimTime(0), 100); // queued behind a
+        assert_eq!(a.depart, SimTime(50));
+        assert_eq!(b.start, SimTime(50));
+        assert_eq!(b.arrive, SimTime(50 + 10 + 50));
+    }
+
+    #[test]
+    fn idle_gap_resets_start() {
+        let mut r = ResSlot::new(1.0, Dur::ZERO);
+        let _ = r.transfer(SimTime(0), 10);
+        let b = r.transfer(SimTime(1000), 10);
+        assert_eq!(b.start, SimTime(1000));
+    }
+
+    #[test]
+    fn occupy_serialises_too() {
+        let mut r = ResSlot::new(1.0, Dur::ZERO);
+        let (s1, e1) = r.occupy(SimTime(0), Dur::nanos(30));
+        let (s2, _e2) = r.occupy(SimTime(0), Dur::nanos(30));
+        assert_eq!((s1, e1), (SimTime(0), SimTime(30)));
+        assert_eq!(s2, SimTime(30));
+    }
+
+    #[test]
+    fn unit_helpers() {
+        assert!((gbps(25.0) - 25.0).abs() < 1e-12);
+        assert!((gbits(200.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = ResSlot::new(0.0, Dur::ZERO);
+    }
+}

@@ -1,0 +1,95 @@
+//! Lightweight measurement helpers for the benchmark harnesses.
+
+use crate::time::Dur;
+
+/// Collects duration samples and reports summary statistics.
+#[derive(Default, Debug, Clone)]
+pub struct Meter {
+    samples: Vec<f64>, // microseconds
+}
+
+impl Meter {
+    /// Empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one duration sample.
+    pub fn record(&mut self, d: Dur) {
+        self.samples.push(d.as_us());
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean in microseconds (0 if empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Minimum sample in microseconds (0 if empty).
+    pub fn min_us(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min(f64::MAX)
+    }
+
+    /// Maximum sample in microseconds (0 if empty).
+    pub fn max_us(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Median sample in microseconds (0 if empty).
+    pub fn median_us(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mid = s.len() / 2;
+        if s.len().is_multiple_of(2) {
+            (s[mid - 1] + s[mid]) / 2.0
+        } else {
+            s[mid]
+        }
+    }
+}
+
+/// Achieved bandwidth for a transfer of `bytes` over `elapsed`.
+///
+/// Returns GB/s (10^9 bytes per second).
+pub fn bandwidth_gbps(bytes: u64, elapsed: Dur) -> f64 {
+    if elapsed.as_nanos() == 0 {
+        return f64::INFINITY;
+    }
+    bytes as f64 / elapsed.as_nanos() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_statistics() {
+        let mut m = Meter::new();
+        for us in [1.0, 2.0, 3.0, 10.0] {
+            m.record(Dur::micros(us));
+        }
+        assert_eq!(m.count(), 4);
+        assert!((m.mean_us() - 4.0).abs() < 1e-9);
+        assert!((m.median_us() - 2.5).abs() < 1e-9);
+        assert!((m.min_us() - 1.0).abs() < 1e-9);
+        assert!((m.max_us() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_math() {
+        // 1000 bytes in 1000 ns = 1 GB/s.
+        assert!((bandwidth_gbps(1000, Dur::nanos(1000)) - 1.0).abs() < 1e-12);
+        // 25 bytes/ns = 25 GB/s.
+        assert!((bandwidth_gbps(25_000, Dur::nanos(1000)) - 25.0).abs() < 1e-12);
+    }
+}

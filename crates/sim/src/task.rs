@@ -1,0 +1,51 @@
+//! Task identity and kernel-side task bookkeeping.
+//!
+//! A *task* is one cooperative unit of execution — usually a simulated
+//! rank, sometimes a helper (progress engine, application thread). Each
+//! task runs on its own OS thread, but the scheduler guarantees that **at
+//! most one task executes at any moment**; tasks hand control back to the
+//! scheduler whenever they block on virtual time or an event. This gives
+//! a sequential, deterministic discrete-event simulation with the
+//! programming convenience of ordinary blocking code.
+
+use crossbeam::channel::Sender;
+
+/// Identifies a task within one simulation. Cheap to copy.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct TaskId(pub(crate) u32);
+
+impl TaskId {
+    /// Raw index, stable for the lifetime of the simulation.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Scheduler-visible status of a task.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum TaskStatus {
+    /// Parked, waiting for the scheduler to hand it the baton.
+    Blocked,
+    /// Currently holds the baton (at most one task at a time).
+    Running,
+    /// Task closure returned; thread has exited or is exiting.
+    Done,
+}
+
+/// Message a task sends the scheduler when it gives up the baton.
+#[derive(Debug)]
+pub(crate) enum YieldMsg {
+    /// Task parked after registering a wake-up condition.
+    Parked,
+    /// Task closure returned normally.
+    Done,
+    /// Task closure panicked; the panic payload is re-raised by `run()`.
+    Panicked(TaskId, String),
+}
+
+pub(crate) struct TaskSlot {
+    pub(crate) name: String,
+    pub(crate) status: TaskStatus,
+    /// Baton channel: scheduler sends one unit to resume the task.
+    pub(crate) wake_tx: Sender<()>,
+}

@@ -1,0 +1,26 @@
+//! Execution trace records for determinism testing and debugging.
+
+use crate::time::SimTime;
+
+/// One trace record: who did what, when (virtual time).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceRec {
+    /// Virtual timestamp.
+    pub t: SimTime,
+    /// Task name or subsystem label.
+    pub who: String,
+    /// Event description.
+    pub what: String,
+}
+
+impl TraceRec {
+    pub(crate) fn new(t: SimTime, who: impl Into<String>, what: impl Into<String>) -> Self {
+        TraceRec { t, who: who.into(), what: what.into() }
+    }
+}
+
+impl std::fmt::Display for TraceRec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: {}", self.t, self.who, self.what)
+    }
+}

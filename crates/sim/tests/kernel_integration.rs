@@ -1,0 +1,301 @@
+//! Integration tests for the discrete-event kernel: scheduling order,
+//! blocking primitives, channels, resources, deadlock detection and
+//! determinism.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use diomp_sim::{Dur, Sim, SimChannel, SimError, SimTime};
+
+#[test]
+fn delays_accumulate_virtual_time() {
+    let mut sim = Sim::new();
+    sim.spawn("t", |ctx| {
+        ctx.delay(Dur::micros(3.0));
+        ctx.delay(Dur::micros(4.0));
+        assert_eq!(ctx.now(), SimTime(7_000));
+    });
+    let rep = sim.run().unwrap();
+    assert_eq!(rep.end_time, SimTime(7_000));
+    assert_eq!(rep.tasks_completed, 1);
+}
+
+#[test]
+fn tasks_interleave_by_timestamp_not_spawn_order() {
+    let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let mut sim = Sim::new();
+    for (name, d) in [("late", 10.0), ("early", 1.0), ("mid", 5.0)] {
+        let order = order.clone();
+        sim.spawn(name, move |ctx| {
+            ctx.delay(Dur::micros(d));
+            order.lock().push(name);
+        });
+    }
+    sim.run().unwrap();
+    assert_eq!(*order.lock(), vec!["early", "mid", "late"]);
+}
+
+#[test]
+fn same_time_entries_run_in_insertion_order() {
+    let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let mut sim = Sim::new();
+    for i in 0..8 {
+        let order = order.clone();
+        sim.spawn(format!("t{i}"), move |ctx| {
+            ctx.delay(Dur::micros(1.0));
+            order.lock().push(i);
+        });
+    }
+    sim.run().unwrap();
+    assert_eq!(*order.lock(), (0..8).collect::<Vec<_>>());
+}
+
+#[test]
+fn event_completion_wakes_all_waiters() {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let ev = h.new_event();
+    let hits = Arc::new(AtomicU64::new(0));
+    for i in 0..4 {
+        let hits = hits.clone();
+        sim.spawn(format!("w{i}"), move |ctx| {
+            ctx.wait(ev);
+            assert_eq!(ctx.now(), SimTime(2_000));
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    sim.spawn("completer", move |ctx| {
+        ctx.delay(Dur::micros(2.0));
+        ctx.complete(ev);
+    });
+    sim.run().unwrap();
+    assert_eq!(hits.load(Ordering::Relaxed), 4);
+}
+
+#[test]
+fn wait_on_completed_event_returns_immediately() {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let ev = h.new_event();
+    h.complete(ev);
+    sim.spawn("w", move |ctx| {
+        ctx.wait(ev);
+        assert_eq!(ctx.now(), SimTime::ZERO);
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn wait_any_returns_first_completed() {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let slow = h.new_event();
+    let fast = h.new_event();
+    h.complete_at(slow, SimTime(9_000));
+    h.complete_at(fast, SimTime(1_000));
+    sim.spawn("w", move |ctx| {
+        let idx = ctx.wait_any(&[slow, fast]);
+        assert_eq!(idx, 1);
+        assert_eq!(ctx.now(), SimTime(1_000));
+        // A later wait on the slow event still works (no spurious state).
+        ctx.wait(slow);
+        assert_eq!(ctx.now(), SimTime(9_000));
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn spurious_wakes_do_not_break_delay() {
+    // A task waits on an event with wait_any, abandons one registration,
+    // then sleeps; the abandoned registration must not cut the sleep short.
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let a = h.new_event();
+    let b = h.new_event();
+    h.complete_at(a, SimTime(1_000));
+    h.complete_at(b, SimTime(2_000)); // fires mid-sleep
+    sim.spawn("w", move |ctx| {
+        let idx = ctx.wait_any(&[a, b]);
+        assert_eq!(idx, 0);
+        ctx.delay(Dur::micros(10.0)); // b completes at 2µs, must not wake us
+        assert_eq!(ctx.now(), SimTime(11_000));
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn scheduled_actions_run_at_their_time() {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let ev = h.new_event();
+    let stamp = Arc::new(AtomicU64::new(0));
+    {
+        let stamp = stamp.clone();
+        h.schedule_at(SimTime(5_000), move |h| {
+            stamp.store(h.now().nanos(), Ordering::Relaxed);
+            h.complete(ev);
+        });
+    }
+    sim.spawn("w", move |ctx| {
+        ctx.wait(ev);
+        assert_eq!(ctx.now(), SimTime(5_000));
+    });
+    sim.run().unwrap();
+    assert_eq!(stamp.load(Ordering::Relaxed), 5_000);
+}
+
+#[test]
+fn channels_block_and_deliver_in_order() {
+    let mut sim = Sim::new();
+    let chan: SimChannel<u32> = SimChannel::new();
+    let tx = chan.clone();
+    sim.spawn("producer", move |ctx| {
+        for i in 0..5 {
+            ctx.delay(Dur::micros(1.0));
+            tx.send(ctx.handle(), i);
+        }
+        tx.close(ctx.handle());
+    });
+    let rx = chan.clone();
+    sim.spawn("consumer", move |ctx| {
+        let mut got = Vec::new();
+        while let Some(v) = rx.recv(ctx) {
+            got.push(v);
+        }
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(ctx.now(), SimTime(5_000));
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn resource_contention_serialises_transfers() {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let link = h.new_resource(1.0, Dur::nanos(50)); // 1 B/ns
+    let finish = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    for i in 0..3 {
+        let finish = finish.clone();
+        sim.spawn(format!("s{i}"), move |ctx| {
+            let tr = ctx.transfer(link, 1_000);
+            let ev = ctx.new_event();
+            ctx.complete_at(ev, tr.arrive);
+            ctx.wait_free(ev);
+            finish.lock().push(ctx.now().nanos());
+        });
+    }
+    sim.run().unwrap();
+    // Each 1000-byte transfer takes 1000 ns of link time + 50 ns latency,
+    // serialised: arrivals at 1050, 2050, 3050.
+    assert_eq!(*finish.lock(), vec![1_050, 2_050, 3_050]);
+}
+
+#[test]
+fn deadlock_is_reported_with_task_names() {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let never = h.new_event();
+    sim.spawn("stuck-rank", move |ctx| {
+        ctx.wait(never);
+    });
+    match sim.run() {
+        Err(SimError::Deadlock { blocked, .. }) => {
+            assert_eq!(blocked, vec!["stuck-rank".to_string()]);
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn entry_limit_stops_runaway_sims() {
+    let mut sim = Sim::new();
+    sim.limit_entries(100);
+    sim.spawn("spinner", |ctx| loop {
+        ctx.delay(Dur::nanos(1));
+    });
+    match sim.run() {
+        Err(SimError::LimitExceeded { .. }) => {}
+        other => panic!("expected limit, got {other:?}"),
+    }
+}
+
+#[test]
+#[should_panic(expected = "simulated task 'asserter' panicked")]
+fn task_panics_propagate_to_run() {
+    let mut sim = Sim::new();
+    sim.spawn("asserter", |_ctx| {
+        panic!("boom");
+    });
+    let _ = sim.run();
+}
+
+#[test]
+fn dynamic_spawn_joins_the_event_flow() {
+    let mut sim = Sim::new();
+    let hits = Arc::new(AtomicU64::new(0));
+    let hits2 = hits.clone();
+    sim.spawn("parent", move |ctx| {
+        ctx.delay(Dur::micros(1.0));
+        let hits3 = hits2.clone();
+        ctx.handle().spawn("child", move |ctx| {
+            ctx.delay(Dur::micros(1.0));
+            assert_eq!(ctx.now(), SimTime(2_000));
+            hits3.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    sim.run().unwrap();
+    assert_eq!(hits.load(Ordering::Relaxed), 1);
+}
+
+fn trace_of(seed: u64) -> Vec<String> {
+    let mut sim = Sim::new();
+    sim.enable_trace();
+    let h = sim.handle();
+    let chan: SimChannel<u64> = SimChannel::new();
+    for r in 0..6u64 {
+        let chan = chan.clone();
+        sim.spawn(format!("rank{r}"), move |ctx| {
+            let mut rng = diomp_sim::rng_for(seed, r);
+            use rand::Rng;
+            for _ in 0..20 {
+                let d: u64 = rng.gen_range(1..500);
+                ctx.delay(Dur::nanos(d));
+                chan.send(ctx.handle(), r);
+                ctx.trace(format!("rank{r}"), format!("sent at {}", ctx.now()));
+            }
+        });
+    }
+    let _ = h;
+    let rep = sim.run().unwrap();
+    rep.trace.iter().map(|t| t.to_string()).collect()
+}
+
+#[test]
+fn identical_seeds_produce_identical_traces() {
+    let a = trace_of(1234);
+    let b = trace_of(1234);
+    assert_eq!(a, b, "simulation must be deterministic");
+    assert!(!a.is_empty());
+}
+
+#[test]
+fn different_seeds_produce_different_traces() {
+    let a = trace_of(1);
+    let b = trace_of(2);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn event_slots_are_recycled() {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    sim.spawn("loop", |ctx| {
+        for _ in 0..1_000 {
+            let ev = ctx.new_event();
+            ctx.complete(ev);
+            ctx.wait_free(ev);
+        }
+    });
+    sim.run().unwrap();
+    assert_eq!(h.live_events(), 0, "all events freed");
+}

@@ -1,0 +1,152 @@
+//! XCCL communicators: bootstrap, topology discovery, collective launch.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use diomp_fabric::FabricWorld;
+use diomp_sim::{Ctx, Dur, SimTime};
+use parking_lot::Mutex;
+
+use crate::gate::{CollGate, DeviceBuf};
+use crate::ops::XcclOp;
+use crate::unique_id::UniqueId;
+
+/// Process-global gate registry: every rank constructs its own
+/// communicator object, but all communicators created from the same
+/// [`UniqueId`] share one rendezvous gate — that sharing is exactly what
+/// the UniqueId bootstrap establishes in NCCL.
+fn gate_for(id: UniqueId, n: usize) -> Arc<CollGate> {
+    static GATES: OnceLock<Mutex<HashMap<u64, Arc<CollGate>>>> = OnceLock::new();
+    let gates = GATES.get_or_init(|| Mutex::new(HashMap::new()));
+    gates.lock().entry(id.bits()).or_insert_with(|| Arc::new(CollGate::new(n))).clone()
+}
+
+/// Ring topology summary produced by communicator initialisation.
+#[derive(Clone, Debug)]
+pub struct RingInfo {
+    /// Devices in ring order (node-major, so node boundaries are crossed
+    /// exactly `nodes` times — NCCL's bandwidth-optimal layout).
+    pub order: Vec<usize>,
+    /// Number of distinct nodes spanned.
+    pub nodes: usize,
+    /// Concurrent rings (one per NIC on multi-rail nodes — how NCCL
+    /// reaches >single-NIC bandwidth on platforms A/B).
+    pub nrings: usize,
+}
+
+/// A communicator over the devices of a set of ranks (the backend of one
+/// DiOMP group, paper §3.3).
+pub struct XcclComm {
+    /// The fabric world.
+    pub world: Arc<FabricWorld>,
+    /// Participating ranks, in order.
+    pub ranks: Vec<usize>,
+    /// Bootstrap identifier this communicator was created from.
+    pub id: UniqueId,
+    /// Discovered ring topology.
+    pub ring: RingInfo,
+    gate: Arc<CollGate>,
+}
+
+impl XcclComm {
+    /// Collectively initialise a communicator over `ranks` (every listed
+    /// rank must call with the same arguments). Charges the library's
+    /// initialisation cost (topology discovery, ring construction,
+    /// transport setup) and synchronises all participants.
+    pub fn init(
+        ctx: &mut Ctx,
+        world: &Arc<FabricWorld>,
+        ranks: Vec<usize>,
+        my_rank: usize,
+        id: UniqueId,
+    ) -> Arc<XcclComm> {
+        assert!(ranks.contains(&my_rank));
+        // Topology discovery + transport setup (ncclCommInitRank).
+        ctx.delay(Dur::micros(world.platform.coll.xccl_init_us));
+
+        // Node-major device ordering minimises ring node-crossings.
+        let mut order: Vec<usize> = ranks
+            .iter()
+            .flat_map(|&r| world.devices_of(r))
+            .collect();
+        order.sort_by_key(|&f| (world.devs.dev(f).loc.node, world.devs.dev(f).loc.gpu));
+        let mut nodes: Vec<usize> = order.iter().map(|&f| world.devs.dev(f).loc.node).collect();
+        nodes.dedup();
+        let nodes = nodes.len();
+        let devs_per_node = order.len().div_ceil(nodes.max(1));
+        let nrings = world.topo.nics_per_node().min(devs_per_node).max(1);
+
+        let gate = gate_for(id, ranks.len());
+        Arc::new(XcclComm {
+            world: world.clone(),
+            ranks,
+            id,
+            ring: RingInfo { order, nodes, nrings },
+            gate,
+        })
+    }
+
+    /// Position of a device in the ring.
+    pub fn ring_pos(&self, flat: usize) -> usize {
+        self.ring.order.iter().position(|&f| f == flat).expect("device not in communicator")
+    }
+
+    /// Number of devices in the communicator.
+    pub fn ndevices(&self) -> usize {
+        self.ring.order.len()
+    }
+
+    /// Launch a collective. Every participating rank calls this with the
+    /// buffers of *its* devices (`DeviceBuf` per owned device); all block
+    /// until the modelled completion and the data semantics have been
+    /// applied. Returns the completion instant.
+    ///
+    /// `len` is the per-device payload in bytes.
+    pub fn collective(
+        &self,
+        ctx: &mut Ctx,
+        my_rank: usize,
+        my_bufs: Vec<DeviceBuf>,
+        op: XcclOp,
+        len: u64,
+    ) -> SimTime {
+        let idx = self.ranks.iter().position(|&r| r == my_rank).expect("rank not in communicator");
+        let world = self.world.clone();
+        let order = self.ring.order.clone();
+        let n = order.len();
+        self.gate.arrive(ctx, idx, my_bufs, move |ctx, arrivals| {
+            // Assemble buffers in ring order.
+            let mut by_flat: Vec<Option<DeviceBuf>> = vec![None; world.devs.len()];
+            for a in arrivals {
+                for b in &a.bufs {
+                    by_flat[b.flat] = Some(*b);
+                }
+            }
+            let bufs: Vec<DeviceBuf> = order
+                .iter()
+                .map(|&f| by_flat[f].unwrap_or_else(|| panic!("no buffer for device {f}")))
+                .collect();
+
+            // Modelled completion: launch + ring-fill hop latency + wire
+            // bytes over the library's achieved-bandwidth curve. The curve
+            // is calibrated per platform against the vendor library's
+            // measured behaviour (Fig. 6) and already includes multi-rail
+            // aggregation and protocol switches (LL/LL128/Simple), which
+            // is why it need not be monotonic.
+            let coll = &world.platform.coll;
+            let profile = op.profile(coll);
+            let hops = (n.max(2) - 1) as u32;
+            let wire = (len as f64 * op.wire_factor(n)).ceil() as u64;
+            let us = profile.time_us(wire.max(1), hops);
+            let done = ctx.now() + Dur::micros(us);
+
+            // Real data semantics at completion.
+            let devs = world.devs.clone();
+            let op2 = op;
+            ctx.handle().schedule_at(done, move |_| {
+                op2.apply(&devs, &bufs, len);
+            });
+            done
+        })
+    }
+}

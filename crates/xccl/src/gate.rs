@@ -1,0 +1,115 @@
+//! The collective rendezvous gate.
+//!
+//! A device-side collective starts when *every* participating rank has
+//! called it (NCCL semantics: the kernel blocks until peers arrive). The
+//! gate collects each rank's device buffers, and when the last rank
+//! arrives it computes the modelled completion time, schedules the real
+//! data movement, and releases everyone at the completion instant.
+
+use std::collections::VecDeque;
+
+use diomp_sim::{Ctx, EventId, SimTime};
+use parking_lot::Mutex;
+
+/// One device-resident buffer contributed to a collective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeviceBuf {
+    /// Flat device index.
+    pub flat: usize,
+    /// Offset in the device address space.
+    pub off: u64,
+}
+
+pub(crate) struct Arrival {
+    pub bufs: Vec<DeviceBuf>,
+}
+
+struct Episode {
+    ev: EventId,
+    arrivals: Vec<Option<Arrival>>,
+    arrived: usize,
+    inside: usize,
+    done_at: Option<SimTime>,
+}
+
+/// Rendezvous gate over `n` ranks.
+pub(crate) struct CollGate {
+    n: usize,
+    episodes: Mutex<VecDeque<Episode>>,
+}
+
+impl CollGate {
+    pub(crate) fn new(n: usize) -> Self {
+        CollGate { n, episodes: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Arrive with this rank's buffers. When the gate fills, `finish` is
+    /// called once (by the last arrival, in task context) with all
+    /// arrivals in rank order; it returns the collective completion time.
+    /// Every participant blocks until then. Returns the completion time.
+    pub(crate) fn arrive(
+        &self,
+        ctx: &mut Ctx,
+        idx: usize,
+        bufs: Vec<DeviceBuf>,
+        finish: impl FnOnce(&mut Ctx, &[Arrival]) -> SimTime,
+    ) -> SimTime {
+        assert!(idx < self.n);
+        let ev = {
+            let mut eps = self.episodes.lock();
+            let needs_new = eps.back().map(|e| e.arrived == self.n).unwrap_or(true);
+            if needs_new {
+                eps.push_back(Episode {
+                    ev: ctx.new_event(),
+                    arrivals: (0..self.n).map(|_| None).collect(),
+                    arrived: 0,
+                    inside: 0,
+                    done_at: None,
+                });
+            }
+            let ep = eps.back_mut().unwrap();
+            assert!(ep.arrivals[idx].is_none(), "rank {idx} arrived twice at a collective");
+            ep.arrivals[idx] = Some(Arrival { bufs });
+            ep.arrived += 1;
+            ep.inside += 1;
+            ep.ev
+        };
+        // The last arrival computes the outcome outside the lock (it may
+        // charge delays on its own task).
+        let is_last = {
+            let eps = self.episodes.lock();
+            let ep = eps.iter().find(|e| e.ev == ev).unwrap();
+            ep.arrived == self.n && ep.done_at.is_none()
+        };
+        if is_last {
+            let arrivals: Vec<Arrival> = {
+                let eps = self.episodes.lock();
+                let ep = eps.iter().find(|e| e.ev == ev).unwrap();
+                ep.arrivals
+                    .iter()
+                    .map(|a| {
+                        let a = a.as_ref().expect("missing arrival");
+                        Arrival { bufs: a.bufs.clone() }
+                    })
+                    .collect()
+            };
+            let done = finish(ctx, &arrivals);
+            {
+                let mut eps = self.episodes.lock();
+                let ep = eps.iter_mut().find(|e| e.ev == ev).unwrap();
+                ep.done_at = Some(done);
+            }
+            ctx.complete_at(ev, done);
+        }
+        ctx.wait(ev);
+        let mut eps = self.episodes.lock();
+        let pos = eps.iter().position(|e| e.ev == ev).expect("episode vanished");
+        let done = eps[pos].done_at.expect("episode completed without a time");
+        eps[pos].inside -= 1;
+        if eps[pos].inside == 0 {
+            let ep = eps.remove(pos).unwrap();
+            ctx.free_event(ep.ev);
+        }
+        done
+    }
+}

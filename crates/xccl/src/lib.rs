@@ -1,0 +1,38 @@
+//! # diomp-xccl — an NCCL/RCCL-like vendor collective library
+//!
+//! The substrate under OMPCCL (paper §3.3). Mirrors the structure of
+//! NVIDIA NCCL / AMD RCCL:
+//!
+//! * communicators are bootstrapped from a [`UniqueId`] broadcast over a
+//!   CPU-side channel,
+//! * initialisation performs topology discovery and builds
+//!   bandwidth-optimal rings (node-major order minimises node crossings),
+//! * collectives are *device-side*: they operate on device buffers,
+//!   launch kernels (fixed launch cost) and move data at the library's
+//!   achieved-bandwidth curve (the calibrated [`diomp_sim::CollProfile`]
+//!   for the platform — NCCL and RCCL have different curves, which is
+//!   what Fig. 6 measures).
+//!
+//! Collective calls are rank-collective: every participating rank calls
+//! the same operation in the same order; the data results are computed on
+//! the real buffer bytes (Functional mode) so correctness is testable
+//! against sequential references.
+//!
+//! Resource-charging note: unlike the MPI baseline (which reserves NIC
+//! resources per message), XCCL timing comes from the calibrated
+//! whole-collective profile — the curve already encodes link contention
+//! as measured for the vendor library. Collectives therefore do not
+//! additionally serialise on the simulator's NIC resources; the paper's
+//! collective benchmarks run them in isolation, where this is exact.
+
+#![warn(missing_docs)]
+
+mod comm;
+mod gate;
+mod ops;
+mod unique_id;
+
+pub use comm::{RingInfo, XcclComm};
+pub use gate::DeviceBuf;
+pub use ops::XcclOp;
+pub use unique_id::UniqueId;

@@ -1,0 +1,197 @@
+//! Integration tests for the XCCL collective library.
+
+use std::sync::Arc;
+
+use diomp_device::{DataMode, DeviceTable};
+use diomp_fabric::{FabricWorld, ReduceOp};
+use diomp_sim::{ClusterSpec, PlatformSpec, Sim, SimTime, Topology};
+use diomp_xccl::{DeviceBuf, UniqueId, XcclComm, XcclOp};
+
+fn boot(sim: &Sim, platform: PlatformSpec, nodes: usize, per: usize, nranks: usize) -> Arc<FabricWorld> {
+    let spec = ClusterSpec { platform, nodes, gpus_per_node: per };
+    let topo = Arc::new(Topology::build(&sim.handle(), spec));
+    let devs = DeviceTable::build(&sim.handle(), topo.clone(), DataMode::Functional, Some(4 << 20));
+    FabricWorld::new(topo, devs, nranks)
+}
+
+/// Run `f` on every rank with a communicator over all ranks; returns the
+/// end-of-sim virtual time.
+fn with_comm(
+    nranks: usize,
+    per_rank_devices: usize,
+    f: impl Fn(&mut diomp_sim::Ctx, &Arc<FabricWorld>, &Arc<XcclComm>, usize) + Send + Sync + 'static,
+) -> SimTime {
+    let mut sim = Sim::new();
+    let nodes = (nranks * per_rank_devices).div_ceil(4);
+    let world = boot(&sim, PlatformSpec::platform_a(), nodes, 4, nranks);
+    let id = UniqueId::generate();
+    let f = Arc::new(f);
+    for r in 0..nranks {
+        let world = world.clone();
+        let f = f.clone();
+        sim.spawn(format!("rank{r}"), move |ctx| {
+            // Root generates the id; everyone receives it via bootstrap.
+            let bits = world.bootstrap.exchange(ctx, r, if r == 0 { id.bits() } else { 0 })[0];
+            let comm =
+                XcclComm::init(ctx, &world, (0..world.nranks).collect(), r, UniqueId::from_bits(bits));
+            f(ctx, &world, &comm, r);
+        });
+    }
+    sim.run().unwrap().end_time
+}
+
+fn write_f64(world: &FabricWorld, flat: usize, off: u64, vals: &[f64]) {
+    let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+    world.devs.dev(flat).mem.write(off, &bytes).unwrap();
+}
+
+fn read_f64(world: &FabricWorld, flat: usize, off: u64, n: usize) -> Vec<f64> {
+    let mut bytes = vec![0u8; n * 8];
+    world.devs.dev(flat).mem.read(off, &mut bytes).unwrap();
+    bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
+}
+
+#[test]
+fn allreduce_sums_across_all_devices() {
+    with_comm(4, 1, |ctx, world, comm, r| {
+        let dev = world.primary_dev(r);
+        let off = dev.malloc(64, 256).unwrap();
+        write_f64(world, r, off, &[(r + 1) as f64; 8]);
+        comm.collective(
+            ctx,
+            r,
+            vec![DeviceBuf { flat: r, off }],
+            XcclOp::AllReduce { op: ReduceOp::SumF64 },
+            64,
+        );
+        let got = read_f64(world, r, off, 8);
+        assert_eq!(got, vec![10.0; 8], "rank {r}: 1+2+3+4 everywhere");
+    });
+}
+
+#[test]
+fn broadcast_copies_root_payload_everywhere() {
+    with_comm(4, 1, |ctx, world, comm, r| {
+        let dev = world.primary_dev(r);
+        let off = dev.malloc(64, 256).unwrap();
+        write_f64(world, r, off, &[r as f64 * 100.0; 8]);
+        // Broadcast from the device at ring position 2.
+        comm.collective(ctx, r, vec![DeviceBuf { flat: r, off }], XcclOp::Broadcast { root: 2 }, 64);
+        let got = read_f64(world, r, off, 8);
+        let root_flat = comm.ring.order[2];
+        assert_eq!(got, vec![root_flat as f64 * 100.0; 8], "rank {r}");
+    });
+}
+
+#[test]
+fn reduce_lands_only_at_root() {
+    with_comm(4, 1, |ctx, world, comm, r| {
+        let dev = world.primary_dev(r);
+        let off = dev.malloc(64, 256).unwrap();
+        write_f64(world, r, off, &[2.0; 8]);
+        comm.collective(
+            ctx,
+            r,
+            vec![DeviceBuf { flat: r, off }],
+            XcclOp::Reduce { root: 0, op: ReduceOp::SumF64 },
+            64,
+        );
+        let got = read_f64(world, r, off, 8);
+        if comm.ring_pos(r) == 0 {
+            assert_eq!(got, vec![8.0; 8]);
+        } else {
+            assert_eq!(got, vec![2.0; 8], "non-root buffers untouched");
+        }
+    });
+}
+
+#[test]
+fn allgather_places_chunks_in_ring_order() {
+    with_comm(4, 1, |ctx, world, comm, r| {
+        let dev = world.primary_dev(r);
+        let off = dev.malloc(4 * 16, 256).unwrap();
+        write_f64(world, r, off, &[r as f64, r as f64]); // 16 B payload
+        comm.collective(ctx, r, vec![DeviceBuf { flat: r, off }], XcclOp::AllGather, 16);
+        let got = read_f64(world, r, off, 8);
+        let expect: Vec<f64> =
+            comm.ring.order.iter().flat_map(|&f| [f as f64, f as f64]).collect();
+        assert_eq!(got, expect, "rank {r}");
+    });
+}
+
+#[test]
+fn single_process_multi_gpu_rank_contributes_all_its_devices() {
+    // Paper §3.3: one rank may own several devices; collectives still
+    // span every device atomically.
+    with_comm(2, 2, |ctx, world, comm, r| {
+        assert_eq!(world.gpus_per_rank, 2);
+        let mut bufs = Vec::new();
+        for flat in world.devices_of(r) {
+            let off = world.devs.dev(flat).malloc(32, 256).unwrap();
+            write_f64(world, flat, off, &[flat as f64; 4]);
+            bufs.push(DeviceBuf { flat, off });
+        }
+        comm.collective(ctx, r, bufs.clone(), XcclOp::AllReduce { op: ReduceOp::SumF64 }, 32);
+        for b in &bufs {
+            let got = read_f64(world, b.flat, b.off, 4);
+            assert_eq!(got, vec![0.0 + 1.0 + 2.0 + 3.0; 4]);
+        }
+    });
+}
+
+#[test]
+fn ring_order_is_node_major() {
+    with_comm(8, 1, |_ctx, world, comm, _r| {
+        let nodes: Vec<usize> =
+            comm.ring.order.iter().map(|&f| world.devs.dev(f).loc.node).collect();
+        let mut sorted = nodes.clone();
+        sorted.sort_unstable();
+        assert_eq!(nodes, sorted, "ring must be node-major to minimise crossings");
+        assert_eq!(comm.ring.nodes, 2);
+        assert_eq!(comm.ring.nrings, 4, "4 NICs per node ⇒ 4 rails");
+    });
+}
+
+#[test]
+fn larger_payloads_take_longer() {
+    let t_small = with_comm(4, 1, |ctx, world, comm, r| {
+        let off = world.primary_dev(r).malloc(1 << 20, 256).unwrap();
+        comm.collective(
+            ctx,
+            r,
+            vec![DeviceBuf { flat: r, off }],
+            XcclOp::AllReduce { op: ReduceOp::SumF64 },
+            64 << 10,
+        );
+    });
+    let t_large = with_comm(4, 1, |ctx, world, comm, r| {
+        let off = world.primary_dev(r).malloc(1 << 20, 256).unwrap();
+        comm.collective(
+            ctx,
+            r,
+            vec![DeviceBuf { flat: r, off }],
+            XcclOp::AllReduce { op: ReduceOp::SumF64 },
+            1 << 20,
+        );
+    });
+    assert!(t_large > t_small);
+}
+
+#[test]
+fn back_to_back_collectives_reuse_the_gate() {
+    with_comm(4, 1, |ctx, world, comm, r| {
+        let off = world.primary_dev(r).malloc(64, 256).unwrap();
+        for round in 0..5u32 {
+            write_f64(world, r, off, &[(round as f64) + 1.0; 8]);
+            comm.collective(
+                ctx,
+                r,
+                vec![DeviceBuf { flat: r, off }],
+                XcclOp::AllReduce { op: ReduceOp::SumF64 },
+                64,
+            );
+            let got = read_f64(world, r, off, 8);
+            assert_eq!(got, vec![4.0 * (round as f64 + 1.0); 8]);
+        }
+    });
+}

@@ -1,0 +1,292 @@
+//! Property-based tests (proptest) over the core data structures and
+//! whole-system invariants (DESIGN.md §7).
+
+use diomp::core::{BuddyAlloc, LinearAlloc};
+use diomp::device::FreeListAlloc;
+use diomp::fabric::ReduceOp;
+use diomp::sim::{BwCurve, Dur, PlatformSpec, Sim, SimChannel};
+use proptest::prelude::*;
+
+// ---------- allocator invariants ----------
+
+#[derive(Clone, Debug)]
+enum AllocOp {
+    Alloc(u64),
+    Free(usize), // index into the held list (mod len)
+}
+
+fn alloc_ops() -> impl Strategy<Value = Vec<AllocOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (32u64..4096).prop_map(AllocOp::Alloc),
+            (0usize..64).prop_map(AllocOp::Free),
+        ],
+        1..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Buddy: live blocks never overlap, stay aligned to their size, and
+    /// freeing everything coalesces back to one maximal block.
+    #[test]
+    fn buddy_allocator_invariants(ops in alloc_ops()) {
+        let mut b = BuddyAlloc::new(1 << 16, 32);
+        let mut held: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                AllocOp::Alloc(len) => {
+                    if let Some(off) = b.alloc(len) {
+                        let block = b.block_size(len);
+                        prop_assert_eq!(off % block, 0, "offset aligned to block size");
+                        held.push(off);
+                    }
+                }
+                AllocOp::Free(i) if !held.is_empty() => {
+                    b.free(held.swap_remove(i % held.len()));
+                }
+                AllocOp::Free(_) => {}
+            }
+            let mut ranges = b.live_ranges();
+            ranges.sort_unstable();
+            for w in ranges.windows(2) {
+                prop_assert!(w[0].0 + w[0].1 <= w[1].0, "live blocks overlap: {:?}", w);
+            }
+        }
+        for off in held.drain(..) {
+            b.free(off);
+        }
+        prop_assert!(b.fully_coalesced(), "full free must coalesce completely");
+        prop_assert_eq!(b.total_free(), 1 << 16);
+    }
+
+    /// Free-list allocator: allocations never overlap; free restores the
+    /// full capacity.
+    #[test]
+    fn free_list_allocator_invariants(ops in alloc_ops()) {
+        let mut a = FreeListAlloc::new(1 << 16);
+        let mut held: Vec<(u64, u64)> = Vec::new();
+        for op in ops {
+            match op {
+                AllocOp::Alloc(len) => {
+                    if let Ok(off) = a.alloc(len, 64) {
+                        prop_assert_eq!(off % 64, 0);
+                        for &(o, l) in &held {
+                            prop_assert!(off + len <= o || o + l <= off, "overlap");
+                        }
+                        held.push((off, len));
+                    }
+                }
+                AllocOp::Free(i) if !held.is_empty() => {
+                    let (off, _) = held.swap_remove(i % held.len());
+                    a.free(off).unwrap();
+                }
+                AllocOp::Free(_) => {}
+            }
+        }
+        for (off, _) in held.drain(..) {
+            a.free(off).unwrap();
+        }
+        prop_assert_eq!(a.total_free(), 1 << 16);
+        prop_assert_eq!(a.live_count(), 0);
+    }
+
+    /// Linear allocator: offsets are monotonically increasing, aligned,
+    /// and within capacity.
+    #[test]
+    fn linear_allocator_invariants(lens in prop::collection::vec(1u64..2048, 1..64)) {
+        let mut a = LinearAlloc::new(1 << 16);
+        let mut last_end = 0u64;
+        for len in lens {
+            if let Some(off) = a.alloc(len, 64) {
+                prop_assert!(off >= last_end);
+                prop_assert_eq!(off % 64, 0);
+                prop_assert!(off + len <= 1 << 16);
+                last_end = off + len;
+            }
+        }
+    }
+
+    /// BwCurve interpolation stays within the convex hull of its control
+    /// points and transfer time grows monotonically with size.
+    #[test]
+    fn bw_curve_bounded_and_monotone(sizes in prop::collection::vec(1u64..(1 << 24), 2..40)) {
+        let curve = BwCurve::new(vec![(1024, 2.0), (1 << 16, 8.0), (1 << 22, 20.0)]);
+        let (lo, hi) = (2.0 - 1e-9, 20.0 + 1e-9);
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut last_t = -1.0;
+        for s in sorted {
+            let bw = curve.gbps(s);
+            prop_assert!((lo..=hi).contains(&bw), "bw {bw} outside hull");
+            let t = curve.time_us(s);
+            prop_assert!(t >= last_t, "time must not shrink with size");
+            last_t = t;
+        }
+    }
+
+    /// ReduceOp::SumF64 over arbitrary chunks equals the scalar sum.
+    #[test]
+    fn reduce_op_matches_scalar_sum(
+        a in prop::collection::vec(-1e6f64..1e6, 1..64),
+        b in prop::collection::vec(-1e6f64..1e6, 1..64),
+    ) {
+        let n = a.len().min(b.len());
+        let mut abuf: Vec<u8> = a[..n].iter().flat_map(|v| v.to_le_bytes()).collect();
+        let bbuf: Vec<u8> = b[..n].iter().flat_map(|v| v.to_le_bytes()).collect();
+        ReduceOp::SumF64.combine(&mut abuf, &bbuf);
+        for i in 0..n {
+            let got = f64::from_le_bytes(abuf[i * 8..i * 8 + 8].try_into().unwrap());
+            prop_assert_eq!(got, a[i] + b[i]);
+        }
+    }
+}
+
+// ---------- simulation-level properties (fewer cases: each spawns a sim) --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The DES is deterministic: an arbitrary rank workload produces the
+    /// same trace twice.
+    #[test]
+    fn des_is_deterministic(seed in 0u64..1_000_000) {
+        let run = |seed: u64| {
+            let mut sim = Sim::new();
+            sim.enable_trace();
+            let chan: SimChannel<u64> = SimChannel::new();
+            for r in 0..5u64 {
+                let chan = chan.clone();
+                sim.spawn(format!("r{r}"), move |ctx| {
+                    let mut rng = diomp::sim::rng_for(seed, r);
+                    use rand::Rng;
+                    for _ in 0..15 {
+                        ctx.delay(Dur::nanos(rng.gen_range(1..400)));
+                        chan.send(ctx.handle(), r);
+                        if rng.gen_bool(0.3) {
+                            let _ = chan.try_recv();
+                        }
+                    }
+                });
+            }
+            let rep = sim.run().unwrap();
+            (rep.end_time, rep.entries_processed,
+             rep.trace.iter().map(|t| t.to_string()).collect::<Vec<_>>())
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// MPI allreduce equals the sequential reduction for arbitrary rank
+    /// counts (including non-powers-of-two) and payload lengths.
+    #[test]
+    fn mpi_allreduce_matches_reference(nranks in 2usize..9, elems in 1usize..48) {
+        use diomp::device::{DataMode, DeviceTable};
+        use diomp::fabric::{FabricWorld, Loc, MpiRank};
+        use diomp::sim::{ClusterSpec, Topology};
+        use std::sync::Arc;
+
+        let mut sim = Sim::new();
+        let spec = ClusterSpec {
+            platform: PlatformSpec::platform_a(),
+            nodes: nranks,
+            gpus_per_node: 1,
+        };
+        let topo = Arc::new(Topology::build(&sim.handle(), spec));
+        let devs =
+            DeviceTable::build(&sim.handle(), topo.clone(), DataMode::Functional, Some(1 << 20));
+        let world = FabricWorld::new(topo, devs, nranks);
+        let ok = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        for r in 0..nranks {
+            let world = world.clone();
+            let ok = ok.clone();
+            sim.spawn(format!("r{r}"), move |ctx| {
+                let mut mpi = MpiRank::new(world.clone(), r);
+                let dev = world.primary_dev(r).clone();
+                let off = dev.malloc((elems * 8) as u64, 256).unwrap();
+                let bytes: Vec<u8> =
+                    (0..elems).flat_map(|i| ((r * 3 + i) as f64).to_le_bytes()).collect();
+                dev.mem.write(off, &bytes).unwrap();
+                mpi.allreduce(ctx, Loc::dev(r, off), (elems * 8) as u64, ReduceOp::SumF64)
+                    .unwrap();
+                let mut out = vec![0u8; elems * 8];
+                dev.mem.read(off, &mut out).unwrap();
+                for i in 0..elems {
+                    let got = f64::from_le_bytes(out[i * 8..i * 8 + 8].try_into().unwrap());
+                    let want: f64 = (0..nranks).map(|k| (k * 3 + i) as f64).sum();
+                    assert!((got - want).abs() < 1e-9, "elem {i}: {got} vs {want}");
+                }
+                ok.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            });
+        }
+        sim.run().unwrap();
+        prop_assert_eq!(ok.load(std::sync::atomic::Ordering::Relaxed), nranks);
+    }
+
+    /// Group split partitions the world: every rank lands in exactly one
+    /// group, groups are disjoint, and their union is the world.
+    #[test]
+    fn group_split_partitions_the_world(colors in prop::collection::vec(0u32..3, 8..9)) {
+        use diomp::core::{group_split, DiompConfig, DiompRuntime};
+        use std::sync::Arc;
+
+        let cfg = DiompConfig::on_platform(PlatformSpec::platform_a(), 2).with_heap(2 << 20);
+        let colors = Arc::new(colors);
+        let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let seen2 = seen.clone();
+        let colors2 = colors.clone();
+        DiompRuntime::run(cfg, move |ctx, rank| {
+            let world = rank.shared.world_group();
+            let color = colors2[rank.rank];
+            let g = group_split(
+                ctx,
+                &rank.shared.groups,
+                &world,
+                rank.rank,
+                color,
+                rank.rank as u32,
+            );
+            seen2.lock().push((rank.rank, color, g.ranks.clone()));
+        })
+        .unwrap();
+        let seen = seen.lock();
+        prop_assert_eq!(seen.len(), 8);
+        for (rank, color, members) in seen.iter() {
+            prop_assert!(members.contains(rank), "rank {} not in its own group", rank);
+            for m in members {
+                prop_assert_eq!(colors[*m], *color, "member of wrong colour");
+            }
+            let expect: Vec<usize> =
+                (0..8).filter(|&r| colors[r] == *color).collect();
+            prop_assert_eq!(members.clone(), expect, "membership must be exactly the colour class");
+        }
+    }
+
+    /// XCCL allreduce equals the sequential reduction for arbitrary
+    /// device counts and payloads (through the full DiOMP runtime).
+    #[test]
+    fn ompccl_allreduce_matches_reference(nodes in 1usize..3, elems in 1usize..24) {
+        use diomp::core::{DiompConfig, DiompRuntime};
+
+        let cfg = DiompConfig::on_platform(PlatformSpec::platform_a(), nodes).with_heap(2 << 20);
+        DiompRuntime::run(cfg, move |ctx, rank| {
+            let world = rank.shared.world_group();
+            let n = rank.nranks();
+            let ptr = rank.alloc_sym(ctx, (elems * 8) as u64).unwrap();
+            let bytes: Vec<u8> =
+                (0..elems).flat_map(|i| ((rank.rank + 2 * i) as f64).to_le_bytes()).collect();
+            rank.write_local(rank.primary(), ptr, 0, &bytes);
+            rank.barrier(ctx);
+            rank.allreduce(ctx, &world, ptr, (elems * 8) as u64, ReduceOp::SumF64);
+            let mut out = vec![0u8; elems * 8];
+            rank.read_local(rank.primary(), ptr, 0, &mut out);
+            for i in 0..elems {
+                let got = f64::from_le_bytes(out[i * 8..i * 8 + 8].try_into().unwrap());
+                let want: f64 = (0..n).map(|r| (r + 2 * i) as f64).sum();
+                assert_eq!(got, want);
+            }
+        })
+        .unwrap();
+    }
+}
