@@ -56,8 +56,11 @@ pub fn run(cfg: &CannonConfig) -> CannonResult {
 
             // Launch the block GEMM on this device (nowait).
             let body: Option<KernelBody> = if cfg.mode == DataMode::Functional {
-                let (aa, ba, ca) =
-                    (rank.dev_addr(dev, a.off), rank.dev_addr(dev, cur.off), rank.dev_addr(dev, c.off));
+                let (aa, ba, ca) = (
+                    rank.dev_addr(dev, a.off),
+                    rank.dev_addr(dev, cur.off),
+                    rank.dev_addr(dev, c.off),
+                );
                 Some(Box::new(move |mem| gemm_body(mem, aa, ba, ca, ns, n, j)))
             } else {
                 None

@@ -74,7 +74,8 @@ pub fn run(cfg: &CannonConfig) -> CannonResult {
                     let left = (r + p - 1) % p;
                     let right = (r + 1) % p;
                     let tag = 7000 + s as u64;
-                    let rr = mpi.irecv(ctx, Some(right), Some(tag), Loc::dev(r, nxt), stripe).unwrap();
+                    let rr =
+                        mpi.irecv(ctx, Some(right), Some(tag), Loc::dev(r, nxt), stripe).unwrap();
                     let sr = mpi.isend(ctx, left, tag, Loc::dev(r, cur), stripe).unwrap();
                     mpi.waitall(ctx, &[rr, sr]);
                 }

@@ -70,7 +70,15 @@ pub fn initial_field(nx: usize, ny: usize, nz: usize, x: usize, y: usize, z: usi
 /// One serial acoustic step over the full grid (reference implementation,
 /// zero boundary). Layout `[z][y][x]`, `u`/`up` are `nz*ny*nx` long.
 /// Writes `2u - up + k·∇²u` into `out`.
-pub fn serial_step(nx: usize, ny: usize, nz: usize, u: &[f32], up: &[f32], out: &mut [f32], k: f32) {
+pub fn serial_step(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    u: &[f32],
+    up: &[f32],
+    out: &mut [f32],
+    k: f32,
+) {
     let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
     let r = 4usize;
     for z in 0..nz {

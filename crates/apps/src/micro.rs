@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use diomp_core::{Conduit, DiompConfig, DiompRuntime};
+use diomp_core::{Conduit, DiompConfig, DiompRuntime, PipelineConfig};
 use diomp_device::{DataMode, DeviceTable};
 use diomp_fabric::{gasnet, gpi, FabricWorld, Loc, MpiRank, ReduceOp};
 use diomp_sim::{bandwidth_gbps, ClusterSpec, PlatformSpec, Sim, SimTime, Topology};
@@ -47,6 +47,19 @@ pub fn diomp_p2p_bandwidth(platform: &PlatformSpec, op: RmaOp, sizes: &[u64]) ->
     diomp_p2p(platform, Conduit::GasnetEx, op, sizes, true)
 }
 
+/// DiOMP P2P bandwidth with the chunked large-message pipeline enabled —
+/// the "corrected"/pipelined counterpart of the Fig. 4 put curves.
+pub fn diomp_p2p_bandwidth_pipelined(
+    platform: &PlatformSpec,
+    op: RmaOp,
+    sizes: &[u64],
+) -> Vec<(u64, f64)> {
+    diomp_p2p_full(platform, Conduit::GasnetEx, op, sizes, true, PipelineConfig::enabled())
+        .into_iter()
+        .map(|(s, m, _)| (s, m))
+        .collect()
+}
+
 /// DiOMP P2P over a chosen conduit (Fig. 5: GASNet-EX vs GPI-2).
 pub fn diomp_p2p(
     platform: &PlatformSpec,
@@ -55,6 +68,23 @@ pub fn diomp_p2p(
     sizes: &[u64],
     bandwidth: bool,
 ) -> Vec<(u64, f64)> {
+    diomp_p2p_full(platform, conduit, op, sizes, bandwidth, PipelineConfig::disabled())
+        .into_iter()
+        .map(|(s, m, _)| (s, m))
+        .collect()
+}
+
+/// Full-fidelity P2P driver: `(size, metric, scheduler entries)` rows.
+/// The entry count is the whole run's `SimReport::entries_processed` —
+/// the wall-clock scheduler cost tracked in `BENCH_*.json`.
+pub fn diomp_p2p_full(
+    platform: &PlatformSpec,
+    conduit: Conduit,
+    op: RmaOp,
+    sizes: &[u64],
+    bandwidth: bool,
+    pipeline: PipelineConfig,
+) -> Vec<(u64, f64, u64)> {
     sizes
         .iter()
         .map(|&size| {
@@ -62,11 +92,12 @@ pub fn diomp_p2p(
             let cfg = DiompConfig::on_platform(platform.clone(), 2)
                 .with_mode(DataMode::CostOnly)
                 .with_conduit(conduit)
-                .with_heap(heap);
+                .with_heap(heap)
+                .with_pipeline(pipeline);
             let out = Arc::new(Mutex::new(0.0f64));
             let out2 = out.clone();
             let target = platform.gpus_per_node; // first device on node 1
-            DiompRuntime::run(cfg, move |ctx, rank| {
+            let rep = DiompRuntime::run(cfg, move |ctx, rank| {
                 let ptr = rank.alloc_sym(ctx, 2 * size.max(64)).unwrap();
                 rank.barrier(ctx);
                 if rank.rank == 0 {
@@ -88,12 +119,9 @@ pub fn diomp_p2p(
             })
             .unwrap();
             let us = *out.lock();
-            let metric = if bandwidth {
-                bandwidth_gbps(size, diomp_sim::Dur::micros(us))
-            } else {
-                us
-            };
-            (size, metric)
+            let metric =
+                if bandwidth { bandwidth_gbps(size, diomp_sim::Dur::micros(us)) } else { us };
+            (size, metric, rep.entries_processed)
         })
         .collect()
 }
@@ -155,11 +183,8 @@ pub fn mpi_p2p(
             }
             sim.run().unwrap();
             let us = *out.lock();
-            let metric = if bandwidth {
-                bandwidth_gbps(size, diomp_sim::Dur::micros(us))
-            } else {
-                us
-            };
+            let metric =
+                if bandwidth { bandwidth_gbps(size, diomp_sim::Dur::micros(us)) } else { us };
             (size, metric)
         })
         .collect()
@@ -334,4 +359,5 @@ fn _conduit_api_surface(
 ) {
     let _ = gasnet::put_blocking(ctx, world, 0, Loc::dev(0, 0), seg, 0, 8);
     gpi::wait_queue(ctx, world, 0, gpi::QueueId(0));
+    gpi::wait_all_queues(ctx, world, 0);
 }

@@ -13,7 +13,9 @@ use parking_lot::Mutex;
 
 use crate::matgen;
 
-use super::{initial_slab, serial_reference, stencil_body, verify_slab, MinimodConfig, MinimodResult, RADIUS};
+use super::{
+    initial_slab, serial_reference, stencil_body, verify_slab, MinimodConfig, MinimodResult, RADIUS,
+};
 
 /// Run the DiOMP Minimod; returns the stepping-loop time (max over ranks).
 pub fn run(cfg: &MinimodConfig) -> MinimodResult {
@@ -56,8 +58,16 @@ pub fn run(cfg: &MinimodConfig) -> MinimodResult {
             // documented Platform A put-path issue (Fig. 4a).
             if r + 1 < p {
                 // upper neighbour's bottom RADIUS interior planes → my top halo
-                rank.get(ctx, r + 1, u, RADIUS as u64 * plane, u, (RADIUS + nzl) as u64 * plane, halo)
-                    .unwrap();
+                rank.get(
+                    ctx,
+                    r + 1,
+                    u,
+                    RADIUS as u64 * plane,
+                    u,
+                    (RADIUS + nzl) as u64 * plane,
+                    halo,
+                )
+                .unwrap();
             }
             if r > 0 {
                 // lower neighbour's top RADIUS interior planes → my bottom halo
@@ -66,11 +76,8 @@ pub fn run(cfg: &MinimodConfig) -> MinimodResult {
 
             // Interior sweep needs no halo data: launch it concurrently
             // with the transfers.
-            let (ua, upa, una) = (
-                rank.dev_addr(dev, u.off),
-                rank.dev_addr(dev, up.off),
-                rank.dev_addr(dev, un.off),
-            );
+            let (ua, upa, una) =
+                (rank.dev_addr(dev, u.off), rank.dev_addr(dev, up.off), rank.dev_addr(dev, un.off));
             let (nx, ny) = (cfg.nx, cfg.ny);
             let (first, last) = (r == 0, r == p - 1);
             let functional = cfg.mode == DataMode::Functional;

@@ -179,11 +179,8 @@ pub(crate) fn stencil_body(
                     // boundary ranks see zero-filled halos, matching the
                     // serial zero boundary.
                     let zm = if first_rank && z - d < RADIUS { 0.0 } else { u[idx(x, y, z - d)] };
-                    let zp = if last_rank && z + d >= RADIUS + nzl {
-                        0.0
-                    } else {
-                        u[idx(x, y, z + d)]
-                    };
+                    let zp =
+                        if last_rank && z + d >= RADIUS + nzl { 0.0 } else { u[idx(x, y, z + d)] };
                     lap += cd * (xm + xp + ym + yp + zm + zp);
                 }
                 un[cidx] = 2.0 * u[cidx] - up[cidx] + K * lap;
@@ -215,7 +212,12 @@ pub(crate) fn serial_reference(cfg: &MinimodConfig) -> Vec<f32> {
 }
 
 /// Compare a rank's interior slab against the serial field.
-pub(crate) fn verify_slab(cfg: &MinimodConfig, rank: usize, slab: &[f32], reference: &[f32]) -> bool {
+pub(crate) fn verify_slab(
+    cfg: &MinimodConfig,
+    rank: usize,
+    slab: &[f32],
+    reference: &[f32],
+) -> bool {
     let (nx, ny) = (cfg.nx, cfg.ny);
     let nzl = cfg.nz_local();
     for zl in 0..nzl {

@@ -13,7 +13,9 @@ use parking_lot::Mutex;
 
 use crate::matgen;
 
-use super::{initial_slab, serial_reference, stencil_body, verify_slab, MinimodConfig, MinimodResult, RADIUS};
+use super::{
+    initial_slab, serial_reference, stencil_body, verify_slab, MinimodConfig, MinimodResult, RADIUS,
+};
 
 /// Run the MPI+OpenMP Minimod.
 pub fn run(cfg: &MinimodConfig) -> MinimodResult {
@@ -75,7 +77,9 @@ pub fn run(cfg: &MinimodConfig) -> MinimodResult {
                     );
                 }
                 if r > 0 {
-                    reqs.push(mpi.irecv(ctx, Some(r - 1), Some(tag_up), Loc::dev(r, u), halo).unwrap());
+                    reqs.push(
+                        mpi.irecv(ctx, Some(r - 1), Some(tag_up), Loc::dev(r, u), halo).unwrap(),
+                    );
                     reqs.push(
                         mpi.isend(ctx, r - 1, tag_dn, Loc::dev(r, u + RADIUS as u64 * plane), halo)
                             .unwrap(),

@@ -44,12 +44,7 @@ fn diomp_matmul_beats_mpi_at_scale() {
     // communication-sensitive (32 GPUs), DiOMP's one-sided pull wins.
     let d = cannon::diomp::run(&matmul_cfg(32, 30240, DataMode::CostOnly));
     let m = cannon::mpi::run(&matmul_cfg(32, 30240, DataMode::CostOnly));
-    assert!(
-        d.elapsed < m.elapsed,
-        "DiOMP {} must beat MPI {}",
-        d.elapsed,
-        m.elapsed
-    );
+    assert!(d.elapsed < m.elapsed, "DiOMP {} must beat MPI {}", d.elapsed, m.elapsed);
 }
 
 #[test]
@@ -58,10 +53,7 @@ fn matmul_strong_scaling_is_superlinear() {
     let t4 = cannon::diomp::run(&matmul_cfg(4, 30240, DataMode::CostOnly)).elapsed;
     let t16 = cannon::diomp::run(&matmul_cfg(16, 30240, DataMode::CostOnly)).elapsed;
     let speedup = t4.as_nanos() as f64 / t16.as_nanos() as f64;
-    assert!(
-        speedup > 4.2,
-        "expected superlinear speedup at 4x resources, got {speedup:.2}"
-    );
+    assert!(speedup > 4.2, "expected superlinear speedup at 4x resources, got {speedup:.2}");
 }
 
 fn minimod_cfg(gpus: usize, grid: usize, steps: usize, mode: DataMode) -> MinimodConfig {
@@ -112,12 +104,7 @@ fn diomp_minimod_beats_mpi_at_paper_scale() {
     };
     let d = minimod::diomp::run(&cfg_d);
     let m = minimod::mpi::run(&cfg_d);
-    assert!(
-        d.elapsed < m.elapsed,
-        "DiOMP {} must beat MPI {}",
-        d.elapsed,
-        m.elapsed
-    );
+    assert!(d.elapsed < m.elapsed, "DiOMP {} must beat MPI {}", d.elapsed, m.elapsed);
 }
 
 #[test]

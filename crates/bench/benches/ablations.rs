@@ -6,8 +6,9 @@
 //! harness cost so regressions in either dimension show up.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use diomp_core::{AllocKind, DiompConfig, DiompRuntime};
-use diomp_sim::{Dur, PlatformSpec, Sim};
+use diomp_core::{AllocKind, DiompConfig, DiompRuntime, PipelineConfig};
+use diomp_device::DataMode;
+use diomp_sim::{ClusterSpec, Dur, PlatformSpec, Sim};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -21,8 +22,7 @@ fn ablation_asym_cache(c: &mut Criterion) {
             let cold = Arc::new(AtomicU64::new(0));
             let warm = Arc::new(AtomicU64::new(0));
             let (c2, w2) = (cold.clone(), warm.clone());
-            let cfg =
-                DiompConfig::on_platform(PlatformSpec::platform_a(), 2).with_heap(4 << 20);
+            let cfg = DiompConfig::on_platform(PlatformSpec::platform_a(), 2).with_heap(4 << 20);
             DiompRuntime::run(cfg, move |ctx, rank| {
                 let mine = rank.alloc_asym(ctx, 4096).unwrap();
                 let scratch = rank.alloc_sym(ctx, 256).unwrap();
@@ -141,5 +141,117 @@ fn ablation_paths(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, ablation_asym_cache, ablation_streams, ablation_alloc, ablation_paths);
+/// Two single-GPU nodes in CostOnly mode: the pipeline/fence ablation rig.
+fn internode_cfg(heap: u64) -> DiompConfig {
+    DiompConfig::new(ClusterSpec {
+        platform: PlatformSpec::platform_a(),
+        nodes: 2,
+        gpus_per_node: 1,
+    })
+    .with_mode(DataMode::CostOnly)
+    .with_heap(heap)
+}
+
+/// Virtual µs for one 64 MiB inter-node put + fence under `cfg`.
+fn put64_us(cfg: DiompConfig) -> f64 {
+    let len = 64u64 << 20;
+    let us = Arc::new(AtomicU64::new(0));
+    let us2 = us.clone();
+    DiompRuntime::run(cfg, move |ctx, rank| {
+        let ptr = rank.alloc_sym(ctx, len).unwrap();
+        rank.barrier(ctx);
+        if rank.rank == 0 {
+            let t0 = ctx.now();
+            rank.put(ctx, 1, ptr, 0, ptr, 0, len).unwrap();
+            rank.fence(ctx);
+            us2.store(ctx.now().since(t0).as_nanos(), Ordering::Relaxed);
+        }
+        rank.barrier(ctx);
+    })
+    .unwrap();
+    us.load(Ordering::Relaxed) as f64 / 1e3
+}
+
+/// ISSUE 1 tentpole — chunked multi-queue pipelining: a pipelined 64 MiB
+/// inter-node put must be *strictly faster* in simulated time than the
+/// monolithic put (Platform A's direct device put is anomaly-capped;
+/// staged chunks overlap D2H copies with uncapped host-source
+/// injections, paper §3.2).
+fn ablation_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_pipeline");
+    g.sample_size(10);
+    g.bench_function("put64mib_pipelined_vs_monolithic", |b| {
+        b.iter(|| {
+            let mono = put64_us(internode_cfg(256 << 20));
+            let piped = put64_us(internode_cfg(256 << 20).with_pipeline(PipelineConfig::enabled()));
+            assert!(
+                piped < mono,
+                "pipelined put must be strictly faster: {piped:.1}µs vs {mono:.1}µs"
+            );
+            println!(
+                "  pipeline ablation: monolithic {mono:.1}µs, pipelined {piped:.1}µs \
+                 ({:.1}x faster)",
+                mono / piped
+            );
+        })
+    });
+    g.finish();
+}
+
+/// ISSUE 1 tentpole — batched `wait_all` fence: a 1000-put fence must
+/// process measurably fewer scheduler entries than the per-event
+/// baseline, at identical virtual time.
+fn ablation_fence_batching(c: &mut Criterion) {
+    let run = |batched: bool| {
+        let n = 1000u64;
+        let mut cfg = internode_cfg(64 << 20);
+        if !batched {
+            cfg = cfg.without_batched_fence();
+        }
+        DiompRuntime::run(cfg, move |ctx, rank| {
+            let ptr = rank.alloc_sym(ctx, 256 << 10).unwrap();
+            rank.barrier(ctx);
+            if rank.rank == 0 {
+                for _ in 0..n {
+                    rank.put(ctx, 1, ptr, 0, ptr, 0, 256 << 10).unwrap();
+                }
+                rank.fence(ctx);
+            }
+            rank.barrier(ctx);
+        })
+        .unwrap()
+    };
+    let mut g = c.benchmark_group("ablation_fence_batching");
+    g.sample_size(10);
+    g.bench_function("fence1000_wait_all_vs_per_event", |b| {
+        b.iter(|| {
+            let batched = run(true);
+            let unbatched = run(false);
+            assert_eq!(batched.end_time, unbatched.end_time, "virtual time must not change");
+            assert!(
+                batched.entries_processed + 500 <= unbatched.entries_processed,
+                "wait_all fence must save scheduler entries: {} vs {}",
+                batched.entries_processed,
+                unbatched.entries_processed
+            );
+            println!(
+                "  fence ablation: per-event {} entries, wait_all {} entries ({} saved)",
+                unbatched.entries_processed,
+                batched.entries_processed,
+                unbatched.entries_processed - batched.entries_processed
+            );
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_asym_cache,
+    ablation_streams,
+    ablation_alloc,
+    ablation_paths,
+    ablation_pipeline,
+    ablation_fence_batching
+);
 criterion_main!(benches);

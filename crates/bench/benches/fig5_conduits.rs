@@ -10,8 +10,7 @@ fn bench(c: &mut Criterion) {
     let platform = PlatformSpec::platform_c();
     let mut g = c.benchmark_group("fig5_conduits");
     g.sample_size(10);
-    for (name, conduit) in [("gasnet_put_8kb", Conduit::GasnetEx), ("gpi_put_8kb", Conduit::Gpi2)]
-    {
+    for (name, conduit) in [("gasnet_put_8kb", Conduit::GasnetEx), ("gpi_put_8kb", Conduit::Gpi2)] {
         g.bench_function(name, |b| {
             b.iter(|| {
                 let r = diomp_p2p(&platform, conduit, RmaOp::Put, &[8 << 10], true);

@@ -7,9 +7,11 @@ use diomp_bench::paper;
 use diomp_sim::PlatformSpec;
 
 fn main() {
-    for (pname, platform) in
-        [("A", PlatformSpec::platform_a()), ("B", PlatformSpec::platform_b()), ("C", PlatformSpec::platform_c())]
-    {
+    for (pname, platform) in [
+        ("A", PlatformSpec::platform_a()),
+        ("B", PlatformSpec::platform_b()),
+        ("C", PlatformSpec::platform_c()),
+    ] {
         let nodes = fig6_nodes(&platform);
         for (op, opname, sizes) in [
             (CollKind::Broadcast, "bcast", &paper::FIG6_BCAST_SIZES[..]),

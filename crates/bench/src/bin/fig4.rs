@@ -1,18 +1,31 @@
 //! Fig. 4 — point-to-point RMA bandwidth, 1/64 MB – 1 GB. Higher is
 //! better. Platform A reproduces the documented DiOMP-Put driver anomaly
-//! (run with `--no-anomaly` for the corrected curve).
+//! (run with `--no-anomaly` for the corrected curve, or compare the
+//! `DiOMP Put*` column: the chunked large-message pipeline dodges the cap
+//! by staging through host memory). `--json PATH` additionally emits
+//! `BENCH_*.json` rows carrying each run's scheduler-entry count.
 
-use diomp_apps::micro::{diomp_p2p_bandwidth, mpi_p2p, RmaOp};
+use diomp_apps::micro::{diomp_p2p_bandwidth, diomp_p2p_full, mpi_p2p, RmaOp};
+use diomp_bench::report::BenchRecord;
 use diomp_bench::{paper, size_label};
+use diomp_core::{Conduit, PipelineConfig};
 use diomp_sim::PlatformSpec;
 
 fn main() {
-    let no_anomaly = std::env::args().any(|a| a == "--no-anomaly");
+    let args: Vec<String> = std::env::args().collect();
+    let no_anomaly = args.iter().any(|a| a == "--no-anomaly");
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1).map(std::path::PathBuf::from).unwrap_or_else(|| {
+            eprintln!("error: --json requires a path argument");
+            std::process::exit(2);
+        })
+    });
+    let mut records: Vec<BenchRecord> = Vec::new();
     let sizes = &paper::FIG4_SIZES;
-    for (name, mut platform, max) in [
-        ("(a) Slingshot 11 + A100", PlatformSpec::platform_a(), 64 << 20),
-        ("(b) Slingshot 11 + MI250X", PlatformSpec::platform_b(), 1 << 30),
-        ("(c) NDR InfiniBand + Grace Hopper", PlatformSpec::platform_c(), 1 << 30),
+    for (tag, name, mut platform, max) in [
+        ("a", "(a) Slingshot 11 + A100", PlatformSpec::platform_a(), 64 << 20),
+        ("b", "(b) Slingshot 11 + MI250X", PlatformSpec::platform_b(), 1 << 30),
+        ("c", "(c) NDR InfiniBand + Grace Hopper", PlatformSpec::platform_c(), 1 << 30),
     ] {
         if no_anomaly {
             platform.put_anomaly_gbps = None;
@@ -20,24 +33,58 @@ fn main() {
         let sizes: Vec<u64> = sizes.iter().copied().filter(|&s| s <= max).collect();
         println!("\n== Fig. 4{name}: bandwidth (GB/s) ==");
         let dg = diomp_p2p_bandwidth(&platform, RmaOp::Get, &sizes);
-        let dp = diomp_p2p_bandwidth(&platform, RmaOp::Put, &sizes);
+        let dp = diomp_p2p_full(
+            &platform,
+            Conduit::GasnetEx,
+            RmaOp::Put,
+            &sizes,
+            true,
+            PipelineConfig::disabled(),
+        );
+        let dpp = diomp_p2p_full(
+            &platform,
+            Conduit::GasnetEx,
+            RmaOp::Put,
+            &sizes,
+            true,
+            PipelineConfig::enabled(),
+        );
         let mg = mpi_p2p(&platform, RmaOp::Get, &sizes, true);
         let mp = mpi_p2p(&platform, RmaOp::Put, &sizes, true);
         println!(
-            "{:>8} {:>11} {:>11} {:>11} {:>11}",
-            "size", "DiOMP Get", "DiOMP Put", "MPI Get", "MPI Put"
+            "{:>8} {:>11} {:>11} {:>11} {:>11} {:>11}",
+            "size", "DiOMP Get", "DiOMP Put", "DiOMP Put*", "MPI Get", "MPI Put"
         );
         for i in 0..sizes.len() {
             println!(
-                "{:>8} {:>11.2} {:>11.2} {:>11.2} {:>11.2}",
+                "{:>8} {:>11.2} {:>11.2} {:>11.2} {:>11.2} {:>11.2}",
                 size_label(sizes[i]),
                 dg[i].1,
                 dp[i].1,
+                dpp[i].1,
                 mg[i].1,
                 mp[i].1
             );
+            records.push(BenchRecord::with_entries(
+                format!("fig4{tag}/diomp_put_{}", size_label(sizes[i])),
+                dp[i].1,
+                "GB/s",
+                dp[i].2,
+            ));
+            records.push(BenchRecord::with_entries(
+                format!("fig4{tag}/diomp_put_pipelined_{}", size_label(sizes[i])),
+                dpp[i].1,
+                "GB/s",
+                dpp[i].2,
+            ));
         }
     }
-    println!("\npaper shape: DiOMP above MPI everywhere except the documented");
-    println!("Platform A DiOMP-Put anomaly (external driver issue, Fig. 4a).");
+    println!("\n(*) chunked large-message pipeline enabled (PipelineConfig::enabled()).");
+    println!("paper shape: DiOMP above MPI everywhere except the documented");
+    println!("Platform A DiOMP-Put anomaly (external driver issue, Fig. 4a),");
+    println!("which the pipelined put dodges by staging chunks through host memory.");
+    if let Some(path) = json_path {
+        diomp_bench::report::write_json(&path, &records).expect("write BENCH json");
+        println!("wrote {} records to {}", records.len(), path.display());
+    }
 }

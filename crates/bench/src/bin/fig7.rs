@@ -24,8 +24,18 @@ fn series(platform: &PlatformSpec, gpus: &[usize]) -> (Speedups, Speedups) {
 
 fn main() {
     for (name, platform, gpus, peaks) in [
-        ("(a) Slingshot 11 + A100", PlatformSpec::platform_a(), &paper::FIG7_GPUS_A[..], paper::FIG7_PEAK_A),
-        ("(b) Slingshot 11 + MI250X", PlatformSpec::platform_b(), &paper::FIG7_GPUS_B[..], paper::FIG7_PEAK_B),
+        (
+            "(a) Slingshot 11 + A100",
+            PlatformSpec::platform_a(),
+            &paper::FIG7_GPUS_A[..],
+            paper::FIG7_PEAK_A,
+        ),
+        (
+            "(b) Slingshot 11 + MI250X",
+            PlatformSpec::platform_b(),
+            &paper::FIG7_GPUS_B[..],
+            paper::FIG7_PEAK_B,
+        ),
     ] {
         println!("\n== Fig. 7{name}: matmul speedup vs {}-GPU baseline ==", gpus[0]);
         let (d, m) = series(&platform, gpus);

@@ -12,8 +12,18 @@ const SIM_STEPS: usize = 40;
 
 fn main() {
     for (name, platform, gpus, peaks) in [
-        ("(a) Slingshot 11 + A100", PlatformSpec::platform_a(), &paper::FIG8_GPUS_A[..], paper::FIG8_PEAK_A),
-        ("(b) Slingshot 11 + MI250X", PlatformSpec::platform_b(), &paper::FIG8_GPUS_B[..], paper::FIG8_PEAK_B),
+        (
+            "(a) Slingshot 11 + A100",
+            PlatformSpec::platform_a(),
+            &paper::FIG8_GPUS_A[..],
+            paper::FIG8_PEAK_A,
+        ),
+        (
+            "(b) Slingshot 11 + MI250X",
+            PlatformSpec::platform_b(),
+            &paper::FIG8_GPUS_B[..],
+            paper::FIG8_PEAK_B,
+        ),
     ] {
         let cfg = |g: usize| MinimodConfig {
             platform: platform.clone(),

@@ -79,8 +79,7 @@ pub mod paper {
     ];
 
     /// Fig. 5 message sizes (bytes): 32 B … 128 KB.
-    pub const FIG5_SIZES: [u64; 7] =
-        [32, 128, 512, 2 << 10, 8 << 10, 32 << 10, 128 << 10];
+    pub const FIG5_SIZES: [u64; 7] = [32, 128, 512, 2 << 10, 8 << 10, 32 << 10, 128 << 10];
 
     /// Fig. 7 GPU counts, platform A (paper: 4–40 A100s).
     pub const FIG7_GPUS_A: [usize; 10] = [4, 8, 12, 16, 20, 24, 28, 32, 36, 40];
@@ -106,6 +105,91 @@ pub mod paper {
     pub const FIG8_PEAK_A: (f64, f64) = (4.8, 4.2);
     /// Fig. 8 peak speedups on platform B.
     pub const FIG8_PEAK_B: (f64, f64) = (4.6, 4.0);
+}
+
+/// Machine-readable benchmark emission (`BENCH_*.json`).
+///
+/// Every record carries the virtual-time metric *and* the backing
+/// simulation's scheduler-entry count, so `BENCH_*.json` history tracks
+/// wall-clock scheduler cost (what the batched `wait_all` fence
+/// optimises) alongside simulated performance.
+pub mod report {
+    use std::io::Write;
+
+    /// One benchmark result row.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct BenchRecord {
+        /// Benchmark identifier, e.g. `fig4a/diomp_put_16mb`.
+        pub name: String,
+        /// The measured metric value.
+        pub value: f64,
+        /// Metric unit, e.g. `GB/s` or `us`.
+        pub unit: String,
+        /// `SimReport::entries_processed` of the backing run, when known.
+        pub entries_processed: Option<u64>,
+    }
+
+    impl BenchRecord {
+        /// Row with a known scheduler-entry count.
+        pub fn with_entries(
+            name: impl Into<String>,
+            value: f64,
+            unit: impl Into<String>,
+            entries: u64,
+        ) -> Self {
+            BenchRecord {
+                name: name.into(),
+                value,
+                unit: unit.into(),
+                entries_processed: Some(entries),
+            }
+        }
+
+        fn to_json(&self) -> String {
+            let mut s = String::from("{");
+            s.push_str(&format!("\"name\":\"{}\",", escape(&self.name)));
+            s.push_str(&format!("\"value\":{},", fmt_f64(self.value)));
+            s.push_str(&format!("\"unit\":\"{}\"", escape(&self.unit)));
+            if let Some(e) = self.entries_processed {
+                s.push_str(&format!(",\"entries_processed\":{e}"));
+            }
+            s.push('}');
+            s
+        }
+    }
+
+    fn escape(s: &str) -> String {
+        s.chars()
+            .flat_map(|c| match c {
+                '"' => "\\\"".chars().collect::<Vec<_>>(),
+                '\\' => "\\\\".chars().collect(),
+                '\n' => "\\n".chars().collect(),
+                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                c => vec![c],
+            })
+            .collect()
+    }
+
+    fn fmt_f64(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    }
+
+    /// Serialise records as a JSON array.
+    pub fn to_json(records: &[BenchRecord]) -> String {
+        let rows: Vec<String> = records.iter().map(BenchRecord::to_json).collect();
+        format!("[{}]", rows.join(","))
+    }
+
+    /// Write records to a `BENCH_*.json` file.
+    pub fn write_json(path: &std::path::Path, records: &[BenchRecord]) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(to_json(records).as_bytes())?;
+        f.write_all(b"\n")
+    }
 }
 
 /// Format a byte size the way the paper labels its axes.
@@ -159,13 +243,15 @@ pub fn sign_agreement(measured: &[(u64, f64)], paper: &[f64]) -> f64 {
     let hits = measured
         .iter()
         .zip(paper)
-        .filter(|(&(_, m), &p)| {
-            if p.abs() < 0.05 {
-                m.abs() < 0.15
-            } else {
-                m.signum() == p.signum()
-            }
-        })
+        .filter(
+            |(&(_, m), &p)| {
+                if p.abs() < 0.05 {
+                    m.abs() < 0.15
+                } else {
+                    m.signum() == p.signum()
+                }
+            },
+        )
         .count();
     hits as f64 / n
 }
@@ -193,5 +279,37 @@ mod tests {
         let measured = vec![(1u64, 0.2), (2, -0.2)];
         let paper = [0.0, 0.0];
         assert!((mae(&measured, &paper) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bench_records_serialise_with_entries() {
+        use crate::report::{to_json, BenchRecord};
+        let rows = vec![
+            BenchRecord::with_entries("fig4a/put_16mb", 3.15, "GB/s", 1234),
+            BenchRecord {
+                name: "x\"y".into(),
+                value: 2.0,
+                unit: "us".into(),
+                entries_processed: None,
+            },
+        ];
+        let json = to_json(&rows);
+        assert_eq!(
+            json,
+            "[{\"name\":\"fig4a/put_16mb\",\"value\":3.15,\"unit\":\"GB/s\",\
+             \"entries_processed\":1234},{\"name\":\"x\\\"y\",\"value\":2,\"unit\":\"us\"}]"
+        );
+    }
+
+    #[test]
+    fn bench_json_roundtrips_to_disk() {
+        use crate::report::{write_json, BenchRecord};
+        let dir = std::env::temp_dir().join("diomp_bench_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        write_json(&path, &[BenchRecord::with_entries("a", 1.0, "us", 7)]).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert!(back.contains("\"entries_processed\":7"));
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -36,11 +36,8 @@ impl SymHeap {
             AllocKind::Linear => HeapImpl::Linear(LinearAlloc::new(len)),
             AllocKind::Buddy => {
                 // Buddy capacity must be a power of two; round down.
-                let cap = if len.is_power_of_two() {
-                    len
-                } else {
-                    1u64 << (63 - len.leading_zeros())
-                };
+                let cap =
+                    if len.is_power_of_two() { len } else { 1u64 << (63 - len.leading_zeros()) };
                 HeapImpl::Buddy(BuddyAlloc::new(cap, 32))
             }
         };

@@ -48,7 +48,7 @@ mod runtime;
 mod sync;
 mod target;
 
-pub use config::{Binding, Conduit, DiompConfig};
+pub use config::{Binding, Conduit, DiompConfig, PipelineConfig};
 pub use error::DiompError;
 pub use galloc::{AllocKind, BuddyAlloc, LinearAlloc, PtrCache, WRAPPER_BYTES};
 pub use gptr::{AsymPtr, GPtr};

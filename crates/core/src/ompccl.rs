@@ -60,14 +60,7 @@ impl DiompRank {
 
     /// `ompx_bcast`: device-side broadcast of `len` bytes at `ptr` from
     /// `root`'s primary device to every device in the group.
-    pub fn bcast(
-        &mut self,
-        ctx: &mut Ctx,
-        group: &DiompGroup,
-        root: usize,
-        ptr: GPtr,
-        len: u64,
-    ) {
+    pub fn bcast(&mut self, ctx: &mut Ctx, group: &DiompGroup, root: usize, ptr: GPtr, len: u64) {
         assert!(len <= ptr.len);
         let comm = self.ompccl_comm(ctx, group);
         let root_flat = self.shared.world.devices_of(root).start;

@@ -79,8 +79,7 @@ impl DiompRank {
             }
             Placement::SameNode => {
                 let same_rank = self.my_devices().contains(&dst_flat);
-                let p2p = s.cfg.use_p2p
-                    && w.devs.dev(src_flat).peer_enabled(dst_flat);
+                let p2p = s.cfg.use_p2p && w.devs.dev(src_flat).peer_enabled(dst_flat);
                 if same_rank || p2p {
                     let done = copy::d2d_peer(
                         &h,
@@ -93,10 +92,10 @@ impl DiompRank {
                     self.track_device_copy(ctx, src_flat, done);
                 } else {
                     // IPC staging: pay the one-time handle-open cost.
-                    let setup = w.devs.dev(src_flat).open_ipc(
-                        dst_flat,
-                        Dur::micros(w.platform.intra.ipc_setup_us),
-                    );
+                    let setup = w
+                        .devs
+                        .dev(src_flat)
+                        .open_ipc(dst_flat, Dur::micros(w.platform.intra.ipc_setup_us));
                     if setup > Dur::ZERO {
                         ctx.delay(setup);
                     }
@@ -114,36 +113,46 @@ impl DiompRank {
             }
             Placement::InterNode => {
                 let dst_rank = w.rank_of_dev(dst_flat);
+                let pipe = s.cfg.pipeline;
                 match s.cfg.conduit {
                     Conduit::GasnetEx => {
-                        let hdl = gasnet::put_nb(
-                            ctx,
-                            w,
-                            self.rank,
-                            Loc::dev(src_flat, s.seg_base[src_flat] + src_off),
-                            s.seg[dst_flat],
-                            dst_off,
-                            len,
-                        )?;
-                        // Fence drains both: local completion (source
-                        // buffer reuse) and the remote ack.
-                        self.track(hdl.local);
-                        self.track(hdl.remote);
+                        if pipe.pipelines(len) {
+                            self.put_gasnet_pipelined(
+                                ctx, src_flat, src_off, dst_flat, dst_off, len,
+                            )?;
+                        } else {
+                            let hdl = gasnet::put_nb(
+                                ctx,
+                                w,
+                                self.rank,
+                                Loc::dev(src_flat, s.seg_base[src_flat] + src_off),
+                                s.seg[dst_flat],
+                                dst_off,
+                                len,
+                            )?;
+                            // Fence drains both: local completion (source
+                            // buffer reuse) and the remote ack.
+                            self.track(hdl.local);
+                            self.track(hdl.remote);
+                        }
                         let _ = dst_rank;
                     }
                     Conduit::Gpi2 => {
-                        gpi::write(
-                            ctx,
-                            w,
-                            self.rank,
-                            gpi::QueueId(0),
-                            Loc::dev(src_flat, s.seg_base[src_flat] + src_off),
-                            s.seg[dst_flat],
-                            dst_off,
-                            len,
-                        )?;
-                        // GPI completions drain via its queue at fence time
-                        // (see `ompx_fence`).
+                        // Chunk completions round-robin across the
+                        // configured queue set; a monolithic write posts
+                        // to queue 0. `ompx_fence` drains every queue.
+                        for (i, (coff, clen)) in pipe.chunks(len).enumerate() {
+                            gpi::write(
+                                ctx,
+                                w,
+                                self.rank,
+                                gpi::QueueId((i % pipe.n_queues.max(1) as usize) as u8),
+                                Loc::dev(src_flat, s.seg_base[src_flat] + src_off + coff),
+                                s.seg[dst_flat],
+                                dst_off + coff,
+                                clen,
+                            )?;
+                        }
                     }
                 }
             }
@@ -192,32 +201,136 @@ impl DiompRank {
                 };
                 self.track_device_copy(ctx, local_flat, done);
             }
-            Placement::InterNode => match s.cfg.conduit {
-                Conduit::GasnetEx => {
-                    let ev = gasnet::get_nb(
-                        ctx,
-                        w,
-                        self.rank,
-                        Loc::dev(local_flat, s.seg_base[local_flat] + local_off),
-                        s.seg[remote_flat],
-                        remote_off,
-                        len,
-                    )?;
-                    self.track(ev);
+            Placement::InterNode => {
+                let pipe = s.cfg.pipeline;
+                match s.cfg.conduit {
+                    Conduit::GasnetEx => {
+                        // Chunked gets issue one non-blocking injection
+                        // per chunk; the requests pipeline on the wire
+                        // and the fence drains all completions at once.
+                        for (coff, clen) in pipe.chunks(len) {
+                            let ev = gasnet::get_nb(
+                                ctx,
+                                w,
+                                self.rank,
+                                Loc::dev(local_flat, s.seg_base[local_flat] + local_off + coff),
+                                s.seg[remote_flat],
+                                remote_off + coff,
+                                clen,
+                            )?;
+                            self.track(ev);
+                        }
+                    }
+                    Conduit::Gpi2 => {
+                        for (i, (coff, clen)) in pipe.chunks(len).enumerate() {
+                            gpi::read(
+                                ctx,
+                                w,
+                                self.rank,
+                                gpi::QueueId((i % pipe.n_queues.max(1) as usize) as u8),
+                                Loc::dev(local_flat, s.seg_base[local_flat] + local_off + coff),
+                                s.seg[remote_flat],
+                                remote_off + coff,
+                                clen,
+                            )?;
+                        }
+                    }
                 }
-                Conduit::Gpi2 => {
-                    gpi::read(
-                        ctx,
-                        w,
-                        self.rank,
-                        gpi::QueueId(0),
-                        Loc::dev(local_flat, s.seg_base[local_flat] + local_off),
-                        s.seg[remote_flat],
-                        remote_off,
-                        len,
-                    )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Chunked inter-node put over GASNet-EX (paper §3.2: overlapping
+    /// device-side copies with conduit transfers).
+    ///
+    /// Two regimes:
+    ///
+    /// * **Direct** — each chunk is its own `gex_RMA_PutNB` straight from
+    ///   device memory (GPUDirect). The NIC pipelines the injections;
+    ///   per-chunk initiator overhead hides under the wire time.
+    /// * **Host-staged** — when the direct device-source path is
+    ///   bandwidth-capped (the documented Platform A Fig. 4a anomaly,
+    ///   [`gasnet::put_capped`]), chunks bounce D2H into a bounded ring of
+    ///   host staging buffers and inject from host memory, which the cap
+    ///   does not affect. Chunk `k+1`'s D2H copy overlaps chunk `k`'s
+    ///   in-flight network transfer; the D2H copies are threaded through
+    ///   the source device's bounded stream pool, and `max_inflight`
+    ///   staging slots bound the look-ahead (a slot is reused only after
+    ///   its previous put reports local completion, `GEX_EVENT_LC`).
+    fn put_gasnet_pipelined(
+        &mut self,
+        ctx: &mut Ctx,
+        src_flat: usize,
+        src_off: u64,
+        dst_flat: usize,
+        dst_off: u64,
+        len: u64,
+    ) -> Result<(), DiompError> {
+        let s = self.shared.clone();
+        let w = &s.world;
+        let pipe = s.cfg.pipeline;
+        let src_base = s.seg_base[src_flat] + src_off;
+        let staged = gasnet::put_capped(w, true, pipe.chunk_bytes.min(len));
+        if !staged {
+            for (coff, clen) in pipe.chunks(len) {
+                let hdl = gasnet::put_nb(
+                    ctx,
+                    w,
+                    self.rank,
+                    Loc::dev(src_flat, src_base + coff),
+                    s.seg[dst_flat],
+                    dst_off + coff,
+                    clen,
+                )?;
+                self.track(hdl.local);
+                self.track(hdl.remote);
+            }
+            return Ok(());
+        }
+
+        let dev = w.devs.dev(src_flat).clone();
+        let functional = w.devs.mode == diomp_device::DataMode::Functional;
+        let nslots = pipe.max_inflight.max(1);
+        let bufs: Vec<diomp_device::HostBuf> = (0..nslots)
+            .map(|_| {
+                if functional {
+                    diomp_device::HostBuf::zeroed(pipe.chunk_bytes)
+                } else {
+                    diomp_device::HostBuf::phantom(pipe.chunk_bytes)
                 }
-            },
+            })
+            .collect();
+        let mut slot_local: Vec<Option<diomp_sim::EventId>> = vec![None; nslots];
+        for (k, (coff, clen)) in pipe.chunks(len).enumerate() {
+            let slot = k % nslots;
+            // Staging-slot ring bound: reuse only after the previous put
+            // from this buffer is locally complete.
+            if let Some(local) = slot_local[slot].take() {
+                ctx.wait_free(local);
+            }
+            // Stage the chunk D2H through the bounded stream pool.
+            let stream = dev.acquire_stream(ctx);
+            let done = copy::d2h(ctx.handle(), &dev, src_base + coff, &bufs[slot], 0, clen)?;
+            dev.pool.lock().advance_tail(stream, done);
+            dev.release_stream(stream);
+            // Inject once the chunk is host-resident; the NIC transfer of
+            // this chunk overlaps the next chunk's D2H copy.
+            ctx.sleep_until(done);
+            let hdl = gasnet::put_nb(
+                ctx,
+                w,
+                self.rank,
+                Loc::host(bufs[slot].clone(), 0),
+                s.seg[dst_flat],
+                dst_off + coff,
+                clen,
+            )?;
+            slot_local[slot] = Some(hdl.local);
+            self.track(hdl.remote);
+        }
+        for local in slot_local.into_iter().flatten() {
+            self.track(local);
         }
         Ok(())
     }

@@ -19,14 +19,23 @@ impl DiompRank {
     /// same [`diomp_sim::EventId`] currency) and then settling the
     /// device stream horizon.
     pub fn fence(&mut self, ctx: &mut Ctx) {
-        // Network + stream events, in arrival order.
-        let pending = std::mem::take(&mut *self.shared.pending[self.rank].lock());
-        for ev in pending {
-            ctx.wait_free(ev);
-        }
-        // GPI-2 tracks completions on its queues rather than per-op events.
+        // Network + stream events, in arrival order. GPI-2 additionally
+        // tracks completions on its queues rather than per-op events;
+        // *every* queue is drained, not just queue 0.
+        let mut pending = std::mem::take(&mut *self.shared.pending[self.rank].lock());
         if self.shared.cfg.conduit == Conduit::Gpi2 {
-            diomp_fabric::gpi::wait_queue(ctx, &self.shared.world, self.rank, diomp_fabric::gpi::QueueId(0));
+            pending.extend(diomp_fabric::gpi::take_pending_all(&self.shared.world, self.rank));
+        }
+        if self.shared.cfg.batched_fence {
+            // One wait group over the whole pending set: the task parks
+            // once and the completion that empties the set wakes it.
+            ctx.wait_all_free(&pending);
+        } else {
+            // Per-event draining (the scheduler-cost ablation baseline):
+            // one park/wake round-trip per still-pending event.
+            for ev in pending {
+                ctx.wait_free(ev);
+            }
         }
         // Device horizon: all streams the RMA path touched.
         for d in self.my_devices() {

@@ -8,7 +8,9 @@
 //! addressable with zero extra registration — the "unified memory view
 //! underpins communication structure" property of §3.2.
 
-use diomp_device::{copy, HostBuf, HostId, KernelBody, KernelCost, MapKind, MapOutcome, MappingTable};
+use diomp_device::{
+    copy, HostBuf, HostId, KernelBody, KernelCost, MapKind, MapOutcome, MappingTable,
+};
 use diomp_sim::{Ctx, SimTime};
 use parking_lot::Mutex;
 

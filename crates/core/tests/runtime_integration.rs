@@ -275,8 +275,7 @@ fn group_merge_recomposes_two_groups() {
         let half = (rank.rank >= 4) as u32;
         let g = group_split(ctx, &rank.shared.groups, &world, rank.rank, half, 0);
         assert_eq!(g.size(), 4);
-        let other: Vec<usize> =
-            if half == 0 { (4..8).collect() } else { (0..4).collect() };
+        let other: Vec<usize> = if half == 0 { (4..8).collect() } else { (0..4).collect() };
         let g_other = rank.shared.groups.get_or_create(other);
         let merged = group_merge(ctx, &rank.shared.groups, &g, &g_other, rank.rank);
         assert_eq!(merged.size(), 8);
@@ -338,9 +337,7 @@ fn target_region_maps_into_global_segment_and_is_remotely_accessible() {
     DiompRuntime::run(cfg_a(2), |ctx, rank| {
         let tgt = DiompTarget::new(rank);
         let host = HostBuf::from_f64(&[rank.rank as f64; 16]);
-        let ptr = rank
-            .target_enter(ctx, &tgt, HostId(1), &host, MapKind::ToFrom)
-            .unwrap();
+        let ptr = rank.target_enter(ctx, &tgt, HostId(1), &host, MapKind::ToFrom).unwrap();
         // Kernel: add 1.0 to every element on the device.
         let dev = rank.primary();
         let addr = rank.dev_addr(dev, ptr.off);

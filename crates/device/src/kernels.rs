@@ -102,10 +102,9 @@ impl KernelCost {
             KernelCost::MemBound { bytes } => {
                 Dur::nanos((bytes as f64 / (spec.hbm_gbps * STENCIL_HBM_EFF)).ceil() as u64)
             }
-            KernelCost::Compute { flops, dtype } => {
-                Dur::nanos((flops as f64 / (Self::rate(spec, dtype) * ELEMENTWISE_EFF)).ceil()
-                    as u64)
-            }
+            KernelCost::Compute { flops, dtype } => Dur::nanos(
+                (flops as f64 / (Self::rate(spec, dtype) * ELEMENTWISE_EFF)).ceil() as u64,
+            ),
             KernelCost::Fixed(d) => d,
         }
     }
@@ -154,8 +153,7 @@ mod tests {
         let spec = a100();
         // Minimod-style: ~34 B/cell of DRAM traffic, 67 flops/cell.
         let c = KernelCost::Stencil { cells: 1 << 20, bytes_per_cell: 34.0, flops_per_cell: 67.0 };
-        let mem_only =
-            KernelCost::MemBound { bytes: (34u64) << 20 }.duration(&spec);
+        let mem_only = KernelCost::MemBound { bytes: (34u64) << 20 }.duration(&spec);
         let t = c.duration(&spec);
         // Within 1% of the pure-bandwidth time ⇒ the memory term dominated.
         let diff = (t.as_nanos() as f64 - mem_only.as_nanos() as f64).abs();

@@ -95,17 +95,16 @@ impl MappingTable {
 
     /// Record a fresh mapping after the caller allocated device memory.
     pub fn insert(&mut self, host: HostId, d_off: u64, size: u64, kind: MapKind) {
-        let prev =
-            self.entries.insert(host, MapEntry { d_off, size, kind, refcount: 1, seg_offset: None });
+        let prev = self
+            .entries
+            .insert(host, MapEntry { d_off, size, kind, refcount: 1, seg_offset: None });
         assert!(prev.is_none(), "insert over live mapping for {host:?}");
     }
 
     /// Attach the DiOMP segment offset to an entry (paper Fig. 1b).
     pub fn set_seg_offset(&mut self, host: HostId, seg_offset: u64) {
-        self.entries
-            .get_mut(&host)
-            .expect("set_seg_offset on unmapped object")
-            .seg_offset = Some(seg_offset);
+        self.entries.get_mut(&host).expect("set_seg_offset on unmapped object").seg_offset =
+            Some(seg_offset);
     }
 
     /// Present-table lookup without refcount changes.

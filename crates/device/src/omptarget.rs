@@ -164,12 +164,8 @@ mod tests {
                 })
                 .unwrap();
             });
-            let end = td.dev.launch(
-                ctx.handle(),
-                s,
-                &KernelCost::Fixed(Dur::micros(2.0)),
-                Some(body),
-            );
+            let end =
+                td.dev.launch(ctx.handle(), s, &KernelCost::Fixed(Dur::micros(2.0)), Some(body));
             ctx.sleep_until(end);
             td.target_exit(ctx, &maps).unwrap();
             assert_eq!(x.to_f64(), vec![2.0, 4.0, 6.0, 8.0]);

@@ -78,12 +78,8 @@ impl StreamPool {
         }
         // 3. At the bound, fall back to the earliest-tail idle stream
         //    (work queues behind its pending ops — CUDA semantics).
-        if let Some((i, _)) = self
-            .streams
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| !s.in_use)
-            .min_by_key(|(_, s)| s.tail)
+        if let Some((i, _)) =
+            self.streams.iter().enumerate().filter(|(_, s)| !s.in_use).min_by_key(|(_, s)| s.tail)
         {
             self.streams[i].in_use = true;
             self.stats.reused += 1;

@@ -50,18 +50,41 @@ fn initiator_overhead(world: &FabricWorld, src: &Loc, dst: &Loc, base_us: f64) -
 /// documented driver issue bites the bulk-transfer path only.
 const PUT_ANOMALY_MIN_BYTES: u64 = 16 << 10;
 
+/// The anomaly's efficiency ceiling for a device-source Put of `len`
+/// bytes, if it applies to this transfer at all. Single source of truth
+/// for the anomaly predicate: both the charged efficiency ([`put_eff`])
+/// and the pipeline's staging decision ([`put_capped`]) derive from it.
+fn anomaly_eff(world: &FabricWorld, inter_node: bool, len: u64) -> Option<f64> {
+    match world.platform.put_anomaly_gbps {
+        Some(cap) if inter_node && len >= PUT_ANOMALY_MIN_BYTES => {
+            Some(cap / world.platform.net.nic_gbps)
+        }
+        _ => None,
+    }
+}
+
 /// Effective wire efficiency for a device Put, applying the documented
 /// Platform A hardware/driver anomaly (Fig. 4a) for inter-node device
 /// sources.
 fn put_eff(world: &FabricWorld, src_end: End, dst_end: End, inter_node: bool, len: u64) -> f64 {
     let g = &world.platform.gasnet;
     let device_src = matches!(src_end, End::Dev(_)) && matches!(dst_end, End::Dev(_));
-    match world.platform.put_anomaly_gbps {
-        Some(cap) if device_src && inter_node && len >= PUT_ANOMALY_MIN_BYTES => {
-            g.eff.min(cap / world.platform.net.nic_gbps)
-        }
+    match anomaly_eff(world, inter_node, len) {
+        Some(cap_eff) if device_src => g.eff.min(cap_eff),
         _ => g.eff,
     }
+}
+
+/// Would a direct device-source Put of `len` bytes between these nodes
+/// run below the conduit's nominal efficiency because of the documented
+/// Platform A put cap (Fig. 4a)?
+///
+/// The DiOMP runtime's large-message pipeline uses this to decide whether
+/// staging chunks through host memory pays: a host-source Put is not
+/// subject to the cap, so D2H-then-Put chunks overlap into the full wire
+/// rate exactly as paper §3.2's copy/transfer overlap describes.
+pub fn put_capped(world: &FabricWorld, inter_node: bool, len: u64) -> bool {
+    anomaly_eff(world, inter_node, len).is_some_and(|cap_eff| cap_eff < world.platform.gasnet.eff)
 }
 
 /// Non-blocking one-sided Put of `len` bytes from a local buffer into a

@@ -6,7 +6,7 @@
 //! paper's Fig. 5 compares the two over NDR InfiniBand, with GPI-2's
 //! leaner per-message path winning for small/medium writes.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use diomp_device::MemError;
@@ -19,7 +19,7 @@ use crate::segment::SegmentId;
 use crate::world::FabricWorld;
 
 /// Queue handle (GASPI queues order completions, not data).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct QueueId(pub u8);
 
 struct NotifySlot {
@@ -29,8 +29,9 @@ struct NotifySlot {
 
 /// Per-world GPI-2 state: queue completion lists and notification boards.
 pub struct GpiState {
-    /// `[rank] → queue → pending remote-completion events`.
-    queues: Mutex<Vec<HashMap<QueueId, Vec<EventId>>>>,
+    /// `[rank] → queue → pending remote-completion events`. Ordered map:
+    /// draining *all* queues must visit them in a deterministic order.
+    queues: Mutex<Vec<BTreeMap<QueueId, Vec<EventId>>>>,
     /// `[rank] → notification id → slot`.
     notifications: Mutex<Vec<HashMap<u32, NotifySlot>>>,
 }
@@ -38,7 +39,7 @@ pub struct GpiState {
 impl GpiState {
     pub(crate) fn new(nranks: usize) -> Self {
         GpiState {
-            queues: Mutex::new(vec![HashMap::new(); nranks]),
+            queues: Mutex::new(vec![BTreeMap::new(); nranks]),
             notifications: Mutex::new((0..nranks).map(|_| HashMap::new()).collect()),
         }
     }
@@ -51,11 +52,7 @@ impl Clone for NotifySlot {
 }
 
 fn model(world: &FabricWorld) -> &diomp_sim::GpiModel {
-    world
-        .platform
-        .gpi
-        .as_ref()
-        .expect("GPI-2 conduit requires an InfiniBand platform (paper §4.1)")
+    world.platform.gpi.as_ref().expect("GPI-2 conduit requires an InfiniBand platform (paper §4.1)")
 }
 
 fn end_of(world: &FabricWorld, rank: usize, loc: &Loc) -> End {
@@ -140,15 +137,31 @@ pub fn read(
 }
 
 /// Drain a queue: block until every posted operation on it has completed
-/// (`gaspi_wait`).
+/// (`gaspi_wait`). One batched wait: the task parks once regardless of
+/// how many completions are pending.
 pub fn wait_queue(ctx: &mut Ctx, world: &Arc<FabricWorld>, rank: usize, queue: QueueId) {
     let pending: Vec<EventId> = {
         let mut q = world.gpi.queues.lock();
         q[rank].get_mut(&queue).map(std::mem::take).unwrap_or_default()
     };
-    for ev in pending {
-        ctx.wait_free(ev);
-    }
+    ctx.wait_all_free(&pending);
+}
+
+/// Remove and return every pending completion event across *all* of
+/// `rank`'s queues, in queue order. Callers decide how to wait (the
+/// fence uses one batched `wait_all`; the unbatched ablation loops).
+pub fn take_pending_all(world: &Arc<FabricWorld>, rank: usize) -> Vec<EventId> {
+    let mut q = world.gpi.queues.lock();
+    let rankq = std::mem::take(&mut q[rank]);
+    rankq.into_values().flatten().collect()
+}
+
+/// Drain every queue of `rank` with a single batched wait
+/// (`gaspi_wait` over the whole queue set). Completions posted to *any*
+/// queue are awaited — not just queue 0.
+pub fn wait_all_queues(ctx: &mut Ctx, world: &Arc<FabricWorld>, rank: usize) {
+    let pending = take_pending_all(world, rank);
+    ctx.wait_all_free(&pending);
 }
 
 /// Write with a remote notification (`gaspi_write_notify`): after the data

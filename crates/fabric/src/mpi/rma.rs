@@ -12,7 +12,7 @@ use diomp_sim::{Ctx, Dur};
 use crate::loc::Loc;
 use crate::path::{control_msg, raw_path, End};
 
-use super::{MpiRank, Window, WinPart};
+use super::{MpiRank, WinPart, Window};
 
 /// The per-byte software pipeline applies to the small-message path only;
 /// above this size the implementation switches to zero-copy RDMA and

@@ -45,7 +45,10 @@ impl FabricWorld {
     /// count must be divisible by `nranks`; each rank gets a contiguous
     /// block of devices.
     pub fn new(topo: Arc<Topology>, devs: Arc<DeviceTable>, nranks: usize) -> Arc<FabricWorld> {
-        assert!(nranks >= 1 && devs.len().is_multiple_of(nranks), "devices must divide evenly into ranks");
+        assert!(
+            nranks >= 1 && devs.len().is_multiple_of(nranks),
+            "devices must divide evenly into ranks"
+        );
         let gpus_per_rank = devs.len() / nranks;
         let platform = topo.spec.platform.clone();
         let hop = Dur::micros(platform.net.latency_us);

@@ -164,19 +164,8 @@ fn gpi_write_notify_roundtrip_on_platform_c() {
     sim.spawn("rank0", move |ctx| {
         let dev = w0.primary_dev(0).clone();
         dev.mem.write(0, &[9u8; 128]).unwrap();
-        gpi::write_notify(
-            ctx,
-            &w0,
-            0,
-            gpi::QueueId(0),
-            Loc::dev(0, 0),
-            seg,
-            256,
-            128,
-            42,
-            7,
-        )
-        .unwrap();
+        gpi::write_notify(ctx, &w0, 0, gpi::QueueId(0), Loc::dev(0, 0), seg, 256, 128, 42, 7)
+            .unwrap();
         gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0));
     });
     let w2 = world.clone();
@@ -187,6 +176,41 @@ fn gpi_write_notify_roundtrip_on_platform_c() {
         let seg_obj = w2.segment(seg);
         let bytes = seg_obj.loc(256).snapshot(&w2.devs, 128).unwrap().unwrap();
         assert_eq!(bytes, vec![9u8; 128]);
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn gpi_wait_all_queues_drains_every_queue() {
+    let mut sim = Sim::new();
+    let world = boot(&sim, PlatformSpec::platform_c(), 2, 1, 2);
+    let seg = world.attach_device_segment(1, 1, 1 << 16).unwrap();
+    let w0 = world.clone();
+    sim.spawn("rank0", move |ctx| {
+        let dev = w0.primary_dev(0).clone();
+        dev.mem.write(0, &[5u8; 256]).unwrap();
+        // Spread writes over four queues; a queue-0-only drain would
+        // leave three completions unawaited.
+        for q in 0..4u8 {
+            gpi::write(
+                ctx,
+                &w0,
+                0,
+                gpi::QueueId(q),
+                Loc::dev(0, 64 * q as u64),
+                seg,
+                64 * q as u64,
+                64,
+            )
+            .unwrap();
+        }
+        gpi::wait_all_queues(ctx, &w0, 0);
+        // After the drain every queue's data is visible at the target.
+        let seg_obj = w0.segment(seg);
+        let bytes = seg_obj.loc(0).snapshot(&w0.devs, 256).unwrap().unwrap();
+        assert_eq!(bytes, vec![5u8; 256]);
+        // And a second drain finds nothing pending (no deadlock, no-op).
+        gpi::wait_all_queues(ctx, &w0, 0);
     });
     sim.run().unwrap();
 }
@@ -360,8 +384,7 @@ fn run_allreduce(nranks: usize, elems: usize) {
             let vals: Vec<f64> = (0..elems).map(|i| (r * elems + i) as f64).collect();
             let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
             dev.mem.write(off, &bytes).unwrap();
-            mpi.allreduce(ctx, Loc::dev(r, off), (elems * 8) as u64, ReduceOp::SumF64)
-                .unwrap();
+            mpi.allreduce(ctx, Loc::dev(r, off), (elems * 8) as u64, ReduceOp::SumF64).unwrap();
             let mut out = vec![0u8; elems * 8];
             dev.mem.read(off, &mut out).unwrap();
             for i in 0..elems {

@@ -84,11 +84,46 @@ impl Ctx {
         self.handle.free_event(ev);
     }
 
-    /// Block until *all* events complete (they are waited in order; since
-    /// completion is monotonic this is equivalent to waiting on the set).
+    /// Block until *all* events complete.
+    ///
+    /// Unlike a loop of [`Ctx::wait`] calls — which parks and re-wakes
+    /// once per still-pending event — this registers a single *wait
+    /// group* covering every pending event and parks exactly once: the
+    /// completion that brings the group to zero produces the only wake
+    /// entry. For a fence draining N completions this turns ~N scheduler
+    /// park/wake round-trips into one.
     pub fn wait_all(&mut self, evs: &[EventId]) {
+        {
+            let mut st = self.handle.kernel.state.lock();
+            let pending = evs.iter().filter(|&&ev| !st.events.get(ev).completed).count();
+            if pending == 0 {
+                return;
+            }
+            let park_seq = st.park_seqs[self.id.index()] + 1;
+            st.park_seqs[self.id.index()] = park_seq;
+            let gid = st.alloc_wait_group(pending, self.id, park_seq);
+            for &ev in evs {
+                if !st.events.get(ev).completed {
+                    st.events.get_mut(ev).group_waiters.push(gid);
+                }
+            }
+            st.tasks[self.id.index()].status = TaskStatus::Blocked;
+        }
+        self.park();
+        debug_assert!(
+            {
+                let st = self.handle.kernel.state.lock();
+                evs.iter().all(|&ev| st.events.get(ev).completed)
+            },
+            "wait_all woke before every event completed"
+        );
+    }
+
+    /// Block until *all* events complete, then recycle every one of them.
+    pub fn wait_all_free(&mut self, evs: &[EventId]) {
+        self.wait_all(evs);
         for &ev in evs {
-            self.wait(ev);
+            self.handle.free_event(ev);
         }
     }
 

@@ -34,13 +34,24 @@ pub(crate) struct EventSlot {
     pub(crate) completed: bool,
     /// Tasks blocked on this event (woken on completion).
     pub(crate) waiters: Vec<Waiter>,
+    /// Wait-groups with a pending registration on this event (see
+    /// [`crate::Ctx::wait_all`]): completion decrements each group's
+    /// remaining-count instead of waking a task directly, so a task
+    /// blocked on N events costs one wake, not N.
+    pub(crate) group_waiters: Vec<u32>,
     /// Slot is live (allocated and not yet freed).
     pub(crate) live: bool,
 }
 
 impl EventSlot {
     pub(crate) fn fresh(gen: u32) -> Self {
-        EventSlot { gen, completed: false, waiters: Vec::new(), live: true }
+        EventSlot {
+            gen,
+            completed: false,
+            waiters: Vec::new(),
+            group_waiters: Vec::new(),
+            live: true,
+        }
     }
 }
 
@@ -84,6 +95,7 @@ impl EventArena {
         let slot = &mut self.slots[id.index as usize];
         assert!(slot.live && slot.gen == id.gen, "double free of EventId {:?}", id);
         assert!(slot.waiters.is_empty(), "freeing event with live waiters");
+        assert!(slot.group_waiters.is_empty(), "freeing event with live group waiters");
         slot.live = false;
         self.free.push(id.index);
     }

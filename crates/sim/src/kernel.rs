@@ -42,7 +42,10 @@ pub type Action = Box<dyn FnOnce(&SimHandle) + Send + 'static>;
 
 enum Item {
     /// Resume task if it is still parked on the park numbered `park_seq`.
-    Wake { task: TaskId, park_seq: u64 },
+    Wake {
+        task: TaskId,
+        park_seq: u64,
+    },
     Action(Action),
 }
 
@@ -70,6 +73,18 @@ impl Ord for Entry {
     }
 }
 
+/// One batched multi-event wait: a task parked until `remaining` event
+/// registrations have completed. The whole group costs a single wake
+/// entry, which is what makes `Ctx::wait_all` (and `ompx_fence` built on
+/// it) cheap for large pending sets.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WaitGroup {
+    pub(crate) remaining: usize,
+    pub(crate) task: TaskId,
+    pub(crate) park_seq: u64,
+    pub(crate) live: bool,
+}
+
 pub(crate) struct KState {
     now: SimTime,
     seq: u64,
@@ -78,6 +93,9 @@ pub(crate) struct KState {
     /// Per-task park counter used to invalidate stale wakes.
     pub(crate) park_seqs: Vec<u64>,
     pub(crate) events: EventArena,
+    /// Multi-event wait groups (free-list recycled, like events).
+    pub(crate) wait_groups: Vec<WaitGroup>,
+    free_wait_groups: Vec<u32>,
     pub(crate) resources: Vec<ResSlot>,
     n_done: usize,
     entries_processed: u64,
@@ -89,6 +107,23 @@ pub(crate) struct KState {
 impl KState {
     pub(crate) fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Allocate a wait group covering `remaining` pending registrations.
+    pub(crate) fn alloc_wait_group(
+        &mut self,
+        remaining: usize,
+        task: TaskId,
+        park_seq: u64,
+    ) -> u32 {
+        let g = WaitGroup { remaining, task, park_seq, live: true };
+        if let Some(i) = self.free_wait_groups.pop() {
+            self.wait_groups[i as usize] = g;
+            i
+        } else {
+            self.wait_groups.push(g);
+            (self.wait_groups.len() - 1) as u32
+        }
     }
 }
 
@@ -178,6 +213,8 @@ impl Sim {
                 tasks: Vec::new(),
                 park_seqs: Vec::new(),
                 events: EventArena::default(),
+                wait_groups: Vec::new(),
+                free_wait_groups: Vec::new(),
                 resources: Vec::new(),
                 n_done: 0,
                 entries_processed: 0,
@@ -430,9 +467,23 @@ impl SimHandle {
         }
         slot.completed = true;
         let waiters = std::mem::take(&mut slot.waiters);
+        let groups = std::mem::take(&mut slot.group_waiters);
         let now = st.now;
         for w in waiters {
             self.push(&mut st, now, Item::Wake { task: w.task, park_seq: w.park_seq });
+        }
+        // Batched waiters: only the registration that brings a group to
+        // zero produces a wake entry.
+        for gid in groups {
+            let g = &mut st.wait_groups[gid as usize];
+            debug_assert!(g.live && g.remaining > 0, "completion for dead wait group");
+            g.remaining -= 1;
+            if g.remaining == 0 {
+                g.live = false;
+                let (task, park_seq) = (g.task, g.park_seq);
+                st.free_wait_groups.push(gid);
+                self.push(&mut st, now, Item::Wake { task, park_seq });
+            }
         }
     }
 

@@ -328,7 +328,12 @@ impl PlatformSpec {
                 mpi_bcast: CollProfile {
                     launch_us: 16.0,
                     hop_us: 1.2,
-                    curve: BwCurve::new(vec![(32 << 10, 5.5), (256 << 10, 6.5), (512 << 10, 15.0), (64 << 20, 14.5)]),
+                    curve: BwCurve::new(vec![
+                        (32 << 10, 5.5),
+                        (256 << 10, 6.5),
+                        (512 << 10, 15.0),
+                        (64 << 20, 14.5),
+                    ]),
                 },
                 mpi_allreduce: CollProfile {
                     launch_us: 22.0,
@@ -341,12 +346,32 @@ impl PlatformSpec {
                 xccl_bcast: CollProfile {
                     launch_us: 15.33,
                     hop_us: 0.2434,
-                    curve: BwCurve::new(vec![(32256, 1.285), (129024, 2.352), (258048, 3.736), (516096, 0.716), (2064384, 2.563), (8257536, 8.616), (33030144, 15.174), (66060288, 36.233)]),
+                    curve: BwCurve::new(vec![
+                        (32256, 1.285),
+                        (129024, 2.352),
+                        (258048, 3.736),
+                        (516096, 0.716),
+                        (2064384, 2.563),
+                        (8257536, 8.616),
+                        (33030144, 15.174),
+                        (66060288, 36.233),
+                    ]),
                 },
                 xccl_allreduce: CollProfile {
                     launch_us: 55.78,
                     hop_us: 0.8853,
-                    curve: BwCurve::new(vec![(258048, 2.327), (516096, 5.655), (1032192, 8.126), (2064384, 13.593), (4128768, 13.386), (8257536, 12.982), (16515072, 20.957), (33030144, 33.566), (66060288, 48.554), (132120576, 56.715)]),
+                    curve: BwCurve::new(vec![
+                        (258048, 2.327),
+                        (516096, 5.655),
+                        (1032192, 8.126),
+                        (2064384, 13.593),
+                        (4128768, 13.386),
+                        (8257536, 12.982),
+                        (16515072, 20.957),
+                        (33030144, 33.566),
+                        (66060288, 48.554),
+                        (132120576, 56.715),
+                    ]),
                 },
             },
             put_anomaly_gbps: Some(3.2),
@@ -430,12 +455,33 @@ impl PlatformSpec {
                 xccl_bcast: CollProfile {
                     launch_us: 6.19,
                     hop_us: 0.0983,
-                    curve: BwCurve::new(vec![(32256, 1.75), (129024, 12.738), (516096, 3.577), (1032192, 2.83), (2064384, 4.92), (8257536, 8.891), (16515072, 8.729), (33030144, 10.22), (66060288, 9.676)]),
+                    curve: BwCurve::new(vec![
+                        (32256, 1.75),
+                        (129024, 12.738),
+                        (516096, 3.577),
+                        (1032192, 2.83),
+                        (2064384, 4.92),
+                        (8257536, 8.891),
+                        (16515072, 8.729),
+                        (33030144, 10.22),
+                        (66060288, 9.676),
+                    ]),
                 },
                 xccl_allreduce: CollProfile {
                     launch_us: 183.17,
                     hop_us: 2.9074,
-                    curve: BwCurve::new(vec![(258048, 0.861), (516096, 1.506), (1032192, 1.23), (2064384, 1.403), (4128768, 1.174), (8257536, 1.367), (16515072, 1.448), (33030144, 1.34), (66060288, 2.445), (132120576, 2.733)]),
+                    curve: BwCurve::new(vec![
+                        (258048, 0.861),
+                        (516096, 1.506),
+                        (1032192, 1.23),
+                        (2064384, 1.403),
+                        (4128768, 1.174),
+                        (8257536, 1.367),
+                        (16515072, 1.448),
+                        (33030144, 1.34),
+                        (66060288, 2.445),
+                        (132120576, 2.733),
+                    ]),
                 },
             },
             put_anomaly_gbps: None,
@@ -517,12 +563,33 @@ impl PlatformSpec {
                 xccl_bcast: CollProfile {
                     launch_us: 16.73,
                     hop_us: 1.1155,
-                    curve: BwCurve::new(vec![(30720, 1.122), (61440, 0.989), (122880, 1.455), (491520, 3.269), (1966080, 12.768), (7864320, 20.446), (15728640, 24.763), (31457280, 20.324), (62914560, 26.986)]),
+                    curve: BwCurve::new(vec![
+                        (30720, 1.122),
+                        (61440, 0.989),
+                        (122880, 1.455),
+                        (491520, 3.269),
+                        (1966080, 12.768),
+                        (7864320, 20.446),
+                        (15728640, 24.763),
+                        (31457280, 20.324),
+                        (62914560, 26.986),
+                    ]),
                 },
                 xccl_allreduce: CollProfile {
                     launch_us: 72.35,
                     hop_us: 4.8231,
-                    curve: BwCurve::new(vec![(245760, 2.076), (491520, 1.999), (983040, 2.588), (1966080, 6.033), (3932160, 7.034), (7864320, 8.381), (15728640, 8.116), (31457280, 8.477), (62914560, 7.087), (125829120, 7.21)]),
+                    curve: BwCurve::new(vec![
+                        (245760, 2.076),
+                        (491520, 1.999),
+                        (983040, 2.588),
+                        (1966080, 6.033),
+                        (3932160, 7.034),
+                        (7864320, 8.381),
+                        (15728640, 8.116),
+                        (31457280, 8.477),
+                        (62914560, 7.087),
+                        (125829120, 7.21),
+                    ]),
                 },
             },
             put_anomaly_gbps: None,
@@ -580,11 +647,8 @@ mod tests {
 
     #[test]
     fn coll_profile_time_includes_all_terms() {
-        let p = CollProfile {
-            launch_us: 10.0,
-            hop_us: 2.0,
-            curve: BwCurve::new(vec![(1024, 1.0)]),
-        };
+        let p =
+            CollProfile { launch_us: 10.0, hop_us: 2.0, curve: BwCurve::new(vec![(1024, 1.0)]) };
         // 1024 B at 1 GB/s = 1.024 µs; + 10 launch + 3 hops × 2.
         assert!((p.time_us(1024, 3) - (10.0 + 6.0 + 1.024)).abs() < 1e-9);
     }

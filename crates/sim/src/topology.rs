@@ -93,9 +93,7 @@ impl Topology {
         let mut shm = Vec::with_capacity(spec.nodes);
         for _ in 0..spec.nodes {
             nic_tx.push(
-                (0..p.net.nics_per_node)
-                    .map(|_| h.new_resource(p.net.nic_gbps, net_lat))
-                    .collect(),
+                (0..p.net.nics_per_node).map(|_| h.new_resource(p.net.nic_gbps, net_lat)).collect(),
             );
             gpu_port.push(
                 (0..spec.gpus_per_node)

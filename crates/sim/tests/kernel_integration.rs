@@ -299,3 +299,129 @@ fn event_slots_are_recycled() {
     sim.run().unwrap();
     assert_eq!(h.live_events(), 0, "all events freed");
 }
+
+// ---------- batched multi-event waits (wait_all) ----------
+
+/// Run `n` staggered completions and drain them with `f`; returns
+/// (end_time, entries_processed).
+fn drain_with(
+    n: u64,
+    f: impl Fn(&mut diomp_sim::Ctx, Vec<diomp_sim::EventId>) + Send + 'static,
+) -> (SimTime, u64) {
+    let mut sim = Sim::new();
+    sim.spawn("drainer", move |ctx| {
+        let evs: Vec<_> = (0..n)
+            .map(|i| {
+                let ev = ctx.new_event();
+                ctx.complete_at(ev, SimTime(1_000 * (i + 1)));
+                ev
+            })
+            .collect();
+        f(ctx, evs);
+    });
+    let rep = sim.run().unwrap();
+    (rep.end_time, rep.entries_processed)
+}
+
+#[test]
+fn wait_all_wakes_at_last_completion() {
+    let (end, _) = drain_with(10, |ctx, evs| {
+        ctx.wait_all(&evs);
+        assert_eq!(ctx.now(), SimTime(10_000), "woken exactly at the last event");
+        for ev in evs {
+            ctx.free_event(ev);
+        }
+    });
+    assert_eq!(end, SimTime(10_000));
+}
+
+#[test]
+fn wait_all_processes_far_fewer_entries_than_wait_loop() {
+    let n = 200;
+    let (end_loop, entries_loop) = drain_with(n, |ctx, evs| {
+        for &ev in &evs {
+            ctx.wait_free(ev);
+        }
+    });
+    let (end_all, entries_all) = drain_with(n, |ctx, evs| {
+        ctx.wait_all_free(&evs);
+    });
+    assert_eq!(end_loop, end_all, "batching must not change virtual time");
+    // The wait loop costs one wake per event; the group wait costs one
+    // wake total. Completion actions are identical in both runs.
+    assert!(
+        entries_all + n - 1 <= entries_loop,
+        "expected ~{n} fewer entries, got {entries_loop} vs {entries_all}"
+    );
+}
+
+#[test]
+fn wait_all_with_already_completed_events_returns_immediately() {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let a = h.new_event();
+    let b = h.new_event();
+    h.complete(a);
+    h.complete(b);
+    sim.spawn("w", move |ctx| {
+        ctx.wait_all_free(&[a, b]);
+        assert_eq!(ctx.now(), SimTime::ZERO);
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn wait_all_mixes_pending_and_completed() {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let done = h.new_event();
+    let late = h.new_event();
+    h.complete(done);
+    h.complete_at(late, SimTime(5_000));
+    sim.spawn("w", move |ctx| {
+        ctx.wait_all_free(&[done, late]);
+        assert_eq!(ctx.now(), SimTime(5_000));
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn wait_all_groups_are_recycled() {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    sim.spawn("loop", |ctx| {
+        for round in 0..500u64 {
+            let evs: Vec<_> = (0..4)
+                .map(|i| {
+                    let ev = ctx.new_event();
+                    ctx.complete_in(ev, Dur::nanos(i + 1 + round));
+                    ev
+                })
+                .collect();
+            ctx.wait_all_free(&evs);
+        }
+    });
+    sim.run().unwrap();
+    assert_eq!(h.live_events(), 0);
+}
+
+#[test]
+fn two_tasks_can_wait_all_on_overlapping_sets() {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let shared = h.new_event();
+    let mine = h.new_event();
+    let yours = h.new_event();
+    h.complete_at(shared, SimTime(3_000));
+    h.complete_at(mine, SimTime(1_000));
+    h.complete_at(yours, SimTime(9_000));
+    sim.spawn("a", move |ctx| {
+        ctx.wait_all(&[shared, mine]);
+        assert_eq!(ctx.now(), SimTime(3_000));
+    });
+    sim.spawn("b", move |ctx| {
+        ctx.wait_all(&[shared, yours]);
+        assert_eq!(ctx.now(), SimTime(9_000));
+    });
+    sim.run().unwrap();
+}

@@ -65,10 +65,7 @@ impl XcclComm {
         ctx.delay(Dur::micros(world.platform.coll.xccl_init_us));
 
         // Node-major device ordering minimises ring node-crossings.
-        let mut order: Vec<usize> = ranks
-            .iter()
-            .flat_map(|&r| world.devices_of(r))
-            .collect();
+        let mut order: Vec<usize> = ranks.iter().flat_map(|&r| world.devices_of(r)).collect();
         order.sort_by_key(|&f| (world.devs.dev(f).loc.node, world.devs.dev(f).loc.gpu));
         let mut nodes: Vec<usize> = order.iter().map(|&f| world.devs.dev(f).loc.node).collect();
         nodes.dedup();

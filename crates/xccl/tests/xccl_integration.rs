@@ -7,7 +7,13 @@ use diomp_fabric::{FabricWorld, ReduceOp};
 use diomp_sim::{ClusterSpec, PlatformSpec, Sim, SimTime, Topology};
 use diomp_xccl::{DeviceBuf, UniqueId, XcclComm, XcclOp};
 
-fn boot(sim: &Sim, platform: PlatformSpec, nodes: usize, per: usize, nranks: usize) -> Arc<FabricWorld> {
+fn boot(
+    sim: &Sim,
+    platform: PlatformSpec,
+    nodes: usize,
+    per: usize,
+    nranks: usize,
+) -> Arc<FabricWorld> {
     let spec = ClusterSpec { platform, nodes, gpus_per_node: per };
     let topo = Arc::new(Topology::build(&sim.handle(), spec));
     let devs = DeviceTable::build(&sim.handle(), topo.clone(), DataMode::Functional, Some(4 << 20));
@@ -32,8 +38,13 @@ fn with_comm(
         sim.spawn(format!("rank{r}"), move |ctx| {
             // Root generates the id; everyone receives it via bootstrap.
             let bits = world.bootstrap.exchange(ctx, r, if r == 0 { id.bits() } else { 0 })[0];
-            let comm =
-                XcclComm::init(ctx, &world, (0..world.nranks).collect(), r, UniqueId::from_bits(bits));
+            let comm = XcclComm::init(
+                ctx,
+                &world,
+                (0..world.nranks).collect(),
+                r,
+                UniqueId::from_bits(bits),
+            );
             f(ctx, &world, &comm, r);
         });
     }
@@ -76,7 +87,13 @@ fn broadcast_copies_root_payload_everywhere() {
         let off = dev.malloc(64, 256).unwrap();
         write_f64(world, r, off, &[r as f64 * 100.0; 8]);
         // Broadcast from the device at ring position 2.
-        comm.collective(ctx, r, vec![DeviceBuf { flat: r, off }], XcclOp::Broadcast { root: 2 }, 64);
+        comm.collective(
+            ctx,
+            r,
+            vec![DeviceBuf { flat: r, off }],
+            XcclOp::Broadcast { root: 2 },
+            64,
+        );
         let got = read_f64(world, r, off, 8);
         let root_flat = comm.ring.order[2];
         assert_eq!(got, vec![root_flat as f64 * 100.0; 8], "rank {r}");
@@ -113,8 +130,7 @@ fn allgather_places_chunks_in_ring_order() {
         write_f64(world, r, off, &[r as f64, r as f64]); // 16 B payload
         comm.collective(ctx, r, vec![DeviceBuf { flat: r, off }], XcclOp::AllGather, 16);
         let got = read_f64(world, r, off, 8);
-        let expect: Vec<f64> =
-            comm.ring.order.iter().flat_map(|&f| [f as f64, f as f64]).collect();
+        let expect: Vec<f64> = comm.ring.order.iter().flat_map(|&f| [f as f64, f as f64]).collect();
         assert_eq!(got, expect, "rank {r}");
     });
 }

@@ -17,10 +17,7 @@ enum AllocOp {
 
 fn alloc_ops() -> impl Strategy<Value = Vec<AllocOp>> {
     prop::collection::vec(
-        prop_oneof![
-            (32u64..4096).prop_map(AllocOp::Alloc),
-            (0usize..64).prop_map(AllocOp::Free),
-        ],
+        prop_oneof![(32u64..4096).prop_map(AllocOp::Alloc), (0usize..64).prop_map(AllocOp::Free),],
         1..80,
     )
 }
@@ -261,6 +258,61 @@ proptest! {
                 (0..8).filter(|&r| colors[r] == *color).collect();
             prop_assert_eq!(members.clone(), expect, "membership must be exactly the colour class");
         }
+    }
+
+    /// Chunked-pipeline puts deposit byte-identical data to monolithic
+    /// puts for arbitrary message lengths and chunk sizes, including
+    /// chunk sizes above the Platform A anomaly floor (host-staged
+    /// regime) and below it (direct regime), with arbitrary tails.
+    #[test]
+    fn chunked_put_matches_monolithic(
+        len in 1u64..(256 << 10),
+        chunk in 1u64..(48 << 10),
+        max_inflight in 1usize..5,
+    ) {
+        use diomp::core::{DiompConfig, DiompRuntime, PipelineConfig};
+        use diomp::sim::ClusterSpec;
+        use std::sync::Arc;
+
+        let run = |pipeline: PipelineConfig| {
+            let cfg = DiompConfig::new(ClusterSpec {
+                platform: PlatformSpec::platform_a(),
+                nodes: 2,
+                gpus_per_node: 1,
+            })
+            .with_heap(2 << 20)
+            .with_pipeline(pipeline);
+            let out = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let out2 = out.clone();
+            DiompRuntime::run(cfg, move |ctx, rank| {
+                let ptr = rank.alloc_sym(ctx, len).unwrap();
+                if rank.rank == 0 {
+                    let bytes: Vec<u8> =
+                        (0..len as usize).map(|i| (i.wrapping_mul(13) + 5) as u8).collect();
+                    rank.write_local(rank.primary(), ptr, 0, &bytes);
+                }
+                rank.barrier(ctx);
+                if rank.rank == 0 {
+                    rank.put(ctx, 1, ptr, 0, ptr, 0, len).unwrap();
+                    rank.fence(ctx);
+                }
+                rank.barrier(ctx);
+                if rank.rank == 1 {
+                    let mut got = vec![0u8; len as usize];
+                    rank.read_local(rank.primary(), ptr, 0, &mut got);
+                    *out2.lock() = got;
+                }
+            })
+            .unwrap();
+            let bytes = out.lock().clone();
+            bytes
+        };
+        let chunked = run(PipelineConfig { chunk_bytes: chunk, max_inflight, n_queues: 4 });
+        let mono = run(PipelineConfig::disabled());
+        prop_assert_eq!(&chunked, &mono, "chunked and monolithic puts must agree");
+        let expect: Vec<u8> =
+            (0..len as usize).map(|i| (i.wrapping_mul(13) + 5) as u8).collect();
+        prop_assert_eq!(chunked, expect);
     }
 
     /// XCCL allreduce equals the sequential reduction for arbitrary

@@ -1,0 +1,335 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no network access, so this reimplements the
+//! subset of the proptest API the workspace's property tests use:
+//! `Strategy` with `prop_map`/`boxed`, range and collection strategies,
+//! `prop_oneof!`, the `proptest!` macro, `ProptestConfig::with_cases`,
+//! and `prop_assert!`/`prop_assert_eq!`. Cases are generated from a
+//! deterministic per-case RNG (fixed base seed), so failures reproduce
+//! exactly. There is no shrinking: a failing case panics with the case
+//! index, which is enough to re-run it deterministically.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Test-runner plumbing: the deterministic per-case RNG.
+pub mod test_runner {
+    use super::*;
+
+    /// Deterministic RNG handed to strategies for one generated case.
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        /// RNG for case number `case` (fixed base seed: reproducible).
+        pub fn for_case(case: u64) -> TestRng {
+            TestRng(StdRng::seed_from_u64(0xD10A_F00D ^ case.wrapping_mul(0x9E37_79B9)))
+        }
+
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            use rand::RngCore;
+            self.0.next_u64()
+        }
+
+        pub(crate) fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+            use rand::Rng;
+            if lo >= hi {
+                return lo;
+            }
+            self.0.gen_range(lo..hi)
+        }
+    }
+
+    /// Run configuration (the subset the workspace sets).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+}
+
+/// Strategies: composable random-value generators.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A generator of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always generates a clone of one value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among equally-weighted alternatives
+    /// (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Union over the given alternatives (must be non-empty).
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.uniform_usize(0, self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let hi = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                    (self.start as i128 + hi) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy_int!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let f = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + f * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            (Range { start: self.start as f64, end: self.end as f64 }).generate(rng) as f32
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vector of values from `element`, length uniform in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.uniform_usize(self.size.start, self.size.end);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` namespace (mirrors the real prelude's re-export).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Uniform choice among alternatives; all arms must generate the same
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Assertion inside a property body (shim: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property body (shim: `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property body (shim: `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` looping over deterministically generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::Config = $cfg;
+                for case in 0..cfg.cases as u64 {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    let run = || -> () { $body };
+                    if let Err(p) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                        eprintln!("proptest shim: property '{}' failed at case {case} \
+                                   (re-run is deterministic)", stringify!($name));
+                        ::std::panic::resume_unwind(p);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::with_cases(64))]
+            $(
+                $(#[$meta])*
+                fn $name ( $($arg in $strat),+ ) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 5u64..50, f in -1.0f64..1.0) {
+            prop_assert!((5..50).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_respects_size_and_map(v in prop::collection::vec((0u32..10).prop_map(|x| x * 2), 1..8)) {
+            prop_assert!((1..8).contains(&v.len()));
+            for x in v {
+                prop_assert!(x % 2 == 0 && x < 20);
+            }
+        }
+
+        #[test]
+        fn oneof_hits_all_arms(v in prop::collection::vec(prop_oneof![
+            (0u32..1).prop_map(|_| 'a'),
+            (0u32..1).prop_map(|_| 'b'),
+        ], 32..33)) {
+            // With 32 draws per case and 32 cases, both arms must appear.
+            prop_assert!(v.iter().all(|&c| c == 'a' || c == 'b'));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1_000_000;
+        let a: Vec<u64> =
+            (0..10).map(|c| s.generate(&mut crate::test_runner::TestRng::for_case(c))).collect();
+        let b: Vec<u64> =
+            (0..10).map(|c| s.generate(&mut crate::test_runner::TestRng::for_case(c))).collect();
+        assert_eq!(a, b);
+    }
+}
