@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use diomp_core::{Conduit, DiompConfig, DiompRuntime, PipelineConfig};
+use diomp_core::{CollEngine, Conduit, DiompConfig, DiompRuntime, PipelineConfig};
 use diomp_device::{DataMode, DeviceTable};
 use diomp_fabric::{gasnet, gpi, FabricWorld, Loc, MpiRank, ReduceOp};
 use diomp_sim::{bandwidth_gbps, ClusterSpec, PlatformSpec, Sim, SimTime, Topology};
@@ -191,24 +191,58 @@ pub fn mpi_p2p(
 }
 
 /// DiOMP collective latency (µs) per size over `nodes` full nodes —
-/// the OMPCCL side of Fig. 6. The communicator is initialised during
-/// warm-up, as in the paper's methodology.
+/// the OMPCCL side of Fig. 6, through the default engine (the emergent
+/// ring protocol). The communicator is initialised during warm-up, as in
+/// the paper's methodology.
 pub fn diomp_collective(
     platform: &PlatformSpec,
     nodes: usize,
     kind: CollKind,
     sizes: &[u64],
 ) -> Vec<(u64, f64)> {
+    diomp_collective_full(platform, nodes, kind, sizes, CollEngine::default())
+        .into_iter()
+        .map(|(s, us, _)| (s, us))
+        .collect()
+}
+
+/// Like [`diomp_collective`] but through the calibrated whole-collective
+/// profiles — the curve-fit ablation baseline the emergent ring curves
+/// are asserted against.
+pub fn diomp_collective_profiled(
+    platform: &PlatformSpec,
+    nodes: usize,
+    kind: CollKind,
+    sizes: &[u64],
+) -> Vec<(u64, f64)> {
+    diomp_collective_full(platform, nodes, kind, sizes, CollEngine::Profile)
+        .into_iter()
+        .map(|(s, us, _)| (s, us))
+        .collect()
+}
+
+/// Full-fidelity collective driver: `(size, µs, scheduler entries)` rows
+/// through a chosen [`CollEngine`]. The entry count is the whole run's
+/// `SimReport::entries_processed` — the wall-clock scheduler cost the
+/// batched `wait_any` wait-groups keep bounded for the ring engine.
+pub fn diomp_collective_full(
+    platform: &PlatformSpec,
+    nodes: usize,
+    kind: CollKind,
+    sizes: &[u64],
+    engine: CollEngine,
+) -> Vec<(u64, f64, u64)> {
     sizes
         .iter()
         .map(|&size| {
             let heap = (2 * size + (1 << 20)).next_power_of_two();
             let cfg = DiompConfig::on_platform(platform.clone(), nodes)
                 .with_mode(DataMode::CostOnly)
-                .with_heap(heap);
+                .with_heap(heap)
+                .with_coll_engine(engine);
             let done = Arc::new(Mutex::new((SimTime::ZERO, SimTime::ZERO)));
             let done2 = done.clone();
-            DiompRuntime::run(cfg, move |ctx, rank| {
+            let rep = DiompRuntime::run(cfg, move |ctx, rank| {
                 let world = rank.shared.world_group();
                 let ptr = rank.alloc_sym(ctx, size.max(64)).unwrap();
                 // Warm-up round initialises the communicator and rings.
@@ -239,7 +273,7 @@ pub fn diomp_collective(
             })
             .unwrap();
             let (t0, t1) = *done.lock();
-            (size, t1.since(t0).as_us() / REPS as f64)
+            (size, t1.since(t0).as_us() / REPS as f64, rep.entries_processed)
         })
         .collect()
 }

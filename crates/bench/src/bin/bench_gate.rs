@@ -1,0 +1,202 @@
+//! CI perf-regression gate.
+//!
+//! Re-runs a deterministic subset of the fig4 bandwidth measurements and
+//! the ISSUE 1/2 ablation measurements (chunked-pipeline put, batched
+//! fence, ring vs profile collectives), emits them as `BENCH_*.json`,
+//! and compares against the committed baseline. Both the simulated
+//! metric (GB/s, µs) and the scheduler-entry count (`entries_processed`,
+//! the wall-clock cost the batched wait-groups optimise) are gated: a
+//! regression beyond 10% in either fails the build. Everything measured
+//! is a virtual-time quantity, so the baseline is machine-independent.
+//!
+//! Usage:
+//!   bench_gate [--json PATH] [--baseline PATH] [--update]
+//!
+//! `--update` rewrites the baseline file with the current measurements
+//! (run after an intentional performance change and commit the result).
+
+use diomp_apps::micro::{diomp_collective_full, diomp_p2p_full, CollKind, RmaOp};
+use diomp_bench::report::{
+    json_path_from_args, parse_json, write_if_requested, write_json, BenchRecord,
+};
+use diomp_bench::size_label;
+use diomp_core::{CollEngine, Conduit, DiompConfig, DiompRuntime, PipelineConfig};
+use diomp_device::DataMode;
+use diomp_sim::{ClusterSpec, PlatformSpec};
+
+/// Allowed relative slack before a change counts as a regression.
+const TOLERANCE: f64 = 0.10;
+
+fn measure() -> Vec<BenchRecord> {
+    let mut records = Vec::new();
+
+    // Fig. 4 put bandwidth, monolithic vs chunk-pipelined, all platforms.
+    let sizes = [4u64 << 20, 64 << 20];
+    for (tag, platform) in [
+        ("a", PlatformSpec::platform_a()),
+        ("b", PlatformSpec::platform_b()),
+        ("c", PlatformSpec::platform_c()),
+    ] {
+        for (suffix, pipe) in
+            [("", PipelineConfig::disabled()), ("_pipelined", PipelineConfig::enabled())]
+        {
+            let rows = diomp_p2p_full(&platform, Conduit::GasnetEx, RmaOp::Put, &sizes, true, pipe);
+            for (s, gbps, entries) in rows {
+                records.push(BenchRecord::with_entries(
+                    format!("fig4{tag}/diomp_put{suffix}_{}", size_label(s)),
+                    gbps,
+                    "GB/s",
+                    entries,
+                ));
+            }
+        }
+    }
+
+    // Batched-fence ablation (ISSUE 1): virtual time and entry count of a
+    // 1000-put fence with wait_all batching on.
+    let fence_cfg = DiompConfig::new(ClusterSpec {
+        platform: PlatformSpec::platform_a(),
+        nodes: 2,
+        gpus_per_node: 1,
+    })
+    .with_mode(DataMode::CostOnly)
+    .with_heap(64 << 20);
+    let rep = DiompRuntime::run(fence_cfg, |ctx, rank| {
+        let ptr = rank.alloc_sym(ctx, 256 << 10).unwrap();
+        rank.barrier(ctx);
+        if rank.rank == 0 {
+            for _ in 0..1000 {
+                rank.put(ctx, 1, ptr, 0, ptr, 0, 256 << 10).unwrap();
+            }
+            rank.fence(ctx);
+        }
+        rank.barrier(ctx);
+    })
+    .unwrap();
+    records.push(BenchRecord::with_entries(
+        "ablation/fence1000_batched",
+        rep.end_time.as_us(),
+        "us",
+        rep.entries_processed,
+    ));
+
+    // Ring-collective engine (ISSUE 2): emergent vs profiled allreduce on
+    // 64 A100s; the entry count gates the progress loop's scheduler cost
+    // (what wait_any_batched keeps bounded).
+    for (name, engine) in [("ring", CollEngine::default()), ("profile", CollEngine::Profile)] {
+        let rows = diomp_collective_full(
+            &PlatformSpec::platform_a(),
+            16,
+            CollKind::AllReduce,
+            &[1 << 20, 64 << 20],
+            engine,
+        );
+        for (s, us, entries) in rows {
+            records.push(BenchRecord::with_entries(
+                format!("fig6/allred_A_{}/{name}", size_label(s)),
+                us,
+                "us",
+                entries,
+            ));
+        }
+    }
+    records
+}
+
+/// True when `current` regressed vs `base` beyond the tolerance, for a
+/// metric where `higher_better` says which direction is good.
+fn regressed(base: f64, current: f64, higher_better: bool) -> bool {
+    if higher_better {
+        current < base * (1.0 - TOLERANCE)
+    } else {
+        current > base * (1.0 + TOLERANCE)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = json_path_from_args(&args);
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("error: --baseline requires a path argument");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or_else(|| "bench/baseline.json".to_string());
+    let update = args.iter().any(|a| a == "--update");
+
+    let current = measure();
+    println!("{:>46} {:>12} {:>8} {:>12}", "benchmark", "value", "unit", "entries");
+    for r in &current {
+        println!(
+            "{:>46} {:>12.3} {:>8} {:>12}",
+            r.name,
+            r.value,
+            r.unit,
+            r.entries_processed.map_or("-".to_string(), |e| e.to_string())
+        );
+    }
+    write_if_requested(json_path.as_deref(), &current);
+    if update {
+        write_json(std::path::Path::new(&baseline_path), &current).expect("write baseline json");
+        println!("updated baseline {baseline_path}");
+        return;
+    }
+
+    let text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read baseline {baseline_path}: {e}");
+        eprintln!("hint: regenerate with `bench_gate --update` and commit it");
+        std::process::exit(2);
+    });
+    let baseline = parse_json(&text).unwrap_or_else(|e| {
+        eprintln!("error: malformed baseline {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+
+    let mut failures = Vec::new();
+    for b in &baseline {
+        let Some(c) = current.iter().find(|c| c.name == b.name) else {
+            failures.push(format!("{}: present in baseline but no longer measured", b.name));
+            continue;
+        };
+        let higher_better = b.unit == "GB/s" || b.unit == "x";
+        if regressed(b.value, c.value, higher_better) {
+            failures.push(format!(
+                "{}: {} {} vs baseline {} (>{:.0}% worse)",
+                b.name,
+                c.value,
+                c.unit,
+                b.value,
+                TOLERANCE * 100.0
+            ));
+        }
+        if let (Some(be), Some(ce)) = (b.entries_processed, c.entries_processed) {
+            if regressed(be as f64, ce as f64, false) {
+                failures.push(format!(
+                    "{}: {} scheduler entries vs baseline {} (>{:.0}% more)",
+                    b.name,
+                    ce,
+                    be,
+                    TOLERANCE * 100.0
+                ));
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "perf gate OK: {} benchmarks within {:.0}% of {baseline_path}",
+            baseline.len(),
+            TOLERANCE * 100.0
+        );
+    } else {
+        eprintln!("perf gate FAILED ({} regressions):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        eprintln!("(if intentional, regenerate with `bench_gate --update` and commit)");
+        std::process::exit(1);
+    }
+}

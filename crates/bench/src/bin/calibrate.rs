@@ -1,8 +1,16 @@
 //! Calibration probe (maintenance tool): prints raw MPI and DiOMP
 //! collective times per Fig. 6 cell so the XCCL achieved-bandwidth curves
 //! in `diomp-sim::platform` can be refitted after MPI-side changes.
+//!
+//! The DiOMP column runs the *profile* engine on purpose: refitting the
+//! `CollProfile` curves from ring-engine output would be circular (the
+//! ring's link efficiency is itself derived from those curves). The
+//! `ring_us` column is printed alongside for cross-checking the emergent
+//! protocol, never for fitting.
 
-use diomp_apps::micro::{diomp_collective, fig6_nodes, mpi_collective, CollKind};
+use diomp_apps::micro::{
+    diomp_collective, diomp_collective_profiled, fig6_nodes, mpi_collective, CollKind,
+};
 use diomp_bench::paper;
 use diomp_sim::PlatformSpec;
 
@@ -18,9 +26,10 @@ fn main() {
             (CollKind::AllReduce, "allred", &paper::FIG6_ALLRED_SIZES[..]),
         ] {
             let mpi = mpi_collective(&platform, nodes, op, sizes);
-            let diomp = diomp_collective(&platform, nodes, op, sizes);
-            for (&(s, m), &(_, d)) in mpi.iter().zip(&diomp) {
-                println!("{pname} {opname} {s} mpi_us={m:.2} diomp_us={d:.2}");
+            let diomp = diomp_collective_profiled(&platform, nodes, op, sizes);
+            let ring = diomp_collective(&platform, nodes, op, sizes);
+            for ((&(s, m), &(_, d)), &(_, r)) in mpi.iter().zip(&diomp).zip(&ring) {
+                println!("{pname} {opname} {s} mpi_us={m:.2} diomp_us={d:.2} ring_us={r:.2}");
             }
         }
     }

@@ -1,17 +1,22 @@
 //! Fig. 3 — point-to-point RMA latency, 4 B – 8 KB: DiOMP Put/Get vs MPI
 //! Put/Get on the three platforms. Lower is better; the paper's headline
-//! is DiOMP's flat ~5 µs curve against MPI's climbing one.
+//! is DiOMP's flat ~5 µs curve against MPI's climbing one. `--json PATH`
+//! emits every cell as a `BENCH_*.json` record.
 
 use diomp_apps::micro::{diomp_p2p_latency, mpi_p2p, RmaOp};
+use diomp_bench::report::{json_path_from_args, BenchRecord};
 use diomp_bench::{paper, size_label};
 use diomp_sim::PlatformSpec;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = json_path_from_args(&args);
+    let mut records: Vec<BenchRecord> = Vec::new();
     let sizes = &paper::FIG3_SIZES;
-    for (name, platform) in [
-        ("(a) Slingshot 11 + A100", PlatformSpec::platform_a()),
-        ("(b) Slingshot 11 + MI250X", PlatformSpec::platform_b()),
-        ("(c) NDR InfiniBand + Grace Hopper", PlatformSpec::platform_c()),
+    for (tag, name, platform) in [
+        ("a", "(a) Slingshot 11 + A100", PlatformSpec::platform_a()),
+        ("b", "(b) Slingshot 11 + MI250X", PlatformSpec::platform_b()),
+        ("c", "(c) NDR InfiniBand + Grace Hopper", PlatformSpec::platform_c()),
     ] {
         println!("\n== Fig. 3{name}: latency (µs) ==");
         let dg = diomp_p2p_latency(&platform, RmaOp::Get, sizes);
@@ -31,8 +36,20 @@ fn main() {
                 mg[i].1,
                 mp[i].1
             );
+            let sz = size_label(sizes[i]);
+            for (series, row) in
+                [("diomp_get", &dg), ("diomp_put", &dp), ("mpi_get", &mg), ("mpi_put", &mp)]
+            {
+                records.push(BenchRecord {
+                    name: format!("fig3{tag}/{series}_{sz}"),
+                    value: row[i].1,
+                    unit: "us".into(),
+                    entries_processed: None,
+                });
+            }
         }
     }
     println!("\npaper shape: DiOMP nearly flat (~5 µs on A/B, ~6 µs on C); MPI above it");
     println!("and climbing with size (C: MPI an order of magnitude higher).");
+    diomp_bench::report::write_if_requested(json_path.as_deref(), &records);
 }

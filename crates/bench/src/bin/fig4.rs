@@ -6,7 +6,7 @@
 //! `BENCH_*.json` rows carrying each run's scheduler-entry count.
 
 use diomp_apps::micro::{diomp_p2p_bandwidth, diomp_p2p_full, mpi_p2p, RmaOp};
-use diomp_bench::report::BenchRecord;
+use diomp_bench::report::{json_path_from_args, BenchRecord};
 use diomp_bench::{paper, size_label};
 use diomp_core::{Conduit, PipelineConfig};
 use diomp_sim::PlatformSpec;
@@ -14,12 +14,7 @@ use diomp_sim::PlatformSpec;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let no_anomaly = args.iter().any(|a| a == "--no-anomaly");
-    let json_path = args.iter().position(|a| a == "--json").map(|i| {
-        args.get(i + 1).map(std::path::PathBuf::from).unwrap_or_else(|| {
-            eprintln!("error: --json requires a path argument");
-            std::process::exit(2);
-        })
-    });
+    let json_path = json_path_from_args(&args);
     let mut records: Vec<BenchRecord> = Vec::new();
     let sizes = &paper::FIG4_SIZES;
     for (tag, name, mut platform, max) in [
@@ -83,8 +78,5 @@ fn main() {
     println!("paper shape: DiOMP above MPI everywhere except the documented");
     println!("Platform A DiOMP-Put anomaly (external driver issue, Fig. 4a),");
     println!("which the pipelined put dodges by staging chunks through host memory.");
-    if let Some(path) = json_path {
-        diomp_bench::report::write_json(&path, &records).expect("write BENCH json");
-        println!("wrote {} records to {}", records.len(), path.display());
-    }
+    diomp_bench::report::write_if_requested(json_path.as_deref(), &records);
 }

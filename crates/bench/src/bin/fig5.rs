@@ -1,12 +1,17 @@
 //! Fig. 5 — the two DiOMP conduits compared: GASNet-EX vs GPI-2 Put/Get
-//! bandwidth over NDR InfiniBand, 32 B – 128 KB.
+//! bandwidth over NDR InfiniBand, 32 B – 128 KB. `--json PATH` emits
+//! every cell as a `BENCH_*.json` record.
 
 use diomp_apps::micro::{diomp_p2p, RmaOp};
+use diomp_bench::report::{json_path_from_args, BenchRecord};
 use diomp_bench::{paper, size_label};
 use diomp_core::Conduit;
 use diomp_sim::PlatformSpec;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = json_path_from_args(&args);
+    let mut records: Vec<BenchRecord> = Vec::new();
     let sizes = &paper::FIG5_SIZES;
     let c = PlatformSpec::platform_c();
     let gas_get = diomp_p2p(&c, Conduit::GasnetEx, RmaOp::Get, sizes, true);
@@ -27,7 +32,22 @@ fn main() {
             gpi_get[i].1,
             gpi_put[i].1
         );
+        let sz = size_label(sizes[i]);
+        for (series, row) in [
+            ("gasnet_get", &gas_get),
+            ("gasnet_put", &gas_put),
+            ("gpi_get", &gpi_get),
+            ("gpi_put", &gpi_put),
+        ] {
+            records.push(BenchRecord {
+                name: format!("fig5/{series}_{sz}"),
+                value: row[i].1,
+                unit: "GB/s".into(),
+                entries_processed: None,
+            });
+        }
     }
     println!("\npaper shape: GPI-2 Put outperforms GASNet-EX Put in the small/medium");
     println!("range; all four converge as the wire saturates.");
+    diomp_bench::report::write_if_requested(json_path.as_deref(), &records);
 }

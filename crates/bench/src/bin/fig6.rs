@@ -1,16 +1,32 @@
 //! Fig. 6 — collective latency heatmaps: `log10(t_MPI / t_DiOMP)` for
 //! Broadcast (32 KB–64 MB) and AllReduce (128 KB–64 MB) on the paper's
-//! three platforms (64 A100s, 64 GCDs, 16 GH200s).
+//! three platforms (64 A100s, 64 GCDs, 16 GH200s). The DiOMP side runs
+//! through the emergent chunk-pipelined ring engine by default; pass
+//! `--profile` for the calibrated whole-collective curve fit (ablation).
+//! `--json PATH` emits every cell — DiOMP µs with the run's
+//! scheduler-entry count, MPI µs, and the log-ratio — as `BENCH_*.json`
+//! records.
 
-use diomp_apps::micro::{diomp_collective, fig6_nodes, log_ratio, mpi_collective, CollKind};
-use diomp_bench::{mae, paper, print_ratio_row, sign_agreement};
+use diomp_apps::micro::{diomp_collective_full, fig6_nodes, log_ratio, mpi_collective, CollKind};
+use diomp_bench::report::{json_path_from_args, BenchRecord};
+use diomp_bench::{mae, paper, print_ratio_row, sign_agreement, size_label};
+use diomp_core::CollEngine;
 use diomp_sim::PlatformSpec;
 
-fn run_op(kind: CollKind, sizes: &[u64], refs: [(&str, PlatformSpec, &[f64]); 3]) {
-    for (name, platform, paper_row) in refs {
+#[allow(clippy::too_many_arguments)]
+fn run_op(
+    kind: CollKind,
+    op_tag: &str,
+    sizes: &[u64],
+    engine: CollEngine,
+    records: &mut Vec<BenchRecord>,
+    refs: [(&str, &str, PlatformSpec, &[f64]); 3],
+) {
+    for (tag, name, platform, paper_row) in refs {
         let nodes = fig6_nodes(&platform);
         let mpi = mpi_collective(&platform, nodes, kind, sizes);
-        let diomp = diomp_collective(&platform, nodes, kind, sizes);
+        let full = diomp_collective_full(&platform, nodes, kind, sizes, engine);
+        let diomp: Vec<(u64, f64)> = full.iter().map(|&(s, us, _)| (s, us)).collect();
         let ratio = log_ratio(&mpi, &diomp);
         print_ratio_row(name, sizes, &ratio, paper_row);
         println!(
@@ -18,28 +34,90 @@ fn run_op(kind: CollKind, sizes: &[u64], refs: [(&str, PlatformSpec, &[f64]); 3]
             100.0 * sign_agreement(&ratio, paper_row),
             mae(&ratio, paper_row)
         );
+        // Tag the DiOMP rows with the engine so ring and --profile
+        // artifacts stay distinguishable side by side.
+        let eng = match engine {
+            CollEngine::Profile => "diomp_profile",
+            CollEngine::Ring(_) => "diomp",
+        };
+        for (i, &(s, us, entries)) in full.iter().enumerate() {
+            let sz = size_label(s);
+            records.push(BenchRecord::with_entries(
+                format!("fig6/{op_tag}_{tag}_{sz}/{eng}"),
+                us,
+                "us",
+                entries,
+            ));
+            records.push(BenchRecord {
+                name: format!("fig6/{op_tag}_{tag}_{sz}/mpi"),
+                value: mpi[i].1,
+                unit: "us".into(),
+                entries_processed: None,
+            });
+            records.push(BenchRecord {
+                name: format!("fig6/{op_tag}_{tag}_{sz}/log_ratio"),
+                value: ratio[i].1,
+                unit: "log10".into(),
+                entries_processed: None,
+            });
+        }
     }
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = json_path_from_args(&args);
+    let engine = if args.iter().any(|a| a == "--profile") {
+        CollEngine::Profile
+    } else {
+        CollEngine::default()
+    };
+    let mut records = Vec::new();
     println!("Fig. 6(a) Broadcast — log10(MPI/DiOMP), positive = DiOMP faster");
     run_op(
         CollKind::Broadcast,
+        "bcast",
         &paper::FIG6_BCAST_SIZES,
+        engine,
+        &mut records,
         [
-            ("Slingshot 11 + A100 (64 GPUs)", PlatformSpec::platform_a(), &paper::FIG6_BCAST_A),
-            ("NDR IB + GH200 (16 GPUs)", PlatformSpec::platform_c(), &paper::FIG6_BCAST_C),
-            ("Slingshot 11 + MI250X (64 GCDs)", PlatformSpec::platform_b(), &paper::FIG6_BCAST_B),
+            (
+                "A",
+                "Slingshot 11 + A100 (64 GPUs)",
+                PlatformSpec::platform_a(),
+                &paper::FIG6_BCAST_A,
+            ),
+            ("C", "NDR IB + GH200 (16 GPUs)", PlatformSpec::platform_c(), &paper::FIG6_BCAST_C),
+            (
+                "B",
+                "Slingshot 11 + MI250X (64 GCDs)",
+                PlatformSpec::platform_b(),
+                &paper::FIG6_BCAST_B,
+            ),
         ],
     );
     println!("\nFig. 6(b) AllReduce(sum) — log10(MPI/DiOMP)");
     run_op(
         CollKind::AllReduce,
+        "allred",
         &paper::FIG6_ALLRED_SIZES,
+        engine,
+        &mut records,
         [
-            ("Slingshot 11 + A100 (64 GPUs)", PlatformSpec::platform_a(), &paper::FIG6_ALLRED_A),
-            ("NDR IB + GH200 (16 GPUs)", PlatformSpec::platform_c(), &paper::FIG6_ALLRED_C),
-            ("Slingshot 11 + MI250X (64 GCDs)", PlatformSpec::platform_b(), &paper::FIG6_ALLRED_B),
+            (
+                "A",
+                "Slingshot 11 + A100 (64 GPUs)",
+                PlatformSpec::platform_a(),
+                &paper::FIG6_ALLRED_A,
+            ),
+            ("C", "NDR IB + GH200 (16 GPUs)", PlatformSpec::platform_c(), &paper::FIG6_ALLRED_C),
+            (
+                "B",
+                "Slingshot 11 + MI250X (64 GCDs)",
+                PlatformSpec::platform_b(),
+                &paper::FIG6_ALLRED_B,
+            ),
         ],
     );
+    diomp_bench::report::write_if_requested(json_path.as_deref(), &records);
 }

@@ -4,6 +4,7 @@
 
 use diomp_apps::cannon::{self, CannonConfig};
 use diomp_bench::paper;
+use diomp_bench::report::{json_path_from_args, BenchRecord};
 use diomp_device::DataMode;
 use diomp_sim::PlatformSpec;
 
@@ -23,14 +24,19 @@ fn series(platform: &PlatformSpec, gpus: &[usize]) -> (Speedups, Speedups) {
 }
 
 fn main() {
-    for (name, platform, gpus, peaks) in [
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = json_path_from_args(&args);
+    let mut records: Vec<BenchRecord> = Vec::new();
+    for (tag, name, platform, gpus, peaks) in [
         (
+            "a",
             "(a) Slingshot 11 + A100",
             PlatformSpec::platform_a(),
             &paper::FIG7_GPUS_A[..],
             paper::FIG7_PEAK_A,
         ),
         (
+            "b",
             "(b) Slingshot 11 + MI250X",
             PlatformSpec::platform_b(),
             &paper::FIG7_GPUS_B[..],
@@ -42,6 +48,14 @@ fn main() {
         println!("{:>6} {:>10} {:>10}", "GPUs", "DiOMP", "MPI");
         for (dd, mm) in d.iter().zip(&m) {
             println!("{:>6} {:>10.2} {:>10.2}", dd.0, dd.1, mm.1);
+            for (series_tag, v) in [("diomp", dd.1), ("mpi", mm.1)] {
+                records.push(BenchRecord {
+                    name: format!("fig7{tag}/{series_tag}_speedup_{}gpus", dd.0),
+                    value: v,
+                    unit: "x".into(),
+                    entries_processed: None,
+                });
+            }
         }
         println!(
             "peak: DiOMP {:.1} (paper ≈{:.1}), MPI {:.1} (paper ≈{:.1}); superlinear = speedup > {}",
@@ -52,4 +66,5 @@ fn main() {
             gpus.last().unwrap() / gpus[0],
         );
     }
+    diomp_bench::report::write_if_requested(json_path.as_deref(), &records);
 }

@@ -5,20 +5,26 @@
 
 use diomp_apps::minimod::{self, MinimodConfig};
 use diomp_bench::paper;
+use diomp_bench::report::{json_path_from_args, BenchRecord};
 use diomp_device::DataMode;
 use diomp_sim::PlatformSpec;
 
 const SIM_STEPS: usize = 40;
 
 fn main() {
-    for (name, platform, gpus, peaks) in [
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = json_path_from_args(&args);
+    let mut records: Vec<BenchRecord> = Vec::new();
+    for (tag, name, platform, gpus, peaks) in [
         (
+            "a",
             "(a) Slingshot 11 + A100",
             PlatformSpec::platform_a(),
             &paper::FIG8_GPUS_A[..],
             paper::FIG8_PEAK_A,
         ),
         (
+            "b",
             "(b) Slingshot 11 + MI250X",
             PlatformSpec::platform_b(),
             &paper::FIG8_GPUS_B[..],
@@ -48,6 +54,14 @@ fn main() {
             let d = base / minimod::diomp::run(&cfg(g)).elapsed.as_nanos() as f64;
             let m = base / minimod::mpi::run(&cfg(g)).elapsed.as_nanos() as f64;
             println!("{g:>6} {d:>10.2} {m:>10.2}");
+            for (series_tag, v) in [("diomp", d), ("mpi", m)] {
+                records.push(BenchRecord {
+                    name: format!("fig8{tag}/{series_tag}_speedup_{g}gpus"),
+                    value: v,
+                    unit: "x".into(),
+                    entries_processed: None,
+                });
+            }
             last = (d, m);
         }
         println!(
@@ -55,4 +69,5 @@ fn main() {
             last.0, peaks.0, last.1, peaks.1
         );
     }
+    diomp_bench::report::write_if_requested(json_path.as_deref(), &records);
 }

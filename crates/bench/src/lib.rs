@@ -190,6 +190,170 @@ pub mod report {
         f.write_all(to_json(records).as_bytes())?;
         f.write_all(b"\n")
     }
+
+    /// Parse the value of a `--json PATH` argument from an argv slice.
+    /// Exits with status 2 when `--json` is present without a path —
+    /// shared by every fig binary so the CLI behaves identically.
+    pub fn json_path_from_args(args: &[String]) -> Option<std::path::PathBuf> {
+        args.iter().position(|a| a == "--json").map(|i| {
+            args.get(i + 1).map(std::path::PathBuf::from).unwrap_or_else(|| {
+                eprintln!("error: --json requires a path argument");
+                std::process::exit(2);
+            })
+        })
+    }
+
+    /// Shared epilogue of every fig binary: when `--json PATH` was given,
+    /// write the records there and report the count.
+    pub fn write_if_requested(json_path: Option<&std::path::Path>, records: &[BenchRecord]) {
+        if let Some(path) = json_path {
+            write_json(path, records).expect("write BENCH json");
+            println!("wrote {} records to {}", records.len(), path.display());
+        }
+    }
+
+    /// Parse a `BENCH_*.json` array produced by [`to_json`] back into
+    /// records (the regression gate reads the committed baseline with
+    /// this; the emitter and parser are round-trip tested together).
+    /// Returns an error string describing the first malformed row.
+    pub fn parse_json(text: &str) -> Result<Vec<BenchRecord>, String> {
+        let body = text.trim();
+        let body = body
+            .strip_prefix('[')
+            .and_then(|b| b.strip_suffix(']'))
+            .ok_or("expected a JSON array")?;
+        let mut out = Vec::new();
+        for row in split_objects(body)? {
+            let name = field_str(&row, "name").ok_or_else(|| format!("row missing name: {row}"))?;
+            let unit = field_str(&row, "unit").ok_or_else(|| format!("row missing unit: {row}"))?;
+            let raw_value =
+                field_raw(&row, "value").ok_or_else(|| format!("row missing value: {row}"))?;
+            // The emitter writes non-finite values as `null` (fmt_f64);
+            // read them back as NaN so one bad metric cannot poison the
+            // whole baseline parse.
+            let value = if raw_value.trim() == "null" {
+                f64::NAN
+            } else {
+                // Trim: pretty-printed JSON (`"value": 3.18`) is valid and
+                // f64's FromStr rejects surrounding whitespace.
+                raw_value.trim().parse::<f64>().map_err(|e| format!("bad value in {row}: {e}"))?
+            };
+            let entries_processed = match field_raw(&row, "entries_processed") {
+                Some(raw) => Some(
+                    raw.trim().parse::<u64>().map_err(|e| format!("bad entries in {row}: {e}"))?,
+                ),
+                None => None,
+            };
+            out.push(BenchRecord { name, value, unit, entries_processed });
+        }
+        Ok(out)
+    }
+
+    /// Split `{..},{..}` (no nested objects in our format) into rows.
+    fn split_objects(body: &str) -> Result<Vec<String>, String> {
+        let mut rows = Vec::new();
+        let mut depth = 0usize;
+        let mut in_str = false;
+        let mut esc = false;
+        let mut cur = String::new();
+        for c in body.chars() {
+            if esc {
+                cur.push(c);
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => {
+                    cur.push(c);
+                    esc = true;
+                }
+                '"' => {
+                    cur.push(c);
+                    in_str = !in_str;
+                }
+                '{' if !in_str => {
+                    depth += 1;
+                    if depth == 1 {
+                        cur.clear();
+                    } else {
+                        cur.push(c);
+                    }
+                }
+                '}' if !in_str => {
+                    depth = depth.checked_sub(1).ok_or("unbalanced braces")?;
+                    if depth == 0 {
+                        rows.push(cur.clone());
+                    } else {
+                        cur.push(c);
+                    }
+                }
+                _ => {
+                    if depth > 0 {
+                        cur.push(c);
+                    }
+                }
+            }
+        }
+        if depth != 0 || in_str {
+            return Err("truncated JSON".to_string());
+        }
+        Ok(rows)
+    }
+
+    /// Raw (unquoted) text of `"key":<raw>` up to the next top-level comma.
+    fn field_raw(row: &str, key: &str) -> Option<String> {
+        let pat = format!("\"{key}\":");
+        let start = row.find(&pat)? + pat.len();
+        let rest = &row[start..];
+        let mut end = rest.len();
+        let mut in_str = false;
+        let mut esc = false;
+        for (i, c) in rest.char_indices() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                ',' if !in_str => {
+                    end = i;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        Some(rest[..end].to_string())
+    }
+
+    /// Decoded string value of `"key":"..."`.
+    fn field_str(row: &str, key: &str) -> Option<String> {
+        let raw = field_raw(row, key)?;
+        let raw = raw.trim();
+        let inner = raw.strip_prefix('"')?.strip_suffix('"')?;
+        let mut out = String::new();
+        let mut esc = false;
+        let mut it = inner.chars();
+        while let Some(c) = it.next() {
+            if esc {
+                match c {
+                    'n' => out.push('\n'),
+                    'u' => {
+                        let code: String = (&mut it).take(4).collect();
+                        let v = u32::from_str_radix(&code, 16).ok()?;
+                        out.push(char::from_u32(v)?);
+                    }
+                    other => out.push(other),
+                }
+                esc = false;
+            } else if c == '\\' {
+                esc = true;
+            } else {
+                out.push(c);
+            }
+        }
+        Some(out)
+    }
 }
 
 /// Format a byte size the way the paper labels its axes.
@@ -299,6 +463,35 @@ mod tests {
             "[{\"name\":\"fig4a/put_16mb\",\"value\":3.15,\"unit\":\"GB/s\",\
              \"entries_processed\":1234},{\"name\":\"x\\\"y\",\"value\":2,\"unit\":\"us\"}]"
         );
+    }
+
+    #[test]
+    fn bench_json_parses_back_to_the_same_records() {
+        use crate::report::{parse_json, to_json, BenchRecord};
+        let rows = vec![
+            BenchRecord::with_entries("fig4a/put_16MB", 3.15, "GB/s", 1234),
+            BenchRecord {
+                name: "odd\"name\\x".into(),
+                value: -2.5,
+                unit: "us".into(),
+                entries_processed: None,
+            },
+        ];
+        let back = parse_json(&to_json(&rows)).unwrap();
+        assert_eq!(back, rows);
+        assert_eq!(parse_json("[]").unwrap(), vec![]);
+        assert!(parse_json("{").is_err());
+        // Non-finite values are emitted as `null` and read back as NaN
+        // instead of failing the whole parse.
+        let nan_row = vec![BenchRecord {
+            name: "bad".into(),
+            value: f64::NAN,
+            unit: "us".into(),
+            entries_processed: None,
+        }];
+        let parsed = parse_json(&to_json(&nan_row)).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert!(parsed[0].value.is_nan());
     }
 
     #[test]

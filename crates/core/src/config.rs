@@ -2,6 +2,7 @@
 
 use diomp_device::DataMode;
 use diomp_sim::{ClusterSpec, PlatformSpec};
+use diomp_xccl::CollEngine;
 
 use crate::galloc::AllocKind;
 
@@ -108,6 +109,11 @@ pub struct DiompConfig {
     /// instead of one park per pending event. Identical virtual-time
     /// results; far fewer scheduler entries.
     pub batched_fence: bool,
+    /// OMPCCL completion-time engine: the chunk-pipelined ring protocol
+    /// over the simulated links (default — Fig. 6 emerges from protocol
+    /// structure) or the calibrated whole-collective profiles (the
+    /// curve-fit path, kept for ablation).
+    pub coll_engine: CollEngine,
 }
 
 impl DiompConfig {
@@ -126,6 +132,7 @@ impl DiompConfig {
             use_p2p: true,
             pipeline: PipelineConfig::disabled(),
             batched_fence: true,
+            coll_engine: CollEngine::default(),
         }
     }
 
@@ -194,6 +201,19 @@ impl DiompConfig {
     /// by the scheduler-cost ablation.
     pub fn without_batched_fence(mut self) -> Self {
         self.batched_fence = false;
+        self
+    }
+
+    /// Select the OMPCCL completion-time engine.
+    pub fn with_coll_engine(mut self, e: CollEngine) -> Self {
+        self.coll_engine = e;
+        self
+    }
+
+    /// Price collectives with the calibrated whole-collective profiles
+    /// instead of the emergent ring protocol (the ablation baseline).
+    pub fn with_profile_collectives(mut self) -> Self {
+        self.coll_engine = CollEngine::Profile;
         self
     }
 }

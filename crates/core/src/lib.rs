@@ -49,6 +49,7 @@ mod sync;
 mod target;
 
 pub use config::{Binding, Conduit, DiompConfig, PipelineConfig};
+pub use diomp_xccl::{CollEngine, RingConfig};
 pub use error::DiompError;
 pub use galloc::{AllocKind, BuddyAlloc, LinearAlloc, PtrCache, WRAPPER_BYTES};
 pub use gptr::{AsymPtr, GPtr};

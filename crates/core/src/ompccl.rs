@@ -40,12 +40,13 @@ impl DiompRank {
         // exchange) broadcasts it (paper §3.3).
         let candidate = if idx == 0 { UniqueId::generate().bits() } else { 0 };
         let bits = group.exch.exchange(ctx, idx, candidate)[0];
-        let comm = XcclComm::init(
+        let comm = XcclComm::init_with_engine(
             ctx,
             &self.shared.world,
             group.ranks.clone(),
             self.rank,
             UniqueId::from_bits(bits),
+            self.shared.cfg.coll_engine,
         );
         *group.comms[idx].lock() = Some(comm.clone());
         comm

@@ -42,6 +42,16 @@ pub enum ReduceOp {
 }
 
 impl ReduceOp {
+    /// Size of one element in bytes. Ring reduce-scatter segment
+    /// boundaries must fall on element boundaries so partial combines
+    /// never split an element.
+    pub fn elem_bytes(self) -> u64 {
+        match self {
+            ReduceOp::SumF32 => 4,
+            ReduceOp::SumF64 | ReduceOp::MaxF64 | ReduceOp::SumU64 => 8,
+        }
+    }
+
     /// `acc ⊕= other`, element-wise.
     pub fn combine(self, acc: &mut [u8], other: &[u8]) {
         assert_eq!(acc.len(), other.len(), "reduce operand length mismatch");

@@ -101,10 +101,10 @@ impl Ctx {
             }
             let park_seq = st.park_seqs[self.id.index()] + 1;
             st.park_seqs[self.id.index()] = park_seq;
-            let gid = st.alloc_wait_group(pending, self.id, park_seq);
+            let gref = st.alloc_wait_group(pending, self.id, park_seq);
             for &ev in evs {
                 if !st.events.get(ev).completed {
-                    st.events.get_mut(ev).group_waiters.push(gid);
+                    st.events.get_mut(ev).group_waiters.push(gref);
                 }
             }
             st.tasks[self.id.index()].status = TaskStatus::Blocked;
@@ -146,6 +146,40 @@ impl Ctx {
             }
             self.park();
         }
+    }
+
+    /// Block until *any* of the events completes; returns the index of a
+    /// completed event (the first found in argument order).
+    ///
+    /// Unlike [`Ctx::wait_any`] — which registers a per-event waiter on
+    /// every pending event, so *every* later completion pushes a (stale)
+    /// wake entry for this task — this registers a single *wait-any
+    /// group* (a [`Ctx::wait_all`]-style wait group with a remaining
+    /// count of one): the first completion produces the only wake entry
+    /// and every later completion finds the group dead and pushes
+    /// nothing. For a progress engine polling N in-flight completions
+    /// per retirement — the ring-collective engine's inner loop — this
+    /// turns O(N) scheduler entries per park into O(1).
+    pub fn wait_any_batched(&mut self, evs: &[EventId]) -> usize {
+        assert!(!evs.is_empty(), "wait_any_batched on empty set");
+        {
+            let mut st = self.handle.kernel.state.lock();
+            if let Some(i) = evs.iter().position(|&e| st.events.get(e).completed) {
+                return i;
+            }
+            let park_seq = st.park_seqs[self.id.index()] + 1;
+            st.park_seqs[self.id.index()] = park_seq;
+            let gref = st.alloc_wait_group(1, self.id, park_seq);
+            for &ev in evs {
+                st.events.get_mut(ev).group_waiters.push(gref);
+            }
+            st.tasks[self.id.index()].status = TaskStatus::Blocked;
+        }
+        self.park();
+        let st = self.handle.kernel.state.lock();
+        evs.iter()
+            .position(|&e| st.events.get(e).completed)
+            .expect("wait_any_batched woke with no completed event")
     }
 
     /// Advance this task's virtual time by `d` (models local computation

@@ -27,6 +27,17 @@ pub(crate) struct Waiter {
     pub(crate) park_seq: u64,
 }
 
+/// Reference from an event to a wait-group registration. Generation-tagged
+/// like events themselves: a wait-*any* group dies when its first event
+/// completes, leaving stale references on the events that did not win —
+/// completion (and `free_event`) recognises those by a generation mismatch
+/// and skips them instead of corrupting a recycled group slot.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GroupRef {
+    pub(crate) gid: u32,
+    pub(crate) gen: u32,
+}
+
 /// Kernel-internal state of one event slot.
 #[derive(Debug)]
 pub(crate) struct EventSlot {
@@ -35,10 +46,12 @@ pub(crate) struct EventSlot {
     /// Tasks blocked on this event (woken on completion).
     pub(crate) waiters: Vec<Waiter>,
     /// Wait-groups with a pending registration on this event (see
-    /// [`crate::Ctx::wait_all`]): completion decrements each group's
-    /// remaining-count instead of waking a task directly, so a task
-    /// blocked on N events costs one wake, not N.
-    pub(crate) group_waiters: Vec<u32>,
+    /// [`crate::Ctx::wait_all`] and [`crate::Ctx::wait_any_batched`]):
+    /// completion decrements each live group's remaining-count instead of
+    /// waking a task directly, so a task blocked on N events costs one
+    /// wake, not N. Stale references (groups that already fired) are
+    /// skipped by generation check.
+    pub(crate) group_waiters: Vec<GroupRef>,
     /// Slot is live (allocated and not yet freed).
     pub(crate) live: bool,
 }

@@ -31,7 +31,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::ctx::Ctx;
-use crate::event::{EventArena, EventId};
+use crate::event::{EventArena, EventId, GroupRef};
 use crate::resource::{ResSlot, ResourceId, Transfer};
 use crate::task::{TaskId, TaskSlot, TaskStatus, YieldMsg};
 use crate::time::{Dur, SimTime};
@@ -76,13 +76,18 @@ impl Ord for Entry {
 /// One batched multi-event wait: a task parked until `remaining` event
 /// registrations have completed. The whole group costs a single wake
 /// entry, which is what makes `Ctx::wait_all` (and `ompx_fence` built on
-/// it) cheap for large pending sets.
+/// it) cheap for large pending sets. With `remaining == 1` over many
+/// events the same slot implements `Ctx::wait_any_batched`: the first
+/// completion fires the group; later completions find it dead (or
+/// recycled under a newer generation) and push nothing.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct WaitGroup {
     pub(crate) remaining: usize,
     pub(crate) task: TaskId,
     pub(crate) park_seq: u64,
     pub(crate) live: bool,
+    /// Bumped on slot reuse so stale event-side references are detectable.
+    pub(crate) gen: u32,
 }
 
 pub(crate) struct KState {
@@ -110,19 +115,20 @@ impl KState {
     }
 
     /// Allocate a wait group covering `remaining` pending registrations.
+    /// Returns the generation-tagged reference events store.
     pub(crate) fn alloc_wait_group(
         &mut self,
         remaining: usize,
         task: TaskId,
         park_seq: u64,
-    ) -> u32 {
-        let g = WaitGroup { remaining, task, park_seq, live: true };
+    ) -> GroupRef {
         if let Some(i) = self.free_wait_groups.pop() {
-            self.wait_groups[i as usize] = g;
-            i
+            let gen = self.wait_groups[i as usize].gen.wrapping_add(1);
+            self.wait_groups[i as usize] = WaitGroup { remaining, task, park_seq, live: true, gen };
+            GroupRef { gid: i, gen }
         } else {
-            self.wait_groups.push(g);
-            (self.wait_groups.len() - 1) as u32
+            self.wait_groups.push(WaitGroup { remaining, task, park_seq, live: true, gen: 0 });
+            GroupRef { gid: (self.wait_groups.len() - 1) as u32, gen: 0 }
         }
     }
 }
@@ -473,15 +479,20 @@ impl SimHandle {
             self.push(&mut st, now, Item::Wake { task: w.task, park_seq: w.park_seq });
         }
         // Batched waiters: only the registration that brings a group to
-        // zero produces a wake entry.
-        for gid in groups {
-            let g = &mut st.wait_groups[gid as usize];
-            debug_assert!(g.live && g.remaining > 0, "completion for dead wait group");
+        // zero produces a wake entry. Stale references — wait-any groups
+        // that already fired on another event, possibly recycled since —
+        // are skipped by the generation check.
+        for gref in groups {
+            let g = &mut st.wait_groups[gref.gid as usize];
+            if !g.live || g.gen != gref.gen {
+                continue;
+            }
+            debug_assert!(g.remaining > 0, "live wait group with zero remaining");
             g.remaining -= 1;
             if g.remaining == 0 {
                 g.live = false;
                 let (task, park_seq) = (g.task, g.park_seq);
-                st.free_wait_groups.push(gid);
+                st.free_wait_groups.push(gref.gid);
                 self.push(&mut st, now, Item::Wake { task, park_seq });
             }
         }
@@ -501,7 +512,20 @@ impl SimHandle {
 
     /// Recycle a completed event. The handle must not be used again.
     pub fn free_event(&self, ev: EventId) {
-        self.kernel.state.lock().events.free(ev);
+        let mut st = self.kernel.state.lock();
+        // Wait-any groups that fired on another event leave stale
+        // references behind; drop them so only *live* registrations count
+        // as "someone still waits on this event".
+        let refs = std::mem::take(&mut st.events.get_mut(ev).group_waiters);
+        let live: Vec<GroupRef> = refs
+            .into_iter()
+            .filter(|r| {
+                let g = &st.wait_groups[r.gid as usize];
+                g.live && g.gen == r.gen
+            })
+            .collect();
+        st.events.get_mut(ev).group_waiters = live;
+        st.events.free(ev);
     }
 
     /// Run a closure on the scheduler thread at absolute virtual time `t`

@@ -405,6 +405,109 @@ fn wait_all_groups_are_recycled() {
     assert_eq!(h.live_events(), 0);
 }
 
+// ---------- batched wait-any (wait-any groups, ISSUE 2) ----------
+
+#[test]
+fn wait_any_batched_returns_first_completed() {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let slow = h.new_event();
+    let fast = h.new_event();
+    h.complete_at(slow, SimTime(9_000));
+    h.complete_at(fast, SimTime(1_000));
+    sim.spawn("w", move |ctx| {
+        let idx = ctx.wait_any_batched(&[slow, fast]);
+        assert_eq!(idx, 1);
+        assert_eq!(ctx.now(), SimTime(1_000));
+        // The abandoned registration on `slow` must not disturb later
+        // waits: the group is dead, so slow's completion pushes nothing.
+        ctx.wait(slow);
+        assert_eq!(ctx.now(), SimTime(9_000));
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn wait_any_batched_on_completed_event_returns_immediately() {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let pending = h.new_event();
+    let done = h.new_event();
+    h.complete(done);
+    sim.spawn("w", move |ctx| {
+        assert_eq!(ctx.wait_any_batched(&[pending, done]), 1);
+        assert_eq!(ctx.now(), SimTime::ZERO);
+        ctx.complete(pending);
+    });
+    sim.run().unwrap();
+}
+
+/// Progress-engine shape: retire `n` staggered completions one at a time,
+/// re-waiting on the whole remaining set after each retirement.
+fn retire_one_by_one(
+    n: u64,
+    wait: impl Fn(&mut diomp_sim::Ctx, &[diomp_sim::EventId]) -> usize + Send + 'static,
+) -> (SimTime, u64) {
+    let mut sim = Sim::new();
+    sim.spawn("engine", move |ctx| {
+        let mut evs: Vec<_> = (0..n)
+            .map(|i| {
+                let ev = ctx.new_event();
+                ctx.complete_at(ev, SimTime(1_000 * (i + 1)));
+                ev
+            })
+            .collect();
+        while !evs.is_empty() {
+            let idx = wait(ctx, &evs);
+            let ev = evs.remove(idx);
+            ctx.handle().free_event(ev);
+        }
+    });
+    let rep = sim.run().unwrap();
+    (rep.end_time, rep.entries_processed)
+}
+
+#[test]
+fn wait_any_batched_saves_entries_over_per_event_waiters() {
+    let n = 100;
+    let (end_plain, entries_plain) = retire_one_by_one(n, |ctx, evs| ctx.wait_any(evs));
+    let (end_batched, entries_batched) = retire_one_by_one(n, |ctx, evs| ctx.wait_any_batched(evs));
+    assert_eq!(end_plain, end_batched, "batching must not change virtual time");
+    // Per-event waiters: every park registers on all remaining events and
+    // every one of those completions later pushes a (stale) wake — O(n²)
+    // queue entries over the retirement loop. Wait-any groups: exactly one
+    // wake per park.
+    assert!(
+        entries_batched + n * (n - 1) / 4 <= entries_plain,
+        "expected a quadratic saving, got {entries_plain} vs {entries_batched}"
+    );
+}
+
+#[test]
+fn wait_any_groups_are_recycled_across_rounds() {
+    // Stale group refs from earlier rounds must never fire a recycled
+    // group (generation check) nor block event recycling.
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    sim.spawn("loop", |ctx| {
+        for round in 0..300u64 {
+            let evs: Vec<_> = (0..4)
+                .map(|i| {
+                    let ev = ctx.new_event();
+                    ctx.complete_in(ev, Dur::nanos((i + 1) * (round + 1)));
+                    ev
+                })
+                .collect();
+            let first = ctx.wait_any_batched(&evs);
+            assert_eq!(first, 0, "earliest completion wins");
+            // Drain the rest and recycle everything.
+            ctx.wait_all_free(&evs);
+        }
+    });
+    sim.run().unwrap();
+    assert_eq!(h.live_events(), 0);
+}
+
 #[test]
 fn two_tasks_can_wait_all_on_overlapping_sets() {
     let mut sim = Sim::new();

@@ -9,6 +9,7 @@ use parking_lot::Mutex;
 
 use crate::gate::{CollGate, DeviceBuf};
 use crate::ops::XcclOp;
+use crate::ring::{self, CollEngine, Rail};
 use crate::unique_id::UniqueId;
 
 /// Process-global gate registry: every rank constructs its own
@@ -45,20 +46,39 @@ pub struct XcclComm {
     pub id: UniqueId,
     /// Discovered ring topology.
     pub ring: RingInfo,
+    /// Completion-time engine (emergent ring protocol or calibrated
+    /// profile; see [`CollEngine`]).
+    pub engine: CollEngine,
+    /// Per-rail rotated ring orders with their edge link assignments.
+    rails: Arc<Vec<Rail>>,
     gate: Arc<CollGate>,
 }
 
 impl XcclComm {
-    /// Collectively initialise a communicator over `ranks` (every listed
-    /// rank must call with the same arguments). Charges the library's
-    /// initialisation cost (topology discovery, ring construction,
-    /// transport setup) and synchronises all participants.
+    /// Collectively initialise a communicator over `ranks` with the
+    /// default engine (the chunk-pipelined ring protocol). See
+    /// [`XcclComm::init_with_engine`].
     pub fn init(
         ctx: &mut Ctx,
         world: &Arc<FabricWorld>,
         ranks: Vec<usize>,
         my_rank: usize,
         id: UniqueId,
+    ) -> Arc<XcclComm> {
+        Self::init_with_engine(ctx, world, ranks, my_rank, id, CollEngine::default())
+    }
+
+    /// Collectively initialise a communicator over `ranks` (every listed
+    /// rank must call with the same arguments). Charges the library's
+    /// initialisation cost (topology discovery, ring construction,
+    /// transport setup) and synchronises all participants.
+    pub fn init_with_engine(
+        ctx: &mut Ctx,
+        world: &Arc<FabricWorld>,
+        ranks: Vec<usize>,
+        my_rank: usize,
+        id: UniqueId,
+        engine: CollEngine,
     ) -> Arc<XcclComm> {
         assert!(ranks.contains(&my_rank));
         // Topology discovery + transport setup (ncclCommInitRank).
@@ -73,12 +93,15 @@ impl XcclComm {
         let devs_per_node = order.len().div_ceil(nodes.max(1));
         let nrings = world.topo.nics_per_node().min(devs_per_node).max(1);
 
+        let rails = Arc::new(ring::build_rails(world, &order, nrings));
         let gate = gate_for(id, ranks.len());
         Arc::new(XcclComm {
             world: world.clone(),
             ranks,
             id,
             ring: RingInfo { order, nodes, nrings },
+            engine,
+            rails,
             gate,
         })
     }
@@ -111,6 +134,8 @@ impl XcclComm {
         let world = self.world.clone();
         let order = self.ring.order.clone();
         let n = order.len();
+        let engine = self.engine;
+        let rails = self.rails.clone();
         self.gate.arrive(ctx, idx, my_bufs, move |ctx, arrivals| {
             // Assemble buffers in ring order.
             let mut by_flat: Vec<Option<DeviceBuf>> = vec![None; world.devs.len()];
@@ -124,24 +149,44 @@ impl XcclComm {
                 .map(|&f| by_flat[f].unwrap_or_else(|| panic!("no buffer for device {f}")))
                 .collect();
 
-            // Modelled completion: launch + ring-fill hop latency + wire
-            // bytes over the library's achieved-bandwidth curve. The curve
-            // is calibrated per platform against the vendor library's
-            // measured behaviour (Fig. 6) and already includes multi-rail
-            // aggregation and protocol switches (LL/LL128/Simple), which
-            // is why it need not be monotonic.
-            let coll = &world.platform.coll;
-            let profile = op.profile(coll);
-            let hops = (n.max(2) - 1) as u32;
-            let wire = (len as f64 * op.wire_factor(n)).ceil() as u64;
-            let us = profile.time_us(wire.max(1), hops);
-            let done = ctx.now() + Dur::micros(us);
+            let done = match engine {
+                CollEngine::Profile => {
+                    // Modelled completion: launch + ring-fill hop latency +
+                    // wire bytes over the library's achieved-bandwidth
+                    // curve. The curve is calibrated per platform against
+                    // the vendor library's measured behaviour (Fig. 6) and
+                    // already includes multi-rail aggregation and protocol
+                    // switches (LL/LL128/Simple), which is why it need not
+                    // be monotonic.
+                    let coll = &world.platform.coll;
+                    let profile = op.profile(coll);
+                    let hops = (n.max(2) - 1) as u32;
+                    let wire = (len as f64 * op.wire_factor(n)).ceil() as u64;
+                    let us = profile.time_us(wire.max(1), hops);
+                    ctx.now() + Dur::micros(us)
+                }
+                CollEngine::Ring(rc) => {
+                    // Emergent completion: run the chunk-pipelined ring
+                    // schedule over the simulated links in this (the last
+                    // arriving) task's context.
+                    let root_flat = match op {
+                        XcclOp::Broadcast { root } | XcclOp::Reduce { root, .. } => {
+                            Some(order[root])
+                        }
+                        _ => None,
+                    };
+                    ring::execute(ctx, &world.platform, &rails, op, root_flat, len, rc)
+                }
+            };
 
-            // Real data semantics at completion.
+            // Real data semantics at completion. The ring engine combines
+            // reduction segments in ring chain order; the profile engine
+            // keeps the sequential reference order.
             let devs = world.devs.clone();
-            let op2 = op;
-            ctx.handle().schedule_at(done, move |_| {
-                op2.apply(&devs, &bufs, len);
+            let rails2 = rails.clone();
+            ctx.handle().schedule_at(done, move |_| match engine {
+                CollEngine::Profile => op.apply(&devs, &bufs, len),
+                CollEngine::Ring(_) => ring::apply(&devs, &rails2, op, &bufs, len),
             });
             done
         })

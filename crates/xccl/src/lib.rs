@@ -8,31 +8,38 @@
 //! * initialisation performs topology discovery and builds
 //!   bandwidth-optimal rings (node-major order minimises node crossings),
 //! * collectives are *device-side*: they operate on device buffers,
-//!   launch kernels (fixed launch cost) and move data at the library's
-//!   achieved-bandwidth curve (the calibrated [`diomp_sim::CollProfile`]
-//!   for the platform — NCCL and RCCL have different curves, which is
-//!   what Fig. 6 measures).
+//!   launch kernels (fixed launch cost) and execute, by default, as a
+//!   **chunk-pipelined ring protocol** over the simulated links
+//!   ([`CollEngine::Ring`], the private `ring` module): multi-rail rings,
+//!   2(n−1) chunked steps for allreduce, per-edge in-flight windows. The
+//!   Fig. 6 curves then emerge from protocol structure; only launch /
+//!   per-step / link-efficiency scalars come from the calibrated
+//!   [`diomp_sim::CollProfile`] tables.
 //!
 //! Collective calls are rank-collective: every participating rank calls
 //! the same operation in the same order; the data results are computed on
 //! the real buffer bytes (Functional mode) so correctness is testable
 //! against sequential references.
 //!
-//! Resource-charging note: unlike the MPI baseline (which reserves NIC
-//! resources per message), XCCL timing comes from the calibrated
-//! whole-collective profile — the curve already encodes link contention
-//! as measured for the vendor library. Collectives therefore do not
-//! additionally serialise on the simulator's NIC resources; the paper's
-//! collective benchmarks run them in isolation, where this is exact.
+//! Resource-charging note: with the default ring engine, collectives
+//! charge the simulator's NIC and GPU-fabric port resources chunk by
+//! chunk, so concurrent rails and concurrent collectives contend like the
+//! MPI baseline does. The legacy [`CollEngine::Profile`] path instead
+//! prices the whole collective with the calibrated achieved-bandwidth
+//! curve (which already encodes contention as measured for the vendor
+//! library) and touches no link resources; it is kept behind the config
+//! flag for ablation against the emergent curves.
 
 #![warn(missing_docs)]
 
 mod comm;
 mod gate;
 mod ops;
+mod ring;
 mod unique_id;
 
 pub use comm::{RingInfo, XcclComm};
 pub use gate::DeviceBuf;
 pub use ops::XcclOp;
+pub use ring::{CollEngine, RingConfig};
 pub use unique_id::UniqueId;

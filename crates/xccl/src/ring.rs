@@ -1,0 +1,479 @@
+//! The ring-protocol engine: chunk-pipelined ring collectives executed
+//! over the simulated links (paper §3.3, Fig. 6).
+//!
+//! Instead of pricing a collective with a calibrated whole-collective
+//! curve ([`CollEngine::Profile`]), this engine *runs the protocol*: the
+//! payload is split across `nrings` rails (one ring per NIC, NCCL's
+//! multi-rail layout), each rail executes its 2(n−1) (allreduce) or n−1
+//! (broadcast/allgather/reduce) ring steps as chunked transfers over the
+//! simulated link resources — intra-node GPU-fabric ports and inter-node
+//! NIC ports — with several chunks in flight per ring edge, exactly the
+//! machinery PR 1's `PipelineConfig` built for point-to-point RMA. The
+//! Fig. 6 size-dependence then *emerges* from protocol structure (step
+//! count, pipeline fill, link serialisation, rail aggregation); only the
+//! per-platform constants (launch cost, per-step overhead, link
+//! efficiency at the bottleneck) remain calibration parameters, derived
+//! from the same [`diomp_sim::CollProfile`] tables the profile engine
+//! uses.
+//!
+//! Execution model: the last rank to arrive at the collective gate runs
+//! a *progress loop* in its own task context. Every ring edge is a FIFO
+//! lane of chunk sends; a send is issued once its upstream dependency
+//! (the same chunk's arrival one step earlier) has completed and the
+//! lane has a free buffer slot (`max_inflight`). In-flight completions
+//! are drained with [`diomp_sim::Ctx::wait_any_batched`] — one wake-entry
+//! per park instead of one per pending event, which is what makes a
+//! 64-GPU, thousands-of-chunks collective cheap to schedule.
+
+use diomp_device::{DataMode, DeviceTable};
+use diomp_fabric::FabricWorld;
+use diomp_sim::{Ctx, Dur, EventId, PlatformSpec, ResourceId, SimTime};
+
+use crate::gate::DeviceBuf;
+use crate::ops::XcclOp;
+
+/// Chunk-pipeline knobs of the ring engine (mirrors the shape of PR 1's
+/// RMA `PipelineConfig`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RingConfig {
+    /// Pipeline granularity: a ring step's payload is split into chunks
+    /// of this size so several chunks are in flight per step and the
+    /// pipeline fill overlaps ring-step latency.
+    pub chunk_bytes: u64,
+    /// Outstanding chunk sends per ring edge (NCCL-style buffer slots).
+    pub max_inflight: usize,
+}
+
+impl RingConfig {
+    /// Defaults tuned for the paper's platforms: 128 KiB chunks, 4 slots
+    /// per edge.
+    pub fn new() -> Self {
+        RingConfig { chunk_bytes: 128 << 10, max_inflight: 4 }
+    }
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Which completion-time engine a communicator uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CollEngine {
+    /// Calibrated whole-collective profile (the curve-fit path, kept for
+    /// ablation against the emergent protocol).
+    Profile,
+    /// Chunk-pipelined ring protocol over the simulated links (default).
+    Ring(RingConfig),
+}
+
+impl Default for CollEngine {
+    fn default() -> Self {
+        CollEngine::Ring(RingConfig::default())
+    }
+}
+
+/// One ring edge: the link resource the source device transmits on.
+#[derive(Clone, Copy, Debug)]
+struct Edge {
+    res: ResourceId,
+    /// Crosses a node boundary (NIC) rather than the intra-node fabric.
+    inter: bool,
+}
+
+/// One rail: a rotated device order plus its per-edge link assignment.
+///
+/// Rail `r` rotates each node's device block left by `r`, so the device
+/// that crosses the node boundary — and therefore the NIC charged for
+/// the crossing — differs per rail. That is how `nrings` concurrent
+/// rings aggregate multi-NIC bandwidth on platforms A/B.
+#[derive(Clone, Debug)]
+pub(crate) struct Rail {
+    /// Devices in this rail's ring order.
+    pub(crate) order: Vec<usize>,
+    edges: Vec<Edge>,
+}
+
+/// Build the `nrings` rails over the node-major global ring order.
+pub(crate) fn build_rails(world: &FabricWorld, order: &[usize], nrings: usize) -> Vec<Rail> {
+    // Group the node-major order into per-node blocks.
+    let mut blocks: Vec<Vec<usize>> = Vec::new();
+    for &f in order {
+        let node = world.devs.dev(f).loc.node;
+        match blocks.last_mut() {
+            Some(b) if world.devs.dev(*b.last().unwrap()).loc.node == node => b.push(f),
+            _ => blocks.push(vec![f]),
+        }
+    }
+    (0..nrings.max(1))
+        .map(|r| {
+            let mut ord = Vec::with_capacity(order.len());
+            for b in &blocks {
+                let k = r % b.len();
+                ord.extend(b[k..].iter().copied().chain(b[..k].iter().copied()));
+            }
+            let n = ord.len();
+            let edges = (0..n)
+                .map(|i| {
+                    let a = world.devs.dev(ord[i]);
+                    let b = world.devs.dev(ord[(i + 1) % n]);
+                    if a.loc.node == b.loc.node {
+                        Edge { res: a.port, inter: false }
+                    } else {
+                        Edge { res: a.nic, inter: true }
+                    }
+                })
+                .collect();
+            Rail { order: ord, edges }
+        })
+        .collect()
+}
+
+/// Calibrated per-op constants of the ring engine, derived from the same
+/// platform tables the profile engine reads. The *structure* (steps,
+/// chunks, rails, link serialisation) is the protocol's; these scalars
+/// pin what each primitive costs on the platform:
+///
+/// * `launch_us` / `step_us` — the profile's launch cost and per-hop
+///   processing overhead (kernel step, reduce, flag check),
+/// * `inter_eff` — fraction of raw NIC bandwidth the library achieves at
+///   the inter-node bottleneck, chosen so the emergent large-message
+///   asymptote lands on the calibrated curve's top control point
+///   (`curve_bw ≈ nrings × nic_gbps × eff`),
+/// * `intra_eff` — fixed high fraction for the fast intra-node fabric,
+///   which is never the bottleneck on the paper's platforms.
+struct Tuning {
+    launch_us: f64,
+    step_us: f64,
+    inter_eff: f64,
+    intra_eff: f64,
+}
+
+const INTRA_EFF: f64 = 0.90;
+const MIN_EFF: f64 = 0.01;
+const MAX_EFF: f64 = 0.98;
+
+fn tuning_for(platform: &PlatformSpec, op: &XcclOp, nrings: usize) -> Tuning {
+    let profile = op.profile(&platform.coll);
+    let top_bw = profile.curve.points.last().expect("BwCurve is non-empty").1;
+    let agg = nrings.max(1) as f64 * platform.net.nic_gbps;
+    Tuning {
+        launch_us: profile.launch_us,
+        step_us: profile.hop_us,
+        inter_eff: (top_bw / agg).clamp(MIN_EFF, MAX_EFF),
+        intra_eff: INTRA_EFF,
+    }
+}
+
+/// Split `total` bytes into `parts` near-equal pieces whose boundaries
+/// fall on `align`-byte element boundaries; any ragged tail rides with
+/// the last non-empty piece. Returns `(offset, len)` per piece.
+fn split_aligned(total: u64, parts: usize, align: u64) -> Vec<(u64, u64)> {
+    let parts = parts.max(1);
+    let align = align.max(1);
+    let units = total / align;
+    let base = units / parts as u64;
+    let extra = units % parts as u64;
+    let mut out = Vec::with_capacity(parts);
+    let mut off = 0u64;
+    for i in 0..parts as u64 {
+        let len = (base + u64::from(i < extra)) * align;
+        out.push((off, len));
+        off += len;
+    }
+    // Ragged tail bytes (len not a multiple of align) go to the last piece.
+    if off < total {
+        let last = out.last_mut().unwrap();
+        last.1 += total - off;
+    }
+    out
+}
+
+/// One chunk transfer over one ring edge.
+struct Send {
+    res: ResourceId,
+    lane: u32,
+    /// Ring step (= hop index of the owning chunk's path).
+    step: u32,
+    /// Token ordinal within the rail (segment / contribution index).
+    tok: u32,
+    /// Chunk ordinal within the token.
+    chunk: u32,
+    bytes: u64,
+    /// Index of the send whose arrival enables this one (same chunk, one
+    /// step earlier on the upstream edge).
+    dep: Option<u32>,
+    inter: bool,
+}
+
+/// Execute the ring schedule in the calling task's context, advancing
+/// virtual time to the collective's emergent completion instant.
+///
+/// `root_flat` is the flat device index of the broadcast/reduce root
+/// (ignored for symmetric ops).
+pub(crate) fn execute(
+    ctx: &mut Ctx,
+    platform: &PlatformSpec,
+    rails: &[Rail],
+    op: XcclOp,
+    root_flat: Option<usize>,
+    len: u64,
+    cfg: RingConfig,
+) -> SimTime {
+    let t = tuning_for(platform, &op, rails.len());
+    ctx.delay(Dur::micros(t.launch_us));
+    let n = rails.first().map_or(0, |r| r.order.len());
+    if n <= 1 {
+        return ctx.now();
+    }
+
+    // ---- build the send table: every (rail, token, chunk, hop) ----
+    let elem = op.elem_align();
+    let slices = split_aligned(len, rails.len(), elem);
+    let chunk_bytes = cfg.chunk_bytes.max(1);
+    let mut sends: Vec<Send> = Vec::new();
+    for (ri, rail) in rails.iter().enumerate() {
+        let (_, slen) = slices[ri];
+        // Tokens: `(bytes, first edge)` flows, each traversing `hops`
+        // consecutive edges. Ring allreduce = reduce-scatter + allgather:
+        // segment j starts on edge j and travels 2(n−1) hops; the chain
+        // ops travel n−1 hops from their root.
+        let (tokens, hops): (Vec<(u64, usize)>, usize) = match op {
+            XcclOp::AllReduce { .. } => (
+                split_aligned(slen, n, elem).into_iter().map(|(_, l)| l).zip(0..n).collect(),
+                2 * (n - 1),
+            ),
+            XcclOp::AllGather => ((0..n).map(|j| (slen, j)).collect(), n - 1),
+            XcclOp::Broadcast { .. } => {
+                let root = rail_pos(rail, root_flat);
+                (vec![(slen, root)], n - 1)
+            }
+            XcclOp::Reduce { .. } => {
+                let root = rail_pos(rail, root_flat);
+                (vec![(slen, (root + 1) % n)], n - 1)
+            }
+        };
+        for (tok, &(bytes, start)) in tokens.iter().enumerate() {
+            if bytes == 0 {
+                // Empty segment/rail share: nothing flows. Tokens are
+                // independent, so skipping one leaves no dangling deps —
+                // and a sub-segment payload (len < n elements) would
+                // otherwise pay the full O(rails·n²) schedule in phantom
+                // 1-byte sends.
+                continue;
+            }
+            let nchunks = bytes.div_ceil(chunk_bytes);
+            for c in 0..nchunks {
+                let cb = chunk_bytes.min(bytes - c * chunk_bytes);
+                let mut dep: Option<u32> = None;
+                for h in 0..hops {
+                    let e = (start + h) % n;
+                    let idx = sends.len() as u32;
+                    sends.push(Send {
+                        res: rail.edges[e].res,
+                        lane: (ri * n + e) as u32,
+                        step: h as u32,
+                        tok: tok as u32,
+                        chunk: c as u32,
+                        bytes: cb,
+                        dep,
+                        inter: rail.edges[e].inter,
+                    });
+                    dep = Some(idx);
+                }
+            }
+        }
+    }
+    if sends.is_empty() {
+        return ctx.now();
+    }
+
+    // ---- per-edge FIFO lanes, processed in (step, token, chunk) order --
+    let nlanes = rails.len() * n;
+    let mut lanes: Vec<Vec<u32>> = vec![Vec::new(); nlanes];
+    for (i, s) in sends.iter().enumerate() {
+        lanes[s.lane as usize].push(i as u32);
+    }
+    for lane in &mut lanes {
+        lane.sort_by_key(|&i| {
+            let s = &sends[i as usize];
+            (s.step, s.tok, s.chunk)
+        });
+    }
+
+    // ---- progress loop ----
+    let window = cfg.max_inflight.max(1);
+    let step_d = Dur::micros(t.step_us);
+    let mut lane_next = vec![0usize; nlanes];
+    let mut lane_inflight = vec![0usize; nlanes];
+    let mut arrived = vec![false; sends.len()];
+    let mut inflight: Vec<(EventId, u32)> = Vec::new();
+    loop {
+        // Issue every lane head whose dependency has arrived, up to the
+        // per-edge slot window.
+        for l in 0..nlanes {
+            while lane_next[l] < lanes[l].len() && lane_inflight[l] < window {
+                let si = lanes[l][lane_next[l]] as usize;
+                if let Some(d) = sends[si].dep {
+                    if !arrived[d as usize] {
+                        break;
+                    }
+                }
+                let eff = if sends[si].inter { t.inter_eff } else { t.intra_eff };
+                let wire = ((sends[si].bytes as f64 / eff).ceil() as u64).max(1);
+                // Per-step processing (reduce / copy / flag check) before
+                // the chunk is injected on the edge's link.
+                let ready = ctx.now() + step_d;
+                let tr = ctx.handle().transfer_from(sends[si].res, ready, wire);
+                let ev = ctx.new_event();
+                ctx.complete_at(ev, tr.arrive);
+                inflight.push((ev, si as u32));
+                lane_next[l] += 1;
+                lane_inflight[l] += 1;
+            }
+        }
+        if inflight.is_empty() {
+            assert!(
+                lane_next.iter().zip(&lanes).all(|(&nx, l)| nx == l.len()),
+                "ring schedule stalled with sends outstanding"
+            );
+            break;
+        }
+        let evs: Vec<EventId> = inflight.iter().map(|&(ev, _)| ev).collect();
+        let _ = ctx.wait_any_batched(&evs);
+        // Retire everything that completed at this instant.
+        inflight.retain(|&(ev, si)| {
+            if ctx.event_done(ev) {
+                ctx.free_event(ev);
+                arrived[si as usize] = true;
+                lane_inflight[sends[si as usize].lane as usize] -= 1;
+                false
+            } else {
+                true
+            }
+        });
+    }
+    // Receive-side processing of the final chunk.
+    ctx.delay(step_d);
+    ctx.now()
+}
+
+fn rail_pos(rail: &Rail, root_flat: Option<usize>) -> usize {
+    let flat = root_flat.expect("rooted collective without a root device");
+    rail.order.iter().position(|&f| f == flat).expect("root device not in rail")
+}
+
+/// Apply the collective's data semantics the way the ring protocol
+/// produces them.
+///
+/// Broadcast and all-gather are pure chunk rotations — byte-identical to
+/// the direct copies of [`XcclOp::apply`], which is reused. Reductions
+/// combine each rail segment in *ring chain order*: segment `j` starts at
+/// its owner (ring position `j`) and folds successors in ring order —
+/// the association order a ring reduce-scatter really produces. Ragged
+/// tail bytes (payloads that are not a whole number of elements) keep
+/// the profile path's semantics: they are taken from ring position 0.
+pub(crate) fn apply(devs: &DeviceTable, rails: &[Rail], op: XcclOp, bufs: &[DeviceBuf], len: u64) {
+    if devs.mode == DataMode::CostOnly {
+        return;
+    }
+    let rop = match op {
+        XcclOp::AllReduce { op } => op,
+        XcclOp::Reduce { op, .. } => op,
+        // Pure data movement: the ring rotation lands the same bytes the
+        // direct copy does.
+        XcclOp::Broadcast { .. } | XcclOp::AllGather => return op.apply(devs, bufs, len),
+    };
+    // Map flat device index -> contributed buffer.
+    let mut by_flat: Vec<Option<DeviceBuf>> = vec![None; devs.len()];
+    for b in bufs {
+        by_flat[b.flat] = Some(*b);
+    }
+    let buf_of = |flat: usize| by_flat[flat].expect("no buffer for ring device");
+    let read = |b: DeviceBuf, off: u64, n: u64| -> Vec<u8> {
+        let mut v = vec![0u8; n as usize];
+        devs.dev(b.flat).mem.read(b.off + off, &mut v).expect("ring read in bounds");
+        v
+    };
+    let write = |b: DeviceBuf, off: u64, bytes: &[u8]| {
+        devs.dev(b.flat).mem.write(b.off + off, bytes).expect("ring write in bounds");
+    };
+
+    let elem = rop.elem_bytes();
+    let aligned = (len / elem) * elem;
+    let root_buf = match op {
+        XcclOp::Reduce { root, .. } => Some(bufs[root]),
+        _ => None,
+    };
+    let slices = split_aligned(aligned, rails.len(), elem);
+    for (rail, &(soff, slen)) in rails.iter().zip(&slices) {
+        let n = rail.order.len();
+        for (j, &(rel, seg_len)) in split_aligned(slen, n, elem).iter().enumerate() {
+            if seg_len == 0 {
+                continue;
+            }
+            let off = soff + rel;
+            let mut acc = read(buf_of(rail.order[j]), off, seg_len);
+            for k in 1..n {
+                let other = read(buf_of(rail.order[(j + k) % n]), off, seg_len);
+                rop.combine(&mut acc, &other);
+            }
+            match root_buf {
+                Some(rb) => write(rb, off, &acc),
+                None => {
+                    for b in bufs {
+                        write(*b, off, &acc);
+                    }
+                }
+            }
+        }
+    }
+    if aligned < len {
+        // Ragged tail: element-wise reduction never touches it; it keeps
+        // ring position 0's bytes, matching the profile path.
+        let tail = read(bufs[0], aligned, len - aligned);
+        match root_buf {
+            Some(rb) => write(rb, aligned, &tail),
+            None => {
+                for b in bufs {
+                    write(*b, aligned, &tail);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_aligned_covers_exactly_and_respects_alignment() {
+        let parts = split_aligned(1000, 3, 8);
+        assert_eq!(parts.len(), 3);
+        let mut off = 0;
+        for &(o, l) in &parts[..2] {
+            assert_eq!(o, off);
+            assert_eq!(l % 8, 0, "interior boundaries are element-aligned");
+            off += l;
+        }
+        assert_eq!(parts[2].0 + parts[2].1, 1000, "tail bytes ride with the last piece");
+    }
+
+    #[test]
+    fn split_aligned_handles_degenerate_sizes() {
+        assert_eq!(split_aligned(0, 4, 8), vec![(0, 0), (0, 0), (0, 0), (0, 0)]);
+        let tiny = split_aligned(8, 4, 8);
+        assert_eq!(tiny.iter().map(|&(_, l)| l).sum::<u64>(), 8);
+        assert_eq!(tiny[0], (0, 8), "one element lands in the first piece");
+    }
+
+    #[test]
+    fn default_ring_config_pipelines() {
+        let c = RingConfig::default();
+        assert_eq!(c.chunk_bytes, 128 << 10);
+        assert!(c.max_inflight >= 2, "pipelining needs at least two slots");
+        assert!(matches!(CollEngine::default(), CollEngine::Ring(_)));
+    }
+}

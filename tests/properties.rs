@@ -315,6 +315,57 @@ proptest! {
         prop_assert_eq!(chunked, expect);
     }
 
+    /// The emergent ring engine deposits the same bytes as the profile
+    /// engine for arbitrary pipeline shapes through the full DiOMP
+    /// runtime (`ompx_allreduce` on the world group), and both match the
+    /// sequential reference.
+    #[test]
+    fn ring_engine_allreduce_matches_profile_engine(
+        nodes in 1usize..3,
+        elems in 1usize..24,
+        chunk in 1u64..512,
+        inflight in 1usize..4,
+    ) {
+        use diomp::core::{CollEngine, DiompConfig, DiompRuntime, RingConfig};
+        use std::sync::Arc;
+
+        let run = |engine: CollEngine| {
+            let cfg = DiompConfig::on_platform(PlatformSpec::platform_a(), nodes)
+                .with_heap(2 << 20)
+                .with_coll_engine(engine);
+            let out = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let out2 = out.clone();
+            DiompRuntime::run(cfg, move |ctx, rank| {
+                let world = rank.shared.world_group();
+                let ptr = rank.alloc_sym(ctx, (elems * 8) as u64).unwrap();
+                let bytes: Vec<u8> = (0..elems)
+                    .flat_map(|i| ((rank.rank * 5 + 3 * i) as u64).to_le_bytes())
+                    .collect();
+                rank.write_local(rank.primary(), ptr, 0, &bytes);
+                rank.barrier(ctx);
+                rank.allreduce(ctx, &world, ptr, (elems * 8) as u64, ReduceOp::SumU64);
+                let mut got = vec![0u8; elems * 8];
+                rank.read_local(rank.primary(), ptr, 0, &mut got);
+                out2.lock().push((rank.rank, got));
+            })
+            .unwrap();
+            let mut rows = out.lock().clone();
+            rows.sort_by_key(|&(r, _)| r);
+            rows
+        };
+        let ring = run(CollEngine::Ring(RingConfig { chunk_bytes: chunk, max_inflight: inflight }));
+        let prof = run(CollEngine::Profile);
+        prop_assert_eq!(&ring, &prof, "ring and profile engines must agree");
+        let n = ring.len();
+        for (rank, got) in &ring {
+            for i in 0..elems {
+                let v = u64::from_le_bytes(got[i * 8..i * 8 + 8].try_into().unwrap());
+                let want: u64 = (0..n).map(|r| (r * 5 + 3 * i) as u64).sum();
+                prop_assert_eq!(v, want, "rank {} elem {}", rank, i);
+            }
+        }
+    }
+
     /// XCCL allreduce equals the sequential reduction for arbitrary
     /// device counts and payloads (through the full DiOMP runtime).
     #[test]
