@@ -52,6 +52,23 @@ if r > 0 {
 }
 rank.fence_group(ctx, &world);"#;
 
+/// This repository's notification-driven DiOMP halo exchange
+/// (extracted from `minimod/diomp.rs`, `HaloStyle::NotifyWaitsome`):
+/// push with step-parity ids, one ranged waitsome drain, no barrier.
+pub const RUST_DIOMP_NOTIFY: &str = r#"let base = 2 * (step as u32 % 2);
+if r + 1 < p {
+    rank.put_notify(ctx, r + 1, u, 0, u, nzl as u64 * plane, halo,
+        base + FROM_BELOW, step as u64 + 1).unwrap();
+}
+if r > 0 {
+    rank.put_notify(ctx, r - 1, u, (RADIUS + nzl) as u64 * plane, u,
+        RADIUS as u64 * plane, halo, base + FROM_ABOVE, step as u64 + 1).unwrap();
+}
+rank.fence(ctx);
+for _ in 0..nnb {
+    rank.notify_waitsome(ctx, base, 2);
+}"#;
+
 /// This repository's MPI halo exchange (extracted from
 /// `minimod/mpi.rs`).
 pub const RUST_MPI: &str = r#"let mut reqs: Vec<MpiReq> = Vec::with_capacity(4);
@@ -87,12 +104,15 @@ pub struct LocRow {
 }
 
 /// The programmability table: paper listings and this repo's versions.
+/// (The notified-halo row comes last so the long-standing indices of
+/// the first four rows stay stable for downstream assertions.)
 pub fn loc_table() -> Vec<LocRow> {
     vec![
         LocRow { name: "paper Listing 1 (DiOMP)", lines: count_loc(LISTING_DIOMP) },
         LocRow { name: "paper Listing 2 (MPI+OpenMP)", lines: count_loc(LISTING_MPI) },
         LocRow { name: "this repo, DiOMP halo", lines: count_loc(RUST_DIOMP) },
         LocRow { name: "this repo, MPI halo", lines: count_loc(RUST_MPI) },
+        LocRow { name: "this repo, DiOMP notified halo", lines: count_loc(RUST_DIOMP_NOTIFY) },
     ]
 }
 
@@ -113,9 +133,18 @@ mod tests {
     }
 
     #[test]
-    fn table_has_all_four_rows() {
+    fn table_has_all_rows() {
         let t = loc_table();
-        assert_eq!(t.len(), 4);
+        assert_eq!(t.len(), 5);
         assert!(t.iter().all(|r| r.lines > 0));
+    }
+
+    #[test]
+    fn notified_halo_still_beats_mpi_on_lines() {
+        // Even the barrier-free notified exchange stays well under the
+        // MPI version's line count.
+        let notify = count_loc(RUST_DIOMP_NOTIFY) as f64;
+        let mpi = count_loc(RUST_MPI) as f64;
+        assert!(mpi / notify >= 1.1, "ratio {}", mpi / notify);
     }
 }

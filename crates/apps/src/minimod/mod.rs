@@ -7,12 +7,19 @@
 //!
 //! * [`diomp::run`] — the paper's DiOMP port (Listing 1): one `ompx_put`
 //!   per neighbour and one fence, ~half the lines of the MPI version.
+//!   Three halo-exchange styles are selectable via
+//!   [`MinimodConfig::halo`] (see [`HaloStyle`]): the pull-based
+//!   get+fence+barrier path, and two push-based GASPI-notification
+//!   paths — per-id ordered waits, and a single ranged-waitsome drain
+//!   with parity ids that needs no per-step barrier at all.
 //! * [`mpi::run`] — the MPI+OpenMP baseline (Listing 2): per-neighbour
 //!   `Isend`/`Irecv` with request arrays and `Waitall`.
 //!
 //! Verification (Functional mode) runs the same number of steps with the
 //! serial reference kernel over the full grid and compares every rank's
-//! interior slab.
+//! interior slab. Functional runs additionally capture the assembled
+//! global wavefield ([`MinimodResult::wavefield`]) so the halo styles can
+//! be asserted byte-identical against each other and against MPI.
 
 pub mod diomp;
 pub mod mpi;
@@ -27,6 +34,27 @@ pub const RADIUS: usize = 4;
 
 /// Wave-equation update coefficient (`c²·dt²/h²` folded into one scalar).
 pub const K: f32 = 0.1;
+
+/// Which halo-exchange protocol the DiOMP implementation runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HaloStyle {
+    /// Pull-based: one `ompx_get` per neighbour, a fence, and a per-step
+    /// group barrier for target-side quiescence (the paper's Listing-1
+    /// shape). Runs on any conduit; this is the default.
+    Get,
+    /// Push-based GASPI notifications, drained with per-id ordered
+    /// `notify_wait` calls. The conservative port: ids are reused every
+    /// step, so a per-step barrier must keep ranks in lockstep to stop a
+    /// fast sender overwriting an unconsumed notification. Requires the
+    /// GPI-2 conduit (InfiniBand platforms).
+    NotifyOrdered,
+    /// Push-based GASPI notifications with step-parity ids, drained with
+    /// one ranged `notify_waitsome` loop — the paper's notification-driven
+    /// halo exchange. Parity makes neighbouring steps' ids disjoint, so
+    /// no per-step barrier is needed at all: the waitsome drain is the
+    /// only synchronisation. Requires the GPI-2 conduit.
+    NotifyWaitsome,
+}
 
 /// Problem + machine configuration for one Minimod run.
 #[derive(Clone)]
@@ -47,6 +75,9 @@ pub struct MinimodConfig {
     pub mode: DataMode,
     /// Compare against the serial reference.
     pub verify: bool,
+    /// Halo-exchange protocol for the DiOMP implementation (ignored by
+    /// [`mpi::run`]).
+    pub halo: HaloStyle,
 }
 
 impl MinimodConfig {
@@ -107,12 +138,42 @@ impl MinimodConfig {
 }
 
 /// Result of one run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct MinimodResult {
     /// Virtual time of the stepping loop (max over ranks).
     pub elapsed: Dur,
     /// Whether verification ran and passed.
     pub verified: bool,
+    /// Scheduler queue entries the backing simulation processed — the
+    /// wall-clock cost metric the batched wait primitives optimise.
+    pub entries: u64,
+    /// Final global wavefield (interior planes, rank-major z order),
+    /// captured in Functional mode; `None` for CostOnly runs. Lets the
+    /// halo styles be compared byte-for-byte.
+    pub wavefield: Option<Vec<u8>>,
+}
+
+/// Shared collector of per-rank interior slabs: `(rank, bytes)` pairs
+/// pushed by each rank task, assembled after the run.
+pub(crate) type SlabParts = std::sync::Arc<parking_lot::Mutex<Vec<(usize, Vec<u8>)>>>;
+
+/// Collect per-rank interior slabs (`(rank, bytes)` pairs, halos
+/// stripped) into one contiguous rank-major wavefield.
+pub(crate) fn assemble_wavefield(cfg: &MinimodConfig, mut parts: Vec<(usize, Vec<u8>)>) -> Vec<u8> {
+    parts.sort_by_key(|&(r, _)| r);
+    let mut field = Vec::with_capacity(parts.iter().map(|(_, b)| b.len()).sum());
+    for (r, bytes) in parts.iter().enumerate() {
+        assert_eq!(bytes.0, r, "missing interior slab for rank {r}");
+        field.extend_from_slice(&bytes.1);
+    }
+    assert_eq!(field.len() as u64, cfg.gpus as u64 * cfg.nz_local() as u64 * cfg.plane_bytes());
+    field
+}
+
+/// A rank's interior slab bytes (halos stripped) out of a full slab.
+pub(crate) fn interior_bytes(cfg: &MinimodConfig, slab: &[u8]) -> Vec<u8> {
+    let plane = cfg.plane_bytes() as usize;
+    slab[RADIUS * plane..(RADIUS + cfg.nz_local()) * plane].to_vec()
 }
 
 /// Fill one rank's initial slab (interior planes only; halos zero).

@@ -14,7 +14,8 @@ use parking_lot::Mutex;
 use crate::matgen;
 
 use super::{
-    initial_slab, serial_reference, stencil_body, verify_slab, MinimodConfig, MinimodResult, RADIUS,
+    assemble_wavefield, initial_slab, interior_bytes, serial_reference, stencil_body, verify_slab,
+    MinimodConfig, MinimodResult, SlabParts, RADIUS,
 };
 
 /// Run the MPI+OpenMP Minimod.
@@ -27,13 +28,16 @@ pub fn run(cfg: &MinimodConfig) -> MinimodResult {
     let world = FabricWorld::new(topo, devs, cfg.gpus);
 
     let out: Arc<Mutex<(Dur, bool)>> = Arc::new(Mutex::new((Dur::ZERO, true)));
+    let parts: SlabParts = Arc::new(Mutex::new(Vec::new()));
     let want_verify = cfg.verify && cfg.mode == DataMode::Functional;
+    let functional = cfg.mode == DataMode::Functional;
     let reference =
         if want_verify { Arc::new(serial_reference(cfg)) } else { Arc::new(Vec::new()) };
 
     for r in 0..cfg.gpus {
         let world = world.clone();
         let out = out.clone();
+        let parts = parts.clone();
         let reference = reference.clone();
         let cfg = cfg.clone();
         sim.spawn(format!("mpi-rank{r}"), move |ctx| {
@@ -133,18 +137,28 @@ pub fn run(cfg: &MinimodConfig) -> MinimodResult {
             let elapsed = ctx.now().since(t0);
 
             let mut ok = true;
-            if cfg.verify && cfg.mode == DataMode::Functional {
+            if cfg.mode == DataMode::Functional {
                 let mut bytes = vec![0u8; slab as usize];
                 dev.mem.read(u, &mut bytes).unwrap();
-                ok = verify_slab(&cfg, r, &matgen::from_bytes_f32(&bytes), &reference);
-                assert!(ok, "rank {r}: wavefield mismatch (MPI)");
+                if cfg.verify {
+                    ok = verify_slab(&cfg, r, &matgen::from_bytes_f32(&bytes), &reference);
+                    assert!(ok, "rank {r}: wavefield mismatch (MPI)");
+                }
+                parts.lock().push((r, interior_bytes(&cfg, &bytes)));
             }
             let mut o = out.lock();
             o.0 = o.0.max(elapsed);
             o.1 &= ok;
         });
     }
-    sim.run().unwrap();
+    let report = sim.run().unwrap();
     let (elapsed, verified) = *out.lock();
-    MinimodResult { elapsed, verified: verified && want_verify }
+    let collected = std::mem::take(&mut *parts.lock());
+    let wavefield = if functional { Some(assemble_wavefield(cfg, collected)) } else { None };
+    MinimodResult {
+        elapsed,
+        verified: verified && want_verify,
+        entries: report.entries_processed,
+        wavefield,
+    }
 }

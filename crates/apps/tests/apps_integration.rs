@@ -3,7 +3,7 @@
 //! (DiOMP ≥ MPI performance at scale).
 
 use diomp_apps::cannon::{self, CannonConfig};
-use diomp_apps::minimod::{self, MinimodConfig};
+use diomp_apps::minimod::{self, HaloStyle, MinimodConfig};
 use diomp_device::DataMode;
 use diomp_sim::PlatformSpec;
 
@@ -66,7 +66,71 @@ fn minimod_cfg(gpus: usize, grid: usize, steps: usize, mode: DataMode) -> Minimo
         steps,
         mode,
         verify: mode == DataMode::Functional,
+        halo: HaloStyle::Get,
     }
+}
+
+/// Like [`minimod_cfg`] but on the InfiniBand platform (GPI-2-capable),
+/// with a chosen halo style.
+fn minimod_cfg_c(gpus: usize, grid: usize, steps: usize, halo: HaloStyle) -> MinimodConfig {
+    MinimodConfig {
+        platform: PlatformSpec::platform_c(),
+        gpus,
+        nx: grid,
+        ny: grid,
+        nz: grid,
+        steps,
+        mode: DataMode::Functional,
+        verify: true,
+        halo,
+    }
+}
+
+#[test]
+fn notified_halo_styles_match_serial_reference() {
+    for halo in [HaloStyle::NotifyOrdered, HaloStyle::NotifyWaitsome] {
+        let r = minimod::diomp::run(&minimod_cfg_c(4, 24, 4, halo));
+        assert!(r.verified, "{halo:?} must verify against the serial reference");
+    }
+}
+
+#[test]
+fn all_halo_styles_produce_byte_identical_wavefields() {
+    // The acceptance bar for the notified exchange: get-based, ordered-
+    // notify, waitsome-notify and the MPI baseline all end on the exact
+    // same bytes.
+    let reference = minimod::mpi::run(&minimod_cfg_c(4, 24, 5, HaloStyle::Get))
+        .wavefield
+        .expect("functional MPI run captures the wavefield");
+    for halo in [HaloStyle::Get, HaloStyle::NotifyOrdered, HaloStyle::NotifyWaitsome] {
+        let w = minimod::diomp::run(&minimod_cfg_c(4, 24, 5, halo)).wavefield.unwrap();
+        assert_eq!(w, reference, "{halo:?} wavefield diverged from MPI");
+    }
+}
+
+#[test]
+fn waitsome_halo_needs_fewer_scheduler_entries_than_ordered() {
+    // Dropping the per-step barrier (parity ids + ranged waitsome) must
+    // show up as scheduler-entry savings at ≥ 4 ranks.
+    let mut cfg = minimod_cfg_c(4, 32, 6, HaloStyle::NotifyOrdered);
+    cfg.mode = DataMode::CostOnly;
+    cfg.verify = false;
+    let ordered = minimod::diomp::run(&cfg).entries;
+    cfg.halo = HaloStyle::NotifyWaitsome;
+    let waitsome = minimod::diomp::run(&cfg).entries;
+    assert!(
+        waitsome < ordered,
+        "waitsome drain ({waitsome} entries) must beat ordered per-id waits ({ordered})"
+    );
+}
+
+#[test]
+fn notified_minimod_is_deterministic() {
+    let run = || minimod::diomp::run(&minimod_cfg_c(4, 24, 4, HaloStyle::NotifyWaitsome));
+    let (a, b) = (run(), run());
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(a.entries, b.entries);
+    assert_eq!(a.wavefield, b.wavefield);
 }
 
 #[test]
@@ -101,6 +165,7 @@ fn diomp_minimod_beats_mpi_at_paper_scale() {
         steps: 10,
         mode: DataMode::CostOnly,
         verify: false,
+        halo: HaloStyle::Get,
     };
     let d = minimod::diomp::run(&cfg_d);
     let m = minimod::mpi::run(&cfg_d);

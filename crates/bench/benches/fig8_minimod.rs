@@ -2,7 +2,7 @@
 //! point (1200³ on 16 GPUs, 10 steps) per implementation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use diomp_apps::minimod::{self, MinimodConfig};
+use diomp_apps::minimod::{self, HaloStyle, MinimodConfig};
 use diomp_device::DataMode;
 use diomp_sim::PlatformSpec;
 
@@ -16,6 +16,7 @@ fn cfg() -> MinimodConfig {
         steps: 10,
         mode: DataMode::CostOnly,
         verify: false,
+        halo: HaloStyle::Get,
     }
 }
 

@@ -16,6 +16,7 @@
 //! (run after an intentional performance change and commit the result).
 
 use diomp_apps::micro::{diomp_collective_full, diomp_p2p_full, CollKind, RmaOp};
+use diomp_apps::minimod::{self, HaloStyle, MinimodConfig};
 use diomp_bench::report::{
     json_path_from_args, parse_json, write_if_requested, write_json, BenchRecord,
 };
@@ -79,6 +80,33 @@ fn measure() -> Vec<BenchRecord> {
         "us",
         rep.entries_processed,
     ));
+
+    // Notified halo exchange (ISSUE 3): per-step time and scheduler
+    // entries of the minimod halo styles at 8 ranks on the InfiniBand
+    // platform. Gates both the notification machinery's virtual-time
+    // cost and the entry saving of the barrier-free waitsome drain.
+    for (name, halo) in
+        [("ordered", HaloStyle::NotifyOrdered), ("waitsome", HaloStyle::NotifyWaitsome)]
+    {
+        let halo_cfg = MinimodConfig {
+            platform: PlatformSpec::platform_c(),
+            gpus: 8,
+            nx: 240,
+            ny: 240,
+            nz: 240,
+            steps: 10,
+            mode: DataMode::CostOnly,
+            verify: false,
+            halo,
+        };
+        let r = minimod::diomp::run(&halo_cfg);
+        records.push(BenchRecord::with_entries(
+            format!("fig_halo/{name}_us_per_step_8gpus"),
+            r.elapsed.as_us() / halo_cfg.steps as f64,
+            "us",
+            r.entries,
+        ));
+    }
 
     // Ring-collective engine (ISSUE 2): emergent vs profiled allreduce on
     // 64 A100s; the entry count gates the progress loop's scheduler cost

@@ -3,7 +3,7 @@
 //! baseline). Steady-state per-step times make speedups step-count
 //! invariant, so the harness simulates 40 steps instead of 1000.
 
-use diomp_apps::minimod::{self, MinimodConfig};
+use diomp_apps::minimod::{self, HaloStyle, MinimodConfig};
 use diomp_bench::paper;
 use diomp_bench::report::{json_path_from_args, BenchRecord};
 use diomp_device::DataMode;
@@ -40,6 +40,7 @@ fn main() {
             steps: SIM_STEPS,
             mode: DataMode::CostOnly,
             verify: false,
+            halo: HaloStyle::Get,
         };
         println!(
             "\n== Fig. 8{name}: Minimod speedup vs MPI {}-GPU baseline ({} of {} steps simulated) ==",

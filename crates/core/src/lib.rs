@@ -42,6 +42,7 @@ mod error;
 pub mod galloc;
 mod gptr;
 mod group;
+mod notify;
 mod ompccl;
 mod rma;
 mod runtime;

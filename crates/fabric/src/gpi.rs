@@ -5,12 +5,34 @@
 //! use it as an alternative communication middleware to GASNet-EX; the
 //! paper's Fig. 5 compares the two over NDR InfiniBand, with GPI-2's
 //! leaner per-message path winning for small/medium writes.
+//!
+//! # Notification model
+//!
+//! Each rank owns a *notification board*: a sparse `u32 → u64` array of
+//! level-triggered flags ([`diomp_sim::BoardId`], a kernel primitive).
+//! [`write_notify`] makes a notification visible at the target strictly
+//! *after* its payload (the notification control message is charged on
+//! the same FIFO NIC resource as the data, so it cannot overtake).
+//! Consumers drain the board with:
+//!
+//! * [`notify_waitsome`] — block on a *range* `[first, first + num)` of
+//!   ids and atomically consume the lowest posted one
+//!   (`gaspi_notify_waitsome` fused with `gaspi_notify_reset`, which is
+//!   how virtually every GASPI program uses the pair). The wait parks the
+//!   task exactly once regardless of range width — no per-id polling.
+//! * [`notify_wait`] — the single-id special case.
+//! * [`notify_reset`] — non-blocking consume (`gaspi_notify_reset` alone).
+//!
+//! Values must be non-zero (a GASPI requirement: 0 is the reset state).
+//! Re-posting an unconsumed id overwrites its value, so protocols that
+//! must observe every post use disjoint id sets — e.g. the parity scheme
+//! of the minimod notified halo exchange (`diomp-apps`).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use diomp_device::MemError;
-use diomp_sim::{Ctx, Dur, EventId};
+use diomp_sim::{BoardId, Ctx, Dur, EventId, SimHandle};
 use parking_lot::Mutex;
 
 use crate::loc::Loc;
@@ -22,33 +44,29 @@ use crate::world::FabricWorld;
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct QueueId(pub u8);
 
-struct NotifySlot {
-    value: Option<u64>,
-    waiter: Option<EventId>,
-}
-
 /// Per-world GPI-2 state: queue completion lists and notification boards.
 pub struct GpiState {
     /// `[rank] → queue → pending remote-completion events`. Ordered map:
     /// draining *all* queues must visit them in a deterministic order.
     queues: Mutex<Vec<BTreeMap<QueueId, Vec<EventId>>>>,
-    /// `[rank] → notification id → slot`.
-    notifications: Mutex<Vec<HashMap<u32, NotifySlot>>>,
+    /// `[rank] → notification board`, created lazily (board allocation
+    /// needs a kernel handle, which `FabricWorld::new` does not take).
+    boards: Mutex<Vec<Option<BoardId>>>,
 }
 
 impl GpiState {
     pub(crate) fn new(nranks: usize) -> Self {
         GpiState {
             queues: Mutex::new(vec![BTreeMap::new(); nranks]),
-            notifications: Mutex::new((0..nranks).map(|_| HashMap::new()).collect()),
+            boards: Mutex::new(vec![None; nranks]),
         }
     }
 }
 
-impl Clone for NotifySlot {
-    fn clone(&self) -> Self {
-        NotifySlot { value: self.value, waiter: self.waiter }
-    }
+/// The notification board of `rank`, creating it on first use.
+fn board(h: &SimHandle, world: &FabricWorld, rank: usize) -> BoardId {
+    let mut boards = world.gpi.boards.lock();
+    *boards[rank].get_or_insert_with(|| h.new_board())
 }
 
 fn model(world: &FabricWorld) -> &diomp_sim::GpiModel {
@@ -166,6 +184,12 @@ pub fn wait_all_queues(ctx: &mut Ctx, world: &Arc<FabricWorld>, rank: usize) {
 
 /// Write with a remote notification (`gaspi_write_notify`): after the data
 /// lands, notification `id` with `value` becomes visible at the target.
+///
+/// `value` must be non-zero (GASPI reserves 0 for the reset state). The
+/// notification control message is charged on the *same* endpoints as
+/// the payload, so the FIFO link model guarantees it arrives strictly
+/// after the last data byte — a waitsome wake-up implies the halo bytes
+/// are already deposited.
 #[allow(clippy::too_many_arguments)]
 pub fn write_notify(
     ctx: &mut Ctx,
@@ -179,43 +203,61 @@ pub fn write_notify(
     id: u32,
     value: u64,
 ) -> Result<(), MemError> {
+    assert!(value != 0, "GASPI notification values must be non-zero");
     let m = model(world).clone();
+    let dst_loc = world.segment(dst).loc(dst_off);
+    let src_end = end_of(world, src_rank, &src);
     write(ctx, world, src_rank, queue, src, dst, dst_off, len)?;
     ctx.delay(Dur::micros(m.notify_us));
-    // The notification rides behind the data on the same path; model its
-    // visibility one control-message after the write is posted.
+    // The notification rides behind the data: same source/destination
+    // endpoints, hence the same FIFO NIC resources, one control message
+    // issued after the write — it queues behind the payload and becomes
+    // visible only once the data is deposited.
     let dst_rank = dst.rank;
-    let src_end = End::Node(world.node_of(src_rank));
-    let dst_end = End::Node(world.node_of(dst_rank));
+    let dst_end = end_of(world, dst_rank, &dst_loc);
     let h = ctx.handle();
     let when = control_msg(h, &world.devs, src_end, dst_end, ctx.now());
-    let world2 = world.clone();
-    h.schedule_at(when, move |h| {
-        let mut boards = world2.gpi.notifications.lock();
-        let slot = boards[dst_rank].entry(id).or_insert(NotifySlot { value: None, waiter: None });
-        slot.value = Some(value);
-        if let Some(ev) = slot.waiter.take() {
-            h.complete(ev);
-        }
-    });
+    let b = board(h, world, dst_rank);
+    h.schedule_at(when, move |h| h.board_post(b, id, value));
     Ok(())
 }
 
+/// Block until some notification in `[first_id, first_id + num_ids)` has
+/// arrived at `rank`'s board; atomically consume the lowest such id and
+/// return `(id, value)`.
+///
+/// This is `gaspi_notify_waitsome` fused with the `gaspi_notify_reset`
+/// that consumes the winning id — the reset happens under the same board
+/// lock, so a value is handed to exactly one waiter even when waitsome
+/// ranges overlap. The task parks once on the whole range (a single
+/// generation-tagged wait group, [`diomp_sim::Ctx::board_waitsome`]), not
+/// once per id.
+pub fn notify_waitsome(
+    ctx: &mut Ctx,
+    world: &Arc<FabricWorld>,
+    rank: usize,
+    first_id: u32,
+    num_ids: u32,
+) -> (u32, u64) {
+    let b = board(ctx.handle(), world, rank);
+    ctx.board_waitsome(b, first_id, num_ids)
+}
+
+/// Non-blocking consume of notification `id` (`gaspi_notify_reset`):
+/// returns the posted value, or `None` if nothing unconsumed is there.
+pub fn notify_reset(ctx: &Ctx, world: &Arc<FabricWorld>, rank: usize, id: u32) -> Option<u64> {
+    let b = board(ctx.handle(), world, rank);
+    ctx.handle().board_reset(b, id)
+}
+
 /// Block until notification `id` arrives; returns its value and resets the
-/// slot (`gaspi_notify_waitsome` + `gaspi_notify_reset`).
+/// slot. The single-id special case of [`notify_waitsome`].
+///
+/// Unlike the pre-board implementation — which kept one waiter slot per
+/// id and could silently overwrite (and so forever-park) a concurrent
+/// waiter, or re-park a task whose notification was consumed between its
+/// wake and its re-check — arrival checking and value consumption happen
+/// atomically under the board lock.
 pub fn notify_wait(ctx: &mut Ctx, world: &Arc<FabricWorld>, rank: usize, id: u32) -> u64 {
-    loop {
-        let ev = {
-            let mut boards = world.gpi.notifications.lock();
-            let slot = boards[rank].entry(id).or_insert(NotifySlot { value: None, waiter: None });
-            if let Some(v) = slot.value.take() {
-                return v;
-            }
-            let ev = ctx.new_event();
-            slot.waiter = Some(ev);
-            ev
-        };
-        ctx.wait(ev);
-        ctx.free_event(ev);
-    }
+    notify_waitsome(ctx, world, rank, id, 1).1
 }

@@ -4,7 +4,7 @@
 //!
 //! * [`gasnet`] — a GASNet-EX-like conduit (segments, one-sided Put/Get
 //!   with events, active messages): DiOMP's default middleware.
-//! * [`gpi`] — a GPI-2-like conduit (queues, notifications): the
+//! * [`gpi`] — a GPI-2-like conduit (queues, ranged notifications): the
 //!   InfiniBand alternative of Fig. 5.
 //! * [`mpi`] — the full MPI baseline (eager/rendezvous P2P with match
 //!   queues, RMA windows, binomial/recursive-doubling/ring collectives).
@@ -12,6 +12,76 @@
 //! All three run over the same modelled links ([`path`]) and the same
 //! simulated devices, so their performance differences come from
 //! *protocol structure* and the calibrated per-middleware software costs.
+//!
+//! # Segments, queues, and completion signalling
+//!
+//! A [`FabricWorld`] holds the job-wide conduit state: every rank
+//! *attaches* segments ([`FabricWorld::attach_device_segment`]) — pinned
+//! regions of device (or host) memory that remote ranks may target with
+//! one-sided operations by `(SegmentId, offset)`, never by raw pointer.
+//! On top of that shared substrate the two PGAS conduits expose
+//! different completion models:
+//!
+//! * **GASNet-EX** tracks each operation with *events*: `put_nb` returns
+//!   local/remote completion [`diomp_sim::EventId`]s the initiator
+//!   waits on. The target learns nothing unless an active message is
+//!   sent.
+//! * **GPI-2 (GASPI)** orders completions on initiator-side *queues*
+//!   ([`gpi::QueueId`], drained by `gpi::wait_queue`) and signals
+//!   *targets* with lightweight **notifications**: a
+//!   [`gpi::write_notify`] makes `(id, value)` visible on the target's
+//!   notification board strictly after the payload, and the target
+//!   blocks on a whole id *range* with [`gpi::notify_waitsome`] — one
+//!   park, no per-id polling — then consumes atomically.
+//!
+//! # GASNet-EX ↔ GPI-2 semantics map
+//!
+//! | concept                | GASNet-EX (here)            | GPI-2 / GASPI (here)                      |
+//! |------------------------|-----------------------------|-------------------------------------------|
+//! | registered memory      | segment (`attach_*`)        | segment (same [`SegmentId`] space)        |
+//! | one-sided write        | `gasnet::put_nb`            | [`gpi::write`]                            |
+//! | one-sided read         | `gasnet::get_nb`            | [`gpi::read`]                             |
+//! | initiator completion   | per-op events (`wait_free`) | per-queue lists ([`gpi::wait_queue`])     |
+//! | bulk drain             | `Ctx::wait_all` over events | [`gpi::wait_all_queues`]                  |
+//! | target-side signal     | active message ([`gasnet::am_request`]) | notification ([`gpi::write_notify`]) |
+//! | target-side wait       | AM handler side effects     | [`gpi::notify_waitsome`] / [`gpi::notify_wait`] |
+//! | signal consumption     | n/a (handler runs once)     | [`gpi::notify_reset`] (atomic take)       |
+//!
+//! # Example: notified write, driven through the simulator
+//!
+//! A two-node InfiniBand world where rank 0 writes 64 bytes into rank
+//! 1's segment with notification id 5; rank 1 blocks on the id range
+//! `[0, 8)` and sees the payload the moment the notification fires:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use diomp_device::{DataMode, DeviceTable};
+//! use diomp_fabric::{gpi, FabricWorld, Loc};
+//! use diomp_sim::{ClusterSpec, PlatformSpec, Sim, Topology};
+//!
+//! let mut sim = Sim::new();
+//! let spec = ClusterSpec { platform: PlatformSpec::platform_c(), nodes: 2, gpus_per_node: 1 };
+//! let topo = Arc::new(Topology::build(&sim.handle(), spec));
+//! let devs = DeviceTable::build(&sim.handle(), topo.clone(), DataMode::Functional, Some(1 << 20));
+//! let world = FabricWorld::new(topo, devs, 2);
+//!
+//! let seg = world.attach_device_segment(1, 1, 1 << 16).unwrap();
+//! let w0 = world.clone();
+//! sim.spawn("rank0", move |ctx| {
+//!     w0.primary_dev(0).mem.write(0, &[7u8; 64]).unwrap();
+//!     gpi::write_notify(ctx, &w0, 0, gpi::QueueId(0), Loc::dev(0, 0), seg, 0, 64, 5, 42)
+//!         .unwrap();
+//!     gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0)); // initiator-side completion
+//! });
+//! let w1 = world.clone();
+//! sim.spawn("rank1", move |ctx| {
+//!     let (id, value) = gpi::notify_waitsome(ctx, &w1, 1, 0, 8);
+//!     assert_eq!((id, value), (5, 42));
+//!     let bytes = w1.segment(seg).loc(0).snapshot(&w1.devs, 64).unwrap().unwrap();
+//!     assert_eq!(bytes, vec![7u8; 64]); // payload landed before the notification
+//! });
+//! sim.run().unwrap();
+//! ```
 
 #![warn(missing_docs)]
 

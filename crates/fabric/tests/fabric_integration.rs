@@ -216,6 +216,119 @@ fn gpi_wait_all_queues_drains_every_queue() {
 }
 
 #[test]
+fn gpi_notify_waitsome_drains_a_range_in_arrival_id_order() {
+    // Four notifications land on ids 10..14 in shuffled arrival order; a
+    // waitsome loop over the range consumes each exactly once, returning
+    // the lowest posted id first.
+    let mut sim = Sim::new();
+    let world = boot(&sim, PlatformSpec::platform_c(), 3, 1, 3);
+    let seg = world.attach_device_segment(2, 2, 1 << 16).unwrap();
+    for (src, ids) in [(0usize, [13u32, 10]), (1, [12, 11])] {
+        let w = world.clone();
+        sim.spawn(format!("producer{src}"), move |ctx| {
+            let dev = w.primary_dev(src).clone();
+            dev.mem.write(0, &[src as u8 + 1; 64]).unwrap();
+            for (k, id) in ids.into_iter().enumerate() {
+                ctx.delay(Dur::micros(30.0 * k as f64 + 10.0 * src as f64));
+                gpi::write_notify(
+                    ctx,
+                    &w,
+                    src,
+                    gpi::QueueId(0),
+                    Loc::dev(src, 0),
+                    seg,
+                    64 * id as u64,
+                    64,
+                    id,
+                    id as u64 + 100,
+                )
+                .unwrap();
+            }
+            gpi::wait_queue(ctx, &w, src, gpi::QueueId(0));
+        });
+    }
+    let w2 = world.clone();
+    sim.spawn("consumer", move |ctx| {
+        let mut got = Vec::new();
+        for _ in 0..4 {
+            let (id, v) = gpi::notify_waitsome(ctx, &w2, 2, 10, 4);
+            assert_eq!(v, id as u64 + 100, "value must travel with its id");
+            got.push(id);
+        }
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![10, 11, 12, 13], "each id exactly once");
+        // Nothing left on the board afterwards.
+        for id in 10..14 {
+            assert_eq!(gpi::notify_reset(ctx, &w2, 2, id), None);
+        }
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn gpi_concurrent_waiters_on_one_id_both_complete() {
+    // Regression: the pre-board notify_wait kept a single waiter slot per
+    // id, so a second waiter overwrote the first's wake registration and
+    // the first parked forever once its notification had been consumed.
+    // Now arrival checking and consumption are atomic under the board
+    // lock: two waiters + two sequenced posts must both return.
+    let mut sim = Sim::new();
+    let world = boot(&sim, PlatformSpec::platform_c(), 2, 1, 2);
+    let seg = world.attach_device_segment(1, 1, 1 << 16).unwrap();
+    let sum = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    for name in ["waiter-a", "waiter-b"] {
+        let w = world.clone();
+        let sum = sum.clone();
+        sim.spawn(name, move |ctx| {
+            let v = gpi::notify_wait(ctx, &w, 1, 9);
+            sum.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+        });
+    }
+    let w0 = world.clone();
+    sim.spawn("producer", move |ctx| {
+        for v in [5u64, 6] {
+            gpi::write_notify(ctx, &w0, 0, gpi::QueueId(0), Loc::dev(0, 0), seg, 0, 8, 9, v)
+                .unwrap();
+            // Space the posts so the first is consumed before the second
+            // lands (posting to an unconsumed id overwrites it).
+            ctx.delay(Dur::millis(1.0));
+        }
+        gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0));
+    });
+    sim.run().unwrap();
+    assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), 11, "both waiters woke");
+}
+
+#[test]
+fn gpi_notification_never_overtakes_its_payload() {
+    // A large write_notify: the notification control message must queue
+    // behind the payload on the same NIC, so when the waiter wakes the
+    // full deposit is already visible.
+    let mut sim = Sim::new();
+    let world = boot(&sim, PlatformSpec::platform_c(), 2, 1, 2);
+    let len: u64 = 2 << 20;
+    let seg = world.attach_device_segment(1, 1, 4 << 20).unwrap();
+    let w0 = world.clone();
+    sim.spawn("rank0", move |ctx| {
+        let dev = w0.primary_dev(0).clone();
+        let pattern: Vec<u8> = (0..len).map(|i| (i % 249) as u8).collect();
+        dev.mem.write(0, &pattern).unwrap();
+        gpi::write_notify(ctx, &w0, 0, gpi::QueueId(0), Loc::dev(0, 0), seg, 0, len, 3, 1).unwrap();
+        gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0));
+    });
+    let w1 = world.clone();
+    sim.spawn("rank1", move |ctx| {
+        let v = gpi::notify_wait(ctx, &w1, 1, 3);
+        assert_eq!(v, 1);
+        let bytes = w1.segment(seg).loc(0).snapshot(&w1.devs, len).unwrap().unwrap();
+        let expect: Vec<u8> = (0..len).map(|i| (i % 249) as u8).collect();
+        assert_eq!(bytes, expect, "payload fully deposited before the notification");
+    });
+    sim.run().unwrap();
+}
+
+#[test]
 #[should_panic(expected = "InfiniBand")]
 fn gpi_on_slingshot_platform_panics() {
     let mut sim = Sim::new();

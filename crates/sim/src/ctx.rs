@@ -7,6 +7,7 @@
 
 use crossbeam::channel::Receiver;
 
+use crate::board::{BoardId, RangeWaiter};
 use crate::event::{EventId, Waiter};
 use crate::kernel::SimHandle;
 use crate::task::{TaskId, TaskStatus, YieldMsg};
@@ -180,6 +181,38 @@ impl Ctx {
         evs.iter()
             .position(|&e| st.events.get(e).completed)
             .expect("wait_any_batched woke with no completed event")
+    }
+
+    /// Block until some notification id in `[first, first + num)` holds a
+    /// posted value on `board`; atomically consume and return the lowest
+    /// such `(id, value)`.
+    ///
+    /// The ranged blocking primitive under GASPI's
+    /// `gaspi_notify_waitsome` + `gaspi_notify_reset`. Like
+    /// [`Ctx::wait_any_batched`], the wait registers a single
+    /// generation-tagged wait group (remaining count 1) instead of
+    /// polling each id: the task parks exactly once and the first
+    /// [`crate::SimHandle::board_post`] landing inside the range produces
+    /// the only wake entry. If a concurrent waiter with an overlapping
+    /// range consumes the value first, this task transparently re-parks
+    /// on a fresh group.
+    pub fn board_waitsome(&mut self, board: BoardId, first: u32, num: u32) -> (u32, u64) {
+        assert!(num > 0, "board_waitsome on an empty range");
+        loop {
+            {
+                let mut st = self.handle.kernel.state.lock();
+                if let Some((id, _)) = st.boards[board.index()].lowest_in_range(first, num) {
+                    let v = st.boards[board.index()].values.remove(&id).expect("value vanished");
+                    return (id, v);
+                }
+                let park_seq = st.park_seqs[self.id.index()] + 1;
+                st.park_seqs[self.id.index()] = park_seq;
+                let gref = st.alloc_wait_group(1, self.id, park_seq);
+                st.boards[board.index()].waiters.push(RangeWaiter { first, num, group: gref });
+                st.tasks[self.id.index()].status = TaskStatus::Blocked;
+            }
+            self.park();
+        }
     }
 
     /// Advance this task's virtual time by `d` (models local computation

@@ -30,6 +30,7 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
+use crate::board::{BoardId, BoardSlot};
 use crate::ctx::Ctx;
 use crate::event::{EventArena, EventId, GroupRef};
 use crate::resource::{ResSlot, ResourceId, Transfer};
@@ -101,6 +102,8 @@ pub(crate) struct KState {
     /// Multi-event wait groups (free-list recycled, like events).
     pub(crate) wait_groups: Vec<WaitGroup>,
     free_wait_groups: Vec<u32>,
+    /// Notification boards (range-waitable id → value slots).
+    pub(crate) boards: Vec<BoardSlot>,
     pub(crate) resources: Vec<ResSlot>,
     n_done: usize,
     entries_processed: u64,
@@ -221,6 +224,7 @@ impl Sim {
                 events: EventArena::default(),
                 wait_groups: Vec::new(),
                 free_wait_groups: Vec::new(),
+                boards: Vec::new(),
                 resources: Vec::new(),
                 n_done: 0,
                 entries_processed: 0,
@@ -483,19 +487,78 @@ impl SimHandle {
         // that already fired on another event, possibly recycled since —
         // are skipped by the generation check.
         for gref in groups {
-            let g = &mut st.wait_groups[gref.gid as usize];
-            if !g.live || g.gen != gref.gen {
-                continue;
-            }
-            debug_assert!(g.remaining > 0, "live wait group with zero remaining");
-            g.remaining -= 1;
-            if g.remaining == 0 {
-                g.live = false;
-                let (task, park_seq) = (g.task, g.park_seq);
-                st.free_wait_groups.push(gref.gid);
-                self.push(&mut st, now, Item::Wake { task, park_seq });
-            }
+            self.fire_group_ref(&mut st, gref, now);
         }
+    }
+
+    /// Decrement a wait-group registration; the registration that brings
+    /// the group to zero wakes its task. Stale references (groups that
+    /// already fired, possibly recycled under a newer generation) are
+    /// skipped. Shared by event completion and board posts.
+    fn fire_group_ref(&self, st: &mut KState, gref: GroupRef, now: SimTime) {
+        let g = &mut st.wait_groups[gref.gid as usize];
+        if !g.live || g.gen != gref.gen {
+            return;
+        }
+        debug_assert!(g.remaining > 0, "live wait group with zero remaining");
+        g.remaining -= 1;
+        if g.remaining == 0 {
+            g.live = false;
+            let (task, park_seq) = (g.task, g.park_seq);
+            st.free_wait_groups.push(gref.gid);
+            self.push(st, now, Item::Wake { task, park_seq });
+        }
+    }
+
+    /// Create a notification board (see [`crate::Ctx::board_waitsome`]).
+    pub fn new_board(&self) -> BoardId {
+        let mut st = self.kernel.state.lock();
+        let id = BoardId(st.boards.len() as u32);
+        st.boards.push(BoardSlot::default());
+        id
+    }
+
+    /// Post notification `id` with `value` on a board, waking every task
+    /// whose parked waitsome range contains `id`. Posting to an id that
+    /// already holds an unconsumed value overwrites it (level-triggered
+    /// GASPI semantics — use disjoint id sets if every post matters).
+    /// Callable from tasks and from scheduled actions.
+    pub fn board_post(&self, board: BoardId, id: u32, value: u64) {
+        let mut st = self.kernel.state.lock();
+        let now = st.now();
+        st.boards[board.index()].values.insert(id, value);
+        // Fire (and drop) every parked waiter whose range covers the id;
+        // waiters outside the range keep their registration.
+        let matching: Vec<GroupRef> = {
+            let slot = &mut st.boards[board.index()];
+            let mut fired = Vec::new();
+            slot.waiters.retain(|w| {
+                if w.contains(id) {
+                    fired.push(w.group);
+                    false
+                } else {
+                    true
+                }
+            });
+            fired
+        };
+        for gref in matching {
+            self.fire_group_ref(&mut st, gref, now);
+        }
+    }
+
+    /// Lowest posted, unconsumed id in `[first, first + num)` and its
+    /// value, without consuming it. Non-blocking.
+    pub fn board_peek(&self, board: BoardId, first: u32, num: u32) -> Option<(u32, u64)> {
+        let st = self.kernel.state.lock();
+        st.boards[board.index()].lowest_in_range(first, num)
+    }
+
+    /// Atomically consume notification `id`, returning its value if one
+    /// was posted and not yet consumed (`gaspi_notify_reset`).
+    pub fn board_reset(&self, board: BoardId, id: u32) -> Option<u64> {
+        let mut st = self.kernel.state.lock();
+        st.boards[board.index()].values.remove(&id)
     }
 
     /// Schedule completion of an event at an absolute virtual time.

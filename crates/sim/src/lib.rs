@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+mod board;
 mod channel;
 mod ctx;
 mod event;
@@ -44,6 +45,7 @@ mod time;
 mod topology;
 mod trace;
 
+pub use board::BoardId;
 pub use channel::SimChannel;
 pub use ctx::Ctx;
 pub use event::EventId;

@@ -29,6 +29,80 @@
 //! curve (which already encodes contention as measured for the vendor
 //! library) and touches no link resources; it is kept behind the config
 //! flag for ablation against the emergent curves.
+//!
+//! # Ring protocol walkthrough
+//!
+//! What happens inside one allreduce under [`CollEngine::Ring`]:
+//!
+//! 1. **Rail construction** (at [`XcclComm::init`]): devices are laid
+//!    out node-major; rail *r* rotates each node's block left by *r*, so
+//!    every rail exits a node on a different device — and therefore a
+//!    different NIC. `nrings = min(nics_per_node, devs_per_node)` rails
+//!    split the payload and aggregate NIC bandwidth, as NCCL does.
+//! 2. **Gate**: every participating rank calls
+//!    [`XcclComm::collective`]; a rendezvous gate collects each rank's
+//!    [`DeviceBuf`]s and the *last* arriving rank's task drives the
+//!    whole schedule (collectives are synchronising, so this costs no
+//!    extra parallelism).
+//! 3. **Schedule**: allreduce = reduce-scatter then allgather, `2(n−1)`
+//!    steps; broadcast/reduce/allgather run `n−1` chain steps. Each
+//!    payload is cut into `RingConfig::chunk_bytes` chunks; a chunk's
+//!    send on edge *e* is enabled by the same chunk's arrival on edge
+//!    *e−1*, with at most `RingConfig::max_inflight` chunks outstanding
+//!    per edge. The progress loop drains in-flight link completions
+//!    with the kernel's batched wait-any (`Ctx::wait_any_batched`), one
+//!    wake per park.
+//! 4. **Data semantics**: at the modelled completion instant the real
+//!    buffer bytes are combined — reduction segments in ring chain
+//!    order, rotations for broadcast/allgather — so Functional-mode
+//!    tests verify against sequential references.
+//!
+//! # Example: a 4-device allreduce through the simulator
+//!
+//! ```
+//! use std::sync::Arc;
+//! use diomp_device::{DataMode, DeviceTable};
+//! use diomp_fabric::{FabricWorld, ReduceOp};
+//! use diomp_sim::{ClusterSpec, PlatformSpec, Sim, Topology};
+//! use diomp_xccl::{DeviceBuf, UniqueId, XcclComm, XcclOp};
+//!
+//! let mut sim = Sim::new();
+//! let spec = ClusterSpec { platform: PlatformSpec::platform_a(), nodes: 1, gpus_per_node: 4 };
+//! let topo = Arc::new(Topology::build(&sim.handle(), spec));
+//! let devs = DeviceTable::build(&sim.handle(), topo.clone(), DataMode::Functional, Some(1 << 20));
+//! let world = FabricWorld::new(topo, devs, 4);
+//! let id = UniqueId::generate();
+//!
+//! for r in 0..4usize {
+//!     let world = world.clone();
+//!     sim.spawn(format!("rank{r}"), move |ctx| {
+//!         // Root generates the id; everyone receives it via bootstrap —
+//!         // the CPU-side channel NCCL calls the "unique id broadcast".
+//!         let bits = world.bootstrap.exchange(ctx, r, if r == 0 { id.bits() } else { 0 })[0];
+//!         let comm = XcclComm::init(ctx, &world, vec![0, 1, 2, 3], r, UniqueId::from_bits(bits));
+//!         let dev = world.primary_dev(r);
+//!         let off = dev.malloc(64, 256).unwrap();
+//!         let vals: Vec<u8> = std::iter::repeat((r + 1) as f64)
+//!             .take(8)
+//!             .flat_map(|v| v.to_le_bytes())
+//!             .collect();
+//!         dev.mem.write(off, &vals).unwrap();
+//!         comm.collective(
+//!             ctx,
+//!             r,
+//!             vec![DeviceBuf { flat: r, off }],
+//!             XcclOp::AllReduce { op: ReduceOp::SumF64 },
+//!             64,
+//!         );
+//!         let mut out = vec![0u8; 64];
+//!         dev.mem.read(off, &mut out).unwrap();
+//!         for c in out.chunks_exact(8) {
+//!             assert_eq!(f64::from_le_bytes(c.try_into().unwrap()), 10.0); // 1+2+3+4
+//!         }
+//!     });
+//! }
+//! sim.run().unwrap();
+//! ```
 
 #![warn(missing_docs)]
 

@@ -1,0 +1,155 @@
+//! Documentation link checker: every relative markdown link (path and
+//! `#anchor`) in `README.md`, `DESIGN.md`, `ROADMAP.md` and `docs/`
+//! must resolve, so the architecture docs cannot rot silently. Runs as
+//! part of `cargo test` and as a dedicated CI step.
+
+use std::path::{Path, PathBuf};
+
+/// Markdown files the checker covers.
+fn doc_files(root: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = ["README.md", "DESIGN.md", "ROADMAP.md"]
+        .iter()
+        .map(|f| root.join(f))
+        .filter(|p| p.exists())
+        .collect();
+    if let Ok(entries) = std::fs::read_dir(root.join("docs")) {
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.extension().is_some_and(|x| x == "md") {
+                files.push(p);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Extract `[text](target)` link targets, skipping fenced code blocks and
+/// inline code spans (Rust attribute syntax like `#[test]` inside
+/// backticks is not a link).
+fn extract_links(text: &str) -> Vec<String> {
+    let mut links = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        // Strip inline code spans before scanning for links.
+        let mut stripped = String::new();
+        let mut in_code = false;
+        for c in line.chars() {
+            if c == '`' {
+                in_code = !in_code;
+            } else if !in_code {
+                stripped.push(c);
+            }
+        }
+        let bytes = stripped.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+                if let Some(close) = stripped[i + 2..].find(')') {
+                    links.push(stripped[i + 2..i + 2 + close].to_string());
+                    i += 2 + close;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+    links
+}
+
+/// GitHub-style anchor slug of a heading: lowercase, alphanumerics kept,
+/// spaces become hyphens, everything else dropped.
+fn slug(heading: &str) -> String {
+    let mut s = String::new();
+    for c in heading.trim().chars() {
+        if c.is_alphanumeric() {
+            s.extend(c.to_lowercase());
+        } else if c == ' ' || c == '-' || c == '_' {
+            s.push(if c == ' ' { '-' } else { c });
+        }
+    }
+    s
+}
+
+/// All heading anchors of a markdown file.
+fn anchors(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if !in_fence && line.starts_with('#') {
+            let heading = line.trim_start_matches('#');
+            out.push(slug(heading.replace('`', "").as_str()));
+        }
+    }
+    out
+}
+
+#[test]
+fn all_relative_doc_links_resolve() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let files = doc_files(&root);
+    assert!(files.len() >= 3, "doc set unexpectedly small: {files:?}");
+    let mut failures = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file).unwrap();
+        let dir = file.parent().unwrap();
+        for link in extract_links(&text) {
+            if link.starts_with("http://")
+                || link.starts_with("https://")
+                || link.starts_with("mailto:")
+            {
+                continue;
+            }
+            let (path_part, anchor) = match link.split_once('#') {
+                Some((p, a)) => (p, Some(a.to_string())),
+                None => (link.as_str(), None),
+            };
+            let target = if path_part.is_empty() {
+                file.clone() // pure-anchor link into the same file
+            } else {
+                dir.join(path_part)
+            };
+            if !target.exists() {
+                failures.push(format!("{}: broken link -> {link}", file.display()));
+                continue;
+            }
+            if let Some(a) = anchor {
+                if target.extension().is_some_and(|x| x == "md") {
+                    let ttext = std::fs::read_to_string(&target).unwrap();
+                    if !anchors(&ttext).contains(&a) {
+                        failures.push(format!(
+                            "{}: anchor #{a} not found in {}",
+                            file.display(),
+                            target.display()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(failures.is_empty(), "broken documentation links:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn slug_matches_github_style() {
+    assert_eq!(slug(" §7 — validation strategy"), "7--validation-strategy");
+    assert_eq!(slug(" Large-message pipeline knobs"), "large-message-pipeline-knobs");
+    assert_eq!(slug(" Wait-primitive catalogue"), "wait-primitive-catalogue");
+}
+
+#[test]
+fn extractor_sees_links_outside_code_only() {
+    let md = "see [a](x.md#y) and `[not](code.md)`\n```\n[also not](fence.md)\n```\n";
+    assert_eq!(extract_links(md), vec!["x.md#y".to_string()]);
+}

@@ -3,7 +3,7 @@
 //! cross-implementation equivalence checks.
 
 use diomp::apps::cannon::{self, CannonConfig};
-use diomp::apps::minimod::{self, MinimodConfig};
+use diomp::apps::minimod::{self, HaloStyle, MinimodConfig};
 use diomp::core::{Binding, Conduit, DiompConfig, DiompRuntime, ReduceOp};
 use diomp::device::DataMode;
 use diomp::sim::{PlatformSpec, SimTime};
@@ -23,6 +23,7 @@ fn diomp_and_mpi_minimod_agree_bit_for_bit() {
         steps: 4,
         mode: DataMode::Functional,
         verify: true,
+        halo: HaloStyle::Get,
     };
     assert!(minimod::diomp::run(&cfg).verified);
     assert!(minimod::mpi::run(&cfg).verified);
@@ -150,6 +151,7 @@ fn paper_ordering_holds_end_to_end() {
         steps: 8,
         mode: DataMode::CostOnly,
         verify: false,
+        halo: HaloStyle::Get,
     };
     let d = minimod::diomp::run(&cfg).elapsed;
     let m = minimod::mpi::run(&cfg).elapsed;
@@ -173,6 +175,7 @@ fn virtual_time_is_meaningful_at_paper_scale() {
         steps: 10,
         mode: DataMode::CostOnly,
         verify: false,
+        halo: HaloStyle::Get,
     };
     let per_step = minimod::diomp::run(&cfg).elapsed.as_ms() / 10.0;
     assert!(
