@@ -37,18 +37,24 @@ const WARMUP: usize = 2;
 const REPS: usize = 3;
 
 /// DiOMP P2P latency in µs for each size (inter-node, device buffers) —
-/// the "DiOMP Put/Get" curves of Fig. 3.
+/// the "DiOMP Put/Get" curves of Fig. 3. Runs through the default
+/// (tuned) path; Fig. 3's sizes sit far below every tuned chunk size, so
+/// the published latency curves are untouched by the pipeline.
 pub fn diomp_p2p_latency(platform: &PlatformSpec, op: RmaOp, sizes: &[u64]) -> Vec<(u64, f64)> {
     diomp_p2p(platform, Conduit::GasnetEx, op, sizes, false)
 }
 
 /// DiOMP P2P bandwidth in GB/s for each size — the Fig. 4 curves.
+/// Explicitly opts the pipeline *out*: the paper's published bandwidth
+/// curves (including the Fig. 4a put anomaly) are unpipelined.
 pub fn diomp_p2p_bandwidth(platform: &PlatformSpec, op: RmaOp, sizes: &[u64]) -> Vec<(u64, f64)> {
-    diomp_p2p(platform, Conduit::GasnetEx, op, sizes, true)
+    diomp_p2p_raw(platform, Conduit::GasnetEx, op, sizes, true)
 }
 
-/// DiOMP P2P bandwidth with the chunked large-message pipeline enabled —
-/// the "corrected"/pipelined counterpart of the Fig. 4 put curves.
+/// DiOMP P2P bandwidth with the chunked large-message pipeline under an
+/// *explicit* legacy configuration ([`PipelineConfig::enabled`], the PR 1
+/// constants) — the "corrected"/pipelined counterpart of the Fig. 4 put
+/// curves, kept as the explicit-config example of the precedence chain.
 pub fn diomp_p2p_bandwidth_pipelined(
     platform: &PlatformSpec,
     op: RmaOp,
@@ -61,7 +67,30 @@ pub fn diomp_p2p_bandwidth_pipelined(
 }
 
 /// DiOMP P2P over a chosen conduit (Fig. 5: GASNet-EX vs GPI-2).
+///
+/// Every conduit takes the tuned pipeline by default
+/// ([`PipelineConfig::auto`] — previously only the GASNet path had a
+/// pipelined driver); the precedence is **explicit config > tuned >
+/// disabled**, with [`diomp_p2p_raw`] as the explicit opt-out for the
+/// paper's published unpipelined curves and [`diomp_p2p_full`] for any
+/// explicit configuration (the benches use it directly when they need
+/// the scheduler-entry counts alongside the metric).
 pub fn diomp_p2p(
+    platform: &PlatformSpec,
+    conduit: Conduit,
+    op: RmaOp,
+    sizes: &[u64],
+    bandwidth: bool,
+) -> Vec<(u64, f64)> {
+    diomp_p2p_full(platform, conduit, op, sizes, bandwidth, PipelineConfig::auto(platform, conduit))
+        .into_iter()
+        .map(|(s, m, _)| (s, m))
+        .collect()
+}
+
+/// DiOMP P2P with the pipeline explicitly disabled — the opt-out used to
+/// reproduce the paper's published (unpipelined) curves.
+pub fn diomp_p2p_raw(
     platform: &PlatformSpec,
     conduit: Conduit,
     op: RmaOp,
@@ -204,6 +233,21 @@ pub fn diomp_collective(
         .into_iter()
         .map(|(s, us, _)| (s, us))
         .collect()
+}
+
+/// Like [`diomp_collective`] but through the transport autotuner's
+/// protocol-selecting engine (`CollEngine::Auto`): LL-style fused eager
+/// sends over binomial trees below the table-derived crossover, the
+/// chunk-pipelined ring above it. Returns the full-fidelity
+/// `(size, µs, entries)` rows.
+pub fn diomp_collective_auto(
+    platform: &PlatformSpec,
+    nodes: usize,
+    kind: CollKind,
+    sizes: &[u64],
+) -> Vec<(u64, f64, u64)> {
+    let engine = diomp_core::Tuner::new(platform, Conduit::GasnetEx).coll_engine();
+    diomp_collective_full(platform, nodes, kind, sizes, engine)
 }
 
 /// Like [`diomp_collective`] but through the calibrated whole-collective

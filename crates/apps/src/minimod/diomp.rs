@@ -56,6 +56,9 @@ pub fn run(cfg: &MinimodConfig) -> MinimodResult {
         .with_conduit(conduit)
         .with_allocator(diomp_core::AllocKind::Linear)
         .with_heap(cfg.heap_bytes());
+    // Tuned after the conduit is chosen, so the autotuner derives for
+    // the conduit that will actually run (explicit > tuned > disabled).
+    let dcfg = if cfg.tuned { dcfg.tuned() } else { dcfg };
     let out: Arc<Mutex<(Dur, bool)>> = Arc::new(Mutex::new((Dur::ZERO, true)));
     let out2 = out.clone();
     let parts: SlabParts = Arc::new(Mutex::new(Vec::new()));

@@ -78,6 +78,11 @@ pub struct MinimodConfig {
     /// Halo-exchange protocol for the DiOMP implementation (ignored by
     /// [`mpi::run`]).
     pub halo: HaloStyle,
+    /// Apply the transport autotuner to the DiOMP runtime
+    /// (`DiompConfig::tuned()`): knee-derived RMA pipeline parameters and
+    /// protocol-selecting collectives. Byte-identical wavefields either
+    /// way (property-tested); ignored by [`mpi::run`].
+    pub tuned: bool,
 }
 
 impl MinimodConfig {

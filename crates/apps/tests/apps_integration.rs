@@ -67,6 +67,7 @@ fn minimod_cfg(gpus: usize, grid: usize, steps: usize, mode: DataMode) -> Minimo
         mode,
         verify: mode == DataMode::Functional,
         halo: HaloStyle::Get,
+        tuned: false,
     }
 }
 
@@ -83,6 +84,7 @@ fn minimod_cfg_c(gpus: usize, grid: usize, steps: usize, halo: HaloStyle) -> Min
         mode: DataMode::Functional,
         verify: true,
         halo,
+        tuned: false,
     }
 }
 
@@ -166,6 +168,7 @@ fn diomp_minimod_beats_mpi_at_paper_scale() {
         mode: DataMode::CostOnly,
         verify: false,
         halo: HaloStyle::Get,
+        tuned: false,
     };
     let d = minimod::diomp::run(&cfg_d);
     let m = minimod::mpi::run(&cfg_d);

@@ -245,6 +245,53 @@ fn ablation_fence_batching(c: &mut Criterion) {
     g.finish();
 }
 
+/// D12 — transport autotuner (ISSUE 4): the tuned parameters must come
+/// from the platform tables (they differ across platforms), and the
+/// protocol-selecting `CollEngine::Auto` must beat the pure ring at a
+/// latency-bound size while matching it bit-for-bit above the crossover.
+fn ablation_tuner(c: &mut Criterion) {
+    use diomp_apps::micro::{diomp_collective_auto, diomp_collective_full, CollKind};
+    use diomp_core::{CollEngine, Conduit, TuneTable};
+
+    let mut g = c.benchmark_group("ablation_tuner");
+    g.sample_size(10);
+    g.bench_function("tuned_params_and_auto_vs_ring", |b| {
+        b.iter(|| {
+            let tables: Vec<TuneTable> = PlatformSpec::all()
+                .iter()
+                .map(|p| TuneTable::derive(p, Conduit::GasnetEx))
+                .collect();
+            let chunks: std::collections::HashSet<u64> =
+                tables.iter().map(|t| t.pipeline.chunk_bytes).collect();
+            assert!(chunks.len() >= 2, "tuned chunk sizes must differ across platforms");
+
+            let platform = PlatformSpec::platform_a();
+            let small = [32u64 << 10];
+            let auto = diomp_collective_auto(&platform, 4, CollKind::AllReduce, &small);
+            let ring = diomp_collective_full(
+                &platform,
+                4,
+                CollKind::AllReduce,
+                &small,
+                CollEngine::default(),
+            );
+            assert!(
+                auto[0].1 < ring[0].1,
+                "auto must beat the ring at 32 KiB: {:.1}µs vs {:.1}µs",
+                auto[0].1,
+                ring[0].1
+            );
+            println!(
+                "  tuner ablation: chunks {:?} B; 32KiB allreduce auto {:.1}µs vs ring {:.1}µs",
+                tables.iter().map(|t| t.pipeline.chunk_bytes).collect::<Vec<_>>(),
+                auto[0].1,
+                ring[0].1
+            );
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     ablation_asym_cache,
@@ -252,6 +299,7 @@ criterion_group!(
     ablation_alloc,
     ablation_paths,
     ablation_pipeline,
-    ablation_fence_batching
+    ablation_fence_batching,
+    ablation_tuner
 );
 criterion_main!(benches);

@@ -17,6 +17,7 @@ fn cfg() -> MinimodConfig {
         mode: DataMode::CostOnly,
         verify: false,
         halo: HaloStyle::Get,
+        tuned: false,
     }
 }
 

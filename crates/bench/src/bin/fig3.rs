@@ -1,7 +1,12 @@
 //! Fig. 3 — point-to-point RMA latency, 4 B – 8 KB: DiOMP Put/Get vs MPI
 //! Put/Get on the three platforms. Lower is better; the paper's headline
-//! is DiOMP's flat ~5 µs curve against MPI's climbing one. `--json PATH`
-//! emits every cell as a `BENCH_*.json` record.
+//! is DiOMP's flat ~5 µs curve against MPI's climbing one. The DiOMP
+//! side runs through the transport autotuner's default path
+//! (`PipelineConfig::auto` via `diomp_p2p_latency`); every Fig. 3 size
+//! sits below the tuned chunk knee, so the published flat curves are
+//! what the tuned configuration itself produces — `bench_gate` locks
+//! the 8 KB put latency per platform. `--json PATH` emits every cell as
+//! a `BENCH_*.json` record.
 
 use diomp_apps::micro::{diomp_p2p_latency, mpi_p2p, RmaOp};
 use diomp_bench::report::{json_path_from_args, BenchRecord};

@@ -2,8 +2,10 @@
 //! better. Platform A reproduces the documented DiOMP-Put driver anomaly
 //! (run with `--no-anomaly` for the corrected curve, or compare the
 //! `DiOMP Put*` column: the chunked large-message pipeline dodges the cap
-//! by staging through host memory). `--json PATH` additionally emits
-//! `BENCH_*.json` rows carrying each run's scheduler-entry count.
+//! by staging through host memory; `Put+` is the transport autotuner's
+//! knee-derived pipeline, `PipelineConfig::auto`). `--json PATH`
+//! additionally emits `BENCH_*.json` rows carrying each run's
+//! scheduler-entry count.
 
 use diomp_apps::micro::{diomp_p2p_bandwidth, diomp_p2p_full, mpi_p2p, RmaOp};
 use diomp_bench::report::{json_path_from_args, BenchRecord};
@@ -44,19 +46,28 @@ fn main() {
             true,
             PipelineConfig::enabled(),
         );
+        let dpt = diomp_p2p_full(
+            &platform,
+            Conduit::GasnetEx,
+            RmaOp::Put,
+            &sizes,
+            true,
+            PipelineConfig::auto(&platform, Conduit::GasnetEx),
+        );
         let mg = mpi_p2p(&platform, RmaOp::Get, &sizes, true);
         let mp = mpi_p2p(&platform, RmaOp::Put, &sizes, true);
         println!(
-            "{:>8} {:>11} {:>11} {:>11} {:>11} {:>11}",
-            "size", "DiOMP Get", "DiOMP Put", "DiOMP Put*", "MPI Get", "MPI Put"
+            "{:>8} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11}",
+            "size", "DiOMP Get", "DiOMP Put", "DiOMP Put*", "DiOMP Put+", "MPI Get", "MPI Put"
         );
         for i in 0..sizes.len() {
             println!(
-                "{:>8} {:>11.2} {:>11.2} {:>11.2} {:>11.2} {:>11.2}",
+                "{:>8} {:>11.2} {:>11.2} {:>11.2} {:>11.2} {:>11.2} {:>11.2}",
                 size_label(sizes[i]),
                 dg[i].1,
                 dp[i].1,
                 dpp[i].1,
+                dpt[i].1,
                 mg[i].1,
                 mp[i].1
             );
@@ -72,9 +83,16 @@ fn main() {
                 "GB/s",
                 dpp[i].2,
             ));
+            records.push(BenchRecord::with_entries(
+                format!("fig4{tag}/diomp_put_tuned_{}", size_label(sizes[i])),
+                dpt[i].1,
+                "GB/s",
+                dpt[i].2,
+            ));
         }
     }
     println!("\n(*) chunked large-message pipeline enabled (PipelineConfig::enabled()).");
+    println!("(+) transport-autotuned pipeline (PipelineConfig::auto, knee-derived).");
     println!("paper shape: DiOMP above MPI everywhere except the documented");
     println!("Platform A DiOMP-Put anomaly (external driver issue, Fig. 4a),");
     println!("which the pipelined put dodges by staging chunks through host memory.");

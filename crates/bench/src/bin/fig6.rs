@@ -2,7 +2,10 @@
 //! Broadcast (32 KB–64 MB) and AllReduce (128 KB–64 MB) on the paper's
 //! three platforms (64 A100s, 64 GCDs, 16 GH200s). The DiOMP side runs
 //! through the emergent chunk-pipelined ring engine by default; pass
-//! `--profile` for the calibrated whole-collective curve fit (ablation).
+//! `--profile` for the calibrated whole-collective curve fit (ablation)
+//! or `--auto` for the transport autotuner's protocol-selecting engine
+//! (LL/tree small-message fast paths, ring above the crossover — the
+//! configuration that reproduces the fitted small-size dips).
 //! `--json PATH` emits every cell — DiOMP µs with the run's
 //! scheduler-entry count, MPI µs, and the log-ratio — as `BENCH_*.json`
 //! records.
@@ -10,19 +13,38 @@
 use diomp_apps::micro::{diomp_collective_full, fig6_nodes, log_ratio, mpi_collective, CollKind};
 use diomp_bench::report::{json_path_from_args, BenchRecord};
 use diomp_bench::{mae, paper, print_ratio_row, sign_agreement, size_label};
-use diomp_core::CollEngine;
+use diomp_core::{CollEngine, Conduit, Tuner};
 use diomp_sim::PlatformSpec;
+
+/// Which DiOMP engine the run measures; `Auto` is derived per platform.
+#[derive(Clone, Copy)]
+enum EngineSel {
+    Ring,
+    Profile,
+    Auto,
+}
+
+impl EngineSel {
+    fn for_platform(self, platform: &PlatformSpec) -> CollEngine {
+        match self {
+            EngineSel::Ring => CollEngine::default(),
+            EngineSel::Profile => CollEngine::Profile,
+            EngineSel::Auto => Tuner::new(platform, Conduit::GasnetEx).coll_engine(),
+        }
+    }
+}
 
 #[allow(clippy::too_many_arguments)]
 fn run_op(
     kind: CollKind,
     op_tag: &str,
     sizes: &[u64],
-    engine: CollEngine,
+    sel: EngineSel,
     records: &mut Vec<BenchRecord>,
     refs: [(&str, &str, PlatformSpec, &[f64]); 3],
 ) {
     for (tag, name, platform, paper_row) in refs {
+        let engine = sel.for_platform(&platform);
         let nodes = fig6_nodes(&platform);
         let mpi = mpi_collective(&platform, nodes, kind, sizes);
         let full = diomp_collective_full(&platform, nodes, kind, sizes, engine);
@@ -39,6 +61,7 @@ fn run_op(
         let eng = match engine {
             CollEngine::Profile => "diomp_profile",
             CollEngine::Ring(_) => "diomp",
+            CollEngine::Auto(_) => "diomp_auto",
         };
         for (i, &(s, us, entries)) in full.iter().enumerate() {
             let sz = size_label(s);
@@ -68,9 +91,11 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let json_path = json_path_from_args(&args);
     let engine = if args.iter().any(|a| a == "--profile") {
-        CollEngine::Profile
+        EngineSel::Profile
+    } else if args.iter().any(|a| a == "--auto") {
+        EngineSel::Auto
     } else {
-        CollEngine::default()
+        EngineSel::Ring
     };
     let mut records = Vec::new();
     println!("Fig. 6(a) Broadcast — log10(MPI/DiOMP), positive = DiOMP faster");

@@ -41,6 +41,7 @@ fn main() {
             mode: DataMode::CostOnly,
             verify: false,
             halo: HaloStyle::Get,
+            tuned: false,
         };
         println!(
             "\n== Fig. 8{name}: Minimod speedup vs MPI {}-GPU baseline ({} of {} steps simulated) ==",

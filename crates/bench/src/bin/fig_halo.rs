@@ -40,6 +40,7 @@ fn cfg(gpus: usize, grid: usize, steps: usize, mode: DataMode, halo: HaloStyle) 
         mode,
         verify: mode == DataMode::Functional,
         halo,
+        tuned: false,
     }
 }
 

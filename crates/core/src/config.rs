@@ -22,9 +22,17 @@ pub enum Conduit {
 /// into `chunk_bytes`-sized chunks that pipeline through the conduit:
 /// chunk device-copies overlap in-flight network injections (bounded by
 /// `max_inflight` staging slots), and chunk completions round-robin
-/// across `n_queues` GPI-2 queues. Disabled by default so the paper's
-/// published curves — including the Fig. 4a Platform A put anomaly —
-/// reproduce unchanged; the ablation benches flip it on.
+/// across `n_queues` GPI-2 queues.
+///
+/// Three ways to obtain one, in precedence order (**explicit > tuned >
+/// disabled**):
+///
+/// * an explicit literal / [`PipelineConfig::enabled`] always wins,
+/// * [`PipelineConfig::auto`] derives the parameters from the platform
+///   tables per conduit (the transport autotuner, [`crate::tune`]),
+/// * the base default is [`PipelineConfig::disabled`] so the paper's
+///   published curves — including the Fig. 4a Platform A put anomaly —
+///   reproduce unchanged; the ablation benches flip it on.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct PipelineConfig {
     /// Chunk size in bytes; inter-node messages strictly larger than this
@@ -46,6 +54,14 @@ impl PipelineConfig {
     /// Pipelining off: every message is one monolithic transfer.
     pub fn disabled() -> Self {
         PipelineConfig { chunk_bytes: u64::MAX, max_inflight: 1, n_queues: 1 }
+    }
+
+    /// Tuned pipelining: parameters derived from `platform`'s calibrated
+    /// tables for `conduit` by the transport autotuner — chunk size from
+    /// the conduit curve's knee, window depth from latency coverage,
+    /// queue count from the NIC layout. See [`crate::tune::Tuner`].
+    pub fn auto(platform: &diomp_sim::PlatformSpec, conduit: Conduit) -> Self {
+        crate::tune::Tuner::new(platform, conduit).pipeline()
     }
 
     /// Is a transfer of `len` bytes pipelined under this config?
@@ -111,9 +127,19 @@ pub struct DiompConfig {
     pub batched_fence: bool,
     /// OMPCCL completion-time engine: the chunk-pipelined ring protocol
     /// over the simulated links (default — Fig. 6 emerges from protocol
-    /// structure) or the calibrated whole-collective profiles (the
-    /// curve-fit path, kept for ablation).
+    /// structure), the autotuner's protocol-selecting
+    /// [`CollEngine::Auto`], or the calibrated whole-collective profiles
+    /// (the curve-fit path, kept for ablation).
     pub coll_engine: CollEngine,
+    /// Was the pipeline set explicitly (`with_pipeline`)? Explicit
+    /// settings are pinned against [`DiompConfig::tuned`] re-derivation.
+    pipeline_explicit: bool,
+    /// Was the collective engine set explicitly?
+    coll_engine_explicit: bool,
+    /// Has [`DiompConfig::tuned`] been applied? Conduit changes then
+    /// re-derive the non-explicit transport parameters for the new
+    /// conduit instead of keeping stale ones.
+    tuned: bool,
 }
 
 impl DiompConfig {
@@ -133,12 +159,42 @@ impl DiompConfig {
             pipeline: PipelineConfig::disabled(),
             batched_fence: true,
             coll_engine: CollEngine::default(),
+            pipeline_explicit: false,
+            coll_engine_explicit: false,
+            tuned: false,
         }
     }
 
     /// Convenience: platform + node count, all devices used.
     pub fn on_platform(platform: PlatformSpec, nodes: usize) -> Self {
         Self::new(ClusterSpec::full_nodes(platform, nodes))
+    }
+
+    /// Apply the transport autotuner: derive the RMA pipeline and the
+    /// collective engine ([`CollEngine::Auto`]) from the platform tables
+    /// for the active conduit. Precedence is **explicit > tuned >
+    /// disabled** and is *order-independent*: `with_pipeline` /
+    /// `with_coll_engine` pin their field whether called before or after
+    /// `tuned()`, a later [`Self::with_conduit`] re-derives the tuned
+    /// (non-pinned) parameters for the new conduit, and without
+    /// `tuned()` the defaults stay disabled/ring (the paper's published
+    /// configuration).
+    pub fn tuned(mut self) -> Self {
+        self.tuned = true;
+        self.apply_tuning();
+        self
+    }
+
+    /// Re-derive the non-explicit transport parameters for the current
+    /// `(platform, conduit)` pair.
+    fn apply_tuning(&mut self) {
+        let t = crate::tune::Tuner::new(&self.cluster.platform, self.conduit);
+        if !self.pipeline_explicit {
+            self.pipeline = t.pipeline();
+        }
+        if !self.coll_engine_explicit {
+            self.coll_engine = t.coll_engine();
+        }
     }
 
     /// Number of ranks implied by the binding.
@@ -155,9 +211,13 @@ impl DiompConfig {
         self
     }
 
-    /// Select the conduit.
+    /// Select the conduit. On a tuned config this re-derives the tuned
+    /// (non-explicit) transport parameters for the new conduit.
     pub fn with_conduit(mut self, c: Conduit) -> Self {
         self.conduit = c;
+        if self.tuned {
+            self.apply_tuning();
+        }
         self
     }
 
@@ -191,9 +251,12 @@ impl DiompConfig {
         self
     }
 
-    /// Configure large-message pipelining (see [`PipelineConfig`]).
+    /// Configure large-message pipelining explicitly (see
+    /// [`PipelineConfig`]); pins the pipeline against `tuned()`
+    /// re-derivation regardless of call order.
     pub fn with_pipeline(mut self, p: PipelineConfig) -> Self {
         self.pipeline = p;
+        self.pipeline_explicit = true;
         self
     }
 
@@ -204,17 +267,18 @@ impl DiompConfig {
         self
     }
 
-    /// Select the OMPCCL completion-time engine.
+    /// Select the OMPCCL completion-time engine explicitly; pins it
+    /// against `tuned()` re-derivation regardless of call order.
     pub fn with_coll_engine(mut self, e: CollEngine) -> Self {
         self.coll_engine = e;
+        self.coll_engine_explicit = true;
         self
     }
 
     /// Price collectives with the calibrated whole-collective profiles
     /// instead of the emergent ring protocol (the ablation baseline).
-    pub fn with_profile_collectives(mut self) -> Self {
-        self.coll_engine = CollEngine::Profile;
-        self
+    pub fn with_profile_collectives(self) -> Self {
+        self.with_coll_engine(CollEngine::Profile)
     }
 }
 
@@ -243,6 +307,27 @@ mod tests {
         assert_eq!(p.chunks(0).collect::<Vec<_>>(), vec![(0, 0)]);
         let d = PipelineConfig::disabled();
         assert_eq!(d.chunks(0).collect::<Vec<_>>(), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn tuned_precedence_is_order_independent() {
+        use diomp_sim::PlatformSpec;
+        let base = || DiompConfig::on_platform(PlatformSpec::platform_c(), 2);
+        let custom = PipelineConfig { chunk_bytes: 1 << 20, max_inflight: 2, n_queues: 1 };
+        // Explicit beats tuned whether it comes before or after tuned().
+        assert_eq!(base().with_pipeline(custom).tuned().pipeline, custom);
+        assert_eq!(base().tuned().with_pipeline(custom).pipeline, custom);
+        // An explicit engine survives tuned() too, in both orders.
+        let prof = base().with_profile_collectives().tuned();
+        assert_eq!(prof.coll_engine, CollEngine::Profile);
+        assert!(matches!(prof.pipeline, p if p != PipelineConfig::disabled()));
+        // Changing the conduit re-derives the tuned parameters for it.
+        let gas = base().tuned();
+        let gpi = base().tuned().with_conduit(Conduit::Gpi2);
+        assert_ne!(gas.pipeline, gpi.pipeline, "conduit change must re-tune");
+        assert_eq!(gpi.pipeline, PipelineConfig::auto(&PlatformSpec::platform_c(), Conduit::Gpi2));
+        // Without tuned(), the published defaults stay put.
+        assert_eq!(base().with_conduit(Conduit::Gpi2).pipeline, PipelineConfig::disabled());
     }
 
     #[test]

@@ -48,15 +48,17 @@ mod rma;
 mod runtime;
 mod sync;
 mod target;
+pub mod tune;
 
 pub use config::{Binding, Conduit, DiompConfig, PipelineConfig};
-pub use diomp_xccl::{CollEngine, RingConfig};
+pub use diomp_xccl::{AutoConfig, CollEngine, RingConfig};
 pub use error::DiompError;
 pub use galloc::{AllocKind, BuddyAlloc, LinearAlloc, PtrCache, WRAPPER_BYTES};
 pub use gptr::{AsymPtr, GPtr};
 pub use group::{group_merge, group_split, DiompGroup, GroupRegistry, GroupShared};
 pub use runtime::{DiompRank, DiompRuntime, DiompShared};
 pub use target::DiompTarget;
+pub use tune::{TuneTable, Tuner};
 
 // Re-export the pieces apps need without importing every crate.
 pub use diomp_fabric::ReduceOp;

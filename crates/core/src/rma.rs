@@ -205,20 +205,38 @@ impl DiompRank {
                 let pipe = s.cfg.pipeline;
                 match s.cfg.conduit {
                     Conduit::GasnetEx => {
-                        // Chunked gets issue one non-blocking injection
-                        // per chunk; the requests pipeline on the wire
-                        // and the fence drains all completions at once.
-                        for (coff, clen) in pipe.chunks(len) {
-                            let ev = gasnet::get_nb(
+                        if pipe.pipelines(len)
+                            && gasnet::put_capped(w, true, pipe.chunk_bytes.min(len))
+                        {
+                            // Host-capped platform (the documented Fig. 4a
+                            // device-DMA driver issue): route the large get
+                            // through the host-staged pipeline too, so the
+                            // deposit side never rides the fragile direct
+                            // device path.
+                            self.get_gasnet_staged(
                                 ctx,
-                                w,
-                                self.rank,
-                                Loc::dev(local_flat, s.seg_base[local_flat] + local_off + coff),
-                                s.seg[remote_flat],
-                                remote_off + coff,
-                                clen,
+                                local_flat,
+                                local_off,
+                                remote_flat,
+                                remote_off,
+                                len,
                             )?;
-                            self.track(ev);
+                        } else {
+                            // Chunked gets issue one non-blocking injection
+                            // per chunk; the requests pipeline on the wire
+                            // and the fence drains all completions at once.
+                            for (coff, clen) in pipe.chunks(len) {
+                                let ev = gasnet::get_nb(
+                                    ctx,
+                                    w,
+                                    self.rank,
+                                    Loc::dev(local_flat, s.seg_base[local_flat] + local_off + coff),
+                                    s.seg[remote_flat],
+                                    remote_off + coff,
+                                    clen,
+                                )?;
+                                self.track(ev);
+                            }
                         }
                     }
                     Conduit::Gpi2 => {
@@ -331,6 +349,91 @@ impl DiompRank {
         }
         for local in slot_local.into_iter().flatten() {
             self.track(local);
+        }
+        Ok(())
+    }
+
+    /// Chunked inter-node get staged through host bounce buffers — the
+    /// get-side counterpart of [`Self::put_gasnet_pipelined`]'s staged
+    /// regime, used on host-capped platforms (where the documented
+    /// Fig. 4a driver issue makes the direct device DMA path the fragile
+    /// one) under a pipelining config such as the autotuner's.
+    ///
+    /// Non-blocking like every other get path: each chunk lands in one
+    /// of `max_inflight` host bounce buffers via `gex_RMA_GetNB`, and
+    /// its H2D upload is *scheduled at the chunk's modelled arrival
+    /// instant* ([`gasnet::get_nb_timed`] guarantees the upload's
+    /// snapshot runs after the deposit), so uploads overlap later
+    /// chunks' wire time without ever synchronising the issuing task —
+    /// it returns immediately and `ompx_fence` drains both the chunk
+    /// arrivals and the upload completions. The uploads charge the
+    /// destination device's host link (PCIe) directly and bypass the
+    /// bounded stream pool (a scheduled completion action cannot park on
+    /// stream acquisition); stream-pool coupling remains a put-side
+    /// property.
+    ///
+    /// Slot reuse is race-free without any waiting: arrivals on one NIC
+    /// are FIFO, so chunk `k`'s upload snapshot (at its arrival) always
+    /// precedes chunk `k + max_inflight`'s deposit into the same buffer
+    /// (at a strictly later arrival).
+    fn get_gasnet_staged(
+        &mut self,
+        ctx: &mut Ctx,
+        local_flat: usize,
+        local_off: u64,
+        remote_flat: usize,
+        remote_off: u64,
+        len: u64,
+    ) -> Result<(), DiompError> {
+        let s = self.shared.clone();
+        let w = &s.world;
+        let pipe = s.cfg.pipeline;
+        let dev = w.devs.dev(local_flat).clone();
+        let functional = w.devs.mode == diomp_device::DataMode::Functional;
+        let dst_base = s.seg_base[local_flat] + local_off;
+        // Pre-check the device destination range once, so the scheduled
+        // upload actions can rely on bounds like every other deposit.
+        if dst_base + len > dev.mem.capacity() {
+            return Err(diomp_device::MemError::OutOfBounds {
+                offset: dst_base,
+                len,
+                capacity: dev.mem.capacity(),
+            }
+            .into());
+        }
+        let nslots = pipe.max_inflight.max(1);
+        let bufs: Vec<diomp_device::HostBuf> = (0..nslots)
+            .map(|_| {
+                if functional {
+                    diomp_device::HostBuf::zeroed(pipe.chunk_bytes)
+                } else {
+                    diomp_device::HostBuf::phantom(pipe.chunk_bytes)
+                }
+            })
+            .collect();
+        for (k, (coff, clen)) in pipe.chunks(len).enumerate() {
+            let slot = k % nslots;
+            let (arrival_ev, arrive) = gasnet::get_nb_timed(
+                ctx,
+                w,
+                self.rank,
+                Loc::host(bufs[slot].clone(), 0),
+                s.seg[remote_flat],
+                remote_off + coff,
+                clen,
+            )?;
+            self.track(arrival_ev);
+            // Upload the chunk the moment it lands; completion is a
+            // fence-tracked event completed by the scheduled action.
+            let up_ev = ctx.new_event();
+            let dev = dev.clone();
+            let buf = bufs[slot].clone();
+            ctx.handle().schedule_at(arrive, move |h| {
+                let done = copy::h2d(h, &dev, &buf, 0, dst_base + coff, clen)
+                    .expect("staged-get bounds pre-checked");
+                h.complete_at(up_ev, done);
+            });
+            self.track(up_ev);
         }
         Ok(())
     }

@@ -177,6 +177,146 @@ fn pipelined_64mib_put_is_no_later_than_unpipelined() {
     );
 }
 
+/// Simulated completion time of a `len`-byte get + fence on `cfg`.
+fn get_fence_us(cfg: DiompConfig, len: u64) -> f64 {
+    let us = Arc::new(Mutex::new(0.0f64));
+    let us2 = us.clone();
+    DiompRuntime::run(cfg, move |ctx, rank| {
+        let ptr = rank.alloc_sym(ctx, len).unwrap();
+        rank.barrier(ctx);
+        if rank.rank == 0 {
+            let t0 = ctx.now();
+            rank.get(ctx, 1, ptr, 0, ptr, 0, len).unwrap();
+            rank.fence(ctx);
+            *us2.lock() = ctx.now().since(t0).as_us();
+        }
+        rank.barrier(ctx);
+    })
+    .unwrap();
+    let v = *us.lock();
+    v
+}
+
+#[test]
+fn staged_get_on_host_capped_platform_is_byte_identical() {
+    // Platform A is host-capped (Fig. 4a): large tuned gets route
+    // through host bounce buffers + H2D uploads. Byte identity must hold
+    // across the staging, including non-divisor tails and slot reuse.
+    let len = 900 << 10;
+    let staged = two_nodes(PlatformSpec::platform_a()).with_pipeline(PipelineConfig {
+        chunk_bytes: 96 << 10, // 9 chunks + tail across 2 slots
+        max_inflight: 2,
+        n_queues: 1,
+    });
+    let got = get_roundtrip(staged, len);
+    assert_eq!(got, pattern(len as usize));
+    let got_mono = get_roundtrip(two_nodes(PlatformSpec::platform_a()), len);
+    assert_eq!(got, got_mono);
+}
+
+#[test]
+fn staged_get_costs_at_most_a_few_percent_over_monolithic() {
+    // The get side is not bandwidth-capped, so staging cannot win
+    // bandwidth on the current model — it must at least not lose it: the
+    // H2D uploads overlap later chunks' wire time and only the last
+    // upload extends the tail.
+    let len = 64 << 20;
+    let base = |p: PlatformSpec| two_nodes(p).with_mode(DataMode::CostOnly).with_heap(256 << 20);
+    let mono_us = get_fence_us(base(PlatformSpec::platform_a()), len);
+    let tuned = PipelineConfig::auto(&PlatformSpec::platform_a(), Conduit::GasnetEx);
+    let staged_us = get_fence_us(base(PlatformSpec::platform_a()).with_pipeline(tuned), len);
+    assert!(
+        staged_us <= mono_us * 1.05,
+        "staged get must stay within 5% of monolithic: {staged_us:.1}µs vs {mono_us:.1}µs"
+    );
+}
+
+#[test]
+fn staged_get_stays_nonblocking_and_overlaps_compute() {
+    // The staged regime must honour get_dev's non-blocking contract:
+    // issuing a large staged get costs only the per-chunk injection
+    // overheads (the wire time and the H2D uploads happen behind the
+    // task's back), so compute issued right after the get hides under
+    // the transfer instead of serialising with it.
+    let len = 32 << 20;
+    let base = || {
+        two_nodes(PlatformSpec::platform_a())
+            .with_mode(DataMode::CostOnly)
+            .with_heap(256 << 20)
+            .tuned()
+    };
+    let get_alone_us = get_fence_us(base(), len);
+    let times = Arc::new(Mutex::new((0.0f64, 0.0f64)));
+    let times2 = times.clone();
+    DiompRuntime::run(base(), move |ctx, rank| {
+        let ptr = rank.alloc_sym(ctx, len).unwrap();
+        rank.barrier(ctx);
+        if rank.rank == 0 {
+            let t0 = ctx.now();
+            rank.get(ctx, 1, ptr, 0, ptr, 0, len).unwrap();
+            let issue_us = ctx.now().since(t0).as_us();
+            // 1 ms of "compute" while the chunks stream in.
+            ctx.delay(diomp_sim::Dur::micros(1000.0));
+            rank.fence(ctx);
+            *times2.lock() = (issue_us, ctx.now().since(t0).as_us());
+        }
+        rank.barrier(ctx);
+    })
+    .unwrap();
+    let (issue_us, total_us) = *times.lock();
+    assert!(
+        issue_us < get_alone_us * 0.2,
+        "issuing a staged get must not wait for the wire: {issue_us:.0}µs vs \
+         {get_alone_us:.0}µs end-to-end"
+    );
+    assert!(
+        total_us < get_alone_us + 200.0,
+        "1 ms of compute must hide under the {get_alone_us:.0}µs transfer, got {total_us:.0}µs"
+    );
+}
+
+#[test]
+fn tuned_config_beats_capped_put_and_respects_precedence() {
+    // DiompConfig::tuned() must clear the Fig. 4a put cap like the
+    // explicit pipeline does, with parameters read off the tables…
+    let len = 64 << 20;
+    let base = |p: PlatformSpec| two_nodes(p).with_mode(DataMode::CostOnly).with_heap(256 << 20);
+    let mono_us = put_fence_us(base(PlatformSpec::platform_a()), len);
+    let tuned_us = put_fence_us(base(PlatformSpec::platform_a()).tuned(), len);
+    assert!(
+        tuned_us * 3.0 < mono_us,
+        "tuned put must clear the anomaly cap: {tuned_us:.1}µs vs {mono_us:.1}µs"
+    );
+    // …and the precedence chain is explicit > tuned > disabled.
+    let cfg = base(PlatformSpec::platform_a()).tuned();
+    assert!(cfg.pipeline.pipelines(cfg.pipeline.chunk_bytes + 1), "tuned enables the pipeline");
+    assert!(matches!(cfg.coll_engine, diomp_core::CollEngine::Auto(_)));
+    let overridden = cfg.with_pipeline(PipelineConfig::disabled());
+    assert_eq!(overridden.pipeline, PipelineConfig::disabled(), "explicit beats tuned");
+    let mono_after_override_us = put_fence_us(
+        base(PlatformSpec::platform_a()).tuned().with_pipeline(PipelineConfig::disabled()),
+        len,
+    );
+    assert_eq!(mono_after_override_us, mono_us, "explicit opt-out restores the published curve");
+}
+
+#[test]
+fn tuned_roundtrips_are_byte_identical_on_every_platform_and_conduit() {
+    let len = (1 << 20) + 4097; // above every tuned chunk, ragged tail
+    for (platform, conduit) in [
+        (PlatformSpec::platform_a(), Conduit::GasnetEx),
+        (PlatformSpec::platform_b(), Conduit::GasnetEx),
+        (PlatformSpec::platform_c(), Conduit::GasnetEx),
+        (PlatformSpec::platform_c(), Conduit::Gpi2),
+    ] {
+        let cfg = || two_nodes(platform.clone()).with_conduit(conduit).tuned().with_heap(16 << 20);
+        let (put_bytes, _) = put_roundtrip(cfg(), len);
+        assert_eq!(put_bytes, pattern(len as usize), "{} {conduit:?} put", platform.name);
+        let get_bytes = get_roundtrip(cfg(), len);
+        assert_eq!(get_bytes, pattern(len as usize), "{} {conduit:?} get", platform.name);
+    }
+}
+
 /// Run a traced put workload with chunking enabled; returns the trace
 /// plus the scheduler counters.
 fn traced_chunked_run() -> (Vec<String>, u64, diomp_sim::SimTime) {

@@ -141,6 +141,24 @@ pub fn get_nb(
     src_off: u64,
     len: u64,
 ) -> Result<EventId, MemError> {
+    get_nb_timed(ctx, world, rank, dst, src, src_off, len).map(|(ev, _)| ev)
+}
+
+/// Like [`get_nb`] but also returns the modelled arrival instant, so
+/// staged pipelines can schedule follow-on work (e.g. an H2D upload out
+/// of a bounce buffer) *at* the moment the chunk lands — without
+/// synchronising the issuing task on the arrival. Actions scheduled at
+/// the returned time after this call run strictly after the deposit
+/// (same instant, later sequence number).
+pub fn get_nb_timed(
+    ctx: &mut Ctx,
+    world: &Arc<FabricWorld>,
+    rank: usize,
+    dst: Loc,
+    src: SegmentId,
+    src_off: u64,
+    len: u64,
+) -> Result<(EventId, diomp_sim::SimTime), MemError> {
     let seg = world.segment(src);
     let src_loc = seg.loc(src_off);
     dst.check(&world.devs, len)?;
@@ -159,18 +177,28 @@ pub fn get_nb(
 
     // Snapshot at the remote read time for causal correctness: the bytes
     // leave the owner when the NIC reads them, i.e. at transfer start.
+    // Both stages are scheduled *now*, in order, so the deposit's
+    // sequence number precedes any action a caller schedules at the
+    // arrival instant after this returns — the ordering `get_nb_timed`
+    // documents. CostOnly runs carry no bytes at all: no actions are
+    // scheduled, keeping scheduler entries free of pure bookkeeping.
     let ev = h.new_event();
-    let devs = world.devs.clone();
-    let h2 = h.clone();
-    h.schedule_at(times.start_or_arrive().0, move |_| {
-        let bytes = src_loc.snapshot(&devs, len).expect("bounds pre-checked");
-        if let Some(bytes) = bytes {
-            let devs2 = devs.clone();
-            h2.schedule_at(times.arrive, move |_| dst.deposit(&devs2, &bytes));
-        }
-    });
+    if world.devs.mode == diomp_device::DataMode::Functional {
+        let devs = world.devs.clone();
+        let in_flight: Arc<Mutex<Option<Vec<u8>>>> = Arc::new(Mutex::new(None));
+        let fill = in_flight.clone();
+        let devs2 = devs.clone();
+        h.schedule_at(times.start_or_arrive().0, move |_| {
+            *fill.lock() = src_loc.snapshot(&devs2, len).expect("bounds pre-checked");
+        });
+        h.schedule_at(times.arrive, move |_| {
+            if let Some(bytes) = in_flight.lock().take() {
+                dst.deposit(&devs, &bytes);
+            }
+        });
+    }
     h.complete_at(ev, times.arrive);
-    Ok(ev)
+    Ok((ev, times.arrive))
 }
 
 impl crate::path::PathTimes {

@@ -177,6 +177,64 @@ impl BwCurve {
     pub fn time_us(&self, bytes: u64) -> f64 {
         bytes as f64 / (self.gbps(bytes) * 1e3)
     }
+
+    /// Asymptotic bandwidth of the curve: the last control point's GB/s
+    /// (what the link achieves once messages are large enough that
+    /// per-operation overheads vanish).
+    pub fn asymptote_gbps(&self) -> f64 {
+        self.points.last().expect("BwCurve is non-empty").1
+    }
+
+    /// The curve's *knee*: the smallest message size whose achieved
+    /// bandwidth reaches `frac` of the asymptote ([`Self::asymptote_gbps`]).
+    ///
+    /// This is the transport autotuner's primitive query: "how big must a
+    /// chunk be before this platform's per-operation overhead stops
+    /// mattering?" The answer is read off the calibrated table rather
+    /// than hard-coded, so every derived parameter follows the platform.
+    ///
+    /// The result is clamped to the curve's control range: if even the
+    /// first point reaches the threshold the first point's size is
+    /// returned, and if no interior crossing exists (non-monotonic fitted
+    /// curves can dip back under), the last point's size is returned —
+    /// the asymptote itself always qualifies for `frac <= 1`. Within a
+    /// segment the crossing is solved on the same log-log interpolation
+    /// [`Self::gbps`] uses, so `gbps(knee_bytes(f)) ≈ f × asymptote`.
+    /// The query is monotone in `frac`: a higher threshold can only move
+    /// the knee to a larger size.
+    pub fn knee_bytes(&self, frac: f64) -> u64 {
+        let thr = self.asymptote_gbps() * frac;
+        let pts = &self.points;
+        if pts[0].1 >= thr {
+            return pts[0].0;
+        }
+        for w in pts.windows(2) {
+            let ((s0, b0), (s1, b1)) = (w[0], w[1]);
+            if b0 < thr && thr <= b1 {
+                // Invert the log-log interpolation of `gbps`.
+                let f = (thr.ln() - b0.ln()) / (b1.ln() - b0.ln());
+                let s = ((s0 as f64).ln() + f * ((s1 as f64).ln() - (s0 as f64).ln())).exp();
+                return (s.ceil() as u64).clamp(s0, s1);
+            }
+        }
+        pts[pts.len() - 1].0
+    }
+}
+
+/// Synthesize the achieved-bandwidth curve of a single one-sided RMA
+/// operation from its conduit model: a message of `s` bytes costs
+/// `o_us + s / wire` µs, so achieved bandwidth follows the classic
+/// `s / (o + s/B)` saturation curve. Control points span 1 KiB – 64 MiB.
+fn rma_curve(o_us: f64, wire_gbps: f64) -> BwCurve {
+    BwCurve::new(
+        (0..=16)
+            .map(|i| {
+                let s = 1u64 << (10 + i);
+                let t_us = o_us + s as f64 / (wire_gbps * 1e3);
+                (s, s as f64 / t_us / 1e3)
+            })
+            .collect(),
+    )
 }
 
 /// Cost profile of one collective operation in one library
@@ -601,6 +659,40 @@ impl PlatformSpec {
     pub fn all() -> Vec<PlatformSpec> {
         vec![Self::platform_a(), Self::platform_b(), Self::platform_c()]
     }
+
+    /// Achieved-bandwidth curve of one GASNet-EX device-to-device Put on
+    /// this platform (per-op overhead = initiator software + GPU segment
+    /// registration; wire = one NIC at the conduit's asymptotic
+    /// efficiency). The transport autotuner queries this curve's knee to
+    /// size pipeline chunks instead of hard-coding a constant.
+    pub fn gasnet_rma_curve(&self) -> BwCurve {
+        rma_curve(self.gasnet_op_overhead_us(), self.net.nic_gbps * self.gasnet.eff)
+    }
+
+    /// Achieved-bandwidth curve of one GPI-2 notified write (overhead =
+    /// write initiation + notification post), when the platform supports
+    /// GPI-2 at all (InfiniBand only).
+    pub fn gpi_rma_curve(&self) -> Option<BwCurve> {
+        self.gpi
+            .as_ref()
+            .map(|g| rma_curve(self.gpi_op_overhead_us().unwrap(), self.net.nic_gbps * g.eff))
+    }
+
+    /// Per-operation initiator overhead of one GASNet-EX device put, µs:
+    /// initiator software plus the GPU segment registration / GDR
+    /// doorbell. Single source of the formula shared by the RMA curve
+    /// synthesis, the pipeline autotuner, and the LL engine's fused-send
+    /// hop cost.
+    pub fn gasnet_op_overhead_us(&self) -> f64 {
+        self.gasnet.put_o_us + self.gasnet.gpu_reg_us
+    }
+
+    /// Per-operation initiator overhead of one GPI-2 notified write, µs
+    /// (write initiation + notification post), when the platform
+    /// supports GPI-2 at all (InfiniBand only).
+    pub fn gpi_op_overhead_us(&self) -> Option<f64> {
+        self.gpi.as_ref().map(|g| g.put_o_us + g.notify_us)
+    }
 }
 
 #[cfg(test)]
@@ -643,6 +735,81 @@ mod tests {
         assert_eq!(c.gpus_per_node, 1);
         assert!(a.put_anomaly_gbps.is_some(), "Fig. 4a anomaly on by default");
         assert!(a.gpi.is_none() && c.gpi.is_some(), "GPI-2 is InfiniBand-only");
+    }
+
+    #[test]
+    fn knee_sizes_below_first_and_above_last_point_clamp() {
+        let c = BwCurve::new(vec![(1024, 1.0), (1 << 20, 10.0)]);
+        // Threshold met already at the first point -> clamp low.
+        assert_eq!(c.knee_bytes(0.05), 1024);
+        // Threshold only met by the asymptote itself -> clamp high.
+        assert_eq!(c.knee_bytes(1.0), 1 << 20);
+        // Over-unity thresholds cannot be reached; still clamp high.
+        assert_eq!(c.knee_bytes(1.5), 1 << 20);
+        // Interior crossing inverts the log-log interpolation.
+        let knee = c.knee_bytes(0.5);
+        assert!(knee > 1024 && knee < (1 << 20));
+        assert!((c.gbps(knee) - 5.0).abs() / 5.0 < 0.01, "gbps(knee) ≈ frac × asymptote");
+    }
+
+    #[test]
+    fn knee_of_single_point_curve_is_that_point() {
+        let c = BwCurve::new(vec![(4096, 7.5)]);
+        assert_eq!(c.asymptote_gbps(), 7.5);
+        for frac in [0.1, 0.9, 1.0, 2.0] {
+            assert_eq!(c.knee_bytes(frac), 4096);
+        }
+    }
+
+    #[test]
+    fn knee_handles_non_monotonic_fitted_curves() {
+        // A protocol-switch dip (like the fitted NCCL LL->Simple switch):
+        // the first crossing of the threshold counts, and the asymptote
+        // fallback applies when the dip undercuts every interior segment.
+        let c = BwCurve::new(vec![(1024, 1.0), (4096, 8.0), (16384, 2.0), (65536, 10.0)]);
+        let knee = c.knee_bytes(0.5);
+        assert!(knee > 1024 && knee <= 4096, "first crossing of 5.0 is on the rising edge");
+        // 0.95 × 10 = 9.5 is only reached between the dip and the last
+        // point; the knee must land there, after the dip.
+        let high = c.knee_bytes(0.95);
+        assert!(high > 16384 && high <= 65536, "got {high}");
+    }
+
+    #[test]
+    fn knee_query_is_monotone_in_frac_on_all_platform_curves() {
+        // The tuner relies on "higher threshold -> larger (or equal)
+        // knee" for every calibrated curve in the tables, including the
+        // deliberately non-monotonic fitted collective curves.
+        for p in PlatformSpec::all() {
+            let mut curves = vec![
+                p.gasnet_rma_curve(),
+                p.coll.xccl_bcast.curve.clone(),
+                p.coll.xccl_allreduce.curve.clone(),
+                p.coll.mpi_bcast.curve.clone(),
+                p.coll.mpi_allreduce.curve.clone(),
+            ];
+            curves.extend(p.gpi_rma_curve());
+            for c in curves {
+                let mut last = 0u64;
+                for i in 1..=20 {
+                    let k = c.knee_bytes(i as f64 * 0.05);
+                    assert!(k >= last, "{}: knee must not shrink as frac grows", p.name);
+                    last = k;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rma_curves_differ_across_platforms() {
+        // The synthesized conduit curves are what the autotuner reads;
+        // they must genuinely reflect each platform's tables.
+        let a = PlatformSpec::platform_a().gasnet_rma_curve();
+        let c = PlatformSpec::platform_c().gasnet_rma_curve();
+        assert_ne!(a.knee_bytes(0.95), c.knee_bytes(0.95));
+        assert!(PlatformSpec::platform_a().gpi_rma_curve().is_none());
+        let gpi = PlatformSpec::platform_c().gpi_rma_curve().unwrap();
+        assert_ne!(gpi.knee_bytes(0.95), c.knee_bytes(0.95), "conduits tune differently");
     }
 
     #[test]

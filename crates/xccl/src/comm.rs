@@ -8,6 +8,7 @@ use diomp_sim::{Ctx, Dur, SimTime};
 use parking_lot::Mutex;
 
 use crate::gate::{CollGate, DeviceBuf};
+use crate::ll;
 use crate::ops::XcclOp;
 use crate::ring::{self, CollEngine, Rail};
 use crate::unique_id::UniqueId;
@@ -116,6 +117,24 @@ impl XcclComm {
         self.ring.order.len()
     }
 
+    /// The size (bytes) up to which this communicator's engine takes the
+    /// LL/tree small-message fast path for `op`: `Some(cut)` under
+    /// [`CollEngine::Auto`] (0 when the ring always wins, e.g. for
+    /// all-gather), `None` for the single-protocol engines. Derived from
+    /// the platform tables at query time — see [`ll::crossover_bytes`].
+    pub fn auto_crossover(&self, op: &XcclOp) -> Option<u64> {
+        match self.engine {
+            CollEngine::Auto(ac) => Some(ll::crossover_bytes(
+                &self.world.platform,
+                op,
+                self.ndevices(),
+                self.ring.nrings,
+                &ac,
+            )),
+            _ => None,
+        }
+    }
+
     /// Launch a collective. Every participating rank calls this with the
     /// buffers of *its* devices (`DeviceBuf` per owned device); all block
     /// until the modelled completion and the data semantics have been
@@ -136,6 +155,9 @@ impl XcclComm {
         let n = order.len();
         let engine = self.engine;
         let rails = self.rails.clone();
+        // Protocol selection happens here, through the same query the
+        // public API exposes: None for single-protocol engines.
+        let auto_cut = self.auto_crossover(&op);
         self.gate.arrive(ctx, idx, my_bufs, move |ctx, arrivals| {
             // Assemble buffers in ring order.
             let mut by_flat: Vec<Option<DeviceBuf>> = vec![None; world.devs.len()];
@@ -149,7 +171,25 @@ impl XcclComm {
                 .map(|&f| by_flat[f].unwrap_or_else(|| panic!("no buffer for device {f}")))
                 .collect();
 
+            let root_pos = match op {
+                XcclOp::Broadcast { root } | XcclOp::Reduce { root, .. } => Some(root),
+                _ => None,
+            };
+            // Which semantics the completion action must apply: the ring
+            // engine combines in ring chain order; the profile and LL/tree
+            // paths keep the sequential reference order.
+            let mut ring_semantics = false;
             let done = match engine {
+                CollEngine::Auto(ac) => {
+                    let cut = auto_cut.expect("Auto engine always has a crossover");
+                    if len <= cut {
+                        ll::execute(ctx, &world, &order, op, root_pos, len, ac)
+                    } else {
+                        ring_semantics = true;
+                        let root_flat = root_pos.map(|r| order[r]);
+                        ring::execute(ctx, &world.platform, &rails, op, root_flat, len, ac.ring)
+                    }
+                }
                 CollEngine::Profile => {
                     // Modelled completion: launch + ring-fill hop latency +
                     // wire bytes over the library's achieved-bandwidth
@@ -169,24 +209,25 @@ impl XcclComm {
                     // Emergent completion: run the chunk-pipelined ring
                     // schedule over the simulated links in this (the last
                     // arriving) task's context.
-                    let root_flat = match op {
-                        XcclOp::Broadcast { root } | XcclOp::Reduce { root, .. } => {
-                            Some(order[root])
-                        }
-                        _ => None,
-                    };
+                    ring_semantics = true;
+                    let root_flat = root_pos.map(|r| order[r]);
                     ring::execute(ctx, &world.platform, &rails, op, root_flat, len, rc)
                 }
             };
 
             // Real data semantics at completion. The ring engine combines
             // reduction segments in ring chain order; the profile engine
-            // keeps the sequential reference order.
+            // and the LL/tree fast path keep the sequential reference
+            // order (a binomial reduction folds whole payloads, with the
+            // root's contribution first — the reference association).
             let devs = world.devs.clone();
             let rails2 = rails.clone();
-            ctx.handle().schedule_at(done, move |_| match engine {
-                CollEngine::Profile => op.apply(&devs, &bufs, len),
-                CollEngine::Ring(_) => ring::apply(&devs, &rails2, op, &bufs, len),
+            ctx.handle().schedule_at(done, move |_| {
+                if ring_semantics {
+                    ring::apply(&devs, &rails2, op, &bufs, len)
+                } else {
+                    op.apply(&devs, &bufs, len)
+                }
             });
             done
         })

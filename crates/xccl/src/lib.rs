@@ -14,7 +14,14 @@
 //!   2(n−1) chunked steps for allreduce, per-edge in-flight windows. The
 //!   Fig. 6 curves then emerge from protocol structure; only launch /
 //!   per-step / link-efficiency scalars come from the calibrated
-//!   [`diomp_sim::CollProfile`] tables.
+//!   [`diomp_sim::CollProfile`] tables,
+//! * [`CollEngine::Auto`] layers NCCL's protocol selection on top: small
+//!   messages run as LL-style fused payload+flag eager sends over
+//!   binomial trees (`⌈log2 n⌉` rounds instead of the ring's `n−1` /
+//!   `2(n−1)` steps — the small-size latency dips of Fig. 6), with the
+//!   crossover derived per (platform, op, device count) from the same
+//!   tables via [`crossover_bytes`]; larger payloads — and all-gather,
+//!   which has no latency-bound regime — fall back to the ring unchanged.
 //!
 //! Collective calls are rank-collective: every participating rank calls
 //! the same operation in the same order; the data results are computed on
@@ -108,12 +115,15 @@
 
 mod comm;
 mod gate;
+mod ll;
 mod ops;
 mod ring;
+mod tree;
 mod unique_id;
 
 pub use comm::{RingInfo, XcclComm};
 pub use gate::DeviceBuf;
+pub use ll::{crossover_bytes, AutoConfig};
 pub use ops::XcclOp;
 pub use ring::{CollEngine, RingConfig};
 pub use unique_id::UniqueId;

@@ -1,0 +1,292 @@
+//! The LL-style small-message engine: fused eager sends over binomial
+//! trees.
+//!
+//! NCCL's LL ("low latency") protocol sends small payloads as fused
+//! data+flag lines: one eager message per peer, no chunk windowing, no
+//! separate completion handshake — the receiver polls the flag that
+//! arrives *with* the data. That is what produces the small-size dips of
+//! the fitted Fig. 6 curves which a pure chunk-pipelined ring cannot
+//! reproduce: below the bandwidth crossover the ring pays `n−1` (or
+//! `2(n−1)`) serial step latencies where a tree pays `⌈log2 n⌉`.
+//!
+//! This module executes the [`crate::tree`] schedules over the simulated
+//! links with exactly that transport: each hop charges one small
+//! software overhead ([`AutoConfig::ll_hop_ns`], derived by the
+//! transport autotuner from the platform's conduit tables — a fused
+//! write needs only the conduit's initiation cost, not the ring
+//! engine's per-step processing), then injects the whole payload as one
+//! message on the sender's link resource. Link FIFO serialisation and
+//! contention with concurrent traffic still apply — the schedule is
+//! closed-form per hop but the resources are shared.
+//!
+//! [`crossover_bytes`] is the dispatch rule of [`CollEngine::Auto`]: it
+//! prices both protocols from the same platform tables the engines use
+//! and returns the largest size at which the LL/tree path still wins
+//! with a safety margin; above it, `Auto` falls back to the ring
+//! unchanged.
+//!
+//! [`CollEngine::Auto`]: crate::CollEngine::Auto
+
+use diomp_fabric::FabricWorld;
+use diomp_sim::{Ctx, Dur, PlatformSpec, SimTime};
+
+use crate::ops::XcclOp;
+use crate::ring::{self, RingConfig};
+use crate::tree;
+
+/// Require the modelled LL/tree time to beat the modelled ring time by
+/// this factor before the fast path is chosen: the closed forms are
+/// estimates, and a missed win is cheaper than a regression above the
+/// crossover.
+const SAFETY: f64 = 1.25;
+
+/// Configuration of the [`CollEngine::Auto`](crate::CollEngine::Auto)
+/// engine: the small-message fast path plus the ring fallback.
+///
+/// Constructed by the transport autotuner (`diomp-core`'s `Tuner`
+/// derives the LL hop cost from the active conduit's tables);
+/// [`AutoConfig::for_platform`] gives the GASNet-EX-based derivation
+/// when only the platform is known.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AutoConfig {
+    /// Ring engine used above the crossover (and for all-gather, which
+    /// has no latency-bound regime — every byte must travel anyway).
+    pub ring: RingConfig,
+    /// Per-hop software cost of one fused payload+flag eager send, in
+    /// nanoseconds (integer so the engine selector stays `Eq`). Derived
+    /// from the conduit tables: write initiation (+ GPU registration or
+    /// notification post), with no separate completion round.
+    pub ll_hop_ns: u64,
+    /// Fraction of raw inter-node wire bandwidth one fused eager send
+    /// achieves, in thousandths (integer for `Eq`). Comes from the same
+    /// conduit tables as the hop cost, so a GPI-2-tuned engine prices
+    /// its wire term with GPI-2's efficiency, not GASNet's.
+    pub wire_eff_milli: u16,
+    /// Hard ceiling on the fast path regardless of what the model says —
+    /// a guardrail keeping `Auto` conservative where the closed forms
+    /// are least trustworthy.
+    pub small_max_bytes: u64,
+}
+
+impl AutoConfig {
+    /// Derive the LL transport cost from the platform's GASNet-EX tables
+    /// (initiator software + GPU segment registration,
+    /// [`PlatformSpec::gasnet_op_overhead_us`]; the flag rides in the
+    /// same message for free — that is the LL trick).
+    pub fn for_platform(p: &PlatformSpec) -> Self {
+        Self::for_conduit(p.gasnet_op_overhead_us(), p.gasnet.eff)
+    }
+
+    /// Build from a conduit's per-operation overhead (µs) and asymptotic
+    /// wire efficiency — the single place the fixed-point conversions
+    /// live, shared by [`Self::for_platform`] and the core `Tuner`'s
+    /// per-conduit derivation.
+    pub fn for_conduit(op_overhead_us: f64, wire_eff: f64) -> Self {
+        AutoConfig {
+            ring: RingConfig::default(),
+            ll_hop_ns: (op_overhead_us * 1000.0).ceil() as u64,
+            wire_eff_milli: (wire_eff * 1000.0).round() as u16,
+            small_max_bytes: 1 << 20,
+        }
+    }
+
+    /// The wire efficiency as a fraction.
+    pub(crate) fn wire_eff(&self) -> f64 {
+        f64::from(self.wire_eff_milli.max(1)) / 1000.0
+    }
+}
+
+/// The size below which [`CollEngine::Auto`](crate::CollEngine::Auto)
+/// takes the LL/tree fast path for `op` on `n` devices (`nrings` ring
+/// rails on the fallback), in bytes. `0` means the ring always wins
+/// (notably: all-gather, and single-device communicators).
+///
+/// Both sides are priced from the platform tables: the tree side pays
+/// `⌈log2 n⌉` (doubled for allreduce: reduce + broadcast) rounds of
+/// fused-send overhead + wire latency + payload at the conduit's
+/// asymptotic single-message bandwidth; the ring side pays its full
+/// step count at the ring engine's calibrated per-step cost plus
+/// chunk-pipelined wire time on the rail bandwidth. The crossover is
+/// the largest power-of-two size where the tree estimate, inflated by a
+/// 25 % safety margin, still undercuts the ring estimate.
+pub fn crossover_bytes(
+    platform: &PlatformSpec,
+    op: &XcclOp,
+    n: usize,
+    nrings: usize,
+    ac: &AutoConfig,
+) -> u64 {
+    if n < 2 || matches!(op, XcclOp::AllGather) {
+        return 0;
+    }
+    let rounds = tree::rounds(n) as f64;
+    let small_hops = match op {
+        XcclOp::AllReduce { .. } => 2.0 * rounds,
+        _ => rounds,
+    };
+    let ll_hop_us = ac.ll_hop_ns as f64 / 1000.0;
+    let lat = platform.net.latency_us;
+    // One fused message per hop at the tuned conduit's achieved rate.
+    let ll_bw = platform.net.nic_gbps * ac.wire_eff() * 1e3; // B/µs
+    let t = ring::tuning_for(platform, op, nrings);
+    let rail_bw = platform.net.nic_gbps * t.inter_eff * 1e3;
+    let ring_hops = match op {
+        XcclOp::AllReduce { .. } => 2 * (n - 1),
+        _ => n - 1,
+    } as f64;
+    let chunk = ac.ring.chunk_bytes.max(1) as f64;
+    let nrings = nrings.max(1) as f64;
+    let mut best = 0u64;
+    for shift in 10..=40u32 {
+        let s = 1u64 << shift;
+        if s > ac.small_max_bytes {
+            break;
+        }
+        let t_small = small_hops * (ll_hop_us + lat + s as f64 / ll_bw);
+        // Per-rail payload; allreduce additionally scatters across the
+        // n ring segments. Pipelining caps the per-step wire term at one
+        // chunk; the remainder drains once at rail bandwidth.
+        let seg = match op {
+            XcclOp::AllReduce { .. } => s as f64 / (n as f64 * nrings),
+            _ => s as f64 / nrings,
+        };
+        let t_ring = ring_hops * (t.step_us + lat + seg.min(chunk) / rail_bw)
+            + (seg - chunk).max(0.0) / rail_bw;
+        if t_small * SAFETY <= t_ring {
+            best = s;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+/// Execute the LL/tree schedule for a small collective and return the
+/// modelled completion instant. Runs in the last-arriving rank's task
+/// like the ring engine, but the schedule is closed-form: each hop
+/// charges the sender's link resource directly (so concurrent traffic
+/// still contends) and no progress loop or chunk windowing is needed —
+/// one fused message per tree edge, which is also why this path costs
+/// almost no scheduler entries.
+///
+/// `root_pos` is the ring position of the root for rooted ops; the
+/// symmetric allreduce reduces to position 0 and broadcasts back.
+pub(crate) fn execute(
+    ctx: &mut Ctx,
+    world: &FabricWorld,
+    order: &[usize],
+    op: XcclOp,
+    root_pos: Option<usize>,
+    len: u64,
+    ac: AutoConfig,
+) -> SimTime {
+    let platform = &world.platform;
+    let profile = op.profile(&platform.coll);
+    let hop = Dur::nanos(ac.ll_hop_ns.max(1));
+    let n = order.len();
+    let t0 = ctx.now() + Dur::micros(profile.launch_us);
+    if n <= 1 || len == 0 {
+        return t0;
+    }
+    let h = ctx.handle().clone();
+    // One fused message per hop: sender-side software, then the payload
+    // on the sender's outbound link (NIC across nodes, GPU-fabric port
+    // within one). `combine` charges the receiver's fold for reductions.
+    let send = |t: &mut Vec<SimTime>, s: usize, d: usize, combine: bool| {
+        let sd = world.devs.dev(order[s]);
+        let dd = world.devs.dev(order[d]);
+        let (res, eff) = if sd.loc.node == dd.loc.node {
+            (sd.port, ring::INTRA_EFF)
+        } else {
+            (sd.nic, ac.wire_eff())
+        };
+        let wire = ((len as f64 / eff).ceil() as u64).max(1);
+        let tr = h.transfer_from(res, t[s] + hop, wire);
+        let at = if combine { tr.arrive + hop } else { tr.arrive };
+        t[d] = t[d].max(at);
+    };
+    let done = match op {
+        XcclOp::Broadcast { .. } => {
+            let root = root_pos.expect("broadcast without a root");
+            let mut t = vec![SimTime::ZERO; n];
+            t[root] = t0;
+            for (s, d) in tree::bcast_hops(n, root) {
+                send(&mut t, s, d, false);
+            }
+            t.into_iter().max().unwrap()
+        }
+        XcclOp::Reduce { .. } => {
+            let root = root_pos.expect("reduce without a root");
+            let mut t = vec![t0; n];
+            for (s, d) in tree::reduce_hops(n, root) {
+                send(&mut t, s, d, true);
+            }
+            t[root]
+        }
+        XcclOp::AllReduce { .. } => {
+            // Reduce to position 0, broadcast back: 2·⌈log2 n⌉ rounds.
+            let mut t = vec![t0; n];
+            for (s, d) in tree::reduce_hops(n, 0) {
+                send(&mut t, s, d, true);
+            }
+            let mut t2 = vec![SimTime::ZERO; n];
+            t2[0] = t[0];
+            for (s, d) in tree::bcast_hops(n, 0) {
+                send(&mut t2, s, d, false);
+            }
+            t2.into_iter().max().unwrap()
+        }
+        XcclOp::AllGather => unreachable!("all-gather never takes the LL path"),
+    };
+    // Receive-side flag poll of the final fused line.
+    done + hop
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diomp_fabric::ReduceOp;
+
+    #[test]
+    fn crossover_is_zero_for_allgather_and_tiny_comms() {
+        let p = PlatformSpec::platform_a();
+        let ac = AutoConfig::for_platform(&p);
+        assert_eq!(crossover_bytes(&p, &XcclOp::AllGather, 8, 4, &ac), 0);
+        assert_eq!(crossover_bytes(&p, &XcclOp::Broadcast { root: 0 }, 1, 1, &ac), 0);
+    }
+
+    #[test]
+    fn crossovers_are_positive_and_bounded_at_paper_scale() {
+        // At the Fig. 6 device counts the tree must win somewhere below
+        // the guardrail on every platform, for both measured ops.
+        for (p, n, nrings) in [
+            (PlatformSpec::platform_a(), 64usize, 4usize),
+            (PlatformSpec::platform_b(), 64, 4),
+            (PlatformSpec::platform_c(), 16, 1),
+        ] {
+            let ac = AutoConfig::for_platform(&p);
+            for op in [XcclOp::Broadcast { root: 0 }, XcclOp::AllReduce { op: ReduceOp::SumF32 }] {
+                let cut = crossover_bytes(&p, &op, n, nrings, &ac);
+                assert!(
+                    (64 << 10..=ac.small_max_bytes).contains(&cut),
+                    "{}: {op:?} crossover {cut} must cover the small regime",
+                    p.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_derives_from_the_tables_not_constants() {
+        // Same shape, different platforms -> different crossovers.
+        let ac_a = AutoConfig::for_platform(&PlatformSpec::platform_a());
+        let ac_b = AutoConfig::for_platform(&PlatformSpec::platform_b());
+        assert_ne!(ac_a.ll_hop_ns, ac_b.ll_hop_ns);
+        let op = XcclOp::AllReduce { op: ReduceOp::SumF32 };
+        let a = crossover_bytes(&PlatformSpec::platform_a(), &op, 64, 4, &ac_a);
+        let b = crossover_bytes(&PlatformSpec::platform_b(), &op, 64, 4, &ac_b);
+        // B's calibrated RCCL allreduce is far from the wire rate, so the
+        // tree stays ahead much longer there than on A.
+        assert!(b >= a, "platform B should keep the fast path at least as long as A");
+    }
+}

@@ -66,6 +66,13 @@ pub enum CollEngine {
     Profile,
     /// Chunk-pipelined ring protocol over the simulated links (default).
     Ring(RingConfig),
+    /// Protocol auto-selection (the transport autotuner's engine): below
+    /// a per-(op, size, device-count) crossover derived from the platform
+    /// tables, small collectives run as LL-style fused eager sends over
+    /// binomial trees (the LL engine, configured by
+    /// [`AutoConfig`](crate::ll::AutoConfig)); above it — and always for
+    /// all-gather — the configured ring takes over unchanged.
+    Auto(crate::ll::AutoConfig),
 }
 
 impl Default for CollEngine {
@@ -143,18 +150,18 @@ pub(crate) fn build_rails(world: &FabricWorld, order: &[usize], nrings: usize) -
 ///   (`curve_bw ≈ nrings × nic_gbps × eff`),
 /// * `intra_eff` — fixed high fraction for the fast intra-node fabric,
 ///   which is never the bottleneck on the paper's platforms.
-struct Tuning {
+pub(crate) struct Tuning {
     launch_us: f64,
-    step_us: f64,
-    inter_eff: f64,
+    pub(crate) step_us: f64,
+    pub(crate) inter_eff: f64,
     intra_eff: f64,
 }
 
-const INTRA_EFF: f64 = 0.90;
+pub(crate) const INTRA_EFF: f64 = 0.90;
 const MIN_EFF: f64 = 0.01;
 const MAX_EFF: f64 = 0.98;
 
-fn tuning_for(platform: &PlatformSpec, op: &XcclOp, nrings: usize) -> Tuning {
+pub(crate) fn tuning_for(platform: &PlatformSpec, op: &XcclOp, nrings: usize) -> Tuning {
     let profile = op.profile(&platform.coll);
     let top_bw = profile.curve.points.last().expect("BwCurve is non-empty").1;
     let agg = nrings.max(1) as f64 * platform.net.nic_gbps;

@@ -1,14 +1,17 @@
 //! Ring-protocol engine tests (ISSUE 2): data byte-identity against
 //! sequential references across random sizes/dtypes/rank counts, trace
 //! determinism of the emergent schedule, and emergent-vs-profile timing
-//! behaviour.
+//! behaviour. ISSUE 4 adds the `CollEngine::Auto` protocol-selection
+//! tests: the LL/tree fast path must agree byte-for-byte with the other
+//! engines, beat the ring at small sizes, and collapse onto the ring
+//! above the crossover.
 
 use std::sync::Arc;
 
 use diomp_device::{DataMode, DeviceTable};
 use diomp_fabric::{FabricWorld, ReduceOp};
 use diomp_sim::{ClusterSpec, PlatformSpec, Sim, SimTime, Topology};
-use diomp_xccl::{CollEngine, DeviceBuf, RingConfig, UniqueId, XcclComm, XcclOp};
+use diomp_xccl::{AutoConfig, CollEngine, DeviceBuf, RingConfig, UniqueId, XcclComm, XcclOp};
 use proptest::prelude::*;
 
 fn boot(
@@ -180,6 +183,53 @@ proptest! {
         let prof = run(CollEngine::Profile);
         prop_assert_eq!(ring, prof, "engines must agree on the final buffer bytes");
     }
+
+    /// `CollEngine::Auto` deposits the same bytes as the ring engine on
+    /// arbitrary payloads through *both* of its regimes: with the
+    /// guardrail wide open (every tested size takes the LL/tree path)
+    /// and with it closed (pure ring fallback). SumU64's wrapping sum is
+    /// association-order-independent, so tree-order and chain-order
+    /// reductions must agree bit-for-bit.
+    #[test]
+    fn auto_engine_matches_ring_in_both_regimes(
+        nranks in 2usize..9,
+        len in 8usize..2048,
+        kind in 0u8..4,
+        small_max in prop_oneof![Just(0u64), Just(u64::MAX)],
+    ) {
+        let run = |engine: CollEngine| {
+            let out = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let out2 = out.clone();
+            with_engine(nranks, engine, false, move |ctx, world, comm, r| {
+                let n = world.nranks;
+                let dev = world.primary_dev(r);
+                let cap = (len * n).next_power_of_two().max(64) as u64;
+                let off = dev.malloc(cap, 256).unwrap();
+                let bytes: Vec<u8> =
+                    (0..len * n).map(|i| (r * 31 + i * 7) as u8).collect();
+                dev.mem.write(off, &bytes).unwrap();
+                let op = match kind {
+                    0 => XcclOp::AllReduce { op: ReduceOp::SumU64 },
+                    1 => XcclOp::Broadcast { root: 1 % n },
+                    2 => XcclOp::AllGather,
+                    _ => XcclOp::Reduce { root: 1 % n, op: ReduceOp::SumU64 },
+                };
+                let payload = if kind == 2 { len as u64 } else { (len / 8 * 8).max(8) as u64 };
+                comm.collective(ctx, r, vec![DeviceBuf { flat: r, off }], op, payload);
+                let mut got = vec![0u8; len * n];
+                dev.mem.read(off, &mut got).unwrap();
+                out2.lock().push((r, got));
+            });
+            let mut rows = out.lock().clone();
+            rows.sort_by_key(|&(r, _)| r);
+            rows
+        };
+        let mut ac = AutoConfig::for_platform(&PlatformSpec::platform_a());
+        ac.small_max_bytes = small_max;
+        let auto = run(CollEngine::Auto(ac));
+        let ring = run(CollEngine::default());
+        prop_assert_eq!(auto, ring, "auto must agree with the ring engine's bytes");
+    }
 }
 
 #[test]
@@ -239,6 +289,78 @@ fn ring_time_is_emergent_not_fitted() {
         ring.as_us() > min_us,
         "emergent time {}us beats the physical link bound {min_us}us",
         ring.as_us()
+    );
+}
+
+/// Run one collective of `len` bytes under `engine` at 16 ranks
+/// (4 nodes × 4 A100s) and return the end time.
+fn timed_collective(engine: CollEngine, op: XcclOp, len: u64) -> SimTime {
+    with_engine(16, engine, false, move |ctx, world, comm, r| {
+        let off = world.primary_dev(r).malloc((2 * len).next_power_of_two().max(64), 256).unwrap();
+        comm.collective(ctx, r, vec![DeviceBuf { flat: r, off }], op, len);
+    })
+    .0
+}
+
+#[test]
+fn auto_beats_ring_at_small_sizes_and_equals_it_at_large() {
+    // The ISSUE 4 acceptance shape at engine level: below the crossover
+    // the LL/tree fast path must finish earlier than the pure ring;
+    // above it, Auto runs the identical ring schedule, so the times are
+    // exactly equal (not merely within tolerance).
+    let ac = AutoConfig::for_platform(&PlatformSpec::platform_a());
+    for op in [XcclOp::Broadcast { root: 0 }, XcclOp::AllReduce { op: ReduceOp::SumF32 }] {
+        let small = 32u64 << 10;
+        let auto = timed_collective(CollEngine::Auto(ac), op, small);
+        let ring = timed_collective(CollEngine::default(), op, small);
+        assert!(auto < ring, "{op:?}@32KiB: auto {auto:?} must beat ring {ring:?}");
+
+        let large = 4u64 << 20; // far above every crossover at 16 ranks
+        let auto = timed_collective(CollEngine::Auto(ac), op, large);
+        let ring = timed_collective(CollEngine::default(), op, large);
+        assert_eq!(auto, ring, "{op:?}@4MiB: auto must fall back to the identical ring");
+    }
+    // All-gather has no latency-bound regime: always the ring schedule.
+    let auto = timed_collective(CollEngine::Auto(ac), XcclOp::AllGather, 16 << 10);
+    let ring = timed_collective(CollEngine::default(), XcclOp::AllGather, 16 << 10);
+    assert_eq!(auto, ring, "all-gather never takes the LL path");
+}
+
+#[test]
+fn auto_small_path_is_deterministic_and_cheap_to_schedule() {
+    // The LL/tree schedule is closed-form — it must replay bit-identically
+    // and cost far fewer scheduler entries than the ring's chunked
+    // progress loop at the same size.
+    let ac = AutoConfig::for_platform(&PlatformSpec::platform_a());
+    let run = |engine: CollEngine| {
+        with_engine(8, engine, true, |ctx, world, comm, r| {
+            let dev = world.primary_dev(r);
+            let off = dev.malloc(64 << 10, 256).unwrap();
+            comm.collective(
+                ctx,
+                r,
+                vec![DeviceBuf { flat: r, off }],
+                XcclOp::AllReduce { op: ReduceOp::SumF32 },
+                32 << 10,
+            );
+            comm.collective(
+                ctx,
+                r,
+                vec![DeviceBuf { flat: r, off }],
+                XcclOp::Broadcast { root: 1 },
+                16 << 10,
+            );
+        })
+    };
+    let a = run(CollEngine::Auto(ac));
+    let b = run(CollEngine::Auto(ac));
+    assert_eq!(a, b, "auto schedule must be deterministic");
+    let (_, ring_entries, _) = run(CollEngine::default());
+    assert!(
+        a.1 < ring_entries,
+        "LL path should need fewer scheduler entries: {} vs ring {}",
+        a.1,
+        ring_entries
     );
 }
 

@@ -24,6 +24,7 @@ fn main() {
         mode: DataMode::Functional,
         verify: true,
         halo: HaloStyle::Get,
+        tuned: false,
     };
     let d = minimod::diomp::run(&small);
     let m = minimod::mpi::run(&small);
@@ -46,6 +47,7 @@ fn main() {
         mode: DataMode::CostOnly,
         verify: false,
         halo: HaloStyle::Get,
+        tuned: false,
     };
     let d = minimod::diomp::run(&big(20));
     let m = minimod::mpi::run(&big(20));
@@ -70,6 +72,7 @@ fn main() {
             mode: DataMode::CostOnly,
             verify: false,
             halo,
+            tuned: false,
         };
         let r = minimod::diomp::run(&cfg);
         println!(

@@ -24,6 +24,7 @@ fn diomp_and_mpi_minimod_agree_bit_for_bit() {
         mode: DataMode::Functional,
         verify: true,
         halo: HaloStyle::Get,
+        tuned: false,
     };
     assert!(minimod::diomp::run(&cfg).verified);
     assert!(minimod::mpi::run(&cfg).verified);
@@ -152,6 +153,7 @@ fn paper_ordering_holds_end_to_end() {
         mode: DataMode::CostOnly,
         verify: false,
         halo: HaloStyle::Get,
+        tuned: false,
     };
     let d = minimod::diomp::run(&cfg).elapsed;
     let m = minimod::mpi::run(&cfg).elapsed;
@@ -176,6 +178,7 @@ fn virtual_time_is_meaningful_at_paper_scale() {
         mode: DataMode::CostOnly,
         verify: false,
         halo: HaloStyle::Get,
+        tuned: false,
     };
     let per_step = minimod::diomp::run(&cfg).elapsed.as_ms() / 10.0;
     assert!(

@@ -444,4 +444,135 @@ proptest! {
         })
         .unwrap();
     }
+
+    /// ISSUE 4: the transport autotuner changes *when* bytes move, never
+    /// *which* bytes — a tuned config (knee-derived pipeline + protocol-
+    /// selecting collectives) produces byte-identical put/get transfer
+    /// contents and collective results to the untuned default across
+    /// random sizes, dtypes and rank counts, on both a host-capped
+    /// (A: staged put/get pipelines) and an uncapped (C) platform.
+    #[test]
+    fn tuned_config_is_byte_identical_to_default(
+        len in 1u64..(2 << 20),
+        nodes in 1usize..3,
+        elems in 1usize..24,
+        platform_c in 0u8..2,
+        which in 0u8..3,
+    ) {
+        use diomp::core::{DiompConfig, DiompRuntime};
+        use diomp::sim::ClusterSpec;
+        use std::sync::Arc;
+
+        let dtype = [ReduceOp::SumU64, ReduceOp::SumF32, ReduceOp::MaxF64][which as usize];
+        let platform = if platform_c == 1 {
+            PlatformSpec::platform_c()
+        } else {
+            PlatformSpec::platform_a()
+        };
+        // RMA transfer contents: rank 0 puts into 1, then gets back from
+        // the last rank, under tuned vs default.
+        let p2p = |tuned: bool| {
+            let cluster =
+                ClusterSpec { platform: platform.clone(), nodes: 2, gpus_per_node: 1 };
+            let cfg = DiompConfig::new(cluster).with_heap(8 << 20);
+            let cfg = if tuned { cfg.tuned() } else { cfg };
+            let out = Arc::new(parking_lot::Mutex::new((Vec::new(), Vec::new())));
+            let out2 = out.clone();
+            DiompRuntime::run(cfg, move |ctx, rank| {
+                let ptr = rank.alloc_sym(ctx, len).unwrap();
+                let fill: Vec<u8> =
+                    (0..len as usize).map(|i| (i.wrapping_mul(17) + rank.rank * 3) as u8).collect();
+                rank.write_local(rank.primary(), ptr, 0, &fill);
+                rank.barrier(ctx);
+                if rank.rank == 0 {
+                    rank.put(ctx, 1, ptr, 0, ptr, 0, len).unwrap();
+                    rank.fence(ctx);
+                }
+                rank.barrier(ctx);
+                if rank.rank == 0 {
+                    rank.get(ctx, 1, ptr, 0, ptr, 0, len).unwrap();
+                    rank.fence(ctx);
+                }
+                rank.barrier(ctx);
+                let mut got = vec![0u8; len as usize];
+                rank.read_local(rank.primary(), ptr, 0, &mut got);
+                let mut o = out2.lock();
+                if rank.rank == 0 { o.0 = got } else if rank.rank == 1 { o.1 = got }
+            })
+            .unwrap();
+            let v = out.lock().clone();
+            v
+        };
+        prop_assert_eq!(p2p(true), p2p(false), "tuned RMA must move identical bytes");
+
+        // Collective results: integer-valued payloads make every
+        // association order exact, so tree- and chain-order reductions
+        // must agree bit-for-bit.
+        let coll = |tuned: bool| {
+            let cfg = DiompConfig::on_platform(platform.clone(), nodes).with_heap(2 << 20);
+            let cfg = if tuned { cfg.tuned() } else { cfg };
+            let out = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let out2 = out.clone();
+            DiompRuntime::run(cfg, move |ctx, rank| {
+                let world = rank.shared.world_group();
+                let ptr = rank.alloc_sym(ctx, (elems * 8) as u64).unwrap();
+                let gen = |i: usize| ((rank.rank * 7 + i * 3) % 64) as u64;
+                let bytes: Vec<u8> = match dtype {
+                    ReduceOp::SumF32 => {
+                        (0..elems * 2).flat_map(|i| (gen(i) as f32).to_le_bytes()).collect()
+                    }
+                    _ => (0..elems).flat_map(|i| gen(i).to_le_bytes()).collect(),
+                };
+                rank.write_local(rank.primary(), ptr, 0, &bytes);
+                rank.barrier(ctx);
+                rank.allreduce(ctx, &world, ptr, (elems * 8) as u64, dtype);
+                rank.bcast(ctx, &world, 0, ptr, (elems * 8) as u64);
+                let mut got = vec![0u8; elems * 8];
+                rank.read_local(rank.primary(), ptr, 0, &mut got);
+                out2.lock().push((rank.rank, got));
+            })
+            .unwrap();
+            let mut rows = out.lock().clone();
+            rows.sort_by_key(|&(r, _)| r);
+            rows
+        };
+        prop_assert_eq!(coll(true), coll(false), "tuned collectives must land identical bytes");
+    }
+}
+
+// ---------- ISSUE 4: tuned minimod wavefields ----------
+
+/// The tuned transport must not perturb an application's physics: the
+/// minimod wavefield is byte-identical under tuned and default configs,
+/// and the tuned run is trace-deterministic (same entry count and
+/// elapsed time on replay).
+#[test]
+fn tuned_minimod_wavefield_is_byte_identical_and_deterministic() {
+    use diomp::apps::minimod::{self, HaloStyle, MinimodConfig};
+    use diomp::device::DataMode;
+
+    let cfg = |tuned: bool| MinimodConfig {
+        platform: PlatformSpec::platform_a(),
+        gpus: 4,
+        nx: 24,
+        ny: 24,
+        nz: 48,
+        steps: 3,
+        mode: DataMode::Functional,
+        verify: false,
+        halo: HaloStyle::Get,
+        tuned,
+    };
+    let tuned_a = minimod::diomp::run(&cfg(true));
+    let tuned_b = minimod::diomp::run(&cfg(true));
+    let default = minimod::diomp::run(&cfg(false));
+    let wf_tuned = tuned_a.wavefield.expect("functional run captures the wavefield");
+    assert_eq!(
+        Some(&wf_tuned),
+        default.wavefield.as_ref(),
+        "tuned and default wavefields must be byte-identical"
+    );
+    assert_eq!(tuned_a.elapsed, tuned_b.elapsed, "tuned run must replay identically");
+    assert_eq!(tuned_a.entries, tuned_b.entries);
+    assert_eq!(Some(wf_tuned), tuned_b.wavefield);
 }
