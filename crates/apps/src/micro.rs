@@ -250,6 +250,26 @@ pub fn diomp_collective_auto(
     diomp_collective_full(platform, nodes, kind, sizes, engine)
 }
 
+/// Like [`diomp_collective`] but pinned to the double-binary-tree
+/// engine (`CollEngine::Dbt`) with its table-derived chunking — the
+/// mid-band protocol `CollEngine::Auto` selects between the LL/tree
+/// and ring regimes. Returns the full-fidelity `(size, µs, entries)`
+/// rows; used by `bench_gate` to lock the DBT-vs-ring win relation.
+pub fn diomp_collective_dbt(
+    platform: &PlatformSpec,
+    nodes: usize,
+    kind: CollKind,
+    sizes: &[u64],
+) -> Vec<(u64, f64, u64)> {
+    let op = match kind {
+        CollKind::Broadcast => diomp_core::XcclOp::Broadcast { root: 0 },
+        CollKind::AllReduce => diomp_core::XcclOp::AllReduce { op: ReduceOp::SumF32 },
+    };
+    let nrings = diomp_core::default_nrings(platform);
+    let engine = CollEngine::Dbt(diomp_core::RingConfig::auto(platform, &op, nrings));
+    diomp_collective_full(platform, nodes, kind, sizes, engine)
+}
+
 /// Like [`diomp_collective`] but through the calibrated whole-collective
 /// profiles — the curve-fit ablation baseline the emergent ring curves
 /// are asserted against.

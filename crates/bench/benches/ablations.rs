@@ -289,6 +289,38 @@ fn ablation_tuner(c: &mut Criterion) {
             );
         })
     });
+    g.bench_function("dbt_mid_band_vs_ring", |b| {
+        // D13 — the double-binary-tree mid band (ISSUE 5): at a mid-band
+        // allreduce size the logarithmic-depth schedule must beat the
+        // ring's 2(n−1) serial steps on the same links, and the per-op
+        // ring tunings must come from the tables (the two op classes
+        // derive different chunks on A).
+        use diomp_apps::micro::diomp_collective_dbt;
+        b.iter(|| {
+            let platform = PlatformSpec::platform_a();
+            let a = TuneTable::derive(&platform, Conduit::GasnetEx);
+            assert_ne!(a.ring_bcast(), a.ring_allred(), "per-op ring tunings must differ on A");
+            let mid = [1u64 << 20];
+            let dbt = diomp_collective_dbt(&platform, 4, CollKind::AllReduce, &mid);
+            let ring = diomp_collective_full(
+                &platform,
+                4,
+                CollKind::AllReduce,
+                &mid,
+                CollEngine::default(),
+            );
+            assert!(
+                dbt[0].1 < ring[0].1,
+                "DBT must beat the ring at 1 MiB: {:.1}µs vs {:.1}µs",
+                dbt[0].1,
+                ring[0].1
+            );
+            println!(
+                "  dbt ablation: 1MiB allreduce dbt {:.1}µs vs ring {:.1}µs",
+                dbt[0].1, ring[0].1
+            );
+        })
+    });
     g.finish();
 }
 

@@ -13,7 +13,10 @@
 use diomp_apps::micro::{diomp_collective_full, fig6_nodes, log_ratio, mpi_collective, CollKind};
 use diomp_bench::report::{json_path_from_args, BenchRecord};
 use diomp_bench::{mae, paper, print_ratio_row, sign_agreement, size_label};
-use diomp_core::{CollEngine, Conduit, Tuner};
+use diomp_core::{
+    crossover_bytes, dbt_crossover_bytes, default_nrings, CollEngine, Conduit, ReduceOp, Tuner,
+    XcclOp,
+};
 use diomp_sim::PlatformSpec;
 
 /// Which DiOMP engine the run measures; `Auto` is derived per platform.
@@ -46,6 +49,28 @@ fn run_op(
     for (tag, name, platform, paper_row) in refs {
         let engine = sel.for_platform(&platform);
         let nodes = fig6_nodes(&platform);
+        // Under --auto, show where the three-regime dispatcher switches
+        // protocol for this op at this scale (LL/tree below the first
+        // boundary, double binary tree in the mid band, ring above).
+        if let CollEngine::Auto(ac) = engine {
+            let op = match kind {
+                CollKind::Broadcast => XcclOp::Broadcast { root: 0 },
+                CollKind::AllReduce => XcclOp::AllReduce { op: ReduceOp::SumF32 },
+            };
+            let n = nodes * platform.gpus_per_node;
+            let nrings = default_nrings(&platform);
+            let ll = crossover_bytes(&platform, &op, n, nrings, &ac);
+            let dbt = dbt_crossover_bytes(&platform, &op, n, nrings, &ac).max(ll);
+            if dbt > ll {
+                println!(
+                    "   [{tag}] auto regimes: LL/tree <= {}, DBT <= {}, ring above",
+                    size_label(ll),
+                    size_label(dbt)
+                );
+            } else {
+                println!("   [{tag}] auto regimes: LL/tree <= {}, ring above", size_label(ll));
+            }
+        }
         let mpi = mpi_collective(&platform, nodes, kind, sizes);
         let full = diomp_collective_full(&platform, nodes, kind, sizes, engine);
         let diomp: Vec<(u64, f64)> = full.iter().map(|&(s, us, _)| (s, us)).collect();
@@ -61,6 +86,7 @@ fn run_op(
         let eng = match engine {
             CollEngine::Profile => "diomp_profile",
             CollEngine::Ring(_) => "diomp",
+            CollEngine::Dbt(_) => "diomp_dbt",
             CollEngine::Auto(_) => "diomp_auto",
         };
         for (i, &(s, us, entries)) in full.iter().enumerate() {

@@ -51,7 +51,10 @@ mod target;
 pub mod tune;
 
 pub use config::{Binding, Conduit, DiompConfig, PipelineConfig};
-pub use diomp_xccl::{AutoConfig, CollEngine, RingConfig};
+pub use diomp_xccl::{
+    crossover_bytes, dbt_crossover_bytes, default_nrings, AutoConfig, CollEngine, RingConfig,
+    XcclOp,
+};
 pub use error::DiompError;
 pub use galloc::{AllocKind, BuddyAlloc, LinearAlloc, PtrCache, WRAPPER_BYTES};
 pub use gptr::{AsymPtr, GPtr};

@@ -30,8 +30,9 @@
 //! derives from the tables, and the base default stays disabled/ring so
 //! the paper's published (unpipelined) curves reproduce unchanged.
 
+use diomp_fabric::ReduceOp;
 use diomp_sim::{BwCurve, PlatformId, PlatformSpec};
-use diomp_xccl::{AutoConfig, CollEngine};
+use diomp_xccl::{default_nrings, AutoConfig, CollEngine, RingConfig, XcclOp};
 
 use crate::config::{Conduit, PipelineConfig};
 
@@ -55,8 +56,9 @@ pub struct TuneTable {
     pub conduit: Conduit,
     /// Knee-derived large-message RMA pipeline parameters.
     pub pipeline: PipelineConfig,
-    /// Collective protocol-selection parameters (LL hop cost + ring
-    /// fallback) for [`CollEngine::Auto`].
+    /// Collective protocol-selection parameters (LL hop cost, regime
+    /// guardrails, and the live per-op ring fallbacks) for
+    /// [`CollEngine::Auto`].
     pub auto: AutoConfig,
 }
 
@@ -130,14 +132,30 @@ impl<'a> Tuner<'a> {
         PipelineConfig { chunk_bytes, max_inflight, n_queues }
     }
 
+    /// Table-tuned ring chunk/window for `op` — [`RingConfig::auto`] at
+    /// the platform's full-node rail count ([`default_nrings`]). The
+    /// per-chunk step cost and the per-edge bottleneck bandwidth both
+    /// come from the platform's collective tables, so the derived
+    /// chunks genuinely differ per platform *and* per op class.
+    pub fn ring_config(&self, op: &XcclOp) -> RingConfig {
+        RingConfig::auto(self.platform, op, default_nrings(self.platform))
+    }
+
     /// Protocol-selection parameters for [`CollEngine::Auto`]: the LL
     /// hop cost and wire efficiency are the active conduit's fused-send
     /// initiation cost and asymptotic efficiency (no separate completion
     /// round — the flag rides with the payload), through
     /// [`AutoConfig::for_conduit`], the single home of the conversions
-    /// and remaining defaults.
+    /// and remaining defaults. The *live* tuned ring configurations are
+    /// threaded in, so the crossover pricing and the fallback engine can
+    /// never diverge (the PR 5 headline bugfix).
     pub fn auto_config(&self) -> AutoConfig {
-        AutoConfig::for_conduit(self.op_overhead_us(), self.wire_eff())
+        AutoConfig::for_conduit(
+            self.op_overhead_us(),
+            self.wire_eff(),
+            self.ring_config(&XcclOp::Broadcast { root: 0 }),
+            self.ring_config(&XcclOp::AllReduce { op: ReduceOp::SumF32 }),
+        )
     }
 
     /// The tuned collective engine.
@@ -160,6 +178,21 @@ impl TuneTable {
     /// Derive the table for one `(platform, conduit)` pair.
     pub fn derive(platform: &PlatformSpec, conduit: Conduit) -> TuneTable {
         Tuner::new(platform, conduit).table()
+    }
+
+    /// Table-tuned ring chunk/window for broadcast-shaped collectives
+    /// (broadcast, all-gather) — a view of the live config carried in
+    /// [`TuneTable::auto`], so the reported value and the engine's
+    /// fallback can never diverge.
+    pub fn ring_bcast(&self) -> RingConfig {
+        self.auto.ring_bcast
+    }
+
+    /// Table-tuned ring chunk/window for allreduce-shaped collectives
+    /// (allreduce, reduce) — same single source as
+    /// [`TuneTable::ring_bcast`].
+    pub fn ring_allred(&self) -> RingConfig {
+        self.auto.ring_allred
     }
 
     /// Tables for every paper platform over its supported conduits, in
@@ -236,24 +269,51 @@ mod tests {
     #[test]
     fn derived_defaults_match_the_documented_tables() {
         // README.md ("The transport autotuner") and docs/ARCHITECTURE.md
-        // print these exact derived values; DESIGN.md D12 quotes the
+        // print these exact derived values; DESIGN.md D12/D13 quote the
         // chunk sizes. If this test fails after a deliberate change to
-        // KNEE_FRAC, CHUNK_ALIGN, or the platform tables, update those
-        // three docs alongside the expectations here.
+        // the knee fractions, CHUNK_ALIGN, or the platform tables,
+        // update those three docs alongside the expectations here.
+        // Columns: RMA pipeline chunk, LL hop, ring chunk/window for the
+        // broadcast-shaped and allreduce-shaped op classes.
         let expect = [
-            (PlatformId::A, Conduit::GasnetEx, 684032u64, 1500u64),
-            (PlatformId::B, Conduit::GasnetEx, 598016, 1400),
-            (PlatformId::C, Conduit::GasnetEx, 978944, 2100),
-            (PlatformId::C, Conduit::Gpi2, 864256, 1800),
+            (PlatformId::A, Conduit::GasnetEx, 684032u64, 1500u64, (4096u64, 7), (16384u64, 5)),
+            (PlatformId::B, Conduit::GasnetEx, 598016, 1400, (4096, 4), (4096, 3)),
+            (PlatformId::C, Conduit::GasnetEx, 978944, 2100, (28672, 5), (36864, 4)),
+            (PlatformId::C, Conduit::Gpi2, 864256, 1800, (28672, 5), (36864, 4)),
         ];
         let all = TuneTable::all();
         assert_eq!(all.len(), expect.len());
-        for (t, (pid, conduit, chunk, hop_ns)) in all.iter().zip(expect) {
+        for (t, (pid, conduit, chunk, hop_ns, bcast, allred)) in all.iter().zip(expect) {
             assert_eq!((t.platform, t.conduit), (pid, conduit));
             assert_eq!(t.pipeline.chunk_bytes, chunk, "{pid:?}/{conduit:?} documented chunk");
             assert_eq!(t.pipeline.max_inflight, 3, "{pid:?}/{conduit:?} documented window");
             assert_eq!(t.auto.ll_hop_ns, hop_ns, "{pid:?}/{conduit:?} documented LL hop");
+            assert_eq!(
+                (t.ring_bcast().chunk_bytes, t.ring_bcast().max_inflight),
+                bcast,
+                "{pid:?}/{conduit:?} documented bcast ring tuning"
+            );
+            assert_eq!(
+                (t.ring_allred().chunk_bytes, t.ring_allred().max_inflight),
+                allred,
+                "{pid:?}/{conduit:?} documented allred ring tuning"
+            );
         }
+    }
+
+    #[test]
+    fn tuned_rings_are_threaded_live_and_differ_per_op() {
+        // The PR 5 headline bugfix at the tuner level: the AutoConfig the
+        // engine runs must carry exactly the per-op ring derivation
+        // (crossover pricing and fallback can never diverge), and the
+        // derivation is genuine — the op classes' calibrated step costs
+        // differ, so their rings do too.
+        let platform = PlatformSpec::platform_a();
+        let tuner = Tuner::new(&platform, Conduit::GasnetEx);
+        let a = tuner.table();
+        assert_eq!(a.ring_bcast(), tuner.ring_config(&XcclOp::Broadcast { root: 0 }));
+        assert_eq!(a.ring_allred(), tuner.ring_config(&XcclOp::AllReduce { op: ReduceOp::SumF32 }));
+        assert_ne!(a.ring_bcast(), a.ring_allred(), "op classes must tune differently on A");
     }
 
     #[test]

@@ -219,22 +219,33 @@ impl BwCurve {
         }
         pts[pts.len() - 1].0
     }
+
+    /// Synthesize the achieved-bandwidth curve of a primitive that costs
+    /// `o_us + bytes / wire` µs per operation — the classic
+    /// `s / (o + s/B)` saturation shape. Control points span
+    /// 1 KiB – 64 MiB, matching the conduit RMA curves; the asymptote is
+    /// `wire_gbps`. This is the autotuner's generic "how big must an
+    /// operation be before its fixed overhead stops mattering" curve:
+    /// the conduit RMA curves are one instance, the ring engine's
+    /// per-chunk step curve another.
+    pub fn saturation(o_us: f64, wire_gbps: f64) -> BwCurve {
+        BwCurve::new(
+            (0..=16)
+                .map(|i| {
+                    let s = 1u64 << (10 + i);
+                    let t_us = o_us + s as f64 / (wire_gbps * 1e3);
+                    (s, s as f64 / t_us / 1e3)
+                })
+                .collect(),
+        )
+    }
 }
 
 /// Synthesize the achieved-bandwidth curve of a single one-sided RMA
-/// operation from its conduit model: a message of `s` bytes costs
-/// `o_us + s / wire` µs, so achieved bandwidth follows the classic
-/// `s / (o + s/B)` saturation curve. Control points span 1 KiB – 64 MiB.
+/// operation from its conduit model — [`BwCurve::saturation`] applied to
+/// the conduit's per-op overhead and asymptotic wire rate.
 fn rma_curve(o_us: f64, wire_gbps: f64) -> BwCurve {
-    BwCurve::new(
-        (0..=16)
-            .map(|i| {
-                let s = 1u64 << (10 + i);
-                let t_us = o_us + s as f64 / (wire_gbps * 1e3);
-                (s, s as f64 / t_us / 1e3)
-            })
-            .collect(),
-    )
+    BwCurve::saturation(o_us, wire_gbps)
 }
 
 /// Cost profile of one collective operation in one library

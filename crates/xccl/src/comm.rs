@@ -7,6 +7,7 @@ use diomp_fabric::FabricWorld;
 use diomp_sim::{Ctx, Dur, SimTime};
 use parking_lot::Mutex;
 
+use crate::dbt;
 use crate::gate::{CollGate, DeviceBuf};
 use crate::ll;
 use crate::ops::XcclOp;
@@ -117,22 +118,37 @@ impl XcclComm {
         self.ring.order.len()
     }
 
-    /// The size (bytes) up to which this communicator's engine takes the
-    /// LL/tree small-message fast path for `op`: `Some(cut)` under
-    /// [`CollEngine::Auto`] (0 when the ring always wins, e.g. for
-    /// all-gather), `None` for the single-protocol engines. Derived from
-    /// the platform tables at query time — see [`ll::crossover_bytes`].
-    pub fn auto_crossover(&self, op: &XcclOp) -> Option<u64> {
+    /// The regime boundaries of this communicator's engine for `op`:
+    /// `Some((ll_cut, dbt_cut))` under [`CollEngine::Auto`], `None` for
+    /// the single-protocol engines. Payloads up to `ll_cut` bytes run
+    /// the LL/tree fast path, payloads in `(ll_cut, dbt_cut]` run the
+    /// double-binary-tree engine, and everything above falls back to
+    /// the configured ring; `dbt_cut >= ll_cut` always (an empty mid
+    /// band collapses onto the lower boundary). Both boundaries are
+    /// derived from the platform tables at query time — see
+    /// [`ll::crossover_bytes`] and [`dbt::crossover_bytes`].
+    pub fn auto_regimes(&self, op: &XcclOp) -> Option<(u64, u64)> {
         match self.engine {
-            CollEngine::Auto(ac) => Some(ll::crossover_bytes(
-                &self.world.platform,
-                op,
-                self.ndevices(),
-                self.ring.nrings,
-                &ac,
-            )),
+            CollEngine::Auto(ac) => {
+                let n = self.ndevices();
+                let ll_cut =
+                    ll::crossover_bytes(&self.world.platform, op, n, self.ring.nrings, &ac);
+                let dbt_cut =
+                    dbt::crossover_bytes(&self.world.platform, op, n, self.ring.nrings, &ac)
+                        .max(ll_cut);
+                Some((ll_cut, dbt_cut))
+            }
             _ => None,
         }
+    }
+
+    /// The size (bytes) up to which this communicator's engine takes the
+    /// LL/tree small-message fast path for `op`: `Some(cut)` under
+    /// [`CollEngine::Auto`] (0 when the tree never wins, e.g. for
+    /// all-gather), `None` for the single-protocol engines — the lower
+    /// boundary of [`XcclComm::auto_regimes`].
+    pub fn auto_crossover(&self, op: &XcclOp) -> Option<u64> {
+        self.auto_regimes(op).map(|(ll_cut, _)| ll_cut)
     }
 
     /// Launch a collective. Every participating rank calls this with the
@@ -157,7 +173,7 @@ impl XcclComm {
         let rails = self.rails.clone();
         // Protocol selection happens here, through the same query the
         // public API exposes: None for single-protocol engines.
-        let auto_cut = self.auto_crossover(&op);
+        let auto_cuts = self.auto_regimes(&op);
         self.gate.arrive(ctx, idx, my_bufs, move |ctx, arrivals| {
             // Assemble buffers in ring order.
             let mut by_flat: Vec<Option<DeviceBuf>> = vec![None; world.devs.len()];
@@ -176,18 +192,45 @@ impl XcclComm {
                 _ => None,
             };
             // Which semantics the completion action must apply: the ring
-            // engine combines in ring chain order; the profile and LL/tree
-            // paths keep the sequential reference order.
+            // engine combines in ring chain order; the profile, LL/tree
+            // and DBT paths keep the sequential reference order.
             let mut ring_semantics = false;
             let done = match engine {
                 CollEngine::Auto(ac) => {
-                    let cut = auto_cut.expect("Auto engine always has a crossover");
-                    if len <= cut {
+                    let (ll_cut, dbt_cut) =
+                        auto_cuts.expect("Auto engine always has regime boundaries");
+                    if len <= ll_cut {
                         ll::execute(ctx, &world, &order, op, root_pos, len, ac)
+                    } else if len <= dbt_cut {
+                        // The mid band runs on the same live per-op
+                        // chunking as the ring fallback — one tuned
+                        // config, both engines.
+                        let root_flat = root_pos.map(|r| order[r]);
+                        dbt::execute(ctx, &world, &rails, op, root_flat, len, ac.ring_for(&op))
                     } else {
                         ring_semantics = true;
                         let root_flat = root_pos.map(|r| order[r]);
-                        ring::execute(ctx, &world.platform, &rails, op, root_flat, len, ac.ring)
+                        ring::execute(
+                            ctx,
+                            &world.platform,
+                            &rails,
+                            op,
+                            root_flat,
+                            len,
+                            ac.ring_for(&op),
+                        )
+                    }
+                }
+                CollEngine::Dbt(rc) => {
+                    // All-gather has no tree schedule: fall back to the
+                    // ring with the same chunking so the engine stays
+                    // total over ops.
+                    if matches!(op, XcclOp::AllGather) {
+                        ring_semantics = true;
+                        ring::execute(ctx, &world.platform, &rails, op, None, len, rc)
+                    } else {
+                        let root_flat = root_pos.map(|r| order[r]);
+                        dbt::execute(ctx, &world, &rails, op, root_flat, len, rc)
                     }
                 }
                 CollEngine::Profile => {
@@ -216,10 +259,12 @@ impl XcclComm {
             };
 
             // Real data semantics at completion. The ring engine combines
-            // reduction segments in ring chain order; the profile engine
-            // and the LL/tree fast path keep the sequential reference
-            // order (a binomial reduction folds whole payloads, with the
-            // root's contribution first — the reference association).
+            // reduction segments in ring chain order; the profile engine,
+            // the LL/tree fast path and the DBT engine keep the
+            // sequential reference order (tree reductions fold whole
+            // payloads with the root's contribution first — the
+            // reference association, property-tested byte-identical to
+            // the sequential fold).
             let devs = world.devs.clone();
             let rails2 = rails.clone();
             ctx.handle().schedule_at(done, move |_| {

@@ -1,0 +1,572 @@
+//! The double-binary-tree engine: the mid-band bandwidth algorithm
+//! between the LL/tree latency protocol and the chunk-pipelined ring.
+//!
+//! A ring allreduce pays `2(n−1)` serial step latencies; below the
+//! multi-MiB sizes where its near-perfect bandwidth utilisation pays
+//! off, those steps dominate. NCCL's answer (and this module's) is the
+//! *double binary tree* of Sanders, Speck & Träff: two complementary
+//! trees over the same ranks, each reducing-then-broadcasting **half**
+//! the payload in `⌈log2 n⌉` rounds. The trees complement each other —
+//! no rank forwards (has children) in both trees — so the per-rank
+//! send load stays ≈ `2·len`, the same asymptotic wire cost as the
+//! ring, while the critical path shrinks from `2(n−1)` steps to
+//! `2⌈log2 n⌉`.
+//!
+//! The trees span **node blocks**, not devices: within a node the
+//! payload chains over the GPU fabric to the block's *leader*, and only
+//! leaders talk across nodes — one up and at most two down NIC
+//! transfers per node per tree, which keeps the per-NIC load at the
+//! ring's `2·slice` bound (a device-level tree crosses a node boundary
+//! at every subtree seam and loses the bandwidth race before latency
+//! even counts). Like the ring engine, the schedule runs **per rail**:
+//! the payload splits across the communicator's `nrings` rails, and the
+//! rails' rotated block orders make a different device lead each rail's
+//! blocks, so the leader NIC load spreads across the node's NICs
+//! exactly like the ring's boundary crossings (NCCL's tree *channels*).
+//!
+//! Execution mirrors [`crate::ring`]: the schedule is a table of chunk
+//! sends with explicit dependencies (a chunk climbs to a parent only
+//! once the same chunk has arrived from *both* children; it descends to
+//! a child only once it has arrived from the parent), per-edge FIFO
+//! lanes bound in-flight chunks to the configured window, and the
+//! progress loop drains completions with
+//! [`diomp_sim::Ctx::wait_any_batched`] — one wake per park. Chunk size
+//! and window are table-derived ([`RingConfig::auto`], the knee
+//! machinery at the latency–bandwidth balance point), so the whole mid
+//! band is tuned from the platform tables, not constants.
+//!
+//! [`crossover_bytes`] prices this protocol against the live ring
+//! configuration from the same tables;
+//! [`CollEngine::Auto`](crate::CollEngine::Auto) uses it as the upper
+//! boundary of the mid band (the lower boundary is
+//! [`crate::ll::crossover_bytes`], the LL/tree cut).
+
+use diomp_fabric::FabricWorld;
+use diomp_sim::{Ctx, Dur, PlatformSpec, ResourceId, SimTime};
+
+use crate::ll::{AutoConfig, SAFETY};
+use crate::ops::XcclOp;
+use crate::ring::{self, Rail, RingConfig};
+
+/// One of the two trees: parent/children per ring position.
+#[derive(Clone, Debug)]
+pub(crate) struct Tree {
+    root: usize,
+    parent: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+}
+
+impl Tree {
+    fn from_parents(root: usize, parent: Vec<Option<usize>>) -> Tree {
+        let mut children = vec![Vec::new(); parent.len()];
+        for (v, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                children[*p].push(v);
+            }
+        }
+        Tree { root, parent, children }
+    }
+
+    /// Longest root-to-leaf path in hops.
+    pub(crate) fn depth(&self) -> usize {
+        let mut d = vec![0usize; self.parent.len()];
+        let mut todo = self.children[self.root].clone();
+        let mut max = 0;
+        while let Some(v) = todo.pop() {
+            d[v] = d[self.parent[v].unwrap()] + 1;
+            max = max.max(d[v]);
+            todo.extend(self.children[v].iter().copied());
+        }
+        max
+    }
+
+    /// Positions ordered root-first (every parent before its children).
+    fn top_down(&self) -> Vec<usize> {
+        let mut out = vec![self.root];
+        let mut i = 0;
+        while i < out.len() {
+            out.extend(self.children[out[i]].iter().copied());
+            i += 1;
+        }
+        out
+    }
+}
+
+/// Parent of `v` in the single binary tree over `0..n` rooted at 0 —
+/// NCCL's `ncclGetBtree` construction: strip the lowest set bit and
+/// attach to the next power-of-two boundary, falling back inside range.
+/// Odd positions are always leaves, even positions interior — the
+/// property the complementary second tree exploits.
+fn btree_parent(n: usize, v: usize) -> Option<usize> {
+    if v == 0 {
+        return None;
+    }
+    let bit = v & v.wrapping_neg();
+    let up = (v ^ bit) | (bit << 1);
+    Some(if up >= n { v ^ bit } else { up })
+}
+
+/// The two complementary trees over `n` ring positions. Tree 0 is the
+/// plain btree; tree 1 is its *shift* (odd `n`) or *mirror* (even `n`),
+/// which swaps the leaf/interior roles: for even `n` no position
+/// forwards in both trees (odd `n` concedes one overlapping position —
+/// perfect complementarity is impossible there), so the two
+/// half-payload pipelines never stack their forwarding load onto the
+/// same NICs.
+pub(crate) fn double_tree(n: usize) -> [Tree; 2] {
+    let t0 = Tree::from_parents(0, (0..n).map(|v| btree_parent(n, v)).collect());
+    let t1 = if n % 2 == 1 {
+        // Shift: relabel v -> v+1 (mod n).
+        let parent =
+            (0..n).map(|v| btree_parent(n, (v + n - 1) % n).map(|p| (p + 1) % n)).collect();
+        Tree::from_parents(1 % n, parent)
+    } else {
+        // Mirror: relabel v -> n-1-v.
+        let parent = (0..n).map(|v| btree_parent(n, n - 1 - v).map(|p| n - 1 - p)).collect();
+        Tree::from_parents(n - 1, parent)
+    };
+    [t0, t1]
+}
+
+/// The size up to which [`CollEngine::Auto`](crate::CollEngine::Auto)
+/// runs `op` on the double-binary-tree engine — the upper boundary of
+/// the mid band, in bytes. `0` means the band is empty (all-gather,
+/// which has no tree schedule; communicators too small for two useful
+/// trees; or platforms whose ring is never beaten).
+///
+/// Both sides are priced from the platform tables, mirroring the LL
+/// crossover. The DBT side pays its actual tree depth (computed from
+/// the `double_tree` construction, not an idealised `log2 n`) in
+/// chunk-pipelined rounds — doubled for allreduce — plus the busiest
+/// NIC's serialised share of the rail payload (`2·s/nrings` for
+/// allreduce: half up + two halves down on the forwarding tree, half
+/// up on the leaf tree; `1·s/nrings` for the rooted chains). Both
+/// sides run on the live [`AutoConfig::ring_for`] chunking — the
+/// switch point is priced against exactly the ring (and exactly the
+/// chunk grain) that runs either side of it. The crossover is the
+/// largest power-of-two size where the DBT estimate, inflated by the
+/// shared 25 % safety margin, still undercuts the ring estimate, capped
+/// by [`AutoConfig::mid_max_bytes`].
+pub fn crossover_bytes(
+    platform: &PlatformSpec,
+    op: &XcclOp,
+    n: usize,
+    nrings: usize,
+    ac: &AutoConfig,
+) -> u64 {
+    // The mid band is allreduce-only. All-gather has no tree schedule;
+    // the rooted ops (broadcast, reduce) pin both tree roots — and the
+    // ring's injection point — to one device, so beyond the LL regime
+    // their cost is bound by the root's single NIC either way and the
+    // measured tree runs 1.1–2.5× *slower* than the pipelined ring at
+    // multi-MiB sizes. The symmetric allreduce is where the tree's
+    // depth reduction genuinely wins (the Fig. 6 mid-band gap).
+    // `CollEngine::Dbt` still executes the rooted schedules when pinned
+    // explicitly.
+    let gpn = platform.gpus_per_node.max(1);
+    let nb = n.div_ceil(gpn);
+    if n < 4 || nb < 2 || !matches!(op, XcclOp::AllReduce { .. }) {
+        return 0;
+    }
+    let ring_chunk = ac.ring_for(op).chunk_bytes;
+    let dbt_chunk = ring_chunk.max(1) as f64;
+    let t = ring::tuning_for(platform, op, nrings);
+    // Per-phase critical path: the node tree's depth (inter-node hops,
+    // each carrying a chunk on the wire) plus the intra-node chain
+    // (fast fabric — its chunk wire time is negligible, its per-hop
+    // step cost is not).
+    let tree_depth = double_tree(nb).iter().map(Tree::depth).max().unwrap() as f64;
+    let chain = (n.min(gpn) - 1) as f64;
+    let (phases, wire_mult) = match op {
+        XcclOp::AllReduce { .. } => (2.0, 2.0),
+        _ => (1.0, 1.0),
+    };
+    let lat = platform.net.latency_us;
+    let bw = platform.net.nic_gbps * t.inter_eff * 1e3; // B/µs per edge
+    let nrings = nrings.max(1);
+    let nrings_f = nrings as f64;
+    // The emergent schedule's overhead over the pure bandwidth bound
+    // runs ~1.3–2× the naive fill estimate (two trees interleave their
+    // lanes on shared NICs, and the allreduce's turn-around couples the
+    // phases); priced at 1.5× — the SAFETY margin absorbs the spread.
+    const FILL_PENALTY: f64 = 1.5;
+    let mut best = 0u64;
+    for shift in 10..=40u32 {
+        let s = 1u64 << shift;
+        if s > ac.mid_max_bytes {
+            break;
+        }
+        // Per-rail tree payload; each tree carries half of it.
+        let half = s as f64 / (2.0 * nrings_f);
+        let cw = half.min(dbt_chunk);
+        let fill = phases * (tree_depth * (t.step_us + lat + cw / bw) + chain * (t.step_us + lat));
+        // The busiest NIC (an interior-tree leader, which also carries
+        // its leaf-tree half) serialises `wire_mult` rail slices.
+        let bandwidth = wire_mult * s as f64 / (nrings_f * bw);
+        let t_dbt = bandwidth + FILL_PENALTY * fill;
+        let t_ring = ring::model_time_us(platform, op, n, nrings, ring_chunk, s as f64);
+        if t_dbt * SAFETY <= t_ring {
+            best = s;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+/// One chunk transfer over one tree edge.
+struct Send {
+    res: ResourceId,
+    lane: u32,
+    bytes: u64,
+    /// Link efficiency at this edge (intra-node fabric or NIC share).
+    eff: f64,
+    /// Sends whose *arrival* enables this one: the same chunk from the
+    /// block's own chain plus both child leaders (climbing), or from
+    /// the parent leader / the previous chain hop (descending).
+    deps: [Option<u32>; 3],
+}
+
+/// Execute the double-binary-tree schedule in the calling task's
+/// context, advancing virtual time to the emergent completion instant.
+/// Mirrors `ring::execute`: per-rail payload slices, per-edge FIFO
+/// lanes, `cfg.max_inflight` chunks outstanding per lane, completions
+/// drained with the batched wait-any.
+///
+/// `root_flat` roots both trees of every rail for broadcast/reduce
+/// (each tree is rotated so its natural root lands on the requested
+/// device); the symmetric allreduce keeps the natural roots so the
+/// leaf/interior complementarity is exact.
+pub(crate) fn execute(
+    ctx: &mut Ctx,
+    world: &FabricWorld,
+    rails: &[Rail],
+    op: XcclOp,
+    root_flat: Option<usize>,
+    len: u64,
+    cfg: RingConfig,
+) -> SimTime {
+    let platform = &world.platform;
+    let t = ring::tuning_for(platform, &op, rails.len());
+    ctx.delay(Dur::micros(t.launch_us));
+    let n = rails.first().map_or(0, |r| r.order.len());
+    if n <= 1 || len == 0 {
+        return ctx.now();
+    }
+    let (do_reduce, do_bcast) = match op {
+        XcclOp::AllReduce { .. } => (true, true),
+        XcclOp::Broadcast { .. } => (false, true),
+        XcclOp::Reduce { .. } => (true, false),
+        XcclOp::AllGather => unreachable!("all-gather never takes the DBT path"),
+    };
+    let slices = ring::split_aligned(len, rails.len(), op.elem_align());
+    let chunk_bytes = cfg.chunk_bytes.max(1);
+
+    // Per-edge FIFO lane kinds, keyed so every directed edge owns
+    // exactly one lane: intra-node chain hops by their *sender*
+    // position, inter-node tree ups by the sending leader, tree downs
+    // by the receiving leader (a leader sends up once but down twice).
+    const CHAIN_UP: usize = 0;
+    const CHAIN_DOWN: usize = 1;
+    const TREE_UP: usize = 2;
+    const TREE_DOWN: usize = 3;
+    let nlanes = rails.len() * 2 * 4 * n;
+    let mut sends: Vec<Send> = Vec::new();
+    for (ri, rail) in rails.iter().enumerate() {
+        let (_, slen) = slices[ri];
+        if slen == 0 {
+            continue;
+        }
+        // The trees span *node blocks*, not devices: within a node the
+        // payload moves as a chain over the GPU fabric toward the
+        // block's leader; only leaders talk across nodes, so each node
+        // pays exactly one up and at most two down NIC transfers per
+        // tree — the layout that keeps the per-NIC load at the ring's
+        // `2·slice` bound (a device-level tree would cross node
+        // boundaries at every subtree seam and lose the bandwidth race
+        // ~1.5× before latency even counts). The rail's intra-block
+        // rotation makes a different device lead each rail's blocks, so
+        // the leader NIC load spreads across the node's NICs exactly
+        // like the ring's boundary crossings.
+        let mut blocks: Vec<Vec<usize>> = Vec::new();
+        for i in 0..n {
+            let node = world.devs.dev(rail.order[i]).loc.node;
+            match blocks.last_mut() {
+                Some(b) if world.devs.dev(rail.order[*b.last().unwrap()]).loc.node == node => {
+                    b.push(i)
+                }
+                _ => blocks.push(vec![i]),
+            }
+        }
+        let nb = blocks.len();
+        // Rooted ops: the root device must lead its block (chains
+        // reduce toward / broadcast from the leader).
+        let rooted = matches!(op, XcclOp::Broadcast { .. } | XcclOp::Reduce { .. });
+        let mut root_block = 0usize;
+        if rooted {
+            let rp = ring::rail_pos(rail, root_flat);
+            root_block = blocks.iter().position(|b| b.contains(&rp)).unwrap();
+            let at = blocks[root_block].iter().position(|&p| p == rp).unwrap();
+            blocks[root_block].rotate_left(at);
+        }
+        let trees = double_tree(nb);
+        let halves = ring::split_aligned(slen, 2, op.elem_align());
+        for (ti, tree) in trees.iter().enumerate() {
+            let (_, hlen) = halves[ti];
+            if hlen == 0 {
+                continue;
+            }
+            // Rooted ops rotate the tree in block space so its natural
+            // root lands on the root device's block; allreduce keeps
+            // the natural roots (exact leaf/interior complementarity).
+            let rot = if rooted { (root_block + nb - tree.root) % nb } else { 0 };
+            let blk = |b: usize| &blocks[(b + rot) % nb];
+            let edge = |src: usize, dst: usize| {
+                let sd = world.devs.dev(rail.order[src]);
+                let dd = world.devs.dev(rail.order[dst]);
+                if sd.loc.node == dd.loc.node {
+                    (sd.port, t.intra_eff)
+                } else {
+                    (sd.nic, t.inter_eff)
+                }
+            };
+            let lane_of = |pos: usize, kind: usize| (((ri * 2 + ti) * n + pos) * 4 + kind) as u32;
+            let top_down = tree.top_down();
+            let nchunks = hlen.div_ceil(chunk_bytes);
+            for c in 0..nchunks {
+                let cb = chunk_bytes.min(hlen - c * chunk_bytes);
+                // Reduce: each block chains its members' contributions
+                // into the leader, then leaders climb the tree once both
+                // child leaders' copies of this chunk have arrived.
+                let mut chain_done: Vec<Option<u32>> = vec![None; nb];
+                let mut up_idx: Vec<Option<u32>> = vec![None; nb];
+                if do_reduce {
+                    for (b, done) in chain_done.iter_mut().enumerate() {
+                        let m = blk(b);
+                        let mut prev = None;
+                        for k in (1..m.len()).rev() {
+                            let (res, eff) = edge(m[k], m[k - 1]);
+                            let idx = sends.len() as u32;
+                            sends.push(Send {
+                                res,
+                                lane: lane_of(m[k], CHAIN_UP),
+                                bytes: cb,
+                                eff,
+                                deps: [prev, None, None],
+                            });
+                            prev = Some(idx);
+                        }
+                        *done = prev;
+                    }
+                    for &b in top_down.iter().rev() {
+                        if b == tree.root {
+                            continue;
+                        }
+                        let mut deps = [chain_done[b], None, None];
+                        for (i, &cb_) in tree.children[b].iter().enumerate() {
+                            deps[i + 1] = up_idx[cb_];
+                        }
+                        let p = tree.parent[b].unwrap();
+                        let (res, eff) = edge(blk(b)[0], blk(p)[0]);
+                        up_idx[b] = Some(sends.len() as u32);
+                        sends.push(Send {
+                            res,
+                            lane: lane_of(blk(b)[0], TREE_UP),
+                            bytes: cb,
+                            eff,
+                            deps,
+                        });
+                    }
+                }
+                // Broadcast: the root leader's sends wait for this
+                // chunk's reduction to close (allreduce; no deps for a
+                // pure broadcast), then the chunk descends the tree and
+                // chains through each block.
+                if do_bcast {
+                    let root_deps = {
+                        let mut d = [chain_done[tree.root], None, None];
+                        for (i, &cb_) in tree.children[tree.root].iter().enumerate() {
+                            d[i + 1] = up_idx[cb_];
+                        }
+                        d
+                    };
+                    let mut down_recv: Vec<Option<u32>> = vec![None; nb];
+                    for &b in &top_down {
+                        for &cb_ in &tree.children[b] {
+                            let deps =
+                                if b == tree.root { root_deps } else { [down_recv[b], None, None] };
+                            let (res, eff) = edge(blk(b)[0], blk(cb_)[0]);
+                            down_recv[cb_] = Some(sends.len() as u32);
+                            sends.push(Send {
+                                res,
+                                lane: lane_of(blk(cb_)[0], TREE_DOWN),
+                                bytes: cb,
+                                eff,
+                                deps,
+                            });
+                        }
+                        let m = blk(b);
+                        let mut prev = down_recv[b];
+                        for k in 1..m.len() {
+                            let deps = if k == 1 && b == tree.root {
+                                root_deps
+                            } else {
+                                [prev, None, None]
+                            };
+                            let (res, eff) = edge(m[k - 1], m[k]);
+                            let idx = sends.len() as u32;
+                            sends.push(Send {
+                                res,
+                                lane: lane_of(m[k - 1], CHAIN_DOWN),
+                                bytes: cb,
+                                eff,
+                                deps,
+                            });
+                            prev = Some(idx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if sends.is_empty() {
+        return ctx.now();
+    }
+
+    // ---- per-edge FIFO lanes (generation order is already FIFO) ----
+    let mut lanes: Vec<Vec<u32>> = vec![Vec::new(); nlanes];
+    for (i, s) in sends.iter().enumerate() {
+        lanes[s.lane as usize].push(i as u32);
+    }
+
+    // ---- progress loop (shared with the ring engine) ----
+    let issues: Vec<ring::ChunkSend> = sends
+        .iter()
+        .map(|s| ring::ChunkSend {
+            res: s.res,
+            lane: s.lane,
+            wire: ((s.bytes as f64 / s.eff).ceil() as u64).max(1),
+        })
+        .collect();
+    ring::drive_schedule(
+        ctx,
+        &issues,
+        &lanes,
+        cfg.max_inflight,
+        Dur::micros(t.step_us),
+        &|si, arr| sends[si].deps.iter().flatten().all(|&d| arr[d as usize]),
+    );
+    // Receive-side processing of the final chunk.
+    ctx.delay(Dur::micros(t.step_us));
+    ctx.now()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diomp_fabric::ReduceOp;
+
+    /// Walk up from `v`; returns the hop count to the root (panics on a
+    /// broken parent chain longer than `n`).
+    fn hops_to_root(t: &Tree, mut v: usize) -> usize {
+        let mut hops = 0;
+        while let Some(p) = t.parent[v] {
+            v = p;
+            hops += 1;
+            assert!(hops <= t.parent.len(), "parent chain cycles");
+        }
+        assert_eq!(v, t.root);
+        hops
+    }
+
+    #[test]
+    fn both_trees_span_every_rank_with_logarithmic_depth() {
+        for n in 2..80usize {
+            let bound = (n as f64).log2().ceil() as usize + 1;
+            for t in double_tree(n) {
+                assert!(t.parent[t.root].is_none());
+                assert_eq!(t.parent.iter().filter(|p| p.is_none()).count(), 1);
+                let mut max = 0;
+                for v in 0..n {
+                    max = max.max(hops_to_root(&t, v));
+                }
+                assert!(max <= bound, "n={n}: depth {max} exceeds ⌈log2 n⌉+1={bound}");
+                assert_eq!(t.depth(), max, "n={n}: Tree::depth agrees with the walk");
+                assert!(t.children.iter().all(|c| c.len() <= 2), "binary tree");
+                assert_eq!(t.top_down().len(), n, "top_down covers every position");
+            }
+        }
+    }
+
+    #[test]
+    fn trees_are_complementary() {
+        // The double-binary-tree property: no rank forwards (has
+        // children) in both trees, so the two half-payload pipelines
+        // never stack their interior send load on one NIC. Odd rank
+        // counts concede exactly one overlapping position (perfect
+        // complementarity needs an even count).
+        for n in 2..80usize {
+            let [t0, t1] = double_tree(n);
+            let overlaps = (0..n)
+                .filter(|&v| !t0.children[v].is_empty() && !t1.children[v].is_empty())
+                .count();
+            assert!(
+                overlaps <= n % 2,
+                "n={n}: {overlaps} ranks forward in both trees (allowed: {})",
+                n % 2
+            );
+        }
+    }
+
+    #[test]
+    fn crossover_is_zero_for_allgather_and_tiny_comms() {
+        let p = PlatformSpec::platform_a();
+        let ac = AutoConfig::for_platform(&p);
+        assert_eq!(crossover_bytes(&p, &XcclOp::AllGather, 16, 4, &ac), 0);
+        assert_eq!(crossover_bytes(&p, &XcclOp::AllReduce { op: ReduceOp::SumF32 }, 2, 1, &ac), 0);
+    }
+
+    #[test]
+    fn allreduce_mid_band_is_nonempty_at_paper_scale() {
+        // The tentpole's reason to exist: at the Fig. 6 device counts the
+        // DBT band must extend beyond the LL crossover on every platform,
+        // so Auto has a genuine third regime for allreduce.
+        for (p, n, nrings) in [
+            (PlatformSpec::platform_a(), 64usize, 4usize),
+            (PlatformSpec::platform_b(), 64, 4),
+            (PlatformSpec::platform_c(), 16, 1),
+        ] {
+            let ac = AutoConfig::for_platform(&p);
+            let op = XcclOp::AllReduce { op: ReduceOp::SumF32 };
+            let ll = crate::ll::crossover_bytes(&p, &op, n, nrings, &ac);
+            let dbt = crossover_bytes(&p, &op, n, nrings, &ac);
+            assert!(dbt > ll, "{}: DBT cut {dbt} must extend past the LL cut {ll}", p.name);
+            // The predicted band is deliberately conservative (a missed
+            // win is cheaper than a regression): it spans at least
+            // 256 KiB–512 KiB everywhere — on B the real band also ends
+            // there (its calibrated link efficiency starves ring and
+            // tree alike, so only latency overhead is saveable) — and
+            // reaches the Fig. 6 1 MiB cell on A. The engine-level wins
+            // at 1 MiB on A and C are sim-asserted in bench_gate's
+            // DBT-vs-ring rows.
+            assert!(dbt >= 512 << 10, "{}: mid band should reach 512 KiB, got {dbt}", p.name);
+            if p.id == diomp_sim::PlatformId::A {
+                assert!(dbt >= 1 << 20, "A's mid band should reach 1 MiB, got {dbt}");
+            }
+        }
+    }
+
+    #[test]
+    fn dbt_crossover_tracks_the_live_ring_config() {
+        // Mid-band counterpart of the PR 5 headline bugfix regression:
+        // cheapening the live ring (tiny chunks cap its per-step wire
+        // term) must shrink the band the DBT is predicted to win.
+        let p = PlatformSpec::platform_c();
+        let op = XcclOp::AllReduce { op: ReduceOp::SumF32 };
+        let mut ac = AutoConfig::for_platform(&p);
+        let tuned = crossover_bytes(&p, &op, 16, 1, &ac);
+        ac.ring_allred = RingConfig { chunk_bytes: 512, max_inflight: 2 };
+        let tiny = crossover_bytes(&p, &op, 16, 1, &ac);
+        assert!(tiny < tuned, "DBT cut must move with the live ring chunk: {tiny} vs {tuned}");
+    }
+}

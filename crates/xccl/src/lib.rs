@@ -15,13 +15,19 @@
 //!   Fig. 6 curves then emerge from protocol structure; only launch /
 //!   per-step / link-efficiency scalars come from the calibrated
 //!   [`diomp_sim::CollProfile`] tables,
-//! * [`CollEngine::Auto`] layers NCCL's protocol selection on top: small
-//!   messages run as LL-style fused payload+flag eager sends over
-//!   binomial trees (`⌈log2 n⌉` rounds instead of the ring's `n−1` /
-//!   `2(n−1)` steps — the small-size latency dips of Fig. 6), with the
-//!   crossover derived per (platform, op, device count) from the same
-//!   tables via [`crossover_bytes`]; larger payloads — and all-gather,
-//!   which has no latency-bound regime — fall back to the ring unchanged.
+//! * [`CollEngine::Auto`] layers NCCL's protocol selection on top as a
+//!   **three-regime dispatcher**, both boundaries priced per
+//!   (platform, op, device count) from the same tables against the
+//!   live ring configuration: small messages run as LL-style fused
+//!   payload+flag eager sends over binomial trees (`⌈log2 n⌉` rounds —
+//!   the small-size latency dips of Fig. 6; [`crossover_bytes`]); the
+//!   allreduce mid band runs a chunk-pipelined **double binary tree**
+//!   ([`CollEngine::Dbt`], two complementary node-block trees each
+//!   moving half the payload through per-node chain leaders —
+//!   logarithmic depth at the ring's per-NIC wire load;
+//!   [`dbt_crossover_bytes`]); larger payloads — and all-gather, which
+//!   has no latency-bound regime — fall back to the table-tuned ring
+//!   ([`RingConfig::auto`]) unchanged.
 //!
 //! Collective calls are rank-collective: every participating rank calls
 //! the same operation in the same order; the data results are computed on
@@ -114,6 +120,7 @@
 #![warn(missing_docs)]
 
 mod comm;
+mod dbt;
 mod gate;
 mod ll;
 mod ops;
@@ -122,8 +129,9 @@ mod tree;
 mod unique_id;
 
 pub use comm::{RingInfo, XcclComm};
+pub use dbt::crossover_bytes as dbt_crossover_bytes;
 pub use gate::DeviceBuf;
 pub use ll::{crossover_bytes, AutoConfig};
 pub use ops::XcclOp;
-pub use ring::{CollEngine, RingConfig};
+pub use ring::{default_nrings, CollEngine, RingConfig};
 pub use unique_id::UniqueId;

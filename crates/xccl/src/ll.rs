@@ -34,24 +34,36 @@ use crate::ops::XcclOp;
 use crate::ring::{self, RingConfig};
 use crate::tree;
 
-/// Require the modelled LL/tree time to beat the modelled ring time by
-/// this factor before the fast path is chosen: the closed forms are
-/// estimates, and a missed win is cheaper than a regression above the
-/// crossover.
-const SAFETY: f64 = 1.25;
+/// Require the modelled fast-path time to beat the modelled ring time
+/// by this factor before a protocol switch is chosen: the closed forms
+/// are estimates, and a missed win is cheaper than a regression above
+/// the crossover. Shared by the LL and DBT crossovers so both
+/// boundaries are priced with the same conservatism.
+pub(crate) const SAFETY: f64 = 1.25;
 
 /// Configuration of the [`CollEngine::Auto`](crate::CollEngine::Auto)
-/// engine: the small-message fast path plus the ring fallback.
+/// engine: the small-message fast path, the mid-band double-binary-tree
+/// band, and the ring fallback.
 ///
 /// Constructed by the transport autotuner (`diomp-core`'s `Tuner`
-/// derives the LL hop cost from the active conduit's tables);
-/// [`AutoConfig::for_platform`] gives the GASNet-EX-based derivation
-/// when only the platform is known.
+/// derives the LL hop cost and the tuned ring configs from the active
+/// conduit's tables); [`AutoConfig::for_platform`] gives the
+/// GASNet-EX-based derivation when only the platform is known.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct AutoConfig {
-    /// Ring engine used above the crossover (and for all-gather, which
-    /// has no latency-bound regime — every byte must travel anyway).
-    pub ring: RingConfig,
+    /// Ring engine used above the crossovers for broadcast-shaped ops
+    /// (broadcast, and all-gather — which has no latency-bound regime;
+    /// every byte must travel anyway). This is the *live* ring the
+    /// dispatcher falls back to, and the one both crossover closed
+    /// forms price against — the two may never diverge (the pre-PR 5
+    /// bug priced the switch against `RingConfig::default()` even when
+    /// the engine ran a custom ring).
+    pub ring_bcast: RingConfig,
+    /// Ring engine used above the crossovers for allreduce-shaped ops
+    /// (allreduce, reduce) — tuned separately because the per-step
+    /// processing cost of a reduction differs from a copy in the
+    /// platform tables.
+    pub ring_allred: RingConfig,
     /// Per-hop software cost of one fused payload+flag eager send, in
     /// nanoseconds (integer so the engine selector stays `Eq`). Derived
     /// from the conduit tables: write initiation (+ GPU registration or
@@ -62,37 +74,91 @@ pub struct AutoConfig {
     /// conduit tables as the hop cost, so a GPI-2-tuned engine prices
     /// its wire term with GPI-2's efficiency, not GASNet's.
     pub wire_eff_milli: u16,
-    /// Hard ceiling on the fast path regardless of what the model says —
-    /// a guardrail keeping `Auto` conservative where the closed forms
-    /// are least trustworthy.
+    /// Hard ceiling on the LL/tree fast path regardless of what the
+    /// model says — a guardrail keeping `Auto` conservative where the
+    /// closed forms are least trustworthy.
     pub small_max_bytes: u64,
+    /// Hard ceiling on the double-binary-tree mid band (the upper
+    /// regime boundary can never exceed it). `0` disables the mid band
+    /// entirely — `Auto` then degenerates to the two-regime LL/ring
+    /// dispatcher.
+    pub mid_max_bytes: u64,
 }
 
 impl AutoConfig {
     /// Derive the LL transport cost from the platform's GASNet-EX tables
     /// (initiator software + GPU segment registration,
     /// [`PlatformSpec::gasnet_op_overhead_us`]; the flag rides in the
-    /// same message for free — that is the LL trick).
+    /// same message for free — that is the LL trick), and the ring
+    /// fallbacks from the same tables via [`RingConfig::auto`] at the
+    /// platform's full-node rail count.
     pub fn for_platform(p: &PlatformSpec) -> Self {
-        Self::for_conduit(p.gasnet_op_overhead_us(), p.gasnet.eff)
+        let nrings = crate::ring::default_nrings(p);
+        Self::for_conduit(
+            p.gasnet_op_overhead_us(),
+            p.gasnet.eff,
+            RingConfig::auto(p, &XcclOp::Broadcast { root: 0 }, nrings),
+            RingConfig::auto(p, &XcclOp::AllReduce { op: diomp_fabric::ReduceOp::SumF32 }, nrings),
+        )
     }
 
-    /// Build from a conduit's per-operation overhead (µs) and asymptotic
-    /// wire efficiency — the single place the fixed-point conversions
+    /// Build from a conduit's per-operation overhead (µs), asymptotic
+    /// wire efficiency, and the *live* ring configurations the engine
+    /// will fall back to — the single place the fixed-point conversions
     /// live, shared by [`Self::for_platform`] and the core `Tuner`'s
-    /// per-conduit derivation.
-    pub fn for_conduit(op_overhead_us: f64, wire_eff: f64) -> Self {
+    /// per-conduit derivation. Threading the rings through here is what
+    /// keeps the crossover pricing honest: the closed forms price the
+    /// switch against exactly the ring that runs above it.
+    pub fn for_conduit(
+        op_overhead_us: f64,
+        wire_eff: f64,
+        ring_bcast: RingConfig,
+        ring_allred: RingConfig,
+    ) -> Self {
+        debug_assert!(
+            op_overhead_us.is_finite() && op_overhead_us >= 0.0,
+            "conduit op overhead must be finite and non-negative, got {op_overhead_us}"
+        );
+        debug_assert!(
+            wire_eff.is_finite() && wire_eff > 0.0 && wire_eff <= 1.0,
+            "conduit wire efficiency must be a positive fraction in (0, 1], got {wire_eff}"
+        );
         AutoConfig {
-            ring: RingConfig::default(),
+            ring_bcast,
+            ring_allred,
             ll_hop_ns: (op_overhead_us * 1000.0).ceil() as u64,
-            wire_eff_milli: (wire_eff * 1000.0).round() as u16,
-            small_max_bytes: 1 << 20,
+            // Clamp at conversion time so even a sub-half-milli (but
+            // positive) efficiency keeps a representable floor instead
+            // of silently collapsing to a 1000× slower wire at read
+            // time (the pre-PR 5 clamp lived in `wire_eff()` and masked
+            // misconfigured conduits).
+            wire_eff_milli: (wire_eff * 1000.0).round().clamp(1.0, 1000.0) as u16,
+            // LL fused sends eagerly push the *whole* payload per hop:
+            // a genuinely small-message regime. The pre-PR 5 1 MiB
+            // ceiling was generous because the only alternative was the
+            // ring; with the DBT covering the mid band, the LL guardrail
+            // retreats to a faithful small-message bound.
+            small_max_bytes: 256 << 10,
+            mid_max_bytes: 8 << 20,
         }
     }
 
-    /// The wire efficiency as a fraction.
+    /// The live ring configuration the dispatcher falls back to for
+    /// `op` — per op class, because the platform tables price a
+    /// reduction step differently from a copy step.
+    pub fn ring_for(&self, op: &XcclOp) -> RingConfig {
+        match op {
+            XcclOp::Broadcast { .. } | XcclOp::AllGather => self.ring_bcast,
+            XcclOp::AllReduce { .. } | XcclOp::Reduce { .. } => self.ring_allred,
+        }
+    }
+
+    /// The wire efficiency as a fraction. The conversion in
+    /// [`Self::for_conduit`] guarantees at least one thousandth, so no
+    /// read-time clamp is needed (or wanted — it would mask a zeroed
+    /// field as a 1000× slower wire).
     pub(crate) fn wire_eff(&self) -> f64 {
-        f64::from(self.wire_eff_milli.max(1)) / 1000.0
+        f64::from(self.wire_eff_milli) / 1000.0
     }
 }
 
@@ -128,14 +194,7 @@ pub fn crossover_bytes(
     let lat = platform.net.latency_us;
     // One fused message per hop at the tuned conduit's achieved rate.
     let ll_bw = platform.net.nic_gbps * ac.wire_eff() * 1e3; // B/µs
-    let t = ring::tuning_for(platform, op, nrings);
-    let rail_bw = platform.net.nic_gbps * t.inter_eff * 1e3;
-    let ring_hops = match op {
-        XcclOp::AllReduce { .. } => 2 * (n - 1),
-        _ => n - 1,
-    } as f64;
-    let chunk = ac.ring.chunk_bytes.max(1) as f64;
-    let nrings = nrings.max(1) as f64;
+    let ring_chunk = ac.ring_for(op).chunk_bytes;
     let mut best = 0u64;
     for shift in 10..=40u32 {
         let s = 1u64 << shift;
@@ -143,15 +202,9 @@ pub fn crossover_bytes(
             break;
         }
         let t_small = small_hops * (ll_hop_us + lat + s as f64 / ll_bw);
-        // Per-rail payload; allreduce additionally scatters across the
-        // n ring segments. Pipelining caps the per-step wire term at one
-        // chunk; the remainder drains once at rail bandwidth.
-        let seg = match op {
-            XcclOp::AllReduce { .. } => s as f64 / (n as f64 * nrings),
-            _ => s as f64 / nrings,
-        };
-        let t_ring = ring_hops * (t.step_us + lat + seg.min(chunk) / rail_bw)
-            + (seg - chunk).max(0.0) / rail_bw;
+        // Ring side: the shared closed form both crossovers price
+        // against, on the live ring chunking.
+        let t_ring = ring::model_time_us(platform, op, n, nrings, ring_chunk, s as f64);
         if t_small * SAFETY <= t_ring {
             best = s;
         } else {
@@ -274,6 +327,57 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn crossover_tracks_the_live_ring_config() {
+        // The PR 5 headline bugfix: the LL↔ring switch point must be
+        // priced against the ring Auto actually falls back to, so
+        // changing the live ring chunking must move the crossover.
+        let p = PlatformSpec::platform_c();
+        let op = XcclOp::Broadcast { root: 0 };
+        let mut ac = AutoConfig::for_platform(&p);
+        let tuned = crossover_bytes(&p, &op, 16, 1, &ac);
+        // A monolithic (unpipelined) ring pays the whole segment's wire
+        // time on every hop, so the modelled ring slows down and the
+        // fast path must extend.
+        ac.ring_bcast = RingConfig { chunk_bytes: u64::MAX, max_inflight: 2 };
+        let mono = crossover_bytes(&p, &op, 16, 1, &ac);
+        assert!(
+            mono > tuned,
+            "crossover must move with the ring chunk: {mono} (monolithic) vs {tuned} (tuned)"
+        );
+        // The per-op threading matters too: an allreduce-config change
+        // must not move the broadcast crossover.
+        let mut ac2 = AutoConfig::for_platform(&p);
+        ac2.ring_allred = RingConfig { chunk_bytes: u64::MAX, max_inflight: 2 };
+        assert_eq!(crossover_bytes(&p, &op, 16, 1, &ac2), tuned);
+    }
+
+    #[test]
+    fn wire_eff_round_trips_at_the_extremes() {
+        let rings = (RingConfig::default(), RingConfig::default());
+        for eff in [0.001, 0.0004, 0.5, 0.9995, 1.0] {
+            let ac = AutoConfig::for_conduit(1.0, eff, rings.0, rings.1);
+            let got = ac.wire_eff();
+            assert!(got > 0.0, "eff {eff} must never collapse to zero");
+            assert!(got <= 1.0, "eff {eff} must stay a fraction, got {got}");
+            // Fixed-point granularity is one thousandth; the conversion
+            // floor is the only deviation allowed beyond rounding.
+            assert!(
+                (got - eff).abs() <= 0.0005 + 1e-12 || (eff < 0.0005 && got == 0.001),
+                "eff {eff} round-tripped to {got}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wire efficiency")]
+    #[cfg(debug_assertions)]
+    fn zero_wire_efficiency_is_rejected_not_masked() {
+        // The pre-PR 5 clamp silently turned a zeroed efficiency into a
+        // 1000× slower wire; now the constructor refuses it outright.
+        let _ = AutoConfig::for_conduit(1.0, 0.0, RingConfig::default(), RingConfig::default());
     }
 
     #[test]

@@ -27,10 +27,32 @@
 
 use diomp_device::{DataMode, DeviceTable};
 use diomp_fabric::FabricWorld;
-use diomp_sim::{Ctx, Dur, EventId, PlatformSpec, ResourceId, SimTime};
+use diomp_sim::{BwCurve, Ctx, Dur, EventId, PlatformSpec, ResourceId, SimTime};
 
 use crate::gate::DeviceBuf;
 use crate::ops::XcclOp;
+
+/// Fraction of the per-edge bottleneck bandwidth one collective chunk
+/// must achieve under the engine's per-chunk step overhead — the knee
+/// query that sizes ring (and DBT) chunks from the platform tables.
+/// Unlike the RMA pipeline's throughput-oriented 95 % knee, collective
+/// chunks sit at the *latency–bandwidth balance point* (the 50 % knee,
+/// where one chunk's wire time equals the per-chunk step cost): a
+/// chunk is the pipeline grain of an `(n−1)`-hop traversal, so an
+/// oversized chunk multiplies straight into the serial path — measured
+/// on every paper platform, the emergent engines are flat-optimal from
+/// this knee up to the segment-pipelining bound and regress beyond it.
+const RING_KNEE_FRAC: f64 = 0.5;
+
+/// Ring chunk boundaries are kept 4 KiB-aligned (matches the RMA
+/// pipeline's staging granularity; reductions re-align to elements when
+/// the payload is split).
+const RING_CHUNK_ALIGN: u64 = 4 << 10;
+
+/// Finest useful split of one allreduce ring segment, in chunks (the
+/// floor the engine applies on top of the configured grain for huge
+/// payloads whose segments dwarf the chunk size).
+const ALLRED_TOKEN_CHUNKS: u64 = 4;
 
 /// Chunk-pipeline knobs of the ring engine (mirrors the shape of PR 1's
 /// RMA `PipelineConfig`).
@@ -50,6 +72,38 @@ impl RingConfig {
     pub fn new() -> Self {
         RingConfig { chunk_bytes: 128 << 10, max_inflight: 4 }
     }
+
+    /// Derive the chunk size and in-flight window from the platform
+    /// tables for `op` on `nrings` rails, instead of hard-coding
+    /// 128 KiB / 4 — the transport autotuner's ring tuning (same knee
+    /// machinery as the RMA `PipelineConfig::auto`).
+    ///
+    /// Every chunk pays the engine's per-step processing cost
+    /// (`Tuning::step_us`, calibrated from the platform's collective
+    /// tables) before touching the wire, so a chunk send follows the
+    /// `s / (step + s/B)` saturation curve at the per-edge bottleneck
+    /// bandwidth (`inter_eff × nic_gbps`, the rail's share of the
+    /// calibrated asymptote). The chunk sits at that curve's
+    /// 50 % knee (`RING_KNEE_FRAC`); the window covers wire latency plus one
+    /// step per in-flight chunk, exactly like the RMA pipeline's
+    /// latency-cover derivation. The same tuned configuration drives
+    /// the double-binary-tree engine's chunk pipeline (the `dbt` module)
+    /// — both engines share the per-edge grain, so the `Auto`
+    /// dispatcher's mid band and ring fallback run on one live config.
+    pub fn auto(platform: &PlatformSpec, op: &XcclOp, nrings: usize) -> Self {
+        let t = tuning_for(platform, op, nrings);
+        let edge_gbps = platform.net.nic_gbps * t.inter_eff;
+        let curve = BwCurve::saturation(t.step_us, edge_gbps);
+        let chunk_bytes =
+            curve.knee_bytes(RING_KNEE_FRAC).div_ceil(RING_CHUNK_ALIGN) * RING_CHUNK_ALIGN;
+        let chunk_us = chunk_bytes as f64 / (edge_gbps * 1e3);
+        let cover = (platform.net.latency_us + t.step_us) / chunk_us;
+        // One slot in flight, one covering latency + step, one spare so
+        // a ragged tail chunk never serialises behind a full one — the
+        // same shape as the RMA pipeline's window derivation.
+        let max_inflight = (cover.ceil() as usize + 2).clamp(3, 8);
+        RingConfig { chunk_bytes, max_inflight }
+    }
 }
 
 impl Default for RingConfig {
@@ -66,12 +120,22 @@ pub enum CollEngine {
     Profile,
     /// Chunk-pipelined ring protocol over the simulated links (default).
     Ring(RingConfig),
-    /// Protocol auto-selection (the transport autotuner's engine): below
-    /// a per-(op, size, device-count) crossover derived from the platform
-    /// tables, small collectives run as LL-style fused eager sends over
-    /// binomial trees (the LL engine, configured by
-    /// [`AutoConfig`](crate::ll::AutoConfig)); above it — and always for
-    /// all-gather — the configured ring takes over unchanged.
+    /// Chunk-pipelined double-binary-tree protocol (the mid-band
+    /// bandwidth algorithm, the `dbt` module): two complementary trees each
+    /// reduce+broadcast half the payload in `⌈log2 n⌉` rounds instead of
+    /// the ring's `2(n−1)` serial steps. Exposed as a first-class engine
+    /// so benches and tests can pin it; [`CollEngine::Auto`] selects it
+    /// per size. All-gather has no tree schedule and falls back to the
+    /// ring with the same chunking under this engine.
+    Dbt(RingConfig),
+    /// Protocol auto-selection (the transport autotuner's engine): a
+    /// three-regime dispatcher priced per (op, size, device count) from
+    /// the platform tables (configured by
+    /// [`AutoConfig`](crate::ll::AutoConfig)). Small collectives run as
+    /// LL-style fused eager sends over binomial trees (the LL engine);
+    /// the mid band runs the double-binary-tree protocol; above the
+    /// upper crossover — and always for all-gather — the configured ring
+    /// takes over unchanged.
     Auto(crate::ll::AutoConfig),
 }
 
@@ -151,15 +215,25 @@ pub(crate) fn build_rails(world: &FabricWorld, order: &[usize], nrings: usize) -
 /// * `intra_eff` — fixed high fraction for the fast intra-node fabric,
 ///   which is never the bottleneck on the paper's platforms.
 pub(crate) struct Tuning {
-    launch_us: f64,
+    pub(crate) launch_us: f64,
     pub(crate) step_us: f64,
     pub(crate) inter_eff: f64,
-    intra_eff: f64,
+    pub(crate) intra_eff: f64,
 }
 
 pub(crate) const INTRA_EFF: f64 = 0.90;
 const MIN_EFF: f64 = 0.01;
 const MAX_EFF: f64 = 0.98;
+
+/// The rail count a full-node communicator on this platform discovers
+/// (`min(nics_per_node, gpus_per_node)` — the layout `XcclComm::init`
+/// derives). The autotuner tunes ring parameters against this count;
+/// communicators over partial nodes may discover fewer rails, in which
+/// case the per-edge efficiency calibration shifts slightly but the
+/// chunk/window shape remains table-derived.
+pub fn default_nrings(platform: &PlatformSpec) -> usize {
+    platform.net.nics_per_node.min(platform.gpus_per_node).max(1)
+}
 
 pub(crate) fn tuning_for(platform: &PlatformSpec, op: &XcclOp, nrings: usize) -> Tuning {
     let profile = op.profile(&platform.coll);
@@ -173,10 +247,63 @@ pub(crate) fn tuning_for(platform: &PlatformSpec, op: &XcclOp, nrings: usize) ->
     }
 }
 
+/// Closed-form estimate of the ring engine's completion time for a
+/// payload of `s` bytes under `chunk_bytes` chunking, in µs — the
+/// pricing model both protocol crossovers ([`crate::ll`],
+/// [`crate::dbt`]) compare against, so the switch points track the live
+/// ring configuration.
+///
+/// Structure, calibrated against the emergent engine, per op class:
+///
+/// * **Allreduce** (symmetric, `n` tokens in flight): the serial
+///   latency chain pays every hop's step + wire latency but only the
+///   *node-boundary* hops' chunk wire time (intra-node hops ride the
+///   fast GPU fabric); the bottleneck NIC edge serialises the whole
+///   rail traffic (`hops × seg`). The two overlap almost entirely in
+///   the pipelined schedule, so the estimate is the larger plus a 30 %
+///   residual of the smaller (fill/drain that cannot overlap).
+/// * **Broadcast / reduce** (one token per rail): the token's own
+///   traversal *is* the critical path — every hop pays step + latency
+///   plus one chunk's wire time, the remainder of the segment drains
+///   once behind it, and the fixed root injects every rail's slice on
+///   its single NIC (the root-bound floor).
+pub(crate) fn model_time_us(
+    platform: &PlatformSpec,
+    op: &XcclOp,
+    n: usize,
+    nrings: usize,
+    chunk_bytes: u64,
+    s: f64,
+) -> f64 {
+    let t = tuning_for(platform, op, nrings);
+    let lat = platform.net.latency_us;
+    let bw = platform.net.nic_gbps * t.inter_eff * 1e3; // B/µs per edge
+    let nrings_f = nrings.max(1) as f64;
+    let chunk = chunk_bytes.max(1) as f64;
+    match op {
+        XcclOp::AllReduce { .. } => {
+            let hops = 2 * (n - 1);
+            let seg = s / (n as f64 * nrings_f);
+            let cw = seg.min(chunk);
+            let nodes = n.div_ceil(platform.gpus_per_node.max(1));
+            let lat_chain = hops as f64 * (t.step_us + lat) + hops.min(2 * nodes) as f64 * cw / bw;
+            let wire = hops as f64 * seg / bw;
+            lat_chain.max(wire) + 0.3 * lat_chain.min(wire)
+        }
+        _ => {
+            let hops = (n - 1) as f64;
+            let seg = s / nrings_f;
+            let cw = seg.min(chunk);
+            let path = hops * (t.step_us + lat + cw / bw) + (seg - chunk).max(0.0) / bw;
+            path.max(s / bw)
+        }
+    }
+}
+
 /// Split `total` bytes into `parts` near-equal pieces whose boundaries
 /// fall on `align`-byte element boundaries; any ragged tail rides with
 /// the last non-empty piece. Returns `(offset, len)` per piece.
-fn split_aligned(total: u64, parts: usize, align: u64) -> Vec<(u64, u64)> {
+pub(crate) fn split_aligned(total: u64, parts: usize, align: u64) -> Vec<(u64, u64)> {
     let parts = parts.max(1);
     let align = align.max(1);
     let units = total / align;
@@ -270,9 +397,20 @@ pub(crate) fn execute(
                 // 1-byte sends.
                 continue;
             }
-            let nchunks = bytes.div_ceil(chunk_bytes);
+            // Allreduce tokens (the n ring segments) already pipeline
+            // against each other, so splitting each one beyond a few
+            // chunks buys no extra overlap — measured flat on every
+            // platform — while multiplying scheduler entries, the gated
+            // wall-clock cost. Floor the per-token grain accordingly;
+            // the chain ops keep the configured grain (their single
+            // token *is* the pipeline).
+            let tok_chunk = match op {
+                XcclOp::AllReduce { .. } => chunk_bytes.max(bytes.div_ceil(ALLRED_TOKEN_CHUNKS)),
+                _ => chunk_bytes,
+            };
+            let nchunks = bytes.div_ceil(tok_chunk);
             for c in 0..nchunks {
-                let cb = chunk_bytes.min(bytes - c * chunk_bytes);
+                let cb = tok_chunk.min(bytes - c * tok_chunk);
                 let mut dep: Option<u32> = None;
                 for h in 0..hops {
                     let e = (start + h) % n;
@@ -309,30 +447,69 @@ pub(crate) fn execute(
         });
     }
 
-    // ---- progress loop ----
-    let window = cfg.max_inflight.max(1);
-    let step_d = Dur::micros(t.step_us);
+    // ---- progress loop (shared with the DBT engine) ----
+    let issues: Vec<ChunkSend> = sends
+        .iter()
+        .map(|s| {
+            let eff = if s.inter { t.inter_eff } else { t.intra_eff };
+            ChunkSend {
+                res: s.res,
+                lane: s.lane,
+                wire: ((s.bytes as f64 / eff).ceil() as u64).max(1),
+            }
+        })
+        .collect();
+    drive_schedule(ctx, &issues, &lanes, cfg.max_inflight, Dur::micros(t.step_us), &|si, arr| {
+        sends[si].dep.is_none_or(|d| arr[d as usize])
+    });
+    // Receive-side processing of the final chunk.
+    ctx.delay(Dur::micros(t.step_us));
+    ctx.now()
+}
+
+/// One chunk transfer as the shared progress loop sees it: the link
+/// resource it occupies, its FIFO lane, and its wire bytes (payload
+/// already scaled by the edge's link efficiency).
+pub(crate) struct ChunkSend {
+    pub(crate) res: ResourceId,
+    pub(crate) lane: u32,
+    pub(crate) wire: u64,
+}
+
+/// Drive a chunked send schedule to completion — the progress loop
+/// shared by the ring and DBT engines. Every lane is a FIFO of send
+/// indices; a lane head is issued once `deps_met(send, arrived)` holds
+/// and the lane has a free slot (`window`), charging `step_d` of
+/// per-chunk processing before the wire bytes occupy the resource.
+/// In-flight completions drain with [`Ctx::wait_any_batched`] — one
+/// wake per park — and arrivals enable downstream sends.
+pub(crate) fn drive_schedule(
+    ctx: &mut Ctx,
+    sends: &[ChunkSend],
+    lanes: &[Vec<u32>],
+    window: usize,
+    step_d: Dur,
+    deps_met: &dyn Fn(usize, &[bool]) -> bool,
+) {
+    let window = window.max(1);
+    let nlanes = lanes.len();
     let mut lane_next = vec![0usize; nlanes];
     let mut lane_inflight = vec![0usize; nlanes];
     let mut arrived = vec![false; sends.len()];
     let mut inflight: Vec<(EventId, u32)> = Vec::new();
     loop {
-        // Issue every lane head whose dependency has arrived, up to the
-        // per-edge slot window.
+        // Issue every lane head whose dependencies have arrived, up to
+        // the per-edge slot window.
         for l in 0..nlanes {
             while lane_next[l] < lanes[l].len() && lane_inflight[l] < window {
                 let si = lanes[l][lane_next[l]] as usize;
-                if let Some(d) = sends[si].dep {
-                    if !arrived[d as usize] {
-                        break;
-                    }
+                if !deps_met(si, &arrived) {
+                    break;
                 }
-                let eff = if sends[si].inter { t.inter_eff } else { t.intra_eff };
-                let wire = ((sends[si].bytes as f64 / eff).ceil() as u64).max(1);
-                // Per-step processing (reduce / copy / flag check) before
-                // the chunk is injected on the edge's link.
+                // Per-chunk processing (reduce / copy / flag check)
+                // before the chunk is injected on the edge's link.
                 let ready = ctx.now() + step_d;
-                let tr = ctx.handle().transfer_from(sends[si].res, ready, wire);
+                let tr = ctx.handle().transfer_from(sends[si].res, ready, sends[si].wire);
                 let ev = ctx.new_event();
                 ctx.complete_at(ev, tr.arrive);
                 inflight.push((ev, si as u32));
@@ -342,8 +519,8 @@ pub(crate) fn execute(
         }
         if inflight.is_empty() {
             assert!(
-                lane_next.iter().zip(&lanes).all(|(&nx, l)| nx == l.len()),
-                "ring schedule stalled with sends outstanding"
+                lane_next.iter().zip(lanes).all(|(&nx, l)| nx == l.len()),
+                "chunk schedule stalled with sends outstanding"
             );
             break;
         }
@@ -361,12 +538,9 @@ pub(crate) fn execute(
             }
         });
     }
-    // Receive-side processing of the final chunk.
-    ctx.delay(step_d);
-    ctx.now()
 }
 
-fn rail_pos(rail: &Rail, root_flat: Option<usize>) -> usize {
+pub(crate) fn rail_pos(rail: &Rail, root_flat: Option<usize>) -> usize {
     let flat = root_flat.expect("rooted collective without a root device");
     rail.order.iter().position(|&f| f == flat).expect("root device not in rail")
 }

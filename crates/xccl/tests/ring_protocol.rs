@@ -230,6 +230,83 @@ proptest! {
         let ring = run(CollEngine::default());
         prop_assert_eq!(auto, ring, "auto must agree with the ring engine's bytes");
     }
+
+    /// The double-binary-tree engine's reduction semantics are
+    /// byte-identical to the *sequential reference* association for
+    /// every dtype — including floats, where association order matters:
+    /// the tree folds whole payloads in reference order (unlike the
+    /// ring's chain order, which is only exact on integer-valued data).
+    /// Random payload sizes (ragged tails included), chunkings, windows
+    /// and rank counts, over single- and multi-node tree layouts.
+    #[test]
+    fn dbt_allreduce_matches_sequential_reference(
+        nranks in 2usize..9,
+        len in 1usize..4096,
+        chunk in 1u64..2048,
+        inflight in 1usize..5,
+        which in 0u8..4,
+    ) {
+        let dtype = [ReduceOp::SumF64, ReduceOp::SumF32, ReduceOp::SumU64, ReduceOp::MaxF64]
+            [which as usize];
+        let engine = CollEngine::Dbt(RingConfig { chunk_bytes: chunk, max_inflight: inflight });
+        with_engine(nranks, engine, false, move |ctx, world, comm, r| {
+            let dev = world.primary_dev(r);
+            let off = dev.malloc(len.next_power_of_two().max(64) as u64, 256).unwrap();
+            dev.mem.write(off, &payload(r, len, dtype)).unwrap();
+            comm.collective(
+                ctx,
+                r,
+                vec![DeviceBuf { flat: r, off }],
+                XcclOp::AllReduce { op: dtype },
+                len as u64,
+            );
+            let mut got = vec![0u8; len];
+            dev.mem.read(off, &mut got).unwrap();
+            assert_eq!(got, reference(world.nranks, len, dtype), "rank {r}");
+        });
+    }
+
+    /// The DBT engine deposits the same bytes as the ring engine for
+    /// every collective kind — including the rooted ops (rotated trees,
+    /// chain leaders) and all-gather (which falls back to the ring
+    /// schedule under `CollEngine::Dbt`).
+    #[test]
+    fn dbt_engine_matches_ring_bytes(
+        nranks in 2usize..9,
+        len in 8usize..2048,
+        kind in 0u8..4,
+    ) {
+        let run = |engine: CollEngine| {
+            let out = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let out2 = out.clone();
+            with_engine(nranks, engine, false, move |ctx, world, comm, r| {
+                let n = world.nranks;
+                let dev = world.primary_dev(r);
+                let cap = (len * n).next_power_of_two().max(64) as u64;
+                let off = dev.malloc(cap, 256).unwrap();
+                let bytes: Vec<u8> =
+                    (0..len * n).map(|i| (r * 31 + i * 7) as u8).collect();
+                dev.mem.write(off, &bytes).unwrap();
+                let op = match kind {
+                    0 => XcclOp::AllReduce { op: ReduceOp::SumU64 },
+                    1 => XcclOp::Broadcast { root: 1 % n },
+                    2 => XcclOp::AllGather,
+                    _ => XcclOp::Reduce { root: 1 % n, op: ReduceOp::SumU64 },
+                };
+                let payload = if kind == 2 { len as u64 } else { (len / 8 * 8).max(8) as u64 };
+                comm.collective(ctx, r, vec![DeviceBuf { flat: r, off }], op, payload);
+                let mut got = vec![0u8; len * n];
+                dev.mem.read(off, &mut got).unwrap();
+                out2.lock().push((r, got));
+            });
+            let mut rows = out.lock().clone();
+            rows.sort_by_key(|&(r, _)| r);
+            rows
+        };
+        let dbt = run(CollEngine::Dbt(RingConfig { chunk_bytes: 512, max_inflight: 2 }));
+        let ring = run(CollEngine::default());
+        prop_assert_eq!(dbt, ring, "dbt must agree with the ring engine's bytes");
+    }
 }
 
 #[test]
@@ -306,9 +383,13 @@ fn timed_collective(engine: CollEngine, op: XcclOp, len: u64) -> SimTime {
 fn auto_beats_ring_at_small_sizes_and_equals_it_at_large() {
     // The ISSUE 4 acceptance shape at engine level: below the crossover
     // the LL/tree fast path must finish earlier than the pure ring;
-    // above it, Auto runs the identical ring schedule, so the times are
-    // exactly equal (not merely within tolerance).
-    let ac = AutoConfig::for_platform(&PlatformSpec::platform_a());
+    // above it, Auto runs the identical (tuned) ring schedule, so the
+    // times exactly equal the ring engine pinned to the same live
+    // config (not merely within tolerance). The mid band is disabled
+    // here (`mid_max_bytes = 0`) to pin the two-regime shape; the
+    // three-regime dispatch has its own tests.
+    let mut ac = AutoConfig::for_platform(&PlatformSpec::platform_a());
+    ac.mid_max_bytes = 0;
     for op in [XcclOp::Broadcast { root: 0 }, XcclOp::AllReduce { op: ReduceOp::SumF32 }] {
         let small = 32u64 << 10;
         let auto = timed_collective(CollEngine::Auto(ac), op, small);
@@ -317,13 +398,61 @@ fn auto_beats_ring_at_small_sizes_and_equals_it_at_large() {
 
         let large = 4u64 << 20; // far above every crossover at 16 ranks
         let auto = timed_collective(CollEngine::Auto(ac), op, large);
-        let ring = timed_collective(CollEngine::default(), op, large);
-        assert_eq!(auto, ring, "{op:?}@4MiB: auto must fall back to the identical ring");
+        let live = timed_collective(CollEngine::Ring(ac.ring_for(&op)), op, large);
+        assert_eq!(auto, live, "{op:?}@4MiB: auto must fall back to the identical live ring");
     }
     // All-gather has no latency-bound regime: always the ring schedule.
     let auto = timed_collective(CollEngine::Auto(ac), XcclOp::AllGather, 16 << 10);
-    let ring = timed_collective(CollEngine::default(), XcclOp::AllGather, 16 << 10);
+    let ring = timed_collective(
+        CollEngine::Ring(ac.ring_for(&XcclOp::AllGather)),
+        XcclOp::AllGather,
+        16 << 10,
+    );
     assert_eq!(auto, ring, "all-gather never takes the LL path");
+}
+
+#[test]
+fn dbt_beats_ring_in_the_mid_band_and_is_deterministic() {
+    // The PR 5 tentpole at engine level: at 16 ranks (4 nodes × 4
+    // A100s) a 1 MiB allreduce sits squarely in the mid band — the
+    // double binary tree's 2⌈log2 n⌉-deep schedule must finish earlier
+    // than the ring's 2(n−1) steps, and replay bit-identically.
+    let op = XcclOp::AllReduce { op: ReduceOp::SumF32 };
+    let rc = RingConfig::auto(&PlatformSpec::platform_a(), &op, 4);
+    let run = || timed_collective(CollEngine::Dbt(rc), op, 1 << 20);
+    let dbt = run();
+    assert_eq!(dbt, run(), "dbt schedule must be deterministic");
+    let ring = timed_collective(CollEngine::default(), op, 1 << 20);
+    assert!(dbt < ring, "DBT {dbt:?} must beat the ring {ring:?} at 1 MiB");
+}
+
+#[test]
+fn auto_dispatches_three_regimes_in_order() {
+    // The dispatcher's boundaries must be ordered and genuinely
+    // separate the engines: at a size inside the mid band Auto matches
+    // the DBT engine's schedule exactly, and above the upper cut it
+    // matches the live ring exactly.
+    let platform = PlatformSpec::platform_a();
+    let mut ac = AutoConfig::for_platform(&platform);
+    // Pull the upper guardrail in so the regime sizes stay inside the
+    // test world's 8 MiB device heaps.
+    ac.mid_max_bytes = 1 << 20;
+    let op = XcclOp::AllReduce { op: ReduceOp::SumF32 };
+    // 16 ranks over 4 nodes like timed_collective's world.
+    let ll_cut = diomp_xccl::crossover_bytes(&platform, &op, 16, 4, &ac);
+    let dbt_cut = diomp_xccl::dbt_crossover_bytes(&platform, &op, 16, 4, &ac);
+    assert!(0 < ll_cut && ll_cut < dbt_cut, "boundaries must be ordered: {ll_cut} vs {dbt_cut}");
+
+    let mid = (dbt_cut / 2).max(ll_cut + 1).next_power_of_two();
+    assert!(mid <= dbt_cut, "test size {mid} must sit inside the mid band");
+    let auto = timed_collective(CollEngine::Auto(ac), op, mid);
+    let dbt = timed_collective(CollEngine::Dbt(RingConfig::auto(&platform, &op, 4)), op, mid);
+    assert_eq!(auto, dbt, "mid band must run the DBT schedule");
+
+    let above = (2 * dbt_cut).next_power_of_two();
+    let auto = timed_collective(CollEngine::Auto(ac), op, above);
+    let ring = timed_collective(CollEngine::Ring(ac.ring_for(&op)), op, above);
+    assert_eq!(auto, ring, "above the mid band Auto must run the live ring");
 }
 
 #[test]

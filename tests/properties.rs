@@ -576,3 +576,64 @@ fn tuned_minimod_wavefield_is_byte_identical_and_deterministic() {
     assert_eq!(tuned_a.entries, tuned_b.entries);
     assert_eq!(Some(wf_tuned), tuned_b.wavefield);
 }
+
+// ---------- ISSUE 5: dispatch-boundary continuity ----------
+
+/// The three-regime dispatcher must be seamless: at the power-of-two
+/// sizes straddling each crossover (LL→DBT and DBT→ring) the modelled
+/// latency may not cliff — the step up in size costs at most the size
+/// ratio plus protocol overhead, and `Auto` never loses to the pure
+/// ring engine on either side of either boundary, on all three paper
+/// platforms at Fig. 6 scale.
+#[test]
+fn auto_dispatch_has_no_cliff_at_regime_boundaries() {
+    use diomp::apps::micro::{diomp_collective_auto, diomp_collective_full, fig6_nodes, CollKind};
+    use diomp::core::{
+        crossover_bytes, dbt_crossover_bytes, default_nrings, CollEngine, Conduit, Tuner, XcclOp,
+    };
+
+    for platform in
+        [PlatformSpec::platform_a(), PlatformSpec::platform_b(), PlatformSpec::platform_c()]
+    {
+        let nodes = fig6_nodes(&platform);
+        let n = nodes * platform.gpus_per_node;
+        let nrings = default_nrings(&platform);
+        let ac = Tuner::new(&platform, Conduit::GasnetEx).auto_config();
+        let op = XcclOp::AllReduce { op: ReduceOp::SumF32 };
+        let ll_cut = crossover_bytes(&platform, &op, n, nrings, &ac);
+        let dbt_cut = dbt_crossover_bytes(&platform, &op, n, nrings, &ac).max(ll_cut);
+        assert!(ll_cut > 0, "{}: LL regime must be non-empty", platform.name);
+
+        let mut boundaries = vec![ll_cut];
+        if dbt_cut > ll_cut {
+            boundaries.push(dbt_cut);
+        }
+        for cut in boundaries {
+            // `cut` is the last size of the lower regime; twice it is
+            // the first power-of-two size of the upper regime.
+            let sizes = [cut, 2 * cut];
+            let auto = diomp_collective_auto(&platform, nodes, CollKind::AllReduce, &sizes);
+            let ring = diomp_collective_full(
+                &platform,
+                nodes,
+                CollKind::AllReduce,
+                &sizes,
+                CollEngine::default(),
+            );
+            let (below, above) = (auto[0].1, auto[1].1);
+            assert!(
+                above <= 4.0 * below,
+                "{} boundary {cut}: latency cliffs {below:.1}µs -> {above:.1}µs",
+                platform.name
+            );
+            for (&(s, auto_us, _), &(_, ring_us, _)) in auto.iter().zip(&ring) {
+                assert!(
+                    auto_us <= ring_us * 1.01,
+                    "{} @{s}: Auto ({auto_us:.1}µs) must not lose to the ring ({ring_us:.1}µs) \
+                     at a regime boundary",
+                    platform.name
+                );
+            }
+        }
+    }
+}
