@@ -311,6 +311,75 @@ fn measure() -> Vec<BenchRecord> {
         "us",
         tuned[0].2,
     ));
+
+    // (e) Fault-injection hooks (ISSUE 6): with nothing armed — or with a
+    // plan whose windows, task prefixes and keys never match — the
+    // injection hooks must cost *nothing*: same virtual end time, same
+    // scheduler entry count, bit for bit. Hard-asserted here; the locked
+    // ratio row keeps the zero-cost claim visible in CI history.
+    {
+        use diomp_sim::{fault_key, CtrlFault, Dur, FaultPlan, Sim};
+        let run = |armed: bool| {
+            let mut sim = Sim::new();
+            if armed {
+                // Inert plan: a straggle prefix no task carries and a
+                // control key no protocol consumes. Arming it switches
+                // every injection hook on (the per-transfer perturb
+                // lookup, the per-delay straggle scaling) with nothing
+                // to fire.
+                let plan = FaultPlan::new()
+                    .straggle("no-such-task", 2000)
+                    .ctrl_fault(fault_key("bench-inert", 0, 0), CtrlFault::Drop);
+                sim.set_fault_plan(plan);
+            }
+            let cfg = DiompConfig::new(ClusterSpec {
+                platform: PlatformSpec::platform_a(),
+                nodes: 2,
+                gpus_per_node: 1,
+            })
+            .with_mode(DataMode::CostOnly)
+            .with_heap(8 << 20);
+            let shared = DiompRuntime::build(&sim, cfg);
+            for r in 0..2 {
+                let shared = shared.clone();
+                sim.spawn(format!("diomp-rank{r}"), move |ctx| {
+                    let mut rank = diomp_core::DiompRank {
+                        shared,
+                        rank: r,
+                        cache: diomp_core::PtrCache::new(),
+                        rma_retries: 0,
+                    };
+                    let ptr = rank.alloc_sym(ctx, 1 << 20).unwrap();
+                    rank.barrier(ctx);
+                    if rank.rank == 0 {
+                        for _ in 0..32 {
+                            rank.put(ctx, 1, ptr, 0, ptr, 0, 1 << 20).unwrap();
+                        }
+                        rank.fence(ctx);
+                    }
+                    rank.barrier(ctx);
+                    let world = rank.shared.world_group();
+                    rank.allreduce(ctx, &world, ptr, 256 << 10, diomp_core::ReduceOp::SumF64);
+                    ctx.delay(Dur::micros(5.0));
+                    rank.barrier(ctx);
+                });
+            }
+            let rep = sim.run().unwrap();
+            (rep.end_time, rep.entries_processed)
+        };
+        let clean = run(false);
+        let armed = run(true);
+        assert_eq!(
+            clean, armed,
+            "disarmed/inert fault hooks must be zero-cost: clean {clean:?} vs armed {armed:?}"
+        );
+        records.push(BenchRecord::with_entries(
+            "chaos/fault_off_overhead",
+            armed.0.as_us() / clean.0.as_us(),
+            "x",
+            armed.1,
+        ));
+    }
     records
 }
 

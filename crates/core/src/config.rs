@@ -125,6 +125,13 @@ pub struct DiompConfig {
     /// instead of one park per pending event. Identical virtual-time
     /// results; far fewer scheduler entries.
     pub batched_fence: bool,
+    /// GASPI recovery budget: how many times a GPI-2 post that hits an
+    /// errored queue is retried (purge → back off → repost) before the
+    /// [`crate::DiompError::Fabric`] error propagates to the caller.
+    pub max_rma_retries: u32,
+    /// Initial virtual-time backoff before the first repost; doubles on
+    /// every subsequent retry of the same operation.
+    pub retry_backoff_us: f64,
     /// OMPCCL completion-time engine: the chunk-pipelined ring protocol
     /// over the simulated links (default — Fig. 6 emerges from protocol
     /// structure), the autotuner's protocol-selecting
@@ -158,6 +165,8 @@ impl DiompConfig {
             use_p2p: true,
             pipeline: PipelineConfig::disabled(),
             batched_fence: true,
+            max_rma_retries: 3,
+            retry_backoff_us: 50.0,
             coll_engine: CollEngine::default(),
             pipeline_explicit: false,
             coll_engine_explicit: false,
@@ -264,6 +273,15 @@ impl DiompConfig {
     /// by the scheduler-cost ablation.
     pub fn without_batched_fence(mut self) -> Self {
         self.batched_fence = false;
+        self
+    }
+
+    /// Configure the GASPI recovery loop for GPI-2 posts: retry budget
+    /// and initial (doubling) backoff. `max_retries = 0` disables
+    /// recovery — the first queue error propagates.
+    pub fn with_rma_retry(mut self, max_retries: u32, backoff_us: f64) -> Self {
+        self.max_rma_retries = max_retries;
+        self.retry_backoff_us = backoff_us;
         self
     }
 

@@ -1,6 +1,7 @@
 //! Runtime errors.
 
 use diomp_device::MemError;
+use diomp_fabric::FabricError;
 
 /// Errors surfaced by the DiOMP runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,11 +20,26 @@ pub enum DiompError {
     },
     /// An underlying device-memory error.
     Mem(MemError),
+    /// A conduit-level error (timeout, errored queue, missing conduit)
+    /// that survived the runtime's own recovery — e.g. a queue that kept
+    /// failing past the configured retry budget.
+    Fabric(FabricError),
 }
 
 impl From<MemError> for DiompError {
     fn from(e: MemError) -> Self {
         DiompError::Mem(e)
+    }
+}
+
+impl From<FabricError> for DiompError {
+    fn from(e: FabricError) -> Self {
+        // Collapse the nested memory case so matching on `Mem` works
+        // regardless of which layer detected it.
+        match e {
+            FabricError::Mem(m) => DiompError::Mem(m),
+            other => DiompError::Fabric(other),
+        }
     }
 }
 
@@ -37,6 +53,7 @@ impl std::fmt::Display for DiompError {
                 write!(f, "asymmetric region exhausted on device {dev} ({requested} B requested)")
             }
             DiompError::Mem(e) => write!(f, "device memory error: {e}"),
+            DiompError::Fabric(e) => write!(f, "fabric error: {e}"),
         }
     }
 }

@@ -60,8 +60,9 @@ pub use galloc::{AllocKind, BuddyAlloc, LinearAlloc, PtrCache, WRAPPER_BYTES};
 pub use gptr::{AsymPtr, GPtr};
 pub use group::{group_merge, group_split, DiompGroup, GroupRegistry, GroupShared};
 pub use runtime::{DiompRank, DiompRuntime, DiompShared};
+pub use sync::FenceTimeout;
 pub use target::DiompTarget;
 pub use tune::{TuneTable, Tuner};
 
 // Re-export the pieces apps need without importing every crate.
-pub use diomp_fabric::ReduceOp;
+pub use diomp_fabric::{FabricError, HealthVec, RankHealth, ReduceOp};

@@ -17,7 +17,7 @@
 //! which a single conduit write guarantees by FIFO link order.
 
 use diomp_fabric::gpi;
-use diomp_sim::Ctx;
+use diomp_sim::{Ctx, Dur};
 
 use crate::config::Conduit;
 use crate::error::DiompError;
@@ -62,18 +62,19 @@ impl DiompRank {
         // Spread notified writes across the configured queue set by id so
         // independent faces do not serialise their completion tracking.
         let nq = s.cfg.pipeline.n_queues.max(1) as u32;
-        gpi::write_notify(
-            ctx,
-            &s.world,
-            self.rank,
-            gpi::QueueId((id % nq) as u8),
-            diomp_fabric::Loc::dev(src_flat, s.seg_base[src_flat] + src.off + src_delta),
-            s.seg[dst_flat],
-            dst.off + dst_delta,
-            len,
-            id,
-            value,
-        )?;
+        let q = gpi::QueueId((id % nq) as u8);
+        let rank = self.rank;
+        let src_loc = diomp_fabric::Loc::dev(src_flat, s.seg_base[src_flat] + src.off + src_delta);
+        let seg = s.seg[dst_flat];
+        let dst_off = dst.off + dst_delta;
+        // Notified puts run under the same GASPI recovery loop as plain
+        // RMA: an errored queue is purged and the whole write_notify
+        // reposted (payload + notification travel together, so the retry
+        // re-arms both).
+        let world = s.world.clone();
+        self.gpi_retry(ctx, &s.world, q, move |ctx| {
+            gpi::write_notify(ctx, &world, rank, q, src_loc.clone(), seg, dst_off, len, id, value)
+        })?;
         Ok(())
     }
 
@@ -107,5 +108,27 @@ impl DiompRank {
     pub fn notify_reset(&self, ctx: &Ctx, id: u32) -> Option<u64> {
         self.require_gpi2("notify_reset");
         gpi::notify_reset(ctx, &self.shared.world, self.rank, id)
+    }
+
+    /// [`DiompRank::notify_waitsome`] with a virtual-time deadline
+    /// (`gaspi_notify_waitsome` with a real timeout instead of
+    /// `GASPI_BLOCK`). On [`DiompError::Fabric`] timeout nothing is
+    /// consumed; late notifications stay posted for the next wait — the
+    /// building block of lost-notification recovery protocols.
+    pub fn notify_waitsome_timeout(
+        &mut self,
+        ctx: &mut Ctx,
+        first_id: u32,
+        num_ids: u32,
+        timeout: Dur,
+    ) -> Result<(u32, u64), DiompError> {
+        self.require_gpi2("notify_waitsome_timeout");
+        gpi::notify_waitsome_timeout(ctx, &self.shared.world, self.rank, first_id, num_ids, timeout)
+            .map_err(Into::into)
+    }
+
+    /// The fabric's per-rank health vector (`gaspi_state_vec`).
+    pub fn health(&self) -> diomp_fabric::HealthVec {
+        self.shared.world.health()
     }
 }

@@ -17,8 +17,10 @@
 //! the source device's bounded stream pool, coupling communication with
 //! stream lifecycle exactly as §3.2 describes.
 
+use std::sync::Arc;
+
 use diomp_device::copy;
-use diomp_fabric::{gasnet, gpi, Loc};
+use diomp_fabric::{gasnet, gpi, FabricError, FabricWorld, Loc};
 use diomp_sim::{Ctx, Dur, Placement, SimTime};
 
 use crate::config::Conduit;
@@ -30,6 +32,38 @@ impl DiompRank {
     /// Record a completion for the fence to drain.
     fn track(&self, ev: diomp_sim::EventId) {
         self.shared.pending[self.rank].lock().push(ev);
+    }
+
+    /// Post one GPI-2 operation with the GASPI recovery loop: a post
+    /// that hits an errored queue (a transient injected fault, or real
+    /// queue failure) is retried after `gaspi_queue_purge` plus an
+    /// exponentially-doubling virtual-time backoff, up to the configured
+    /// budget. Safe to repeat because a failed post fails *before* any
+    /// bytes are scheduled — nothing partial is ever re-sent. Retries
+    /// taken are counted on [`DiompRank::rma_retries`].
+    pub(crate) fn gpi_retry(
+        &mut self,
+        ctx: &mut Ctx,
+        world: &Arc<FabricWorld>,
+        queue: gpi::QueueId,
+        mut post: impl FnMut(&mut Ctx) -> Result<(), FabricError>,
+    ) -> Result<(), DiompError> {
+        let budget = self.shared.cfg.max_rma_retries;
+        let mut backoff = Dur::micros(self.shared.cfg.retry_backoff_us);
+        let mut attempt = 0;
+        loop {
+            match post(ctx) {
+                Ok(()) => return Ok(()),
+                Err(FabricError::QueueError { .. }) if attempt < budget => {
+                    attempt += 1;
+                    self.rma_retries += 1;
+                    gpi::queue_purge(ctx.handle(), world, self.rank, queue);
+                    ctx.delay(backoff);
+                    backoff += backoff;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
     }
 
     /// Thread a device-side transfer through the source device's stream
@@ -141,17 +175,25 @@ impl DiompRank {
                         // Chunk completions round-robin across the
                         // configured queue set; a monolithic write posts
                         // to queue 0. `ompx_fence` drains every queue.
+                        // Each post runs under the GASPI recovery loop.
+                        let rank = self.rank;
                         for (i, (coff, clen)) in pipe.chunks(len).enumerate() {
-                            gpi::write(
-                                ctx,
-                                w,
-                                self.rank,
-                                gpi::QueueId((i % pipe.n_queues.max(1) as usize) as u8),
-                                Loc::dev(src_flat, s.seg_base[src_flat] + src_off + coff),
-                                s.seg[dst_flat],
-                                dst_off + coff,
-                                clen,
-                            )?;
+                            let q = gpi::QueueId((i % pipe.n_queues.max(1) as usize) as u8);
+                            let world = s.world.clone();
+                            let src = Loc::dev(src_flat, s.seg_base[src_flat] + src_off + coff);
+                            let seg = s.seg[dst_flat];
+                            self.gpi_retry(ctx, &s.world, q, move |ctx| {
+                                gpi::write(
+                                    ctx,
+                                    &world,
+                                    rank,
+                                    q,
+                                    src.clone(),
+                                    seg,
+                                    dst_off + coff,
+                                    clen,
+                                )
+                            })?;
                         }
                     }
                 }
@@ -240,17 +282,25 @@ impl DiompRank {
                         }
                     }
                     Conduit::Gpi2 => {
+                        let rank = self.rank;
                         for (i, (coff, clen)) in pipe.chunks(len).enumerate() {
-                            gpi::read(
-                                ctx,
-                                w,
-                                self.rank,
-                                gpi::QueueId((i % pipe.n_queues.max(1) as usize) as u8),
-                                Loc::dev(local_flat, s.seg_base[local_flat] + local_off + coff),
-                                s.seg[remote_flat],
-                                remote_off + coff,
-                                clen,
-                            )?;
+                            let q = gpi::QueueId((i % pipe.n_queues.max(1) as usize) as u8);
+                            let world = s.world.clone();
+                            let dst =
+                                Loc::dev(local_flat, s.seg_base[local_flat] + local_off + coff);
+                            let seg = s.seg[remote_flat];
+                            self.gpi_retry(ctx, &s.world, q, move |ctx| {
+                                gpi::read(
+                                    ctx,
+                                    &world,
+                                    rank,
+                                    q,
+                                    dst.clone(),
+                                    seg,
+                                    remote_off + coff,
+                                    clen,
+                                )
+                            })?;
                         }
                     }
                 }

@@ -60,6 +60,10 @@ pub struct DiompRank {
     pub rank: usize,
     /// Remote second-level-pointer cache (paper §3.2).
     pub cache: PtrCache,
+    /// GASPI recovery loops taken so far: one count per purge-and-repost
+    /// of a GPI-2 operation that hit an errored queue. Stays 0 on a
+    /// healthy fabric.
+    pub rma_retries: u64,
 }
 
 /// The DiOMP runtime entry point.
@@ -75,6 +79,13 @@ impl DiompRuntime {
         let devs = DeviceTable::build(&h, topo.clone(), cfg.mode, cfg.mem_capacity);
         let nranks = cfg.nranks();
         let world = FabricWorld::new(topo, devs, nranks);
+        // With a fault plan armed, seed the health vector (gaspi_state_vec)
+        // from it so degradation-aware layers (rail blacklisting, regime
+        // re-pricing) see the faults the injector will replay. A clean
+        // fabric skips the refresh entirely.
+        if let Some(plan) = h.fault_plan() {
+            world.refresh_health_from_plan(&plan);
+        }
 
         // Attach one conduit segment per device and enable GPUDirect peer
         // access among same-node devices (topology detection, paper §3.2).
@@ -133,7 +144,8 @@ impl DiompRuntime {
             let shared = shared.clone();
             let f = f.clone();
             sim.spawn(format!("diomp-rank{r}"), move |ctx| {
-                let mut rank = DiompRank { shared, rank: r, cache: PtrCache::new() };
+                let mut rank =
+                    DiompRank { shared, rank: r, cache: PtrCache::new(), rma_retries: 0 };
                 f(ctx, &mut rank);
             });
         }

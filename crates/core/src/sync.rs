@@ -1,10 +1,38 @@
 //! Synchronisation: `ompx_fence` and `ompx_barrier` (paper §3.2–3.3).
 
-use diomp_sim::Ctx;
+use diomp_sim::{Ctx, Dur, EventId, SimTime};
 
 use crate::config::Conduit;
 use crate::group::DiompGroup;
 use crate::runtime::DiompRank;
+
+/// Partial-completion state surfaced by a timed-out
+/// [`DiompRank::fence_timeout`]: how much of the pending RMA had already
+/// completed when the deadline fired, and which completions are still in
+/// flight. The in-flight events remain fence-tracked — a later `fence`
+/// (or another `fence_timeout`) picks them up; nothing is lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FenceTimeout {
+    /// Virtual time at which the deadline fired.
+    pub at: SimTime,
+    /// Operations that completed (and were retired) before the deadline.
+    pub completed: usize,
+    /// Completion events still in flight, re-tracked for the next fence.
+    pub in_flight: Vec<EventId>,
+}
+
+impl std::fmt::Display for FenceTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fence timed out at {} with {} completed, {} in flight",
+            self.at,
+            self.completed,
+            self.in_flight.len()
+        )
+    }
+}
+impl std::error::Error for FenceTimeout {}
 
 impl DiompRank {
     /// `ompx_fence`: block until every RMA operation this rank initiated
@@ -41,6 +69,49 @@ impl DiompRank {
         for d in self.my_devices() {
             let tail = self.shared.world.devs.dev(d).pool.lock().max_tail();
             ctx.sleep_until(tail);
+        }
+    }
+
+    /// `ompx_fence` with a virtual-time deadline: drain what completes in
+    /// time, and on timeout report *which* work is done and which is
+    /// still in flight instead of blocking forever on a degraded fabric.
+    ///
+    /// On `Ok` the fence is complete exactly as [`DiompRank::fence`]. On
+    /// `Err` the returned [`FenceTimeout`] carries the partial state; the
+    /// in-flight completions stay fence-tracked, so callers can consult
+    /// the health vector, shed load, and fence again — the classic GASPI
+    /// timeout-poll loop. The device stream horizon is only settled on
+    /// success (it cannot be partially waited).
+    pub fn fence_timeout(&mut self, ctx: &mut Ctx, timeout: Dur) -> Result<(), FenceTimeout> {
+        let mut pending = std::mem::take(&mut *self.shared.pending[self.rank].lock());
+        if self.shared.cfg.conduit == Conduit::Gpi2 {
+            pending.extend(diomp_fabric::gpi::take_pending_all(&self.shared.world, self.rank));
+        }
+        match ctx.wait_all_timeout(&pending, timeout) {
+            Ok(()) => {
+                for ev in pending {
+                    ctx.handle().free_event(ev);
+                }
+                for d in self.my_devices() {
+                    let tail = self.shared.world.devs.dev(d).pool.lock().max_tail();
+                    ctx.sleep_until(tail);
+                }
+                Ok(())
+            }
+            Err(t) => {
+                let mut completed = 0;
+                let mut in_flight = Vec::new();
+                for ev in pending {
+                    if ctx.handle().event_done(ev) {
+                        ctx.handle().free_event(ev);
+                        completed += 1;
+                    } else {
+                        in_flight.push(ev);
+                    }
+                }
+                self.shared.pending[self.rank].lock().extend(in_flight.iter().copied());
+                Err(FenceTimeout { at: t.at, completed, in_flight })
+            }
         }
     }
 

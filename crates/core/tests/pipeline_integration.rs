@@ -331,7 +331,7 @@ fn traced_chunked_run() -> (Vec<String>, u64, diomp_sim::SimTime) {
     for r in 0..shared.world.nranks {
         let shared = shared.clone();
         sim.spawn(format!("diomp-rank{r}"), move |ctx| {
-            let mut rank = DiompRank { shared, rank: r, cache: PtrCache::new() };
+            let mut rank = DiompRank { shared, rank: r, cache: PtrCache::new(), rma_retries: 0 };
             let len = 256 << 10;
             let ptr = rank.alloc_sym(ctx, len).unwrap();
             if rank.rank == 0 {

@@ -116,6 +116,24 @@ impl HostBuf {
     }
 }
 
+/// Validate `[off, off+len)` against a host buffer, with overflow-safe
+/// arithmetic — a bad range is a typed error at initiation, never a
+/// panic inside the deferred byte-movement closure.
+fn check_host(buf: &HostBuf, off: u64, len: u64) -> Result<(), MemError> {
+    if off.checked_add(len).is_none_or(|end| end > buf.len()) {
+        return Err(MemError::OutOfBounds { offset: off, len, capacity: buf.len() });
+    }
+    Ok(())
+}
+
+/// Validate `[off, off+len)` against a device memory (overflow-safe).
+fn check_dev(dev: &Device, off: u64, len: u64) -> Result<(), MemError> {
+    if off.checked_add(len).is_none_or(|end| end > dev.mem.capacity()) {
+        return Err(MemError::OutOfBounds { offset: off, len, capacity: dev.mem.capacity() });
+    }
+    Ok(())
+}
+
 fn snapshot_host(src: &HostBuf, off: u64, len: u64) -> Option<Vec<u8>> {
     src.data.as_ref().map(|d| {
         let d = d.lock();
@@ -147,9 +165,8 @@ pub fn h2d(
     d_off: u64,
     len: u64,
 ) -> Result<SimTime, MemError> {
-    if d_off + len > dev.mem.capacity() {
-        return Err(MemError::OutOfBounds { offset: d_off, len, capacity: dev.mem.capacity() });
-    }
+    check_dev(dev, d_off, len)?;
+    check_host(src, src_off, len)?;
     let tr = h.transfer(dev.pcie, len);
     if let Some(bytes) = snapshot_host(src, src_off, len) {
         let dev = Arc::clone(dev);
@@ -170,6 +187,8 @@ pub fn d2h(
     dst_off: u64,
     len: u64,
 ) -> Result<SimTime, MemError> {
+    check_dev(dev, d_off, len)?;
+    check_host(dst, dst_off, len)?;
     let tr = h.transfer(dev.pcie, len);
     if let Some(bytes) = snapshot_dev(dev, d_off, len)? {
         let dst = dst.clone();
@@ -188,13 +207,8 @@ pub fn d2d_local(
     dst_off: u64,
     len: u64,
 ) -> Result<SimTime, MemError> {
-    if src_off + len > dev.mem.capacity() || dst_off + len > dev.mem.capacity() {
-        return Err(MemError::OutOfBounds {
-            offset: src_off.max(dst_off),
-            len,
-            capacity: dev.mem.capacity(),
-        });
-    }
+    check_dev(dev, src_off, len)?;
+    check_dev(dev, dst_off, len)?;
     let tr = h.transfer(dev.d2d_engine, len);
     if let Some(bytes) = snapshot_dev(dev, src_off, len)? {
         let dev = Arc::clone(dev);
@@ -218,9 +232,8 @@ pub fn d2d_peer(
 ) -> Result<SimTime, MemError> {
     assert_eq!(src.loc.node, dst.loc.node, "P2P requires same-node devices");
     assert!(src.peer_enabled(dst.flat), "peer access not enabled");
-    if dst_off + len > dst.mem.capacity() {
-        return Err(MemError::OutOfBounds { offset: dst_off, len, capacity: dst.mem.capacity() });
-    }
+    check_dev(src, src_off, len)?;
+    check_dev(dst, dst_off, len)?;
     let tr = h.transfer(src.port, len);
     if let Some(bytes) = snapshot_dev(src, src_off, len)? {
         let dst = Arc::clone(dst);
@@ -244,9 +257,8 @@ pub fn d2d_ipc(
     shm: diomp_sim::ResourceId,
 ) -> Result<SimTime, MemError> {
     assert_eq!(src.loc.node, dst.loc.node, "IPC staging is intra-node");
-    if dst_off + len > dst.mem.capacity() {
-        return Err(MemError::OutOfBounds { offset: dst_off, len, capacity: dst.mem.capacity() });
-    }
+    check_dev(src, src_off, len)?;
+    check_dev(dst, dst_off, len)?;
     // Pipelined three-stage path: each stage is charged for the full
     // payload (contention-accurate); the chained start times give an
     // arrival close to `latencies + bytes/bottleneck`.

@@ -1,0 +1,70 @@
+//! Typed fabric-level errors (the GASPI return-code model).
+//!
+//! GASPI calls never panic on recoverable conditions: blocking calls
+//! return `GASPI_TIMEOUT` when their deadline fires, queue operations
+//! return `GASPI_ERROR` and leave the queue in an error state until
+//! `gaspi_queue_purge`, and configuration mismatches are reported, not
+//! asserted. [`FabricError`] is that contract for this crate's conduits;
+//! `diomp-core` converts it into its own `DiompError`.
+
+use diomp_device::MemError;
+use diomp_sim::{SimTime, WaitTimeout};
+
+use crate::gpi::QueueId;
+
+/// Errors surfaced by the fabric conduits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricError {
+    /// A blocking call's virtual-time deadline fired before its wake
+    /// condition was met (`GASPI_TIMEOUT`). Already-completed work is
+    /// left intact; the caller may inspect partial state and retry.
+    Timeout {
+        /// Virtual time at which the deadline fired.
+        at: SimTime,
+    },
+    /// A queue is in the error state (`GASPI_ERROR` from a queue op):
+    /// an operation on it failed in flight. Further posts fail until the
+    /// queue is purged ([`crate::gpi::queue_purge`]).
+    QueueError {
+        /// Rank owning the queue.
+        rank: usize,
+        /// The errored queue.
+        queue: QueueId,
+    },
+    /// The requested conduit is not available on this platform (e.g.
+    /// GPI-2 on a non-InfiniBand fabric, paper §4.1).
+    ConduitUnavailable {
+        /// What was required and missing.
+        needed: &'static str,
+    },
+    /// An underlying device-memory error.
+    Mem(MemError),
+}
+
+impl From<MemError> for FabricError {
+    fn from(e: MemError) -> Self {
+        FabricError::Mem(e)
+    }
+}
+
+impl From<WaitTimeout> for FabricError {
+    fn from(t: WaitTimeout) -> Self {
+        FabricError::Timeout { at: t.at }
+    }
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricError::Timeout { at } => write!(f, "fabric wait timed out at {at}"),
+            FabricError::QueueError { rank, queue } => {
+                write!(f, "queue {} of rank {rank} is in the error state", queue.0)
+            }
+            FabricError::ConduitUnavailable { needed } => {
+                write!(f, "conduit unavailable: {needed}")
+            }
+            FabricError::Mem(e) => write!(f, "device memory error: {e}"),
+        }
+    }
+}
+impl std::error::Error for FabricError {}

@@ -27,14 +27,39 @@
 //! Re-posting an unconsumed id overwrites its value, so protocols that
 //! must observe every post use disjoint id sets — e.g. the parity scheme
 //! of the minimod notified halo exchange (`diomp-apps`).
+//!
+//! # Timeouts, queue errors and recovery
+//!
+//! GASPI's fault model is cooperative: blocking calls take a timeout and
+//! return `GASPI_TIMEOUT` instead of hanging, a failed operation moves
+//! its queue into an *error state* (every later post on it returns
+//! `GASPI_ERROR`), and `gaspi_queue_purge` abandons the queue's
+//! outstanding operations and re-arms it. The conduit mirrors all three:
+//!
+//! * [`wait_queue_timeout`] / [`wait_all_queues_timeout`] /
+//!   [`notify_waitsome_timeout`] return [`FabricError::Timeout`] when the
+//!   virtual-time deadline fires, leaving already-completed operations
+//!   retired and incomplete ones re-queued for a later wait.
+//! * [`write()`](write()) / [`read()`](read) consult the deterministic fault injector
+//!   ([`diomp_sim::FaultPlan::ctrl_fault`] keyed
+//!   `fault_key("gpi-queue", rank, queue)`) — an injected `Drop` errors
+//!   the queue, a `Delay` stretches the posting overhead.
+//! * [`queue_purge`] releases the queue's in-flight completions (the
+//!   data may still land; nobody will wait on it) and clears the error
+//!   state. [`queue_errored`] exposes the flag for health monitoring.
+//!
+//! [`write_notify`]'s notification message has its own injection point
+//! (`fault_key("gpi-notify", dst_rank, id)`): `Drop` models the
+//! notification lost in flight *after* the payload landed — the classic
+//! failure a timeout-and-retry protocol must survive.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use diomp_device::MemError;
-use diomp_sim::{BoardId, Ctx, Dur, EventId, SimHandle};
+use diomp_sim::{fault_key, BoardId, CtrlFault, Ctx, Dur, EventId, SimHandle};
 use parking_lot::Mutex;
 
+use crate::error::FabricError;
 use crate::loc::Loc;
 use crate::path::{control_msg, raw_path, End};
 use crate::segment::SegmentId;
@@ -52,6 +77,10 @@ pub struct GpiState {
     /// `[rank] → notification board`, created lazily (board allocation
     /// needs a kernel handle, which `FabricWorld::new` does not take).
     boards: Mutex<Vec<Option<BoardId>>>,
+    /// `[rank] → queues in the error state (GASPI `GASPI_ERROR`)`: an
+    /// operation posted to them failed in flight. Posts fail until
+    /// [`queue_purge`] re-arms the queue.
+    errors: Mutex<Vec<BTreeSet<QueueId>>>,
 }
 
 impl GpiState {
@@ -59,6 +88,7 @@ impl GpiState {
         GpiState {
             queues: Mutex::new(vec![BTreeMap::new(); nranks]),
             boards: Mutex::new(vec![None; nranks]),
+            errors: Mutex::new(vec![BTreeSet::new(); nranks]),
         }
     }
 }
@@ -69,8 +99,41 @@ fn board(h: &SimHandle, world: &FabricWorld, rank: usize) -> BoardId {
     *boards[rank].get_or_insert_with(|| h.new_board())
 }
 
-fn model(world: &FabricWorld) -> &diomp_sim::GpiModel {
-    world.platform.gpi.as_ref().expect("GPI-2 conduit requires an InfiniBand platform (paper §4.1)")
+fn model(world: &FabricWorld) -> Result<&diomp_sim::GpiModel, FabricError> {
+    world.platform.gpi.as_ref().ok_or(FabricError::ConduitUnavailable {
+        needed: "GPI-2 requires an InfiniBand platform (paper §4.1)",
+    })
+}
+
+/// Is `queue` of `rank` in the error state?
+pub fn queue_errored(world: &Arc<FabricWorld>, rank: usize, queue: QueueId) -> bool {
+    world.gpi.errors.lock()[rank].contains(&queue)
+}
+
+/// Gate a post on `queue`: refuse if the queue is already errored, then
+/// consult the fault injector for this queue's control stream. `Drop`
+/// moves the queue into the error state (the post is the operation that
+/// failed); `Delay` stretches the posting overhead but succeeds.
+fn check_queue(
+    ctx: &mut Ctx,
+    world: &Arc<FabricWorld>,
+    rank: usize,
+    queue: QueueId,
+) -> Result<(), FabricError> {
+    if queue_errored(world, rank, queue) {
+        return Err(FabricError::QueueError { rank, queue });
+    }
+    match ctx.handle().take_ctrl_fault(fault_key("gpi-queue", rank as u64, queue.0 as u64)) {
+        Some(CtrlFault::Drop) => {
+            world.gpi.errors.lock()[rank].insert(queue);
+            Err(FabricError::QueueError { rank, queue })
+        }
+        Some(CtrlFault::Delay(d)) => {
+            ctx.delay(d);
+            Ok(())
+        }
+        None => Ok(()),
+    }
 }
 
 fn end_of(world: &FabricWorld, rank: usize, loc: &Loc) -> End {
@@ -82,6 +145,10 @@ fn end_of(world: &FabricWorld, rank: usize, loc: &Loc) -> End {
 
 /// One-sided write into a remote segment (`gaspi_write`). Completion is
 /// tracked on `queue`; use [`wait_queue`] to drain.
+///
+/// Fails with [`FabricError::QueueError`] when the queue is (or just
+/// became, via injection) in the error state; recover with
+/// [`queue_purge`] and retry.
 #[allow(clippy::too_many_arguments)]
 pub fn write(
     ctx: &mut Ctx,
@@ -92,8 +159,9 @@ pub fn write(
     dst: SegmentId,
     dst_off: u64,
     len: u64,
-) -> Result<(), MemError> {
-    let m = model(world).clone();
+) -> Result<(), FabricError> {
+    check_queue(ctx, world, src_rank, queue)?;
+    let m = model(world)?.clone();
     let seg = world.segment(dst);
     let dst_loc = seg.loc(dst_off);
     src.check(&world.devs, len)?;
@@ -127,8 +195,9 @@ pub fn read(
     src: SegmentId,
     src_off: u64,
     len: u64,
-) -> Result<(), MemError> {
-    let m = model(world).clone();
+) -> Result<(), FabricError> {
+    check_queue(ctx, world, rank, queue)?;
+    let m = model(world)?.clone();
     let seg = world.segment(src);
     let src_loc = seg.loc(src_off);
     dst.check(&world.devs, len)?;
@@ -182,6 +251,104 @@ pub fn wait_all_queues(ctx: &mut Ctx, world: &Arc<FabricWorld>, rank: usize) {
     ctx.wait_all_free(&pending);
 }
 
+/// [`wait_queue`] with a virtual-time deadline (`gaspi_wait` with a
+/// timeout argument). On [`FabricError::Timeout`] the partial state is
+/// preserved, not discarded: operations that *did* complete are retired,
+/// the incomplete ones go back on the queue for a later wait (or a
+/// [`queue_purge`]).
+pub fn wait_queue_timeout(
+    ctx: &mut Ctx,
+    world: &Arc<FabricWorld>,
+    rank: usize,
+    queue: QueueId,
+    timeout: Dur,
+) -> Result<(), FabricError> {
+    let pending: Vec<EventId> = {
+        let mut q = world.gpi.queues.lock();
+        q[rank].get_mut(&queue).map(std::mem::take).unwrap_or_default()
+    };
+    match ctx.wait_all_timeout(&pending, timeout) {
+        Ok(()) => {
+            for ev in pending {
+                ctx.handle().free_event(ev);
+            }
+            Ok(())
+        }
+        Err(t) => {
+            let mut left = Vec::new();
+            for ev in pending {
+                if ctx.handle().event_done(ev) {
+                    ctx.handle().free_event(ev);
+                } else {
+                    left.push(ev);
+                }
+            }
+            let mut q = world.gpi.queues.lock();
+            let slot = q[rank].entry(queue).or_default();
+            // Anything posted while we were parked stays behind the
+            // survivors: queue order is completion-tracking order.
+            left.append(slot);
+            *slot = left;
+            Err(t.into())
+        }
+    }
+}
+
+/// [`wait_all_queues`] with a virtual-time deadline. Same partial-
+/// completion contract as [`wait_queue_timeout`], per queue.
+pub fn wait_all_queues_timeout(
+    ctx: &mut Ctx,
+    world: &Arc<FabricWorld>,
+    rank: usize,
+    timeout: Dur,
+) -> Result<(), FabricError> {
+    let rankq: BTreeMap<QueueId, Vec<EventId>> = std::mem::take(&mut world.gpi.queues.lock()[rank]);
+    let all: Vec<EventId> = rankq.values().flatten().copied().collect();
+    match ctx.wait_all_timeout(&all, timeout) {
+        Ok(()) => {
+            for ev in all {
+                ctx.handle().free_event(ev);
+            }
+            Ok(())
+        }
+        Err(t) => {
+            let mut survivors: Vec<(QueueId, EventId)> = Vec::new();
+            for (qu, evs) in rankq {
+                for ev in evs {
+                    if ctx.handle().event_done(ev) {
+                        ctx.handle().free_event(ev);
+                    } else {
+                        survivors.push((qu, ev));
+                    }
+                }
+            }
+            let mut q = world.gpi.queues.lock();
+            for (qu, ev) in survivors {
+                q[rank].entry(qu).or_default().push(ev);
+            }
+            Err(t.into())
+        }
+    }
+}
+
+/// Purge a queue (`gaspi_queue_purge`): abandon every operation posted
+/// on it and clear its error state so posts succeed again. In-flight
+/// data may still land at the target — purging discards *completion
+/// tracking*, not bytes already on the wire — but nobody will ever wait
+/// on the abandoned operations and their slots recycle themselves once
+/// the wire drains. This is the GASPI recovery sequence after a
+/// [`FabricError::QueueError`].
+pub fn queue_purge(h: &SimHandle, world: &Arc<FabricWorld>, rank: usize, queue: QueueId) {
+    let pending: Vec<EventId> = {
+        let mut q = world.gpi.queues.lock();
+        q[rank].get_mut(&queue).map(std::mem::take).unwrap_or_default()
+    };
+    for ev in pending {
+        h.release_event(ev);
+    }
+    world.gpi.errors.lock()[rank].remove(&queue);
+}
+
 /// Write with a remote notification (`gaspi_write_notify`): after the data
 /// lands, notification `id` with `value` becomes visible at the target.
 ///
@@ -202,9 +369,9 @@ pub fn write_notify(
     len: u64,
     id: u32,
     value: u64,
-) -> Result<(), MemError> {
+) -> Result<(), FabricError> {
     assert!(value != 0, "GASPI notification values must be non-zero");
-    let m = model(world).clone();
+    let m = model(world)?.clone();
     let dst_loc = world.segment(dst).loc(dst_off);
     let src_end = end_of(world, src_rank, &src);
     write(ctx, world, src_rank, queue, src, dst, dst_off, len)?;
@@ -216,7 +383,15 @@ pub fn write_notify(
     let dst_rank = dst.rank;
     let dst_end = end_of(world, dst_rank, &dst_loc);
     let h = ctx.handle();
-    let when = control_msg(h, &world.devs, src_end, dst_end, ctx.now());
+    let mut when = control_msg(h, &world.devs, src_end, dst_end, ctx.now());
+    // Injection point for the notification message itself: a dropped
+    // flag models the payload landing while its completion signal is
+    // lost — the caller's timeout-and-retry path must cover this.
+    match h.take_ctrl_fault(fault_key("gpi-notify", dst_rank as u64, id as u64)) {
+        Some(CtrlFault::Drop) => return Ok(()),
+        Some(CtrlFault::Delay(d)) => when += d,
+        None => {}
+    }
     let b = board(h, world, dst_rank);
     h.schedule_at(when, move |h| h.board_post(b, id, value));
     Ok(())
@@ -241,6 +416,23 @@ pub fn notify_waitsome(
 ) -> (u32, u64) {
     let b = board(ctx.handle(), world, rank);
     ctx.board_waitsome(b, first_id, num_ids)
+}
+
+/// [`notify_waitsome`] with a virtual-time deadline
+/// (`gaspi_notify_waitsome` with a real timeout instead of
+/// `GASPI_BLOCK`). Returns [`FabricError::Timeout`] if nothing in the
+/// range is posted by the deadline; notifications arriving later stay on
+/// the board for the next wait — nothing is consumed on the error path.
+pub fn notify_waitsome_timeout(
+    ctx: &mut Ctx,
+    world: &Arc<FabricWorld>,
+    rank: usize,
+    first_id: u32,
+    num_ids: u32,
+    timeout: Dur,
+) -> Result<(u32, u64), FabricError> {
+    let b = board(ctx.handle(), world, rank);
+    ctx.board_waitsome_timeout(b, first_id, num_ids, timeout).map_err(Into::into)
 }
 
 /// Non-blocking consume of notification `id` (`gaspi_notify_reset`):

@@ -46,6 +46,9 @@
 //! | target-side signal     | active message ([`gasnet::am_request`]) | notification ([`gpi::write_notify`]) |
 //! | target-side wait       | AM handler side effects     | [`gpi::notify_waitsome`] / [`gpi::notify_wait`] |
 //! | signal consumption     | n/a (handler runs once)     | [`gpi::notify_reset`] (atomic take)       |
+//! | bounded wait           | — (events are infinite)     | `GASPI_TIMEOUT`: [`gpi::wait_queue_timeout`] / [`gpi::notify_waitsome_timeout`] → [`FabricError::Timeout`] |
+//! | fault visibility       | conduit aborts              | `gaspi_state_vec`: [`HealthVec`] ([`FabricWorld::health`]) |
+//! | queue recovery         | n/a                         | `gaspi_queue_purge`: [`gpi::queue_purge`] after [`FabricError::QueueError`] |
 //!
 //! # Example: notified write, driven through the simulator
 //!
@@ -86,9 +89,11 @@
 #![warn(missing_docs)]
 
 pub mod barrier;
+mod error;
 pub mod exchange;
 pub mod gasnet;
 pub mod gpi;
+mod health;
 mod loc;
 pub mod mpi;
 pub mod path;
@@ -96,7 +101,9 @@ mod segment;
 mod world;
 
 pub use barrier::BarrierDomain;
+pub use error::FabricError;
 pub use exchange::ExchangeDomain;
+pub use health::{HealthVec, RankHealth};
 pub use loc::Loc;
 pub use mpi::{MpiRank, MpiReq, ReduceOp, WinId};
 pub use path::{End, PathTimes};

@@ -2,12 +2,15 @@
 
 use std::sync::Arc;
 
+use std::collections::BTreeMap;
+
 use diomp_device::{Device, DeviceTable, MemError};
-use diomp_sim::{Dur, PlatformSpec, Topology};
+use diomp_sim::{Dur, FaultPlan, PlatformSpec, Topology};
 use parking_lot::Mutex;
 
 use crate::barrier::BarrierDomain;
 use crate::exchange::ExchangeDomain;
+use crate::health::HealthVec;
 use crate::mpi::MpiWorld;
 use crate::segment::{Segment, SegmentId, SegmentMem};
 
@@ -38,6 +41,9 @@ pub struct FabricWorld {
     pub am: crate::gasnet::AmRegistry,
     /// GPI-2 conduit state (queues, notifications).
     pub(crate) gpi: crate::gpi::GpiState,
+    /// Per-rank health vector (`gaspi_state_vec`), refreshed from the
+    /// installed fault plan via [`FabricWorld::refresh_health_from_plan`].
+    health: Mutex<HealthVec>,
 }
 
 impl FabricWorld {
@@ -64,7 +70,47 @@ impl FabricWorld {
             mpi: MpiWorld::new(nranks),
             am: crate::gasnet::AmRegistry::new(nranks),
             gpi: crate::gpi::GpiState::new(nranks),
+            health: Mutex::new(HealthVec::healthy(nranks)),
         })
+    }
+
+    /// Current health vector (`gaspi_state_vec`): one entry per rank.
+    pub fn health(&self) -> HealthVec {
+        self.health.lock().clone()
+    }
+
+    /// Replace the health vector wholesale (tests, external monitors).
+    pub fn set_health(&self, v: HealthVec) {
+        assert_eq!(v.nranks(), self.nranks, "health vector covers wrong rank count");
+        *self.health.lock() = v;
+    }
+
+    /// Rebuild the health vector from a fault plan: each degraded link is
+    /// attributed to every rank owning a device endpoint on it (NIC,
+    /// PCIe, fabric port, copy engine — NICs are commonly shared by all
+    /// ranks of a node, so one dead NIC degrades several ranks).
+    pub fn refresh_health_from_plan(&self, plan: &FaultPlan) {
+        let mut owners: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for flat in 0..self.devs.len() {
+            let d = self.devs.dev(flat);
+            let rank = self.rank_of_dev(flat);
+            for res in [d.nic, d.pcie, d.port, d.d2d_engine] {
+                let ranks = owners.entry(res.index()).or_default();
+                if !ranks.contains(&rank) {
+                    ranks.push(rank);
+                }
+            }
+        }
+        let mut v = HealthVec::healthy(self.nranks);
+        for (res, factor) in plan.degraded_links() {
+            v.observe_link(res, factor);
+            if let Some(ranks) = owners.get(&res.index()) {
+                for &r in ranks {
+                    v.observe(r, factor);
+                }
+            }
+        }
+        *self.health.lock() = v;
     }
 
     /// The node a rank's process runs on.

@@ -329,16 +329,19 @@ fn gpi_notification_never_overtakes_its_payload() {
 }
 
 #[test]
-#[should_panic(expected = "InfiniBand")]
-fn gpi_on_slingshot_platform_panics() {
+fn gpi_on_slingshot_platform_reports_conduit_unavailable() {
+    // No panic: the missing conduit surfaces as a typed error the caller
+    // can react to (fall back to GASNet, report, abort cleanly).
     let mut sim = Sim::new();
     let world = world_a(&sim, 8);
     let seg = world.attach_device_segment(1, 1, 1 << 16).unwrap();
     let w0 = world.clone();
     sim.spawn("rank0", move |ctx| {
-        let _ = gpi::write(ctx, &w0, 0, gpi::QueueId(0), Loc::dev(0, 0), seg, 0, 64);
+        let err = gpi::write(ctx, &w0, 0, gpi::QueueId(0), Loc::dev(0, 0), seg, 0, 64)
+            .expect_err("GPI-2 must be unavailable on Slingshot");
+        assert!(matches!(err, diomp_fabric::FabricError::ConduitUnavailable { .. }), "{err:?}");
     });
-    let _ = sim.run();
+    sim.run().unwrap();
 }
 
 // ---------------- MPI baseline ----------------
@@ -617,4 +620,205 @@ fn fabric_runs_are_deterministic() {
         v
     };
     assert_eq!(run(), run());
+}
+
+// ---------------- Timeouts, faults, and recovery (GASPI fault model) ----------------
+
+use diomp_fabric::{FabricError, RankHealth};
+use diomp_sim::{fault_key, CtrlFault, FaultPlan, SimTime};
+
+#[test]
+fn gpi_wait_queue_timeout_then_blocking_wait_drains() {
+    // A cross-node write cannot complete within 1 ns of virtual time:
+    // the timed wait must return GASPI_TIMEOUT-style, leave the
+    // operation queued, and a later blocking wait must still drain it
+    // (partial state preserved, nothing lost or double-freed).
+    let mut sim = Sim::new();
+    let world = boot(&sim, PlatformSpec::platform_c(), 2, 1, 2);
+    let seg = world.attach_device_segment(1, 1, 1 << 16).unwrap();
+    let w0 = world.clone();
+    sim.spawn("rank0", move |ctx| {
+        gpi::write(ctx, &w0, 0, gpi::QueueId(0), Loc::dev(0, 0), seg, 0, 1 << 14).unwrap();
+        let err = gpi::wait_queue_timeout(ctx, &w0, 0, gpi::QueueId(0), Dur::nanos(1))
+            .expect_err("a cross-node write cannot finish in 1 ns");
+        assert!(matches!(err, FabricError::Timeout { .. }), "{err:?}");
+        gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0));
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn gpi_wait_timeout_retires_completed_ops_and_requeues_the_rest() {
+    // Two writes on one queue: a tiny one (completes in ~µs) and a huge
+    // one. A timed wait placed between their completion times errors,
+    // but must retire the finished op; the survivor drains later.
+    let mut sim = Sim::new();
+    let world = boot(&sim, PlatformSpec::platform_c(), 2, 1, 2);
+    let seg = world.attach_device_segment(1, 1, 1 << 20).unwrap();
+    let w0 = world.clone();
+    sim.spawn("rank0", move |ctx| {
+        gpi::write(ctx, &w0, 0, gpi::QueueId(0), Loc::dev(0, 0), seg, 0, 8).unwrap();
+        gpi::write(ctx, &w0, 0, gpi::QueueId(0), Loc::dev(0, 64), seg, 64, 1 << 20).unwrap();
+        let err = gpi::wait_all_queues_timeout(ctx, &w0, 0, Dur::micros(30.0))
+            .expect_err("the 1 MiB write outlives a 30 µs deadline");
+        assert!(matches!(err, FabricError::Timeout { .. }), "{err:?}");
+        // The small write was retired by the timed wait; the big one is
+        // still queued and must drain on the unbounded wait.
+        gpi::wait_all_queues(ctx, &w0, 0);
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn gpi_injected_queue_drop_errors_queue_until_purged() {
+    let mut sim = Sim::new();
+    sim.set_fault_plan(FaultPlan::new().ctrl_fault(fault_key("gpi-queue", 0, 0), CtrlFault::Drop));
+    let world = boot(&sim, PlatformSpec::platform_c(), 2, 1, 2);
+    let seg = world.attach_device_segment(1, 1, 1 << 16).unwrap();
+    let w0 = world.clone();
+    sim.spawn("rank0", move |ctx| {
+        let q = gpi::QueueId(0);
+        let err = gpi::write(ctx, &w0, 0, q, Loc::dev(0, 0), seg, 0, 64)
+            .expect_err("injected drop must error the queue");
+        assert_eq!(err, FabricError::QueueError { rank: 0, queue: q });
+        assert!(gpi::queue_errored(&w0, 0, q));
+        // Error state is sticky: the next post fails without a new fault.
+        let err2 = gpi::write(ctx, &w0, 0, q, Loc::dev(0, 0), seg, 0, 64).unwrap_err();
+        assert_eq!(err2, FabricError::QueueError { rank: 0, queue: q });
+        // An unrelated queue is unaffected.
+        gpi::write(ctx, &w0, 0, gpi::QueueId(1), Loc::dev(0, 0), seg, 0, 64).unwrap();
+        // Purge re-arms the queue; posting and draining work again.
+        gpi::queue_purge(ctx.handle(), &w0, 0, q);
+        assert!(!gpi::queue_errored(&w0, 0, q));
+        gpi::write(ctx, &w0, 0, q, Loc::dev(0, 0), seg, 0, 64).unwrap();
+        gpi::wait_all_queues(ctx, &w0, 0);
+    });
+    let h = sim.handle();
+    sim.run().unwrap();
+    assert_eq!(h.faults_injected(), 1, "exactly the one injected drop was charged");
+}
+
+#[test]
+fn gpi_queue_purge_abandons_inflight_completions_without_leaking() {
+    // Purge a queue while its write is still on the wire: the completion
+    // event must recycle itself when the ack lands (auto-free), not
+    // panic, not leak, and not wake anyone.
+    let mut sim = Sim::new();
+    let world = boot(&sim, PlatformSpec::platform_c(), 2, 1, 2);
+    let seg = world.attach_device_segment(1, 1, 1 << 20).unwrap();
+    let w0 = world.clone();
+    sim.spawn("rank0", move |ctx| {
+        gpi::write(ctx, &w0, 0, gpi::QueueId(0), Loc::dev(0, 0), seg, 0, 1 << 20).unwrap();
+        gpi::queue_purge(ctx.handle(), &w0, 0, gpi::QueueId(0));
+        // Nothing left to wait on; an immediate drain returns at once.
+        let t0 = ctx.now();
+        gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0));
+        assert_eq!(ctx.now(), t0, "purged queue has no completions to wait for");
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn gpi_lost_notification_recovered_by_timeout_and_retry() {
+    // The canonical GASPI failure: the payload lands but its notification
+    // is lost in flight. The consumer's timed waitsome fires, it asks the
+    // producer to re-notify, and the retry (fault already consumed)
+    // delivers. End state: payload visible, value observed exactly once.
+    let mut sim = Sim::new();
+    sim.set_fault_plan(FaultPlan::new().ctrl_fault(fault_key("gpi-notify", 1, 7), CtrlFault::Drop));
+    let world = boot(&sim, PlatformSpec::platform_c(), 2, 1, 2);
+    let seg = world.attach_device_segment(1, 1, 1 << 16).unwrap();
+    let retry = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let w0 = world.clone();
+    let retry0 = retry.clone();
+    sim.spawn("producer", move |ctx| {
+        let dev = w0.primary_dev(0).clone();
+        dev.mem.write(0, &[9u8; 64]).unwrap();
+        gpi::write_notify(ctx, &w0, 0, gpi::QueueId(0), Loc::dev(0, 0), seg, 0, 64, 7, 77).unwrap();
+        gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0));
+        // Await the consumer's re-notify request (virtual-time poll).
+        while !retry0.load(std::sync::atomic::Ordering::Relaxed) {
+            ctx.delay(Dur::micros(20.0));
+        }
+        gpi::write_notify(ctx, &w0, 0, gpi::QueueId(0), Loc::dev(0, 0), seg, 0, 64, 7, 77).unwrap();
+        gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0));
+    });
+    let w1 = world.clone();
+    sim.spawn("consumer", move |ctx| {
+        let err = gpi::notify_waitsome_timeout(ctx, &w1, 1, 0, 16, Dur::millis(1.0))
+            .expect_err("the first notification was dropped");
+        assert!(matches!(err, FabricError::Timeout { .. }), "{err:?}");
+        retry.store(true, std::sync::atomic::Ordering::Relaxed);
+        let (id, value) = gpi::notify_waitsome(ctx, &w1, 1, 0, 16);
+        assert_eq!((id, value), (7, 77));
+        let bytes = w1.segment(seg).loc(0).snapshot(&w1.devs, 64).unwrap().unwrap();
+        assert_eq!(bytes, vec![9u8; 64], "payload landed despite the lost notification");
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn health_vector_reflects_fault_plan_per_rank() {
+    let sim = Sim::new();
+    let world = boot(&sim, PlatformSpec::platform_c(), 4, 1, 4);
+    let nic1 = world.primary_dev(1).nic;
+    let nic3 = world.primary_dev(3).nic;
+    let plan =
+        FaultPlan::new().degrade_link(nic1, SimTime(0), SimTime(u64::MAX), 400).kill_link(nic3);
+    world.refresh_health_from_plan(&plan);
+    let hv = world.health();
+    assert_eq!(hv.rank_health(0), RankHealth::Healthy);
+    assert_eq!(hv.rank_health(1), RankHealth::Degraded { factor_milli: 400 });
+    assert_eq!(hv.rank_health(2), RankHealth::Healthy);
+    assert_eq!(hv.rank_health(3), RankHealth::Dead);
+    assert!(hv.any_dead());
+    assert_eq!(hv.worst_live_factor_milli(), 400, "dead ranks priced out, not in");
+    assert_eq!(hv.link_factor_milli(nic1), 400);
+    assert_eq!(hv.link_factor_milli(nic3), 0);
+    assert_eq!(hv.link_factor_milli(world.primary_dev(0).nic), 1000);
+    drop(sim);
+}
+
+#[test]
+fn gpi_concurrent_waiters_survive_injected_notification_delays() {
+    // The PR 3 lost-wake regression (two waiters, one id) re-run with the
+    // injector delaying both notification messages: the stretched post
+    // times must not resurrect the overwrite/forever-park bug, at any of
+    // several fixed seeds' delay combinations.
+    for (d0, d1) in [(5.0, 900.0), (900.0, 5.0), (250.0, 250.0)] {
+        let mut sim = Sim::new();
+        sim.set_fault_plan(
+            FaultPlan::new()
+                .ctrl_fault(fault_key("gpi-notify", 1, 9), CtrlFault::Delay(Dur::micros(d0)))
+                .ctrl_fault(fault_key("gpi-notify", 1, 9), CtrlFault::Delay(Dur::micros(d1))),
+        );
+        let world = boot(&sim, PlatformSpec::platform_c(), 2, 1, 2);
+        let seg = world.attach_device_segment(1, 1, 1 << 16).unwrap();
+        let sum = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        for name in ["waiter-a", "waiter-b"] {
+            let w = world.clone();
+            let sum = sum.clone();
+            sim.spawn(name, move |ctx| {
+                let v = gpi::notify_wait(ctx, &w, 1, 9);
+                sum.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+            });
+        }
+        let w0 = world.clone();
+        sim.spawn("producer", move |ctx| {
+            for v in [5u64, 6] {
+                gpi::write_notify(ctx, &w0, 0, gpi::QueueId(0), Loc::dev(0, 0), seg, 0, 8, 9, v)
+                    .unwrap();
+                // Wide spacing so the two posts stay distinguishable even
+                // under the injected skews above.
+                ctx.delay(Dur::millis(2.0));
+            }
+            gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0));
+        });
+        sim.run().unwrap();
+        assert_eq!(
+            sum.load(std::sync::atomic::Ordering::Relaxed),
+            11,
+            "both waiters woke under delays ({d0}, {d1})"
+        );
+    }
 }

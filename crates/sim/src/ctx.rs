@@ -13,6 +13,23 @@ use crate::kernel::SimHandle;
 use crate::task::{TaskId, TaskStatus, YieldMsg};
 use crate::time::{Dur, SimTime};
 
+/// A blocking operation's virtual-time deadline fired before its wake
+/// condition was met (GASPI's `GASPI_TIMEOUT`). The waited state is left
+/// intact — events that completed before the deadline stay completed, so
+/// the caller can inspect partial completion and retry or recover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeout {
+    /// Virtual time at which the deadline fired.
+    pub at: SimTime,
+}
+
+impl std::fmt::Display for WaitTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wait timed out at {}", self.at)
+    }
+}
+impl std::error::Error for WaitTimeout {}
+
 /// Per-task execution context. Not `Send`: it belongs to one task thread.
 pub struct Ctx {
     handle: SimHandle,
@@ -128,6 +145,58 @@ impl Ctx {
         }
     }
 
+    /// Block until `ev` completes or `timeout` virtual time elapses.
+    ///
+    /// The timeout-taking twin of [`Ctx::wait`] — the kernel primitive
+    /// under GASPI's timed blocking calls. See [`Ctx::wait_all_timeout`]
+    /// for the mechanism.
+    pub fn wait_timeout(&mut self, ev: EventId, timeout: Dur) -> Result<(), WaitTimeout> {
+        self.wait_all_timeout(std::slice::from_ref(&ev), timeout)
+    }
+
+    /// Block until *all* events complete or `timeout` virtual time
+    /// elapses, whichever comes first.
+    ///
+    /// Mechanism: one wait group over the pending set (as in
+    /// [`Ctx::wait_all`]) *plus* a timer wake at the deadline carrying the
+    /// same park sequence number. Whichever wake pops first resumes the
+    /// task; the loser is discarded by the stale-wake check. On timeout
+    /// the group is killed so later completions are inert, and the events
+    /// themselves are left untouched: completed ones stay completed, so
+    /// the caller can report partial completion ([`crate::SimHandle::event_done`])
+    /// and wait again or recover. A completion racing the deadline at the
+    /// exact same instant resolves deterministically by queue order
+    /// (earlier sequence number wins).
+    pub fn wait_all_timeout(&mut self, evs: &[EventId], timeout: Dur) -> Result<(), WaitTimeout> {
+        let gref = {
+            let mut st = self.handle.kernel.state.lock();
+            let pending = evs.iter().filter(|&&ev| !st.events.get(ev).completed).count();
+            if pending == 0 {
+                return Ok(());
+            }
+            let deadline = st.now() + timeout;
+            let park_seq = st.park_seqs[self.id.index()] + 1;
+            st.park_seqs[self.id.index()] = park_seq;
+            let gref = st.alloc_wait_group(pending, self.id, park_seq);
+            for &ev in evs {
+                if !st.events.get(ev).completed {
+                    st.events.get_mut(ev).group_waiters.push(gref);
+                }
+            }
+            st.tasks[self.id.index()].status = TaskStatus::Blocked;
+            self.handle.push_wake(&mut st, deadline, self.id, park_seq);
+            gref
+        };
+        self.park();
+        let mut st = self.handle.kernel.state.lock();
+        if evs.iter().all(|&ev| st.events.get(ev).completed) {
+            Ok(())
+        } else {
+            st.kill_group(gref);
+            Err(WaitTimeout { at: st.now() })
+        }
+    }
+
     /// Block until *any* of the events completes; returns the index of a
     /// completed event (the first found in argument order).
     pub fn wait_any(&mut self, evs: &[EventId]) -> usize {
@@ -215,12 +284,59 @@ impl Ctx {
         }
     }
 
+    /// Block like [`Ctx::board_waitsome`], but give up once `timeout`
+    /// virtual time elapses without a consumable post in the range
+    /// (`gaspi_notify_waitsome` with a finite timeout returning
+    /// `GASPI_TIMEOUT`). The deadline is absolute across internal
+    /// re-parks: losing a post to a concurrent overlapping waiter does
+    /// not extend it.
+    pub fn board_waitsome_timeout(
+        &mut self,
+        board: BoardId,
+        first: u32,
+        num: u32,
+        timeout: Dur,
+    ) -> Result<(u32, u64), WaitTimeout> {
+        assert!(num > 0, "board_waitsome_timeout on an empty range");
+        let deadline = self.handle.now() + timeout;
+        loop {
+            let gref = {
+                let mut st = self.handle.kernel.state.lock();
+                if let Some((id, _)) = st.boards[board.index()].lowest_in_range(first, num) {
+                    let v = st.boards[board.index()].values.remove(&id).expect("value vanished");
+                    return Ok((id, v));
+                }
+                if st.now() >= deadline {
+                    return Err(WaitTimeout { at: st.now() });
+                }
+                let park_seq = st.park_seqs[self.id.index()] + 1;
+                st.park_seqs[self.id.index()] = park_seq;
+                let gref = st.alloc_wait_group(1, self.id, park_seq);
+                st.boards[board.index()].waiters.push(RangeWaiter { first, num, group: gref });
+                st.tasks[self.id.index()].status = TaskStatus::Blocked;
+                self.handle.push_wake(&mut st, deadline, self.id, park_seq);
+                gref
+            };
+            self.park();
+            // Woken by a matching post (board_post already removed the
+            // waiter and killed the group) or by the deadline (both still
+            // registered). Clean up unconditionally, then loop: consume,
+            // re-park with the remaining time, or report the timeout.
+            let mut st = self.handle.kernel.state.lock();
+            st.boards[board.index()]
+                .waiters
+                .retain(|w| !(w.group.gid == gref.gid && w.group.gen == gref.gen));
+            st.kill_group(gref);
+        }
+    }
+
     /// Advance this task's virtual time by `d` (models local computation
-    /// or fixed software overhead).
+    /// or fixed software overhead). An armed fault plan may stretch the
+    /// delay for straggler-matched tasks.
     pub fn delay(&mut self, d: Dur) {
         let t = {
             let st = self.handle.kernel.state.lock();
-            st_now(&st) + d
+            st_now(&st) + st.scale_delay(self.id, d)
         };
         self.sleep_until(t);
     }

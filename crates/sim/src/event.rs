@@ -54,6 +54,9 @@ pub(crate) struct EventSlot {
     pub(crate) group_waiters: Vec<GroupRef>,
     /// Slot is live (allocated and not yet freed).
     pub(crate) live: bool,
+    /// Abandoned by its owner ([`crate::SimHandle::release_event`]): the
+    /// slot recycles itself the moment completion fires.
+    pub(crate) auto_free: bool,
 }
 
 impl EventSlot {
@@ -64,6 +67,7 @@ impl EventSlot {
             waiters: Vec::new(),
             group_waiters: Vec::new(),
             live: true,
+            auto_free: false,
         }
     }
 }

@@ -33,6 +33,7 @@ use parking_lot::Mutex;
 use crate::board::{BoardId, BoardSlot};
 use crate::ctx::Ctx;
 use crate::event::{EventArena, EventId, GroupRef};
+use crate::fault::{CtrlFault, FaultPlan, FaultState};
 use crate::resource::{ResSlot, ResourceId, Transfer};
 use crate::task::{TaskId, TaskSlot, TaskStatus, YieldMsg};
 use crate::time::{Dur, SimTime};
@@ -105,6 +106,10 @@ pub(crate) struct KState {
     /// Notification boards (range-waitable id → value slots).
     pub(crate) boards: Vec<BoardSlot>,
     pub(crate) resources: Vec<ResSlot>,
+    /// Armed fault injector, if a plan was installed. `None` (the
+    /// default) keeps every hook on the one-branch fast path so clean
+    /// runs are bit-identical with or without the subsystem compiled in.
+    pub(crate) fault: Option<Box<FaultState>>,
     n_done: usize,
     entries_processed: u64,
     trace: Option<Vec<TraceRec>>,
@@ -132,6 +137,26 @@ impl KState {
         } else {
             self.wait_groups.push(WaitGroup { remaining, task, park_seq, live: true, gen: 0 });
             GroupRef { gid: (self.wait_groups.len() - 1) as u32, gen: 0 }
+        }
+    }
+
+    /// Kill a wait group that will never fire (its waiter timed out).
+    /// Registrations left on events become stale references, skipped by
+    /// the generation check exactly like a fired wait-any group's.
+    pub(crate) fn kill_group(&mut self, gref: GroupRef) {
+        let g = &mut self.wait_groups[gref.gid as usize];
+        if g.live && g.gen == gref.gen {
+            g.live = false;
+            self.free_wait_groups.push(gref.gid);
+        }
+    }
+
+    /// Scale a task-local compute delay by its straggle factor, if a
+    /// fault plan is armed and matched this task at spawn.
+    pub(crate) fn scale_delay(&self, task: TaskId, d: Dur) -> Dur {
+        match &self.fault {
+            Some(f) => f.scale_delay(task, d),
+            None => d,
         }
     }
 }
@@ -226,6 +251,7 @@ impl Sim {
                 free_wait_groups: Vec::new(),
                 boards: Vec::new(),
                 resources: Vec::new(),
+                fault: None,
                 n_done: 0,
                 entries_processed: 0,
                 trace: None,
@@ -256,6 +282,15 @@ impl Sim {
     /// Abort with [`SimError::LimitExceeded`] once virtual time passes `t`.
     pub fn limit_time(&self, t: SimTime) {
         self.handle.kernel.state.lock().limit_time = Some(t);
+    }
+
+    /// Install a fault plan, arming the deterministic injector. Must be
+    /// called before tasks whose names the plan's stragglers match are
+    /// spawned (the factor is resolved once at spawn). Installing an
+    /// empty plan is equivalent to not installing one.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        let mut st = self.handle.kernel.state.lock();
+        st.fault = if plan.is_empty() { None } else { Some(Box::new(FaultState::new(plan))) };
     }
 
     /// Spawn a task before the simulation starts. See [`SimHandle::spawn`].
@@ -416,6 +451,9 @@ impl SimHandle {
             let id = TaskId(st.tasks.len() as u32);
             st.tasks.push(TaskSlot { name: name.clone(), status: TaskStatus::Blocked, wake_tx });
             st.park_seqs.push(0);
+            if let Some(f) = st.fault.as_mut() {
+                f.resolve_task(id, &name);
+            }
             // Initial wake resumes park_seq 0 (the task's startup park).
             let t = st.now;
             self.push(&mut st, t, Item::Wake { task: id, park_seq: 0 });
@@ -478,6 +516,7 @@ impl SimHandle {
         slot.completed = true;
         let waiters = std::mem::take(&mut slot.waiters);
         let groups = std::mem::take(&mut slot.group_waiters);
+        let auto_free = slot.auto_free;
         let now = st.now;
         for w in waiters {
             self.push(&mut st, now, Item::Wake { task: w.task, park_seq: w.park_seq });
@@ -488,6 +527,25 @@ impl SimHandle {
         // are skipped by the generation check.
         for gref in groups {
             self.fire_group_ref(&mut st, gref, now);
+        }
+        if auto_free {
+            st.events.free(ev);
+        }
+    }
+
+    /// Abandon an in-flight event: nobody will wait on it again, but a
+    /// completion may still be scheduled. If the event has already
+    /// completed it is recycled immediately; otherwise the slot frees
+    /// itself the moment the completion fires. This is the primitive
+    /// under queue purging — a purged operation's bytes may still land,
+    /// but its completion is discarded instead of leaking the slot.
+    pub fn release_event(&self, ev: EventId) {
+        let mut st = self.kernel.state.lock();
+        if st.events.get(ev).completed {
+            drop(st);
+            self.free_event(ev);
+        } else {
+            st.events.get_mut(ev).auto_free = true;
         }
     }
 
@@ -625,23 +683,82 @@ impl SimHandle {
     pub fn transfer(&self, res: ResourceId, bytes: u64) -> Transfer {
         let mut st = self.kernel.state.lock();
         let now = st.now;
-        st.resources[res.index()].transfer(now, bytes)
+        self.transfer_locked(&mut st, res, now, bytes)
     }
 
     /// Reserve a transfer whose payload only becomes available at `at`
     /// (chained staging stages, software-overhead-delayed NIC injection).
     pub fn transfer_from(&self, res: ResourceId, at: SimTime, bytes: u64) -> Transfer {
         let mut st = self.kernel.state.lock();
+        let at = at.max(st.now);
+        self.transfer_locked(&mut st, res, at, bytes)
+    }
+
+    /// Shared reservation path: consult the fault injector (one `Option`
+    /// branch when disarmed — the zero-cost guarantee) and fall through
+    /// to the clean closed form when no window matches.
+    fn transfer_locked(
+        &self,
+        st: &mut KState,
+        res: ResourceId,
+        at: SimTime,
+        bytes: u64,
+    ) -> Transfer {
         let now = st.now;
+        if let Some(f) = st.fault.as_mut() {
+            let est = at.max(st.resources[res.index()].free_at());
+            if let Some(p) = f.perturb(res, est) {
+                return st.resources[res.index()].transfer_faulted(
+                    now,
+                    at.max(p.not_before),
+                    bytes,
+                    p.factor_milli,
+                    p.extra,
+                );
+            }
+        }
         st.resources[res.index()].transfer_from(now, at, bytes)
     }
 
     /// Occupy a resource for a fixed duration (e.g. a handler running on a
-    /// progress engine). Returns `(start, end)`.
+    /// progress engine). Returns `(start, end)`. A degradation window
+    /// covering the start stretches the occupancy like it stretches a
+    /// transfer's busy time.
     pub fn occupy(&self, res: ResourceId, d: Dur) -> (SimTime, SimTime) {
         let mut st = self.kernel.state.lock();
         let now = st.now;
+        let mut d = d;
+        if st.fault.is_some() {
+            let est = now.max(st.resources[res.index()].free_at());
+            if let Some(p) = st.fault.as_mut().unwrap().perturb(res, est) {
+                d = Dur::nanos(
+                    (d.as_nanos() as u128 * 1000 / p.factor_milli.max(1) as u128) as u64,
+                ) + p.extra;
+            }
+        }
         st.resources[res.index()].occupy(now, d)
+    }
+
+    /// Consume one scheduled control-message fault for `key` (see
+    /// [`crate::fault_key`]), if a plan is armed and has charges left.
+    /// Protocol layers call this at the instant a control message is
+    /// posted; `None` means deliver normally.
+    pub fn take_ctrl_fault(&self, key: u64) -> Option<CtrlFault> {
+        let mut st = self.kernel.state.lock();
+        st.fault.as_mut().and_then(|f| f.take_ctrl(key))
+    }
+
+    /// Number of perturbations the armed injector has applied so far
+    /// (0 when no plan is installed). Diagnostics for chaos tests.
+    pub fn faults_injected(&self) -> u64 {
+        self.kernel.state.lock().fault.as_ref().map_or(0, |f| f.injected)
+    }
+
+    /// The installed fault plan, if any (a clone — plans are immutable
+    /// once armed). Health monitors derive `state_vec`-style views from
+    /// it; `None` when the fabric is clean.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.kernel.state.lock().fault.as_ref().map(|f| f.plan().clone())
     }
 
     /// Next time the resource is free (for diagnostics / tests).

@@ -35,6 +35,7 @@ mod board;
 mod channel;
 mod ctx;
 mod event;
+mod fault;
 mod kernel;
 mod platform;
 mod resource;
@@ -47,8 +48,9 @@ mod trace;
 
 pub use board::BoardId;
 pub use channel::SimChannel;
-pub use ctx::Ctx;
+pub use ctx::{Ctx, WaitTimeout};
 pub use event::EventId;
+pub use fault::{fault_key, CtrlFault, FaultPlan};
 pub use kernel::{Action, Sim, SimError, SimHandle, SimReport};
 pub use platform::{
     BwCurve, CollModels, CollProfile, GasnetModel, GpiModel, GpuSpec, IntraSpec, MpiP2pModel,

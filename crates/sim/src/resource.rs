@@ -15,7 +15,10 @@ use crate::time::{Dur, SimTime};
 pub struct ResourceId(pub(crate) u32);
 
 impl ResourceId {
-    pub(crate) fn index(self) -> usize {
+    /// Dense index of this resource, stable for the life of the sim.
+    /// Usable as an opaque key (e.g. health vectors); resources are
+    /// never deregistered so indices are never recycled.
+    pub fn index(self) -> usize {
         self.0 as usize
     }
 }
@@ -60,6 +63,26 @@ impl ResSlot {
     /// stages of a staged copy, or post-software-overhead NIC injection).
     pub(crate) fn transfer_from(&mut self, now: SimTime, at: SimTime, bytes: u64) -> Transfer {
         self.transfer(now.max(at), bytes)
+    }
+
+    /// Fault-injected reservation: bandwidth scaled to `factor_milli`/1000
+    /// of nominal and `extra` delivery latency added. `total_bytes` still
+    /// counts the logical payload, so utilisation reporting is unchanged.
+    pub(crate) fn transfer_faulted(
+        &mut self,
+        now: SimTime,
+        at: SimTime,
+        bytes: u64,
+        factor_milli: u32,
+        extra: Dur,
+    ) -> Transfer {
+        let start = now.max(at).max(self.free_at);
+        let nominal = bytes as f64 / self.bytes_per_ns;
+        let busy = Dur::nanos((nominal * 1000.0 / factor_milli.max(1) as f64).ceil() as u64);
+        let depart = start + busy;
+        self.free_at = depart;
+        self.total_bytes += bytes;
+        Transfer { start, depart, arrive: start + self.latency + busy + extra }
     }
 
     pub(crate) fn occupy(&mut self, now: SimTime, d: Dur) -> (SimTime, SimTime) {
@@ -126,6 +149,19 @@ mod tests {
         let (s2, _e2) = r.occupy(SimTime(0), Dur::nanos(30));
         assert_eq!((s1, e1), (SimTime(0), SimTime(30)));
         assert_eq!(s2, SimTime(30));
+    }
+
+    #[test]
+    fn faulted_transfer_scales_bandwidth_and_adds_latency() {
+        let mut r = ResSlot::new(1.0, Dur::nanos(100));
+        let t = r.transfer_faulted(SimTime(0), SimTime(0), 1000, 500, Dur::nanos(30));
+        assert_eq!(t.start, SimTime(0));
+        assert_eq!(t.depart, SimTime(2000), "half bandwidth doubles the busy time");
+        assert_eq!(t.arrive, SimTime(2130));
+        // Nominal factor with no extra reproduces the clean closed form.
+        let mut clean = ResSlot::new(1.0, Dur::nanos(100));
+        let c = clean.transfer_faulted(SimTime(0), SimTime(0), 1000, 1000, Dur::ZERO);
+        assert_eq!((c.start, c.depart, c.arrive), (SimTime(0), SimTime(1000), SimTime(1100)));
     }
 
     #[test]

@@ -528,3 +528,277 @@ fn two_tasks_can_wait_all_on_overlapping_sets() {
     });
     sim.run().unwrap();
 }
+
+// ---------------------------------------------------------------------------
+// Virtual-time deadlines: timeout-taking waits.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn wait_timeout_returns_ok_before_the_deadline() {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let ev = h.new_event();
+    h.complete_in(ev, Dur::micros(2.0));
+    sim.spawn("waiter", move |ctx| {
+        assert!(ctx.wait_timeout(ev, Dur::micros(10.0)).is_ok());
+        assert_eq!(ctx.now(), SimTime(2_000), "woken by completion, not deadline");
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn wait_timeout_fires_at_the_deadline_and_leaves_the_event_pending() {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let ev = h.new_event();
+    h.complete_in(ev, Dur::micros(50.0));
+    sim.spawn("waiter", move |ctx| {
+        let err = ctx.wait_timeout(ev, Dur::micros(5.0)).unwrap_err();
+        assert_eq!(err.at, SimTime(5_000));
+        assert_eq!(ctx.now(), SimTime(5_000));
+        assert!(!ctx.event_done(ev), "event still in flight after the timeout");
+        // The late completion is still delivered; waiting again succeeds.
+        ctx.wait(ev);
+        assert_eq!(ctx.now(), SimTime(50_000));
+        ctx.free_event(ev);
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn wait_all_timeout_reports_partial_completion() {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let evs: Vec<_> = (0..4).map(|_| h.new_event()).collect();
+    // Two complete before the deadline, two after.
+    h.complete_in(evs[0], Dur::micros(1.0));
+    h.complete_in(evs[2], Dur::micros(2.0));
+    h.complete_in(evs[1], Dur::micros(20.0));
+    h.complete_in(evs[3], Dur::micros(30.0));
+    let evs2 = evs.clone();
+    sim.spawn("waiter", move |ctx| {
+        assert!(ctx.wait_all_timeout(&evs2, Dur::micros(5.0)).is_err());
+        let done: Vec<bool> = evs2.iter().map(|&e| ctx.event_done(e)).collect();
+        assert_eq!(done, vec![true, false, true, false], "partial state visible");
+        // Draining the rest afterwards works: the dead group is inert.
+        ctx.wait_all_free(&evs2);
+        assert_eq!(ctx.now(), SimTime(30_000));
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn timed_out_groups_do_not_leak_or_misfire_under_reuse() {
+    // Stress slot recycling: many timeouts then many successful waits on
+    // recycled group slots; generation tags must keep stale references
+    // inert (the timeout analogue of the wait-any staleness property).
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let slow: Vec<_> = (0..8).map(|_| h.new_event()).collect();
+    for (i, &e) in slow.iter().enumerate() {
+        h.complete_in(e, Dur::micros(100.0 + i as f64));
+    }
+    sim.spawn("waiter", move |ctx| {
+        for _ in 0..16 {
+            assert!(ctx.wait_all_timeout(&slow, Dur::micros(1.0)).is_err());
+        }
+        ctx.wait_all_free(&slow);
+        assert_eq!(ctx.now(), SimTime(107_000));
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn board_waitsome_timeout_consumes_or_times_out() {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let b = h.new_board();
+    sim.spawn("producer", move |ctx| {
+        ctx.delay(Dur::micros(8.0));
+        ctx.board_post(b, 3, 33);
+    });
+    sim.spawn("consumer", move |ctx| {
+        // First wait gives up before the post lands...
+        let err = ctx.board_waitsome_timeout(b, 0, 8, Dur::micros(2.0)).unwrap_err();
+        assert_eq!(err.at, SimTime(2_000));
+        // ...the second sees it arrive inside the window.
+        let (id, v) = ctx.board_waitsome_timeout(b, 0, 8, Dur::micros(50.0)).unwrap();
+        assert_eq!((id, v), (3, 33));
+        assert_eq!(ctx.now(), SimTime(8_000));
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn board_waitsome_timeout_deadline_is_absolute_across_reparks() {
+    // A concurrent waiter steals every post; the timed waiter must still
+    // give up at its original deadline instead of extending it per repark.
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let b = h.new_board();
+    sim.spawn("thief", move |ctx| {
+        for _ in 0..4 {
+            let _ = ctx.board_waitsome(b, 0, 8);
+        }
+    });
+    sim.spawn("timed", move |ctx| {
+        let err = ctx.board_waitsome_timeout(b, 0, 8, Dur::micros(10.0)).unwrap_err();
+        assert_eq!(err.at, SimTime(10_000), "deadline must not slide");
+    });
+    sim.spawn("producer", move |ctx| {
+        for i in 0..4 {
+            ctx.delay(Dur::micros(2.0));
+            ctx.board_post(b, i, 1);
+        }
+        ctx.delay(Dur::micros(20.0));
+    });
+    sim.run().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection.
+// ---------------------------------------------------------------------------
+
+use diomp_sim::{fault_key, CtrlFault, FaultPlan};
+
+#[test]
+fn degraded_window_stretches_only_covered_transfers() {
+    let run = |degrade: bool| -> (SimTime, SimTime) {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let res = h.new_resource(1.0, Dur::nanos(100)); // 1 B/ns
+        if degrade {
+            sim.set_fault_plan(FaultPlan::new().degrade_link(
+                res,
+                SimTime(0),
+                SimTime(500_000),
+                500,
+            ));
+        }
+        let out = Arc::new(parking_lot::Mutex::new((SimTime::ZERO, SimTime::ZERO)));
+        let out2 = out.clone();
+        sim.spawn("xfer", move |ctx| {
+            let a = ctx.transfer(res, 1000); // starts at t=0: inside the window
+            ctx.sleep_until(SimTime(1_000_000));
+            let b = ctx.transfer(res, 1000); // starts at 1 ms: outside
+            *out2.lock() = (a.arrive, b.arrive);
+        });
+        sim.run().unwrap();
+        let g = out.lock();
+        *g
+    };
+    let (clean_a, clean_b) = run(false);
+    assert_eq!(clean_a, SimTime(1_100));
+    let (slow_a, slow_b) = run(true);
+    assert_eq!(slow_a, SimTime(2_100), "half bandwidth doubles the busy time");
+    assert_eq!(slow_b, clean_b, "post-window transfer unaffected");
+}
+
+#[test]
+fn flap_holds_transfers_until_the_window_closes() {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let res = h.new_resource(1.0, Dur::ZERO);
+    sim.set_fault_plan(FaultPlan::new().flap_link(res, SimTime(0), SimTime(5_000)));
+    sim.spawn("xfer", move |ctx| {
+        let t = ctx.transfer(res, 100);
+        assert_eq!(t.start, SimTime(5_000), "held until the flap clears");
+        assert_eq!(t.arrive, SimTime(5_100));
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn stragglers_stretch_delays_of_matching_tasks_only() {
+    let times = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let mut sim = Sim::new();
+    sim.set_fault_plan(FaultPlan::new().straggle("slow", 2000));
+    for name in ["slow-rank", "fast-rank"] {
+        let times = times.clone();
+        sim.spawn(name, move |ctx| {
+            ctx.delay(Dur::micros(10.0));
+            times.lock().push((name, ctx.now()));
+        });
+    }
+    sim.run().unwrap();
+    let g: Vec<(&str, SimTime)> = times.lock().clone();
+    assert!(g.contains(&("slow-rank", SimTime(20_000))), "2x straggle factor: {g:?}");
+    assert!(g.contains(&("fast-rank", SimTime(10_000))), "non-matching task unaffected");
+}
+
+#[test]
+fn ctrl_faults_are_consumed_once_per_key() {
+    let mut sim = Sim::new();
+    let k = fault_key("test-proto", 1, 2);
+    sim.set_fault_plan(FaultPlan::new().ctrl_fault(k, CtrlFault::Drop));
+    sim.spawn("t", move |ctx| {
+        assert_eq!(ctx.take_ctrl_fault(k), Some(CtrlFault::Drop));
+        assert_eq!(ctx.take_ctrl_fault(k), None, "single charge");
+        assert_eq!(ctx.take_ctrl_fault(fault_key("test-proto", 1, 3)), None);
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn same_fault_plan_replays_bit_identically() {
+    // The determinism contract the CI chaos step enforces: two runs of
+    // the same seeded plan produce identical end times and entry counts.
+    let run = |seed: u64| {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let links: Vec<_> = (0..4).map(|_| h.new_resource(2.0, Dur::nanos(500))).collect();
+        sim.set_fault_plan(FaultPlan::randomized(
+            seed,
+            &links,
+            &["rank".to_string()],
+            Dur::millis(1.0),
+        ));
+        for r in 0..4usize {
+            let links = links.clone();
+            sim.spawn(format!("rank{r}"), move |ctx| {
+                for i in 0..8 {
+                    ctx.delay(Dur::micros(3.0));
+                    let t = ctx.transfer(links[(r + i) % 4], 4096);
+                    let ev = ctx.new_event();
+                    ctx.complete_at(ev, t.arrive);
+                    ctx.wait_free(ev);
+                }
+            });
+        }
+        let rep = sim.run().unwrap();
+        (rep.end_time, rep.entries_processed)
+    };
+    for seed in [1u64, 7, 42] {
+        assert_eq!(run(seed), run(seed), "seed {seed} must replay identically");
+    }
+    assert_ne!(run(1).0, run(7).0, "different seeds should usually diverge");
+}
+
+#[test]
+fn disabled_injection_is_bit_identical_to_no_injection() {
+    // Zero-cost-when-off: installing an empty plan (or none) must not
+    // change a single timestamp or entry count.
+    let run = |empty_plan: bool| {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let res = h.new_resource(4.0, Dur::nanos(800));
+        if empty_plan {
+            sim.set_fault_plan(FaultPlan::new());
+        }
+        sim.enable_trace();
+        for r in 0..3usize {
+            sim.spawn(format!("rank{r}"), move |ctx| {
+                for _ in 0..16 {
+                    ctx.delay(Dur::micros(1.0));
+                    let t = ctx.transfer(res, 8192);
+                    let ev = ctx.new_event();
+                    ctx.complete_at(ev, t.arrive);
+                    ctx.wait_free(ev);
+                }
+            });
+        }
+        let rep = sim.run().unwrap();
+        (rep.end_time, rep.entries_processed, format!("{:?}", rep.trace))
+    };
+    assert_eq!(run(false), run(true));
+}

@@ -95,7 +95,25 @@ impl XcclComm {
         let devs_per_node = order.len().div_ceil(nodes.max(1));
         let nrings = world.topo.nics_per_node().min(devs_per_node).max(1);
 
-        let rails = Arc::new(ring::build_rails(world, &order, nrings));
+        // Degradation awareness: rails whose edges ride a link the health
+        // vector (`gaspi_state_vec`) marks dead are blacklisted — the
+        // payload re-splits over the survivors, trading aggregate
+        // bandwidth for avoiding a 1000×-slow dead edge. At least one
+        // rail always survives (with every rail condemned there is no
+        // better topology to retreat to, so the layout stays unchanged
+        // and the injector's replay makes the damage visible instead).
+        // On a healthy fabric the filter drops nothing and the layout is
+        // bit-identical to the fault-free build.
+        let mut rails = ring::build_rails(world, &order, nrings);
+        let health = world.health();
+        let alive: Vec<Rail> =
+            rails.iter().filter(|r| !r.uses_dead_link(&health)).cloned().collect();
+        if !alive.is_empty() {
+            rails = alive;
+        }
+        let nrings = rails.len();
+
+        let rails = Arc::new(rails);
         let gate = gate_for(id, ranks.len());
         Arc::new(XcclComm {
             world: world.clone(),
@@ -131,11 +149,28 @@ impl XcclComm {
         match self.engine {
             CollEngine::Auto(ac) => {
                 let n = self.ndevices();
-                let ll_cut =
-                    ll::crossover_bytes(&self.world.platform, op, n, self.ring.nrings, &ac);
+                // Degradation-aware re-pricing: both boundaries are
+                // priced against the bandwidth the fabric actually
+                // delivers, not the nominal tables. The health vector's
+                // worst *live* factor scales the wire rate (dead ranks
+                // are blacklisted by rail filtering, not priced); with a
+                // slower wire the latency advantage of the tree regimes
+                // buys relatively less, so both crossovers retreat
+                // toward the bandwidth-optimal ring. Healthy fabric
+                // (factor 1000) prices on the unmodified tables.
+                let factor = self.world.health().worst_live_factor_milli();
+                let degraded;
+                let platform = if factor < 1000 {
+                    let mut p = self.world.platform.clone();
+                    p.net.nic_gbps *= f64::from(factor) / 1000.0;
+                    degraded = p;
+                    &degraded
+                } else {
+                    &self.world.platform
+                };
+                let ll_cut = ll::crossover_bytes(platform, op, n, self.ring.nrings, &ac);
                 let dbt_cut =
-                    dbt::crossover_bytes(&self.world.platform, op, n, self.ring.nrings, &ac)
-                        .max(ll_cut);
+                    dbt::crossover_bytes(platform, op, n, self.ring.nrings, &ac).max(ll_cut);
                 Some((ll_cut, dbt_cut))
             }
             _ => None,

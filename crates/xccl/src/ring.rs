@@ -166,6 +166,17 @@ pub(crate) struct Rail {
     edges: Vec<Edge>,
 }
 
+impl Rail {
+    /// True when any ring edge of this rail runs over a link the health
+    /// vector marks dead (factor 0). Such a rail would replay every
+    /// chunk 1000× slow on the dead edge; the communicator blacklists it
+    /// at init instead, re-splitting the payload over the survivors —
+    /// NCCL's channel-disable on a downed NIC.
+    pub(crate) fn uses_dead_link(&self, health: &diomp_fabric::HealthVec) -> bool {
+        self.edges.iter().any(|e| health.link_factor_milli(e.res) == 0)
+    }
+}
+
 /// Build the `nrings` rails over the node-major global ring order.
 pub(crate) fn build_rails(world: &FabricWorld, order: &[usize], nrings: usize) -> Vec<Rail> {
     // Group the node-major order into per-node blocks.

@@ -1,0 +1,321 @@
+//! Chaos harness: randomized deterministic fault plans replayed against
+//! every collective engine.
+//!
+//! The properties asserted here are the tentpole's acceptance criteria
+//! at the collective layer:
+//!
+//! * **Completion** — a collective under any sampled fault plan still
+//!   terminates (the injector may slow, stall, flap and straggle, but
+//!   never wedge the schedule).
+//! * **Byte-identity** — the data semantics are unchanged by faults: the
+//!   result equals the sequential reference regardless of how the
+//!   schedule was perturbed (payloads are integer-valued f64 so every
+//!   association order is bit-exact).
+//! * **Determinism** — the same seed replays the same virtual-time trace
+//!   bit-for-bit (the CI chaos step diffs two runs).
+//! * **Zero cost when disabled** — an empty plan, or an armed plan whose
+//!   windows never match, leaves the virtual-time trace bit-identical to
+//!   a clean run.
+//! * **Degradation awareness** — dead links blacklist rails at init, and
+//!   a degraded fabric moves the Auto dispatcher's priced regime
+//!   boundaries toward the ring.
+
+use std::sync::Arc;
+
+use diomp_device::{DataMode, DeviceTable};
+use diomp_fabric::{FabricWorld, ReduceOp};
+use diomp_sim::{ClusterSpec, Dur, FaultPlan, PlatformSpec, ResourceId, Sim, SimTime, Topology};
+use diomp_xccl::{AutoConfig, CollEngine, DeviceBuf, RingConfig, UniqueId, XcclComm, XcclOp};
+use parking_lot::Mutex;
+
+const NODES: usize = 2;
+const PER_NODE: usize = 4;
+const NRANKS: usize = NODES * PER_NODE;
+
+fn boot(sim: &Sim, plan: &FaultPlan) -> Arc<FabricWorld> {
+    sim.set_fault_plan(plan.clone());
+    let spec =
+        ClusterSpec { platform: PlatformSpec::platform_a(), nodes: NODES, gpus_per_node: PER_NODE };
+    let topo = Arc::new(Topology::build(&sim.handle(), spec));
+    let devs = DeviceTable::build(&sim.handle(), topo.clone(), DataMode::Functional, Some(8 << 20));
+    let world = FabricWorld::new(topo, devs, NRANKS);
+    world.refresh_health_from_plan(plan);
+    world
+}
+
+/// Every link resource a fault plan can plausibly touch: each device's
+/// NIC and GPU-fabric port.
+fn all_links(world: &FabricWorld) -> Vec<ResourceId> {
+    (0..world.devs.len())
+        .flat_map(|f| {
+            let d = world.devs.dev(f);
+            [d.nic, d.port]
+        })
+        .collect()
+}
+
+/// The engines under test. `Auto` covers the LL/tree and DBT bands too
+/// once payload sizes span its regime boundaries.
+fn engines() -> Vec<CollEngine> {
+    let p = PlatformSpec::platform_a();
+    vec![
+        CollEngine::Profile,
+        CollEngine::Ring(RingConfig::default()),
+        CollEngine::Dbt(RingConfig::default()),
+        CollEngine::Auto(AutoConfig::for_platform(&p)),
+    ]
+}
+
+/// Run one allreduce of `len` bytes under `plan` with `engine`; every
+/// rank contributes integer-valued f64s. Returns the end-of-sim virtual
+/// time and asserts byte-identity with the sequential reference on every
+/// rank.
+fn run_allreduce(engine: CollEngine, plan: &FaultPlan, len: u64, tag: &str) -> SimTime {
+    let mut sim = Sim::new();
+    let world = boot(&sim, plan);
+    let id = UniqueId::generate();
+    let results: Arc<Mutex<Vec<Vec<f64>>>> = Arc::new(Mutex::new(vec![Vec::new(); NRANKS]));
+    for r in 0..NRANKS {
+        let world = world.clone();
+        let results = results.clone();
+        sim.spawn(format!("rank{r}"), move |ctx| {
+            let bits = world.bootstrap.exchange(ctx, r, if r == 0 { id.bits() } else { 0 })[0];
+            let comm = XcclComm::init_with_engine(
+                ctx,
+                &world,
+                (0..NRANKS).collect(),
+                r,
+                UniqueId::from_bits(bits),
+                engine,
+            );
+            let dev = world.primary_dev(r);
+            let off = dev.malloc(len, 256).unwrap();
+            let vals: Vec<u8> = (0..len / 8)
+                .flat_map(|i| (((r as u64 + 1) * (i % 13 + 1)) as f64).to_le_bytes())
+                .collect();
+            dev.mem.write(off, &vals).unwrap();
+            comm.collective(
+                ctx,
+                r,
+                vec![DeviceBuf { flat: r, off }],
+                XcclOp::AllReduce { op: ReduceOp::SumF64 },
+                len,
+            );
+            let mut out = vec![0u8; len as usize];
+            dev.mem.read(off, &mut out).unwrap();
+            results.lock()[r] =
+                out.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect();
+        });
+    }
+    let end = sim.run().unwrap().end_time;
+    // Sequential reference: element-wise exact integer sums, identical
+    // under every association order the engines produce.
+    let expect: Vec<f64> = (0..len / 8)
+        .map(|i| (1..=NRANKS as u64).map(|r| (r * (i % 13 + 1)) as f64).sum())
+        .collect();
+    for (r, got) in results.lock().iter().enumerate() {
+        assert_eq!(got, &expect, "{tag}: rank {r} diverged from the sequential reference");
+    }
+    end
+}
+
+#[test]
+fn randomized_fault_plans_complete_byte_identical_on_every_engine() {
+    // Fixed seeds — the plans (and therefore the whole run) are
+    // reproducible; a failure names its (seed, engine) cell.
+    let probe = Sim::new();
+    let world = boot(&probe, &FaultPlan::new());
+    let links = all_links(&world);
+    drop(probe);
+    let prefixes = vec!["rank2".to_string(), "rank5".to_string()];
+    for seed in [11u64, 29, 43] {
+        let plan = FaultPlan::randomized(seed, &links, &prefixes, Dur::millis(5.0));
+        for engine in engines() {
+            run_allreduce(engine, &plan, 256 << 10, &format!("seed {seed} {engine:?}"));
+        }
+    }
+}
+
+#[test]
+fn same_seed_replays_the_same_trace() {
+    // Two-run determinism: the property the CI chaos step enforces.
+    let probe = Sim::new();
+    let world = boot(&probe, &FaultPlan::new());
+    let links = all_links(&world);
+    drop(probe);
+    let plan = FaultPlan::randomized(7, &links, &["rank3".to_string()], Dur::millis(5.0));
+    let engine = CollEngine::Auto(AutoConfig::for_platform(&PlatformSpec::platform_a()));
+    let a = run_allreduce(engine, &plan, 512 << 10, "determinism run A");
+    let b = run_allreduce(engine, &plan, 512 << 10, "determinism run B");
+    assert_eq!(a, b, "same seed must replay the same virtual-time trace");
+}
+
+#[test]
+fn disabled_injection_leaves_the_trace_bit_identical() {
+    // Zero cost when disabled, at the trace level: no plan, an empty
+    // plan, and an armed plan whose windows open only after the run all
+    // produce the same end time.
+    let engine = CollEngine::Ring(RingConfig::default());
+    let clean = run_allreduce(engine, &FaultPlan::new(), 256 << 10, "clean");
+
+    // A non-empty plan that never matches: windows parked a virtual hour
+    // out, and a straggler prefix no task name carries.
+    let probe = Sim::new();
+    let world = boot(&probe, &FaultPlan::new());
+    let links = all_links(&world);
+    drop(probe);
+    let hour = SimTime(3_600_000_000_000);
+    let mut armed = FaultPlan::new().straggle("no-such-task", 2000);
+    for &l in &links {
+        armed = armed.degrade_link(l, hour, SimTime(hour.0 + 1), 500);
+    }
+    let idle = run_allreduce(engine, &armed, 256 << 10, "armed-but-unmatched");
+    assert_eq!(clean, idle, "an armed injector that never fires must not move virtual time");
+}
+
+#[test]
+fn dead_link_blacklists_its_rails_and_the_collective_survives() {
+    // Kill one device's NIC: every rail whose ring crosses the node
+    // boundary on that NIC is blacklisted at init; the payload re-splits
+    // over the survivors and the result stays byte-identical.
+    let probe = Sim::new();
+    let world = boot(&probe, &FaultPlan::new());
+    let dead_nic = world.devs.dev(1).nic;
+    drop(probe);
+    let plan = FaultPlan::new().kill_link(dead_nic);
+
+    let mut sim = Sim::new();
+    let world = boot(&sim, &plan);
+    let id = UniqueId::generate();
+    let nrings = Arc::new(Mutex::new(0usize));
+    let nrings2 = nrings.clone();
+    for r in 0..NRANKS {
+        let world = world.clone();
+        let nrings2 = nrings2.clone();
+        sim.spawn(format!("rank{r}"), move |ctx| {
+            let bits = world.bootstrap.exchange(ctx, r, if r == 0 { id.bits() } else { 0 })[0];
+            let comm =
+                XcclComm::init(ctx, &world, (0..NRANKS).collect(), r, UniqueId::from_bits(bits));
+            if r == 0 {
+                *nrings2.lock() = comm.ring.nrings;
+            }
+            let dev = world.primary_dev(r);
+            let off = dev.malloc(64, 256).unwrap();
+            let vals: Vec<u8> =
+                std::iter::repeat_n(((r + 1) as f64).to_le_bytes(), 8).flatten().collect();
+            dev.mem.write(off, &vals).unwrap();
+            comm.collective(
+                ctx,
+                r,
+                vec![DeviceBuf { flat: r, off }],
+                XcclOp::AllReduce { op: ReduceOp::SumF64 },
+                64,
+            );
+            let mut out = vec![0u8; 64];
+            dev.mem.read(off, &mut out).unwrap();
+            let want = (1..=NRANKS).sum::<usize>() as f64;
+            for c in out.chunks_exact(8) {
+                assert_eq!(f64::from_le_bytes(c.try_into().unwrap()), want, "rank {r}");
+            }
+        });
+    }
+    sim.run().unwrap();
+    let survived = *nrings.lock();
+    assert!(
+        (1..PER_NODE).contains(&survived),
+        "killing one NIC must blacklist its rails but keep at least one: {survived} of {PER_NODE}"
+    );
+}
+
+#[test]
+fn every_rail_dead_keeps_the_full_layout() {
+    // With all NICs condemned there is nothing better to retreat to: the
+    // blacklist must keep the full rail set rather than collapse to an
+    // empty communicator, and the run still completes (dead links replay
+    // 1000× slow, never hang).
+    let probe = Sim::new();
+    let world = boot(&probe, &FaultPlan::new());
+    let mut plan = FaultPlan::new();
+    for f in 0..world.devs.len() {
+        plan = plan.kill_link(world.devs.dev(f).nic);
+    }
+    drop(probe);
+
+    let mut sim = Sim::new();
+    let world = boot(&sim, &plan);
+    let id = UniqueId::generate();
+    for r in 0..NRANKS {
+        let world = world.clone();
+        sim.spawn(format!("rank{r}"), move |ctx| {
+            let bits = world.bootstrap.exchange(ctx, r, if r == 0 { id.bits() } else { 0 })[0];
+            let comm =
+                XcclComm::init(ctx, &world, (0..NRANKS).collect(), r, UniqueId::from_bits(bits));
+            assert_eq!(comm.ring.nrings, PER_NODE, "nothing to retreat to: keep every rail");
+            let dev = world.primary_dev(r);
+            let off = dev.malloc(64, 256).unwrap();
+            comm.collective(
+                ctx,
+                r,
+                vec![DeviceBuf { flat: r, off }],
+                XcclOp::AllReduce { op: ReduceOp::SumF64 },
+                64,
+            );
+        });
+    }
+    sim.run().unwrap();
+}
+
+#[test]
+fn degraded_fabric_moves_auto_regimes_toward_the_ring() {
+    // Re-pricing: a fabric degraded to 5 % of nominal bandwidth makes
+    // the wire term dominate both closed forms; the tree regimes' latency
+    // advantage buys relatively less, so both priced boundaries retreat.
+    let cuts = |plan: &FaultPlan| {
+        let mut sim = Sim::new();
+        let world = boot(&sim, plan);
+        let id = UniqueId::generate();
+        let out = Arc::new(Mutex::new((0u64, 0u64)));
+        let out2 = out.clone();
+        for r in 0..NRANKS {
+            let world = world.clone();
+            let out2 = out2.clone();
+            sim.spawn(format!("rank{r}"), move |ctx| {
+                let bits = world.bootstrap.exchange(ctx, r, if r == 0 { id.bits() } else { 0 })[0];
+                let comm = XcclComm::init_with_engine(
+                    ctx,
+                    &world,
+                    (0..NRANKS).collect(),
+                    r,
+                    UniqueId::from_bits(bits),
+                    CollEngine::Auto(AutoConfig::for_platform(&PlatformSpec::platform_a())),
+                );
+                if r == 0 {
+                    *out2.lock() = comm
+                        .auto_regimes(&XcclOp::AllReduce { op: ReduceOp::SumF64 })
+                        .expect("Auto engine has regimes");
+                }
+            });
+        }
+        sim.run().unwrap();
+        let v = *out.lock();
+        v
+    };
+    let healthy = cuts(&FaultPlan::new());
+    let probe = Sim::new();
+    let world = boot(&probe, &FaultPlan::new());
+    let mut plan = FaultPlan::new();
+    for f in 0..world.devs.len() {
+        plan = plan.degrade_link(world.devs.dev(f).nic, SimTime::ZERO, SimTime(u64::MAX), 50);
+    }
+    drop(probe);
+    let degraded = cuts(&plan);
+    assert!(healthy.0 > 0, "healthy LL regime must be non-trivial: {healthy:?}");
+    assert!(
+        degraded.0 <= healthy.0 && degraded.1 <= healthy.1,
+        "degradation must never extend a priced tree regime: {degraded:?} vs {healthy:?}"
+    );
+    assert!(
+        degraded.0 < healthy.0,
+        "a 20× slower wire must retreat the LL boundary: {degraded:?} vs {healthy:?}"
+    );
+}

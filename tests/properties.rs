@@ -227,6 +227,74 @@ proptest! {
         prop_assert_eq!(run(seed), (got, end, entries, trace));
     }
 
+    /// ISSUE 6: the exactly-once waitsome guarantee survives injector
+    /// perturbation. A seeded fault plan straggles the poster's compute
+    /// delays and attaches an injected control-message delay to a random
+    /// subset of notifications (consumed with `take_ctrl_fault` exactly
+    /// as the fabric notify path does) — every id must still drain
+    /// exactly once, with its value, and the perturbed run must replay
+    /// deterministically for the same seed.
+    #[test]
+    fn waitsome_stays_exactly_once_under_injected_delays(
+        seed in 0u64..1_000_000,
+        n in 1u32..48,
+    ) {
+        use diomp::sim::{fault_key, CtrlFault, FaultPlan};
+
+        let run = |seed: u64| {
+            let mut sim = Sim::new();
+            sim.enable_trace();
+            let mut rng = diomp::sim::rng_for(seed, 13);
+            use rand::Rng;
+            let mut plan = FaultPlan::new().straggle("poster", rng.gen_range(1000..4000));
+            for id in 0..n {
+                if rng.gen_bool(0.4) {
+                    plan = plan.ctrl_fault(
+                        fault_key("board-post", 0, id as u64),
+                        CtrlFault::Delay(Dur::nanos(rng.gen_range(1..2000))),
+                    );
+                }
+            }
+            sim.set_fault_plan(plan);
+            let h = sim.handle();
+            let board = h.new_board();
+            let mut ids: Vec<u32> = (0..n).collect();
+            for i in (1..ids.len()).rev() {
+                ids.swap(i, rng.gen_range(0..(i as u64 + 1)) as usize);
+            }
+            let gaps: Vec<u64> = (0..n).map(|_| rng.gen_range(1..900)).collect();
+            sim.spawn("poster", move |ctx| {
+                for (k, id) in ids.into_iter().enumerate() {
+                    ctx.delay(Dur::nanos(gaps[k]));
+                    if let Some(CtrlFault::Delay(d)) =
+                        ctx.take_ctrl_fault(fault_key("board-post", 0, id as u64))
+                    {
+                        ctx.delay(d);
+                    }
+                    ctx.board_post(board, id, id as u64 + 1);
+                }
+            });
+            let drained = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let drained2 = drained.clone();
+            sim.spawn("drainer", move |ctx| {
+                for _ in 0..n {
+                    let (id, v) = ctx.board_waitsome(board, 0, n);
+                    assert_eq!(v, id as u64 + 1, "value must travel with its id");
+                    drained2.lock().push(id);
+                }
+            });
+            let rep = sim.run().unwrap();
+            let got = drained.lock().clone();
+            (got, rep.end_time, rep.entries_processed,
+             rep.trace.iter().map(|t| t.to_string()).collect::<Vec<_>>())
+        };
+        let (got, end, entries, trace) = run(seed);
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<u32>>());
+        prop_assert_eq!(run(seed), (got, end, entries, trace));
+    }
+
     /// MPI allreduce equals the sequential reduction for arbitrary rank
     /// counts (including non-powers-of-two) and payload lengths.
     #[test]
