@@ -19,10 +19,11 @@ use super::{gemm_body, verify_stripe, CannonConfig, CannonResult};
 /// Run the DiOMP ring matmul; returns the timed phase (max over ranks).
 pub fn run(cfg: &CannonConfig) -> CannonResult {
     let cluster = ClusterSpec::with_total_gpus(cfg.platform.clone(), cfg.gpus);
-    let dcfg = DiompConfig::new(cluster)
+    let dcfg = DiompConfig::builder(cluster)
         .with_mode(cfg.mode)
         .with_allocator(diomp_core::AllocKind::Linear)
-        .with_heap(cfg.heap_bytes());
+        .with_heap(cfg.heap_bytes())
+        .build();
     let out: Arc<Mutex<(Dur, bool)>> = Arc::new(Mutex::new((Dur::ZERO, true)));
     let out2 = out.clone();
     let want_verify = cfg.verify && cfg.mode == DataMode::Functional;

@@ -18,3 +18,4 @@ pub mod loc;
 pub mod matgen;
 pub mod micro;
 pub mod minimod;
+pub mod workload;

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use diomp_core::{CollEngine, Conduit, DiompConfig, DiompRuntime, PipelineConfig};
 use diomp_device::{DataMode, DeviceTable};
 use diomp_fabric::{gasnet, gpi, FabricWorld, Loc, MpiRank, ReduceOp};
-use diomp_sim::{bandwidth_gbps, ClusterSpec, PlatformSpec, Sim, SimTime, Topology};
+use diomp_sim::{bandwidth_gbps, ClusterSpec, PlatformSpec, Sim, SimTime, Topology, Wait};
 use parking_lot::Mutex;
 
 /// Which RMA direction a P2P micro-benchmark measures.
@@ -118,11 +118,12 @@ pub fn diomp_p2p_full(
         .iter()
         .map(|&size| {
             let heap = (4 * size + (1 << 20)).next_power_of_two();
-            let cfg = DiompConfig::on_platform(platform.clone(), 2)
+            let cfg = DiompConfig::builder_on(platform.clone(), 2)
                 .with_mode(DataMode::CostOnly)
                 .with_conduit(conduit)
                 .with_heap(heap)
-                .with_pipeline(pipeline);
+                .with_pipeline(pipeline)
+                .build();
             let out = Arc::new(Mutex::new(0.0f64));
             let out2 = out.clone();
             let target = platform.gpus_per_node; // first device on node 1
@@ -300,10 +301,11 @@ pub fn diomp_collective_full(
         .iter()
         .map(|&size| {
             let heap = (2 * size + (1 << 20)).next_power_of_two();
-            let cfg = DiompConfig::on_platform(platform.clone(), nodes)
+            let cfg = DiompConfig::builder_on(platform.clone(), nodes)
                 .with_mode(DataMode::CostOnly)
                 .with_heap(heap)
-                .with_coll_engine(engine);
+                .with_coll_engine(engine)
+                .build();
             let done = Arc::new(Mutex::new((SimTime::ZERO, SimTime::ZERO)));
             let done2 = done.clone();
             let rep = DiompRuntime::run(cfg, move |ctx, rank| {
@@ -456,6 +458,6 @@ fn _conduit_api_surface(
     seg: diomp_fabric::SegmentId,
 ) {
     let _ = gasnet::put_blocking(ctx, world, 0, Loc::dev(0, 0), seg, 0, 8);
-    gpi::wait_queue(ctx, world, 0, gpi::QueueId(0));
-    gpi::wait_all_queues(ctx, world, 0);
+    gpi::wait_queue(ctx, world, 0, gpi::QueueId(0), Wait::Block).unwrap();
+    gpi::wait_all_queues(ctx, world, 0, Wait::Block).unwrap();
 }

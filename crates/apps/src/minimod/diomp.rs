@@ -51,14 +51,14 @@ pub fn run(cfg: &MinimodConfig) -> MinimodResult {
         // GPI-2 conduit (InfiniBand platforms only).
         HaloStyle::NotifyOrdered | HaloStyle::NotifyWaitsome => Conduit::Gpi2,
     };
-    let dcfg = DiompConfig::new(cluster)
+    let dcfg = DiompConfig::builder(cluster)
         .with_mode(cfg.mode)
         .with_conduit(conduit)
         .with_allocator(diomp_core::AllocKind::Linear)
         .with_heap(cfg.heap_bytes());
-    // Tuned after the conduit is chosen, so the autotuner derives for
-    // the conduit that will actually run (explicit > tuned > disabled).
-    let dcfg = if cfg.tuned { dcfg.tuned() } else { dcfg };
+    // tuned() resolution happens once at build(), against the conduit
+    // recorded above (explicit > tuned > disabled).
+    let dcfg = if cfg.tuned { dcfg.tuned() } else { dcfg }.build();
     let out: Arc<Mutex<(Dur, bool)>> = Arc::new(Mutex::new((Dur::ZERO, true)));
     let out2 = out.clone();
     let parts: SlabParts = Arc::new(Mutex::new(Vec::new()));

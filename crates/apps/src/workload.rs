@@ -1,0 +1,302 @@
+//! Multi-tenant workload engine: overlapping jobs on one shared fabric.
+//!
+//! Replays a set of [`JobSpec`]s — each with its own arrival time, QoS
+//! class and communicator — against a single simulated cluster. With
+//! contention armed ([`diomp_sim::Sim::enable_contention`]) every wire
+//! the jobs collide on is priced by the per-link weighted fair queue,
+//! so a high-QoS job keeps a bounded share of each link no matter how
+//! many tenants pile on; disarmed, the same workload replays on the
+//! legacy serial link model bit for bit.
+//!
+//! Each job runs a deterministic, seeded sequence of collectives with
+//! mixed operations and sizes over its own [`XcclComm`] (built with the
+//! job's [`diomp_core::CommOpts`] so its chunk traffic carries the job's QoS
+//! weight). The engine reports per-job p50/p99 collective latency and
+//! achieved-vs-table wire bandwidth — the rows `bench_gate` gates the
+//! canonical 8-job contention scenario on.
+
+use std::sync::Arc;
+
+use diomp_core::{DeviceBuf, JobSpec, QosClass, ReduceOp, UniqueId, XcclComm, XcclOp};
+use diomp_device::{DataMode, DeviceTable};
+use diomp_fabric::FabricWorld;
+use diomp_sim::{derive_seed, ClusterSpec, Dur, Meter, PlatformSpec, Sim, SimTime, Topology};
+use parking_lot::Mutex;
+
+/// A multi-tenant workload: which jobs share the fabric, and what each
+/// of them runs.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Hardware platform of the shared cluster.
+    pub platform: PlatformSpec,
+    /// Nodes in the shared cluster (one rank per GPU).
+    pub nodes: usize,
+    /// The tenant jobs. Every job's communicator spans all ranks, so
+    /// concurrent jobs contend on every inter-node wire.
+    pub jobs: Vec<JobSpec>,
+    /// Collectives each job issues.
+    pub iters: usize,
+    /// Candidate payload sizes; each iteration draws one, seeded.
+    pub sizes: Vec<u64>,
+    /// Root seed for the per-job op/size draws.
+    pub seed: u64,
+    /// Arm the per-link weighted fair queue. Disarmed, transfers take
+    /// the legacy serial link path bit for bit.
+    pub contended: bool,
+}
+
+/// Per-job outcome of a workload run.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// Job name, from its [`JobSpec`].
+    pub name: String,
+    /// QoS class the job's traffic was charged at.
+    pub qos: QosClass,
+    /// Collective latency samples observed (one per iteration).
+    pub samples: usize,
+    /// Median collective latency, µs.
+    pub p50_us: f64,
+    /// 99th-percentile collective latency, µs.
+    pub p99_us: f64,
+    /// Achieved per-port wire bandwidth over the job's busy time, GB/s:
+    /// ring-algorithm wire bytes (`XcclOp::wire_factor`) divided by the
+    /// time the job spent inside collectives.
+    pub achieved_gbps: f64,
+    /// The platform table's per-NIC wire bandwidth, GB/s — the ceiling
+    /// `achieved_gbps` is reported against.
+    pub table_gbps: f64,
+}
+
+/// Whole-workload outcome.
+#[derive(Clone, Debug)]
+pub struct WorkloadReport {
+    /// Per-job results, in `jobs` order.
+    pub jobs: Vec<JobResult>,
+    /// Virtual end-to-end time of the whole workload, µs.
+    pub makespan_us: f64,
+    /// Virtual end time of the simulation.
+    pub end_time: SimTime,
+    /// Scheduler entries processed — the wall-clock cost dimension.
+    pub entries_processed: u64,
+}
+
+/// The seeded draw for iteration `iter` of job `job`: identical on
+/// every rank (it only hashes the workload seed and indices), so all
+/// participants of a collective agree on its op and size.
+fn draw(seed: u64, job: usize, iter: usize, sizes: &[u64]) -> (XcclOp, u64) {
+    let h = derive_seed(derive_seed(seed, 0x10B + job as u64), iter as u64);
+    let size = sizes[(h % sizes.len() as u64) as usize];
+    let op = if (h >> 32) & 1 == 0 {
+        XcclOp::AllReduce { op: ReduceOp::SumF32 }
+    } else {
+        XcclOp::Broadcast { root: 0 }
+    };
+    (op, size)
+}
+
+/// Run a workload: one simulation, one fabric, all jobs.
+///
+/// Each `(job, rank)` pair is its own simulation task: it sleeps until
+/// the job's arrival, collectively initialises the job's communicator
+/// (with the job's QoS class), then issues the job's seeded collective
+/// sequence. Latency is sampled on the job's rank 0.
+pub fn run_workload(spec: &WorkloadSpec) -> WorkloadReport {
+    let nranks = spec.nodes * spec.platform.gpus_per_node;
+    let max_size = spec.sizes.iter().copied().max().expect("workload needs sizes");
+    let mut sim = Sim::new();
+    if spec.contended {
+        sim.enable_contention();
+    }
+    let cluster = ClusterSpec {
+        platform: spec.platform.clone(),
+        nodes: spec.nodes,
+        gpus_per_node: spec.platform.gpus_per_node,
+    };
+    let topo = Arc::new(Topology::build(&sim.handle(), cluster));
+    let heap = (spec.jobs.len() as u64 * 2 * max_size + (1 << 20)).next_power_of_two();
+    let devs = DeviceTable::build(&sim.handle(), topo.clone(), DataMode::CostOnly, Some(heap));
+    let world = FabricWorld::new(topo, devs, nranks);
+
+    // Per-job accumulators: latency meter + wire-byte/busy-time totals,
+    // filled in by the job's rank-0 task.
+    struct JobAcc {
+        meter: Meter,
+        wire_bytes: f64,
+        busy: Dur,
+    }
+    let accs: Vec<Arc<Mutex<JobAcc>>> = spec
+        .jobs
+        .iter()
+        .map(|_| {
+            Arc::new(Mutex::new(JobAcc { meter: Meter::new(), wire_bytes: 0.0, busy: Dur::ZERO }))
+        })
+        .collect();
+
+    for (j, job) in spec.jobs.iter().enumerate() {
+        // Ids only key the communicator's rendezvous gate; a fresh one
+        // per job per run keeps gates from leaking across runs in the
+        // same process.
+        let id = UniqueId::generate();
+        for r in 0..nranks {
+            let world = world.clone();
+            let job = job.clone();
+            let acc = accs[j].clone();
+            let (iters, sizes, seed) = (spec.iters, spec.sizes.clone(), spec.seed);
+            sim.spawn(format!("job{j}-{}-rank{r}", job.name), move |ctx| {
+                ctx.delay(job.arrival);
+                let comm = XcclComm::init(
+                    ctx,
+                    &world,
+                    (0..world.nranks).collect(),
+                    r,
+                    id,
+                    job.comm_opts(),
+                );
+                let off = world.primary_dev(r).malloc(max_size.max(64), 256).unwrap();
+                for i in 0..iters {
+                    let (op, size) = draw(seed, j, i, &sizes);
+                    let t0 = ctx.now();
+                    let wire = op.wire_factor(world.nranks) * size as f64;
+                    comm.collective(ctx, r, vec![DeviceBuf { flat: r, off }], op, size);
+                    if r == 0 {
+                        let d = ctx.now().since(t0);
+                        let mut a = acc.lock();
+                        a.meter.record(d);
+                        a.wire_bytes += wire;
+                        a.busy += d;
+                    }
+                }
+            });
+        }
+    }
+    let rep = sim.run().expect("workload simulation deadlocked");
+
+    let jobs = spec
+        .jobs
+        .iter()
+        .zip(&accs)
+        .map(|(job, acc)| {
+            let a = acc.lock();
+            let busy_ns = a.busy.as_nanos();
+            JobResult {
+                name: job.name.clone(),
+                qos: job.qos,
+                samples: a.meter.count(),
+                p50_us: a.meter.p50_us(),
+                p99_us: a.meter.p99_us(),
+                achieved_gbps: if busy_ns == 0 { 0.0 } else { a.wire_bytes / busy_ns as f64 },
+                table_gbps: spec.platform.net.nic_gbps,
+            }
+        })
+        .collect();
+    WorkloadReport {
+        jobs,
+        makespan_us: rep.end_time.as_us(),
+        end_time: rep.end_time,
+        entries_processed: rep.entries_processed,
+    }
+}
+
+/// The canonical mixed-QoS tenant set: job `4k` is High, job `4k+3` is
+/// Low, the rest Normal; arrivals are seeded, spread over the first
+/// `window`.
+pub fn canonical_jobs(n: usize, seed: u64, window: Dur) -> Vec<JobSpec> {
+    (0..n)
+        .map(|j| {
+            let qos = match j % 4 {
+                0 => QosClass::High,
+                3 => QosClass::Low,
+                _ => QosClass::Normal,
+            };
+            let h = derive_seed(seed, 0xA221 + j as u64);
+            let arrival = Dur::nanos(h % window.as_nanos().max(1));
+            JobSpec::new(format!("{}{j}", qos_tag(qos)), qos, arrival)
+        })
+        .collect()
+}
+
+fn qos_tag(qos: QosClass) -> &'static str {
+    match qos {
+        QosClass::High => "high",
+        QosClass::Normal => "normal",
+        QosClass::Low => "low",
+    }
+}
+
+/// The canonical 8-job contention scenario `bench_gate` gates: two
+/// High, four Normal and two Low tenants on two platform-A nodes, mixed
+/// 256 KiB – 4 MiB collectives, arrivals spread over the first 200 µs.
+pub fn canonical_workload(contended: bool) -> WorkloadSpec {
+    WorkloadSpec {
+        platform: PlatformSpec::platform_a(),
+        nodes: 2,
+        jobs: canonical_jobs(8, 0xD10_1417, Dur::micros(200.0)),
+        iters: 12,
+        sizes: vec![256 << 10, 1 << 20, 4 << 20],
+        seed: 0xD10_1417,
+        contended,
+    }
+}
+
+/// The idle reference for the canonical scenario: the same fabric and
+/// collective sequence, but a single tenant with the whole fabric to
+/// itself. QoS weights only matter under contention, so one idle run
+/// serves as the baseline for every class.
+pub fn canonical_idle_workload(contended: bool) -> WorkloadSpec {
+    let mut spec = canonical_workload(contended);
+    spec.jobs.truncate(1);
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_rank_invariant_and_mixed() {
+        let sizes = [256u64 << 10, 1 << 20, 4 << 20];
+        let mut seen_sizes = std::collections::HashSet::new();
+        let mut seen_ops = std::collections::HashSet::new();
+        for i in 0..32 {
+            let (op, size) = draw(7, 3, i, &sizes);
+            assert_eq!((op, size), draw(7, 3, i, &sizes), "draw must be deterministic");
+            seen_sizes.insert(size);
+            seen_ops.insert(matches!(op, XcclOp::AllReduce { .. }));
+        }
+        assert!(seen_sizes.len() > 1, "sizes must actually mix");
+        assert_eq!(seen_ops.len(), 2, "ops must actually mix");
+    }
+
+    #[test]
+    fn canonical_jobs_cover_all_classes() {
+        let jobs = canonical_jobs(8, 1, Dur::micros(200.0));
+        assert_eq!(jobs.iter().filter(|j| j.qos == QosClass::High).count(), 2);
+        assert_eq!(jobs.iter().filter(|j| j.qos == QosClass::Normal).count(), 4);
+        assert_eq!(jobs.iter().filter(|j| j.qos == QosClass::Low).count(), 2);
+        assert!(jobs.iter().all(|j| j.arrival < Dur::micros(200.0)));
+    }
+
+    #[test]
+    fn single_job_workload_is_contention_invariant() {
+        // One tenant: the weighted fair queue has a single backlogged
+        // flow on every link, which collapses to the serial closed form
+        // — the armed run must land on the same virtual end time.
+        let disarmed = run_workload(&canonical_idle_workload(false));
+        let armed = run_workload(&canonical_idle_workload(true));
+        assert_eq!(disarmed.end_time, armed.end_time);
+        assert_eq!(disarmed.jobs[0].p99_us, armed.jobs[0].p99_us);
+    }
+
+    #[test]
+    fn contended_run_reports_all_jobs() {
+        let mut spec = canonical_workload(true);
+        spec.iters = 4;
+        let rep = run_workload(&spec);
+        assert_eq!(rep.jobs.len(), 8);
+        for j in &rep.jobs {
+            assert_eq!(j.samples, 4, "{}: every iteration must be sampled", j.name);
+            assert!(j.p99_us >= j.p50_us && j.p50_us > 0.0);
+            assert!(j.achieved_gbps > 0.0 && j.achieved_gbps < j.table_gbps);
+        }
+    }
+}

@@ -22,7 +22,8 @@ fn ablation_asym_cache(c: &mut Criterion) {
             let cold = Arc::new(AtomicU64::new(0));
             let warm = Arc::new(AtomicU64::new(0));
             let (c2, w2) = (cold.clone(), warm.clone());
-            let cfg = DiompConfig::on_platform(PlatformSpec::platform_a(), 2).with_heap(4 << 20);
+            let cfg =
+                DiompConfig::builder_on(PlatformSpec::platform_a(), 2).with_heap(4 << 20).build();
             DiompRuntime::run(cfg, move |ctx, rank| {
                 let mine = rank.alloc_asym(ctx, 4096).unwrap();
                 let scratch = rank.alloc_sym(ctx, 256).unwrap();
@@ -86,9 +87,10 @@ fn ablation_alloc(c: &mut Criterion) {
     for (name, kind) in [("buddy", AllocKind::Buddy), ("linear", AllocKind::Linear)] {
         g.bench_function(name, |b| {
             b.iter(|| {
-                let cfg = DiompConfig::on_platform(PlatformSpec::platform_a(), 1)
+                let cfg = DiompConfig::builder_on(PlatformSpec::platform_a(), 1)
                     .with_allocator(kind)
-                    .with_heap(8 << 20);
+                    .with_heap(8 << 20)
+                    .build();
                 DiompRuntime::run(cfg, move |ctx, rank| {
                     let mut held = Vec::new();
                     for i in 0..12 {
@@ -119,10 +121,11 @@ fn ablation_paths(c: &mut Criterion) {
                 let t = Arc::new(AtomicU64::new(0));
                 let t2 = t.clone();
                 let mut cfg =
-                    DiompConfig::on_platform(PlatformSpec::platform_a(), 1).with_heap(4 << 20);
+                    DiompConfig::builder_on(PlatformSpec::platform_a(), 1).with_heap(4 << 20);
                 if !p2p {
                     cfg = cfg.without_p2p();
                 }
+                let cfg = cfg.build();
                 DiompRuntime::run(cfg, move |ctx, rank| {
                     let ptr = rank.alloc_sym(ctx, 1 << 20).unwrap();
                     if rank.rank == 0 {
@@ -142,14 +145,18 @@ fn ablation_paths(c: &mut Criterion) {
 }
 
 /// Two single-GPU nodes in CostOnly mode: the pipeline/fence ablation rig.
-fn internode_cfg(heap: u64) -> DiompConfig {
-    DiompConfig::new(ClusterSpec {
+fn internode_builder(heap: u64) -> diomp_core::DiompConfigBuilder {
+    DiompConfig::builder(ClusterSpec {
         platform: PlatformSpec::platform_a(),
         nodes: 2,
         gpus_per_node: 1,
     })
     .with_mode(DataMode::CostOnly)
     .with_heap(heap)
+}
+
+fn internode_cfg(heap: u64) -> DiompConfig {
+    internode_builder(heap).build()
 }
 
 /// Virtual µs for one 64 MiB inter-node put + fence under `cfg`.
@@ -183,7 +190,9 @@ fn ablation_pipeline(c: &mut Criterion) {
     g.bench_function("put64mib_pipelined_vs_monolithic", |b| {
         b.iter(|| {
             let mono = put64_us(internode_cfg(256 << 20));
-            let piped = put64_us(internode_cfg(256 << 20).with_pipeline(PipelineConfig::enabled()));
+            let piped = put64_us(
+                internode_builder(256 << 20).with_pipeline(PipelineConfig::enabled()).build(),
+            );
             assert!(
                 piped < mono,
                 "pipelined put must be strictly faster: {piped:.1}µs vs {mono:.1}µs"
@@ -204,10 +213,11 @@ fn ablation_pipeline(c: &mut Criterion) {
 fn ablation_fence_batching(c: &mut Criterion) {
     let run = |batched: bool| {
         let n = 1000u64;
-        let mut cfg = internode_cfg(64 << 20);
+        let mut cfg = internode_builder(64 << 20);
         if !batched {
             cfg = cfg.without_batched_fence();
         }
+        let cfg = cfg.build();
         DiompRuntime::run(cfg, move |ctx, rank| {
             let ptr = rank.alloc_sym(ctx, 256 << 10).unwrap();
             rank.barrier(ctx);

@@ -68,13 +68,14 @@ fn measure() -> Vec<BenchRecord> {
 
     // Batched-fence ablation (ISSUE 1): virtual time and entry count of a
     // 1000-put fence with wait_all batching on.
-    let fence_cfg = DiompConfig::new(ClusterSpec {
+    let fence_cfg = DiompConfig::builder(ClusterSpec {
         platform: PlatformSpec::platform_a(),
         nodes: 2,
         gpus_per_node: 1,
     })
     .with_mode(DataMode::CostOnly)
-    .with_heap(64 << 20);
+    .with_heap(64 << 20)
+    .build();
     let rep = DiompRuntime::run(fence_cfg, |ctx, rank| {
         let ptr = rank.alloc_sym(ctx, 256 << 10).unwrap();
         rank.barrier(ctx);
@@ -332,13 +333,14 @@ fn measure() -> Vec<BenchRecord> {
                     .ctrl_fault(fault_key("bench-inert", 0, 0), CtrlFault::Drop);
                 sim.set_fault_plan(plan);
             }
-            let cfg = DiompConfig::new(ClusterSpec {
+            let cfg = DiompConfig::builder(ClusterSpec {
                 platform: PlatformSpec::platform_a(),
                 nodes: 2,
                 gpus_per_node: 1,
             })
             .with_mode(DataMode::CostOnly)
-            .with_heap(8 << 20);
+            .with_heap(8 << 20)
+            .build();
             let shared = DiompRuntime::build(&sim, cfg);
             for r in 0..2 {
                 let shared = shared.clone();
@@ -379,6 +381,128 @@ fn measure() -> Vec<BenchRecord> {
             "x",
             armed.1,
         ));
+    }
+
+    // (f) Multi-tenant shared-fabric contention + QoS (ISSUE 7
+    // tentpole): the canonical 8-job scenario — two High, four Normal,
+    // two Low tenants overlapping on two platform-A nodes. Hard-asserted
+    // relations: a lone tenant on a contention-armed sim replays the
+    // disarmed run bit-identically; every class's p99 stays under its
+    // weighted-fair-share bound; the High tenants' p99 under full 8-way
+    // load stays within a fixed factor of idle. The per-class p99 rows
+    // and the makespan are then locked in the baseline.
+    {
+        use diomp_apps::workload::{canonical_idle_workload, canonical_workload, run_workload};
+        use diomp_sim::QosClass;
+
+        let disarmed = run_workload(&canonical_idle_workload(false));
+        let idle = run_workload(&canonical_idle_workload(true));
+        assert_eq!(
+            disarmed.end_time, idle.end_time,
+            "a lone tenant must replay bit-identically whether or not contention is armed"
+        );
+        let idle_p99 = idle.jobs[0].p99_us;
+
+        let loaded = run_workload(&canonical_workload(true));
+        let class_p99 = |q: QosClass| {
+            loaded.jobs.iter().filter(|j| j.qos == q).map(|j| j.p99_us).fold(0.0, f64::max)
+        };
+        let total_w: u64 = loaded.jobs.iter().map(|j| j.qos.weight_milli() as u64).sum();
+        for (tag, q) in
+            [("high", QosClass::High), ("normal", QosClass::Normal), ("low", QosClass::Low)]
+        {
+            let p99 = class_p99(q);
+            // Weighted fair sharing bounds any class's slowdown by the
+            // inverse of its weight share (wire time scales by at most
+            // Σw/w_q; software overheads don't scale at all); 25% slack
+            // covers scheduling quantisation.
+            let bound = idle_p99 * (total_w as f64 / q.weight_milli() as f64) * 1.25;
+            assert!(
+                p99 <= bound,
+                "tenancy/{tag}: p99 {p99:.1}µs exceeds the fair-share bound {bound:.1}µs \
+                 (idle {idle_p99:.1}µs)"
+            );
+            records.push(BenchRecord {
+                name: format!("tenancy/8job_{tag}_p99"),
+                value: p99,
+                unit: "us".into(),
+                entries_processed: (tag == "high").then_some(loaded.entries_processed),
+            });
+        }
+        let qos_factor = class_p99(QosClass::High) / idle_p99;
+        assert!(
+            qos_factor <= 4.0,
+            "tenancy: High p99 under 8-way load is {qos_factor:.2}x idle (must stay ≤ 4x)"
+        );
+        records.push(BenchRecord {
+            name: "tenancy/qos_high_p99_factor".into(),
+            value: qos_factor,
+            unit: "x".into(),
+            entries_processed: None,
+        });
+        records.push(BenchRecord::with_entries(
+            "tenancy/8job_makespan",
+            loaded.makespan_us,
+            "us",
+            loaded.entries_processed,
+        ));
+        // Achieved-vs-table bandwidth of the busiest High tenant, locked
+        // so a fair-queue pricing regression shows up as lost wire share.
+        let high = loaded
+            .jobs
+            .iter()
+            .find(|j| j.qos == QosClass::High)
+            .expect("canonical scenario has High tenants");
+        records.push(BenchRecord {
+            name: "tenancy/8job_high_achieved_frac".into(),
+            value: high.achieved_gbps / high.table_gbps,
+            unit: "x".into(),
+            entries_processed: None,
+        });
+    }
+
+    // (g) Work conservation of the weighted fair queue itself: eight
+    // saturating flows on one raw link must jointly achieve the link's
+    // table bandwidth — the fluid scheduler may never idle a wire that
+    // has backlogged flows. Hard-asserted within 2%; the ratio row keeps
+    // the claim in CI history.
+    {
+        use diomp_sim::{Dur, Sim, SimTime};
+        let sim = Sim::new();
+        sim.enable_contention();
+        let h = sim.handle();
+        let bpns = 25.0; // one 25 GB/s NIC port
+        let res = h.new_resource(bpns, Dur::micros(1.0));
+        let weights = [4000u32, 4000, 1000, 1000, 1000, 1000, 250, 250];
+        let flows: Vec<_> = weights.iter().map(|&w| h.new_flow(w)).collect();
+        let mut sim = sim;
+        for (i, &flow) in flows.iter().enumerate() {
+            let h = sim.handle();
+            sim.spawn(format!("flow{i}"), move |ctx| {
+                let evs: Vec<_> =
+                    (0..10).map(|_| h.transfer_qos(res, flow, SimTime::ZERO, 4 << 20)).collect();
+                for ev in evs {
+                    ctx.wait_free(ev);
+                }
+            });
+        }
+        sim.run().unwrap();
+        let stats: Vec<_> = flows.iter().map(|&f| h.flow_stats(f)).collect();
+        let first = stats.iter().filter_map(|s| s.first_start).min().expect("flows ran");
+        let last = stats.iter().map(|s| s.last_depart).max().expect("flows ran");
+        let total_bytes: u64 = stats.iter().map(|s| s.bytes).sum();
+        let achieved = total_bytes as f64 / last.since(first).as_nanos() as f64;
+        let frac = achieved / bpns;
+        assert!(
+            (0.98..=1.02).contains(&frac),
+            "work conservation: 8 backlogged flows achieved {frac:.4}x of link capacity"
+        );
+        records.push(BenchRecord {
+            name: "tenancy/work_conservation".into(),
+            value: frac,
+            unit: "x".into(),
+            entries_processed: None,
+        });
     }
     records
 }

@@ -1,7 +1,16 @@
 //! Runtime configuration.
+//!
+//! Construction is staged: [`DiompConfigBuilder`] records *what the
+//! caller chose* (explicit knobs, plus whether autotuning was requested)
+//! and [`DiompConfigBuilder::build`] resolves everything **once** —
+//! defaults, then the autotuner for the final `(platform, conduit)`
+//! pair, then explicit settings on top. Precedence (**explicit > tuned >
+//! default**) is therefore order-independent by construction rather than
+//! by careful re-derivation inside each setter, which is what the
+//! deprecated mutate-in-place setters on [`DiompConfig`] had to do.
 
 use diomp_device::DataMode;
-use diomp_sim::{ClusterSpec, PlatformSpec};
+use diomp_sim::{ClusterSpec, PlatformSpec, QosClass};
 use diomp_xccl::CollEngine;
 
 use crate::galloc::AllocKind;
@@ -138,6 +147,13 @@ pub struct DiompConfig {
     /// [`CollEngine::Auto`], or the calibrated whole-collective profiles
     /// (the curve-fit path, kept for ablation).
     pub coll_engine: CollEngine,
+    /// QoS class of this job's collective traffic on a shared fabric.
+    /// Communicators created by the runtime charge their chunk transfers
+    /// to a flow with this class's weight; on a contention-armed
+    /// simulator concurrent jobs then fair-share each link by weight
+    /// (see `diomp_sim::QosClass`). Irrelevant — and bit-neutral — when
+    /// the simulator runs a single job or contention is disarmed.
+    pub qos: QosClass,
     /// Was the pipeline set explicitly (`with_pipeline`)? Explicit
     /// settings are pinned against [`DiompConfig::tuned`] re-derivation.
     pipeline_explicit: bool,
@@ -168,6 +184,7 @@ impl DiompConfig {
             max_rma_retries: 3,
             retry_backoff_us: 50.0,
             coll_engine: CollEngine::default(),
+            qos: QosClass::default(),
             pipeline_explicit: false,
             coll_engine_explicit: false,
             tuned: false,
@@ -179,6 +196,17 @@ impl DiompConfig {
         Self::new(ClusterSpec::full_nodes(platform, nodes))
     }
 
+    /// Start a staged builder for a cluster — the supported way to
+    /// configure a job. See [`DiompConfigBuilder`].
+    pub fn builder(cluster: ClusterSpec) -> DiompConfigBuilder {
+        DiompConfigBuilder::new(cluster)
+    }
+
+    /// Staged builder for platform + node count, all devices used.
+    pub fn builder_on(platform: PlatformSpec, nodes: usize) -> DiompConfigBuilder {
+        DiompConfigBuilder::new(ClusterSpec::full_nodes(platform, nodes))
+    }
+
     /// Apply the transport autotuner: derive the RMA pipeline and the
     /// collective engine ([`CollEngine::Auto`]) from the platform tables
     /// for the active conduit. Precedence is **explicit > tuned >
@@ -188,6 +216,9 @@ impl DiompConfig {
     /// (non-pinned) parameters for the new conduit, and without
     /// `tuned()` the defaults stay disabled/ring (the paper's published
     /// configuration).
+    #[deprecated(
+        note = "use DiompConfig::builder(..).tuned().build() — resolution then happens once, at build()"
+    )]
     pub fn tuned(mut self) -> Self {
         self.tuned = true;
         self.apply_tuning();
@@ -215,6 +246,7 @@ impl DiompConfig {
     }
 
     /// Builder-style setters.
+    #[deprecated(note = "use DiompConfigBuilder::with_binding")]
     pub fn with_binding(mut self, b: Binding) -> Self {
         self.binding = b;
         self
@@ -222,6 +254,7 @@ impl DiompConfig {
 
     /// Select the conduit. On a tuned config this re-derives the tuned
     /// (non-explicit) transport parameters for the new conduit.
+    #[deprecated(note = "use DiompConfigBuilder::with_conduit")]
     pub fn with_conduit(mut self, c: Conduit) -> Self {
         self.conduit = c;
         if self.tuned {
@@ -231,20 +264,202 @@ impl DiompConfig {
     }
 
     /// Set the per-device global heap size.
+    #[deprecated(note = "use DiompConfigBuilder::with_heap")]
     pub fn with_heap(mut self, bytes: u64) -> Self {
         self.heap_bytes = bytes;
         self
     }
 
     /// Set the symmetric allocator strategy.
+    #[deprecated(note = "use DiompConfigBuilder::with_allocator")]
     pub fn with_allocator(mut self, k: AllocKind) -> Self {
         self.allocator = k;
         self
     }
 
     /// Set the data mode.
+    #[deprecated(note = "use DiompConfigBuilder::with_mode")]
     pub fn with_mode(mut self, m: DataMode) -> Self {
         self.mode = m;
+        self
+    }
+
+    /// Cap the modelled device memory (test OOM paths).
+    #[deprecated(note = "use DiompConfigBuilder::with_mem_capacity")]
+    pub fn with_mem_capacity(mut self, cap: u64) -> Self {
+        self.mem_capacity = Some(cap);
+        self
+    }
+
+    /// Force the IPC path by disabling GPUDirect P2P.
+    #[deprecated(note = "use DiompConfigBuilder::without_p2p")]
+    pub fn without_p2p(mut self) -> Self {
+        self.use_p2p = false;
+        self
+    }
+
+    /// Configure large-message pipelining explicitly (see
+    /// [`PipelineConfig`]); pins the pipeline against `tuned()`
+    /// re-derivation regardless of call order.
+    #[deprecated(note = "use DiompConfigBuilder::with_pipeline")]
+    pub fn with_pipeline(mut self, p: PipelineConfig) -> Self {
+        self.pipeline = p;
+        self.pipeline_explicit = true;
+        self
+    }
+
+    /// Drain fences event-by-event (the pre-`wait_all` behaviour); used
+    /// by the scheduler-cost ablation.
+    #[deprecated(note = "use DiompConfigBuilder::without_batched_fence")]
+    pub fn without_batched_fence(mut self) -> Self {
+        self.batched_fence = false;
+        self
+    }
+
+    /// Configure the GASPI recovery loop for GPI-2 posts: retry budget
+    /// and initial (doubling) backoff. `max_retries = 0` disables
+    /// recovery — the first queue error propagates.
+    #[deprecated(note = "use DiompConfigBuilder::with_rma_retry")]
+    pub fn with_rma_retry(mut self, max_retries: u32, backoff_us: f64) -> Self {
+        self.max_rma_retries = max_retries;
+        self.retry_backoff_us = backoff_us;
+        self
+    }
+
+    /// Select the OMPCCL completion-time engine explicitly; pins it
+    /// against `tuned()` re-derivation regardless of call order.
+    #[deprecated(note = "use DiompConfigBuilder::with_coll_engine")]
+    pub fn with_coll_engine(mut self, e: CollEngine) -> Self {
+        self.coll_engine = e;
+        self.coll_engine_explicit = true;
+        self
+    }
+
+    /// Price collectives with the calibrated whole-collective profiles
+    /// instead of the emergent ring protocol (the ablation baseline).
+    #[deprecated(note = "use DiompConfigBuilder::with_profile_collectives")]
+    #[allow(deprecated)]
+    pub fn with_profile_collectives(self) -> Self {
+        self.with_coll_engine(CollEngine::Profile)
+    }
+}
+
+/// Staged builder for [`DiompConfig`].
+///
+/// Records the caller's choices without resolving anything; [`build`]
+/// then resolves **once**, in fixed order — base defaults, autotuned
+/// parameters (if [`tuned`] was requested) for the *final* conduit, and
+/// explicit settings last. Two consequences, guaranteed by construction
+/// rather than by setter bookkeeping:
+///
+/// * **explicit > tuned > default**, regardless of call order —
+///   `b.with_pipeline(p).tuned()` and `b.tuned().with_pipeline(p)` build
+///   the same config;
+/// * the autotuner never runs against a stale conduit — tuning sees the
+///   conduit the job will actually use, however late it was selected.
+///
+/// ```
+/// use diomp_core::{Conduit, DiompConfig, PipelineConfig};
+/// use diomp_sim::PlatformSpec;
+///
+/// let cfg = DiompConfig::builder_on(PlatformSpec::platform_c(), 2)
+///     .with_conduit(Conduit::Gpi2)
+///     .tuned()
+///     .with_heap(64 << 20)
+///     .build();
+/// assert!(cfg.pipeline != PipelineConfig::disabled());
+/// ```
+///
+/// [`build`]: DiompConfigBuilder::build
+/// [`tuned`]: DiompConfigBuilder::tuned
+#[derive(Clone)]
+pub struct DiompConfigBuilder {
+    cluster: ClusterSpec,
+    binding: Option<Binding>,
+    conduit: Option<Conduit>,
+    heap_bytes: Option<u64>,
+    asym_frac: Option<f64>,
+    allocator: Option<AllocKind>,
+    mode: Option<DataMode>,
+    mem_capacity: Option<u64>,
+    use_p2p: Option<bool>,
+    pipeline: Option<PipelineConfig>,
+    batched_fence: Option<bool>,
+    rma_retry: Option<(u32, f64)>,
+    coll_engine: Option<CollEngine>,
+    qos: Option<QosClass>,
+    tuned: bool,
+}
+
+impl DiompConfigBuilder {
+    /// Builder over a cluster, all knobs at their defaults.
+    pub fn new(cluster: ClusterSpec) -> Self {
+        DiompConfigBuilder {
+            cluster,
+            binding: None,
+            conduit: None,
+            heap_bytes: None,
+            asym_frac: None,
+            allocator: None,
+            mode: None,
+            mem_capacity: None,
+            use_p2p: None,
+            pipeline: None,
+            batched_fence: None,
+            rma_retry: None,
+            coll_engine: None,
+            qos: None,
+            tuned: false,
+        }
+    }
+
+    /// Request the transport autotuner: at [`build`] the RMA pipeline
+    /// and the collective engine are derived from the platform tables
+    /// for the final conduit — unless set explicitly, which always wins.
+    ///
+    /// [`build`]: DiompConfigBuilder::build
+    pub fn tuned(mut self) -> Self {
+        self.tuned = true;
+        self
+    }
+
+    /// Set the device binding strategy.
+    pub fn with_binding(mut self, b: Binding) -> Self {
+        self.binding = Some(b);
+        self
+    }
+
+    /// Select the conduit. Order-independent with [`tuned`]: the
+    /// autotuner always runs for the conduit recorded at [`build`].
+    ///
+    /// [`tuned`]: DiompConfigBuilder::tuned
+    /// [`build`]: DiompConfigBuilder::build
+    pub fn with_conduit(mut self, c: Conduit) -> Self {
+        self.conduit = Some(c);
+        self
+    }
+
+    /// Set the per-device global heap size in bytes.
+    pub fn with_heap(mut self, bytes: u64) -> Self {
+        self.heap_bytes = Some(bytes);
+        self
+    }
+
+    /// Set the fraction of the heap reserved for the asymmetric region.
+    pub fn with_asym_frac(mut self, frac: f64) -> Self {
+        self.asym_frac = Some(frac);
+        self
+    }
+
+    /// Set the symmetric allocator strategy.
+    pub fn with_allocator(mut self, k: AllocKind) -> Self {
+        self.allocator = Some(k);
+        self
+    }
+
+    /// Set the data mode.
+    pub fn with_mode(mut self, m: DataMode) -> Self {
+        self.mode = Some(m);
         self
     }
 
@@ -256,23 +471,23 @@ impl DiompConfig {
 
     /// Force the IPC path by disabling GPUDirect P2P.
     pub fn without_p2p(mut self) -> Self {
-        self.use_p2p = false;
+        self.use_p2p = Some(false);
         self
     }
 
     /// Configure large-message pipelining explicitly (see
-    /// [`PipelineConfig`]); pins the pipeline against `tuned()`
-    /// re-derivation regardless of call order.
+    /// [`PipelineConfig`]); always wins over [`tuned`] derivation.
+    ///
+    /// [`tuned`]: DiompConfigBuilder::tuned
     pub fn with_pipeline(mut self, p: PipelineConfig) -> Self {
-        self.pipeline = p;
-        self.pipeline_explicit = true;
+        self.pipeline = Some(p);
         self
     }
 
     /// Drain fences event-by-event (the pre-`wait_all` behaviour); used
     /// by the scheduler-cost ablation.
     pub fn without_batched_fence(mut self) -> Self {
-        self.batched_fence = false;
+        self.batched_fence = Some(false);
         self
     }
 
@@ -280,16 +495,16 @@ impl DiompConfig {
     /// and initial (doubling) backoff. `max_retries = 0` disables
     /// recovery — the first queue error propagates.
     pub fn with_rma_retry(mut self, max_retries: u32, backoff_us: f64) -> Self {
-        self.max_rma_retries = max_retries;
-        self.retry_backoff_us = backoff_us;
+        self.rma_retry = Some((max_retries, backoff_us));
         self
     }
 
-    /// Select the OMPCCL completion-time engine explicitly; pins it
-    /// against `tuned()` re-derivation regardless of call order.
+    /// Select the OMPCCL completion-time engine explicitly; always wins
+    /// over [`tuned`] derivation.
+    ///
+    /// [`tuned`]: DiompConfigBuilder::tuned
     pub fn with_coll_engine(mut self, e: CollEngine) -> Self {
-        self.coll_engine = e;
-        self.coll_engine_explicit = true;
+        self.coll_engine = Some(e);
         self
     }
 
@@ -297,6 +512,67 @@ impl DiompConfig {
     /// instead of the emergent ring protocol (the ablation baseline).
     pub fn with_profile_collectives(self) -> Self {
         self.with_coll_engine(CollEngine::Profile)
+    }
+
+    /// Set the job's QoS class for shared-fabric contention (see
+    /// [`DiompConfig::qos`]).
+    pub fn with_qos(mut self, q: QosClass) -> Self {
+        self.qos = Some(q);
+        self
+    }
+
+    /// Resolve the configuration: defaults, then (if requested) the
+    /// autotuner for the final `(platform, conduit)` pair, then every
+    /// explicit setting on top. The single resolution point is what
+    /// makes the precedence order-independent.
+    pub fn build(self) -> DiompConfig {
+        let mut cfg = DiompConfig::new(self.cluster);
+        if let Some(c) = self.conduit {
+            cfg.conduit = c;
+        }
+        if self.tuned {
+            let t = crate::tune::Tuner::new(&cfg.cluster.platform, cfg.conduit);
+            cfg.pipeline = t.pipeline();
+            cfg.coll_engine = t.coll_engine();
+        }
+        if let Some(b) = self.binding {
+            cfg.binding = b;
+        }
+        if let Some(h) = self.heap_bytes {
+            cfg.heap_bytes = h;
+        }
+        if let Some(f) = self.asym_frac {
+            cfg.asym_frac = f;
+        }
+        if let Some(k) = self.allocator {
+            cfg.allocator = k;
+        }
+        if let Some(m) = self.mode {
+            cfg.mode = m;
+        }
+        if let Some(cap) = self.mem_capacity {
+            cfg.mem_capacity = Some(cap);
+        }
+        if let Some(p2p) = self.use_p2p {
+            cfg.use_p2p = p2p;
+        }
+        if let Some(p) = self.pipeline {
+            cfg.pipeline = p;
+        }
+        if let Some(bf) = self.batched_fence {
+            cfg.batched_fence = bf;
+        }
+        if let Some((r, b)) = self.rma_retry {
+            cfg.max_rma_retries = r;
+            cfg.retry_backoff_us = b;
+        }
+        if let Some(e) = self.coll_engine {
+            cfg.coll_engine = e;
+        }
+        if let Some(q) = self.qos {
+            cfg.qos = q;
+        }
+        cfg
     }
 }
 
@@ -327,25 +603,79 @@ mod tests {
         assert_eq!(d.chunks(0).collect::<Vec<_>>(), vec![(0, 0)]);
     }
 
+    // One regression test per precedence pair of the staged builder:
+    // every (explicit setter, tuned) interaction that the old in-place
+    // setters had to keep order-independent by hand must stay
+    // order-independent under single-shot build() resolution.
+
+    fn base() -> DiompConfigBuilder {
+        DiompConfig::builder_on(PlatformSpec::platform_c(), 2)
+    }
+
     #[test]
-    fn tuned_precedence_is_order_independent() {
-        use diomp_sim::PlatformSpec;
-        let base = || DiompConfig::on_platform(PlatformSpec::platform_c(), 2);
+    fn precedence_explicit_pipeline_beats_tuned() {
         let custom = PipelineConfig { chunk_bytes: 1 << 20, max_inflight: 2, n_queues: 1 };
-        // Explicit beats tuned whether it comes before or after tuned().
-        assert_eq!(base().with_pipeline(custom).tuned().pipeline, custom);
-        assert_eq!(base().tuned().with_pipeline(custom).pipeline, custom);
-        // An explicit engine survives tuned() too, in both orders.
-        let prof = base().with_profile_collectives().tuned();
+        assert_eq!(base().with_pipeline(custom).tuned().build().pipeline, custom);
+        assert_eq!(base().tuned().with_pipeline(custom).build().pipeline, custom);
+    }
+
+    #[test]
+    fn precedence_explicit_engine_beats_tuned() {
+        let prof = base().with_profile_collectives().tuned().build();
         assert_eq!(prof.coll_engine, CollEngine::Profile);
-        assert!(matches!(prof.pipeline, p if p != PipelineConfig::disabled()));
-        // Changing the conduit re-derives the tuned parameters for it.
-        let gas = base().tuned();
-        let gpi = base().tuned().with_conduit(Conduit::Gpi2);
-        assert_ne!(gas.pipeline, gpi.pipeline, "conduit change must re-tune");
+        // The non-explicit knob is still tuned.
+        assert!(prof.pipeline != PipelineConfig::disabled());
+        let prof2 = base().tuned().with_profile_collectives().build();
+        assert_eq!(prof2.coll_engine, CollEngine::Profile);
+    }
+
+    #[test]
+    fn precedence_tuning_sees_the_final_conduit() {
+        // The autotuner runs once at build(), against the conduit the
+        // job will use — whichever side of tuned() it was selected on.
+        let gas = base().tuned().build();
+        let gpi = base().tuned().with_conduit(Conduit::Gpi2).build();
+        assert_ne!(gas.pipeline, gpi.pipeline, "conduit choice must reach the tuner");
         assert_eq!(gpi.pipeline, PipelineConfig::auto(&PlatformSpec::platform_c(), Conduit::Gpi2));
-        // Without tuned(), the published defaults stay put.
-        assert_eq!(base().with_conduit(Conduit::Gpi2).pipeline, PipelineConfig::disabled());
+        let gpi_first = base().with_conduit(Conduit::Gpi2).tuned().build();
+        assert_eq!(gpi_first.pipeline, gpi.pipeline);
+        assert_eq!(gpi_first.coll_engine, gpi.coll_engine);
+    }
+
+    #[test]
+    fn precedence_untuned_keeps_published_defaults() {
+        let cfg = base().with_conduit(Conduit::Gpi2).build();
+        assert_eq!(cfg.pipeline, PipelineConfig::disabled());
+        assert_eq!(cfg.coll_engine, CollEngine::default());
+    }
+
+    #[test]
+    fn precedence_qos_defaults_normal_and_explicit_wins() {
+        assert_eq!(base().build().qos, QosClass::Normal);
+        assert_eq!(base().with_qos(QosClass::High).tuned().build().qos, QosClass::High);
+        assert_eq!(base().tuned().with_qos(QosClass::Low).build().qos, QosClass::Low);
+    }
+
+    #[test]
+    fn builder_matches_legacy_setters() {
+        // The deprecated in-place setters and the staged builder must
+        // resolve to the same configuration for the same choices.
+        #[allow(deprecated)]
+        let old = DiompConfig::on_platform(PlatformSpec::platform_c(), 2)
+            .with_conduit(Conduit::Gpi2)
+            .tuned()
+            .with_heap(64 << 20)
+            .with_mode(DataMode::CostOnly);
+        let new = base()
+            .with_conduit(Conduit::Gpi2)
+            .tuned()
+            .with_heap(64 << 20)
+            .with_mode(DataMode::CostOnly)
+            .build();
+        assert_eq!(old.pipeline, new.pipeline);
+        assert_eq!(old.coll_engine, new.coll_engine);
+        assert_eq!(old.heap_bytes, new.heap_bytes);
+        assert_eq!(old.conduit, new.conduit);
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! Multi-tenant job descriptions.
+//!
+//! A [`JobSpec`] names one tenant of a shared fabric: when it arrives,
+//! and which QoS class its collective traffic gets. The workload engine
+//! (crate `diomp-apps`) replays a set of overlapping `JobSpec`s against
+//! one contention-armed simulator; each job owns its communicator —
+//! built with the job's QoS class via [`JobSpec::comm_opts`] — so its
+//! chunk transfers are charged to a flow with that class's weight and
+//! concurrent jobs fair-share every wire they collide on.
+
+use diomp_sim::{Dur, QosClass};
+use diomp_xccl::CommOpts;
+
+/// One tenant job of a shared-fabric workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Human-readable job name; keys the per-job latency/bandwidth rows
+    /// in the benchmark output.
+    pub name: String,
+    /// QoS class of the job's collective traffic (weighted fair share
+    /// on every contended wire).
+    pub qos: QosClass,
+    /// Virtual-time arrival offset from the start of the workload.
+    pub arrival: Dur,
+}
+
+impl JobSpec {
+    /// A job arriving at `arrival` with `qos`-class traffic.
+    pub fn new(name: impl Into<String>, qos: QosClass, arrival: Dur) -> Self {
+        JobSpec { name: name.into(), qos, arrival }
+    }
+
+    /// Communicator options for this job: its QoS class, everything
+    /// else default. Pass to `XcclComm::init` so the job's collectives
+    /// are charged to a flow of the right weight.
+    pub fn comm_opts(&self) -> CommOpts {
+        CommOpts { qos: self.qos, ..CommOpts::default() }
+    }
+}

@@ -42,6 +42,7 @@ mod error;
 pub mod galloc;
 mod gptr;
 mod group;
+mod job;
 mod notify;
 mod ompccl;
 mod rma;
@@ -50,15 +51,16 @@ mod sync;
 mod target;
 pub mod tune;
 
-pub use config::{Binding, Conduit, DiompConfig, PipelineConfig};
+pub use config::{Binding, Conduit, DiompConfig, DiompConfigBuilder, PipelineConfig};
 pub use diomp_xccl::{
-    crossover_bytes, dbt_crossover_bytes, default_nrings, AutoConfig, CollEngine, RingConfig,
-    XcclOp,
+    crossover_bytes, dbt_crossover_bytes, default_nrings, AutoConfig, CollEngine, CommOpts,
+    DeviceBuf, QosClass, RailPolicy, RingConfig, UniqueId, XcclComm, XcclOp,
 };
 pub use error::DiompError;
 pub use galloc::{AllocKind, BuddyAlloc, LinearAlloc, PtrCache, WRAPPER_BYTES};
 pub use gptr::{AsymPtr, GPtr};
 pub use group::{group_merge, group_split, DiompGroup, GroupRegistry, GroupShared};
+pub use job::JobSpec;
 pub use runtime::{DiompRank, DiompRuntime, DiompShared};
 pub use sync::FenceTimeout;
 pub use target::DiompTarget;

@@ -17,7 +17,7 @@
 //! which a single conduit write guarantees by FIFO link order.
 
 use diomp_fabric::gpi;
-use diomp_sim::{Ctx, Dur};
+use diomp_sim::{Ctx, Dur, Wait};
 
 use crate::config::Conduit;
 use crate::error::DiompError;
@@ -54,7 +54,7 @@ impl DiompRank {
         );
         assert!(
             self.shared.cfg.conduit == Conduit::Gpi2,
-            "put_notify requires the GPI-2 conduit (DiompConfig::with_conduit)"
+            "put_notify requires the GPI-2 conduit (DiompConfigBuilder::with_conduit)"
         );
         let s = self.shared.clone();
         let src_flat = self.primary();
@@ -83,17 +83,35 @@ impl DiompRank {
     fn require_gpi2(&self, what: &str) {
         assert!(
             self.shared.cfg.conduit == Conduit::Gpi2,
-            "{what} requires the GPI-2 conduit (DiompConfig::with_conduit)"
+            "{what} requires the GPI-2 conduit (DiompConfigBuilder::with_conduit)"
         );
     }
 
     /// Block until some notification in `[first_id, first_id + num_ids)`
     /// has arrived at this rank; atomically consume the lowest posted id
     /// and return `(id, value)` (`gaspi_notify_waitsome` +
-    /// `gaspi_notify_reset`). Parks once on the whole range.
+    /// `gaspi_notify_reset`). Parks once on the whole range. The
+    /// blocking convenience over [`DiompRank::notify_waitsome_with`].
     pub fn notify_waitsome(&mut self, ctx: &mut Ctx, first_id: u32, num_ids: u32) -> (u32, u64) {
+        self.notify_waitsome_with(ctx, first_id, num_ids, Wait::Block)
+            .expect("GASPI_BLOCK cannot time out")
+    }
+
+    /// [`DiompRank::notify_waitsome`] under an explicit wait discipline
+    /// (`gaspi_notify_waitsome` with `GASPI_BLOCK` or a real timeout).
+    /// On [`DiompError::Fabric`] timeout nothing is consumed; late
+    /// notifications stay posted for the next wait — the building block
+    /// of lost-notification recovery protocols.
+    pub fn notify_waitsome_with(
+        &mut self,
+        ctx: &mut Ctx,
+        first_id: u32,
+        num_ids: u32,
+        wait: Wait,
+    ) -> Result<(u32, u64), DiompError> {
         self.require_gpi2("notify_waitsome");
-        gpi::notify_waitsome(ctx, &self.shared.world, self.rank, first_id, num_ids)
+        gpi::notify_waitsome(ctx, &self.shared.world, self.rank, first_id, num_ids, wait)
+            .map_err(Into::into)
     }
 
     /// Block until notification `id` arrives at this rank; consume and
@@ -110,11 +128,8 @@ impl DiompRank {
         gpi::notify_reset(ctx, &self.shared.world, self.rank, id)
     }
 
-    /// [`DiompRank::notify_waitsome`] with a virtual-time deadline
-    /// (`gaspi_notify_waitsome` with a real timeout instead of
-    /// `GASPI_BLOCK`). On [`DiompError::Fabric`] timeout nothing is
-    /// consumed; late notifications stay posted for the next wait — the
-    /// building block of lost-notification recovery protocols.
+    /// [`DiompRank::notify_waitsome`] with a virtual-time deadline.
+    #[deprecated(note = "use `notify_waitsome_with(ctx, first_id, num_ids, Wait::Until(timeout))`")]
     pub fn notify_waitsome_timeout(
         &mut self,
         ctx: &mut Ctx,
@@ -122,9 +137,7 @@ impl DiompRank {
         num_ids: u32,
         timeout: Dur,
     ) -> Result<(u32, u64), DiompError> {
-        self.require_gpi2("notify_waitsome_timeout");
-        gpi::notify_waitsome_timeout(ctx, &self.shared.world, self.rank, first_id, num_ids, timeout)
-            .map_err(Into::into)
+        self.notify_waitsome_with(ctx, first_id, num_ids, Wait::Until(timeout))
     }
 
     /// The fabric's per-rank health vector (`gaspi_state_vec`).

@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use diomp_fabric::ReduceOp;
 use diomp_sim::Ctx;
-use diomp_xccl::{DeviceBuf, UniqueId, XcclComm, XcclOp};
+use diomp_xccl::{CommOpts, DeviceBuf, UniqueId, XcclComm, XcclOp};
 
 use crate::gptr::GPtr;
 use crate::group::DiompGroup;
@@ -40,13 +40,17 @@ impl DiompRank {
         // exchange) broadcasts it (paper §3.3).
         let candidate = if idx == 0 { UniqueId::generate().bits() } else { 0 };
         let bits = group.exch.exchange(ctx, idx, candidate)[0];
-        let comm = XcclComm::init_with_engine(
+        let comm = XcclComm::init(
             ctx,
             &self.shared.world,
             group.ranks.clone(),
             self.rank,
             UniqueId::from_bits(bits),
-            self.shared.cfg.coll_engine,
+            CommOpts {
+                engine: self.shared.cfg.coll_engine,
+                qos: self.shared.cfg.qos,
+                ..CommOpts::default()
+            },
         );
         *group.comms[idx].lock() = Some(comm.clone());
         comm

@@ -1,16 +1,17 @@
 //! Synchronisation: `ompx_fence` and `ompx_barrier` (paper §3.2–3.3).
 
-use diomp_sim::{Ctx, Dur, EventId, SimTime};
+use diomp_sim::{Ctx, Dur, EventId, SimTime, Wait};
 
 use crate::config::Conduit;
 use crate::group::DiompGroup;
 use crate::runtime::DiompRank;
 
-/// Partial-completion state surfaced by a timed-out
-/// [`DiompRank::fence_timeout`]: how much of the pending RMA had already
-/// completed when the deadline fired, and which completions are still in
-/// flight. The in-flight events remain fence-tracked — a later `fence`
-/// (or another `fence_timeout`) picks them up; nothing is lost.
+/// Partial-completion state surfaced by a timed-out bounded fence
+/// ([`DiompRank::fence_with`] under [`Wait::Until`]): how much of the
+/// pending RMA had already completed when the deadline fired, and which
+/// completions are still in flight. The in-flight events remain
+/// fence-tracked — a later `fence` (or another bounded fence) picks them
+/// up; nothing is lost.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FenceTimeout {
     /// Virtual time at which the deadline fired.
@@ -72,9 +73,11 @@ impl DiompRank {
         }
     }
 
-    /// `ompx_fence` with a virtual-time deadline: drain what completes in
-    /// time, and on timeout report *which* work is done and which is
-    /// still in flight instead of blocking forever on a degraded fabric.
+    /// `ompx_fence` with an explicit wait discipline: [`Wait::Block`]
+    /// is exactly [`DiompRank::fence`]; [`Wait::Until`] drains what
+    /// completes before the virtual-time deadline, and on timeout
+    /// reports *which* work is done and which is still in flight
+    /// instead of blocking forever on a degraded fabric.
     ///
     /// On `Ok` the fence is complete exactly as [`DiompRank::fence`]. On
     /// `Err` the returned [`FenceTimeout`] carries the partial state; the
@@ -82,12 +85,16 @@ impl DiompRank {
     /// the health vector, shed load, and fence again — the classic GASPI
     /// timeout-poll loop. The device stream horizon is only settled on
     /// success (it cannot be partially waited).
-    pub fn fence_timeout(&mut self, ctx: &mut Ctx, timeout: Dur) -> Result<(), FenceTimeout> {
+    pub fn fence_with(&mut self, ctx: &mut Ctx, wait: Wait) -> Result<(), FenceTimeout> {
+        if matches!(wait, Wait::Block) {
+            self.fence(ctx);
+            return Ok(());
+        }
         let mut pending = std::mem::take(&mut *self.shared.pending[self.rank].lock());
         if self.shared.cfg.conduit == Conduit::Gpi2 {
             pending.extend(diomp_fabric::gpi::take_pending_all(&self.shared.world, self.rank));
         }
-        match ctx.wait_all_timeout(&pending, timeout) {
+        match ctx.wait_all_with(&pending, wait) {
             Ok(()) => {
                 for ev in pending {
                     ctx.handle().free_event(ev);
@@ -113,6 +120,12 @@ impl DiompRank {
                 Err(FenceTimeout { at: t.at, completed, in_flight })
             }
         }
+    }
+
+    /// `ompx_fence` with a virtual-time deadline.
+    #[deprecated(note = "use `fence_with(ctx, Wait::Until(timeout))`")]
+    pub fn fence_timeout(&mut self, ctx: &mut Ctx, timeout: Dur) -> Result<(), FenceTimeout> {
+        self.fence_with(ctx, Wait::Until(timeout))
     }
 
     /// `ompx_barrier()`: world barrier.

@@ -13,7 +13,9 @@ use diomp_core::{
     PtrCache, RankHealth, RingConfig,
 };
 use diomp_fabric::ReduceOp;
-use diomp_sim::{fault_key, ClusterSpec, CtrlFault, Dur, FaultPlan, PlatformSpec, Sim, SimTime};
+use diomp_sim::{
+    fault_key, ClusterSpec, CtrlFault, Dur, FaultPlan, PlatformSpec, Sim, SimTime, Wait,
+};
 use parking_lot::Mutex;
 
 const NRANKS: usize = 4;
@@ -22,10 +24,11 @@ const NOTIFY_LEN: u64 = 4 << 10;
 
 fn cfg(engine: CollEngine) -> DiompConfig {
     let platform = PlatformSpec::platform_c();
-    DiompConfig::new(ClusterSpec { platform, nodes: NRANKS, gpus_per_node: 1 })
+    DiompConfig::builder(ClusterSpec { platform, nodes: NRANKS, gpus_per_node: 1 })
         .with_conduit(Conduit::Gpi2)
         .with_heap(8 << 20)
         .with_coll_engine(engine)
+        .build()
 }
 
 /// The canonical plan: rank 0's NIC degraded to 40 % of nominal for the
@@ -81,7 +84,7 @@ fn run_scenario(engine: CollEngine, plan: FaultPlan, len: u64, tag: &str) -> Sim
                     rank.fence(ctx);
                 }
             } else if rank.rank == 1 {
-                match rank.notify_waitsome_timeout(ctx, NOTIFY_ID, 1, Dur::millis(1.0)) {
+                match rank.notify_waitsome_with(ctx, NOTIFY_ID, 1, Wait::Until(Dur::millis(1.0))) {
                     Ok((id, value)) => {
                         assert_eq!((id, value), (NOTIFY_ID, 1));
                         done.store(true, Ordering::Relaxed);

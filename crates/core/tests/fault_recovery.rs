@@ -6,13 +6,14 @@
 use std::sync::Arc;
 
 use diomp_core::{
-    Conduit, DiompConfig, DiompError, DiompRank, DiompRuntime, FabricError, PtrCache,
+    Conduit, DiompConfig, DiompConfigBuilder, DiompError, DiompRank, DiompRuntime, FabricError,
+    PtrCache,
 };
-use diomp_sim::{fault_key, ClusterSpec, CtrlFault, Dur, FaultPlan, PlatformSpec, Sim};
+use diomp_sim::{fault_key, ClusterSpec, CtrlFault, Dur, FaultPlan, PlatformSpec, Sim, Wait};
 use parking_lot::Mutex;
 
-fn two_nodes(platform: PlatformSpec) -> DiompConfig {
-    DiompConfig::new(ClusterSpec { platform, nodes: 2, gpus_per_node: 1 })
+fn two_nodes(platform: PlatformSpec) -> DiompConfigBuilder {
+    DiompConfig::builder(ClusterSpec { platform, nodes: 2, gpus_per_node: 1 })
 }
 
 fn pattern(len: usize) -> Vec<u8> {
@@ -54,7 +55,7 @@ fn gpi_put_recovers_from_injected_queue_error() {
     let out = Arc::new(Mutex::new(Vec::new()));
     let out2 = out.clone();
     let retries = run_with_plan(
-        two_nodes(PlatformSpec::platform_c()).with_conduit(Conduit::Gpi2),
+        two_nodes(PlatformSpec::platform_c()).with_conduit(Conduit::Gpi2).build(),
         FaultPlan::new().ctrl_fault(fault_key("gpi-queue", 0, 0), CtrlFault::Drop),
         move |ctx, rank| {
             let ptr = rank.alloc_sym(ctx, len).unwrap();
@@ -88,7 +89,10 @@ fn gpi_put_exhausted_retry_budget_propagates_queue_error() {
     let plan = (0..5)
         .fold(FaultPlan::new(), |p, _| p.ctrl_fault(fault_key("gpi-queue", 0, 0), CtrlFault::Drop));
     let retries = run_with_plan(
-        two_nodes(PlatformSpec::platform_c()).with_conduit(Conduit::Gpi2).with_rma_retry(2, 10.0),
+        two_nodes(PlatformSpec::platform_c())
+            .with_conduit(Conduit::Gpi2)
+            .with_rma_retry(2, 10.0)
+            .build(),
         plan,
         move |ctx, rank| {
             let ptr = rank.alloc_sym(ctx, 4096).unwrap();
@@ -122,7 +126,7 @@ fn fence_timeout_reports_partial_completion_then_full_fence_drains() {
     let seen = Arc::new(Mutex::new(None));
     let seen2 = seen.clone();
     run_with_plan(
-        two_nodes(PlatformSpec::platform_a()).with_heap(8 << 20),
+        two_nodes(PlatformSpec::platform_a()).with_heap(8 << 20).build(),
         FaultPlan::new(),
         move |ctx, rank| {
             let ptr = rank.alloc_sym(ctx, len).unwrap();
@@ -134,7 +138,7 @@ fn fence_timeout_reports_partial_completion_then_full_fence_drains() {
                 rank.put(ctx, 1, ptr, 0, ptr, 0, 8).unwrap();
                 rank.put(ctx, 1, ptr, 0, ptr, 0, len).unwrap();
                 let err = rank
-                    .fence_timeout(ctx, Dur::micros(30.0))
+                    .fence_with(ctx, Wait::Until(Dur::micros(30.0)))
                     .expect_err("1 MiB cannot cross nodes in 30 µs");
                 assert!(err.completed >= 1, "the 8 B put completed inside the window");
                 assert!(!err.in_flight.is_empty(), "the 1 MiB put is still in flight");
@@ -165,7 +169,7 @@ fn put_notify_retry_and_consumer_timeout_protocol_deliver_exactly_once() {
     let resend = Arc::new(std::sync::atomic::AtomicBool::new(false));
     let resend2 = resend.clone();
     run_with_plan(
-        two_nodes(PlatformSpec::platform_c()).with_conduit(Conduit::Gpi2),
+        two_nodes(PlatformSpec::platform_c()).with_conduit(Conduit::Gpi2).build(),
         FaultPlan::new().ctrl_fault(fault_key("gpi-notify", 1, 4), CtrlFault::Drop),
         move |ctx, rank| {
             let ptr = rank.alloc_sym(ctx, len).unwrap();
@@ -183,7 +187,7 @@ fn put_notify_retry_and_consumer_timeout_protocol_deliver_exactly_once() {
                 rank.fence(ctx);
             } else {
                 let err = rank
-                    .notify_waitsome_timeout(ctx, 0, 8, Dur::millis(1.0))
+                    .notify_waitsome_with(ctx, 0, 8, Wait::Until(Dur::millis(1.0)))
                     .expect_err("first notification was dropped");
                 assert!(matches!(err, DiompError::Fabric(FabricError::Timeout { .. })), "{err:?}");
                 resend.store(true, std::sync::atomic::Ordering::Relaxed);
@@ -203,7 +207,7 @@ fn healthy_fabric_never_counts_retries() {
     // The zero-cost-when-disabled guarantee at the runtime level: with no
     // plan installed, the recovery loop body never runs.
     let retries = run_with_plan(
-        two_nodes(PlatformSpec::platform_c()).with_conduit(Conduit::Gpi2),
+        two_nodes(PlatformSpec::platform_c()).with_conduit(Conduit::Gpi2).build(),
         FaultPlan::new(),
         move |ctx, rank| {
             let ptr = rank.alloc_sym(ctx, 32 << 10).unwrap();

@@ -4,14 +4,16 @@
 
 use std::sync::Arc;
 
-use diomp_core::{Conduit, DiompConfig, DiompRank, DiompRuntime, PipelineConfig, PtrCache};
+use diomp_core::{
+    Conduit, DiompConfig, DiompConfigBuilder, DiompRank, DiompRuntime, PipelineConfig, PtrCache,
+};
 use diomp_device::DataMode;
 use diomp_sim::{ClusterSpec, PlatformSpec, Sim, SimReport};
 use parking_lot::Mutex;
 
 /// Two single-GPU nodes: rank 0 and rank 1 are inter-node neighbours.
-fn two_nodes(platform: PlatformSpec) -> DiompConfig {
-    DiompConfig::new(ClusterSpec { platform, nodes: 2, gpus_per_node: 1 })
+fn two_nodes(platform: PlatformSpec) -> DiompConfigBuilder {
+    DiompConfig::builder(ClusterSpec { platform, nodes: 2, gpus_per_node: 1 })
 }
 
 fn pattern(len: usize) -> Vec<u8> {
@@ -74,13 +76,11 @@ fn chunked_put_is_byte_identical_to_unchunked_gasnet() {
     // 1 MiB in 128 KiB chunks: chunks are >= the 16 KiB anomaly floor on
     // Platform A, so this exercises the host-staged pipeline regime.
     let len = 1 << 20;
-    let chunked = two_nodes(PlatformSpec::platform_a()).with_pipeline(PipelineConfig {
-        chunk_bytes: 128 << 10,
-        max_inflight: 3,
-        n_queues: 4,
-    });
+    let chunked = two_nodes(PlatformSpec::platform_a())
+        .with_pipeline(PipelineConfig { chunk_bytes: 128 << 10, max_inflight: 3, n_queues: 4 })
+        .build();
     let (got_chunked, _) = put_roundtrip(chunked, len);
-    let (got_mono, _) = put_roundtrip(two_nodes(PlatformSpec::platform_a()), len);
+    let (got_mono, _) = put_roundtrip(two_nodes(PlatformSpec::platform_a()).build(), len);
     assert_eq!(got_chunked, pattern(len as usize));
     assert_eq!(got_chunked, got_mono);
 }
@@ -89,11 +89,9 @@ fn chunked_put_is_byte_identical_to_unchunked_gasnet() {
 fn chunked_put_is_byte_identical_direct_regime() {
     // Platform B has no put anomaly: chunks inject straight from device.
     let len = 1 << 20;
-    let chunked = two_nodes(PlatformSpec::platform_b()).with_pipeline(PipelineConfig {
-        chunk_bytes: 64 << 10,
-        max_inflight: 4,
-        n_queues: 4,
-    });
+    let chunked = two_nodes(PlatformSpec::platform_b())
+        .with_pipeline(PipelineConfig { chunk_bytes: 64 << 10, max_inflight: 4, n_queues: 4 })
+        .build();
     let (got, _) = put_roundtrip(chunked, len);
     assert_eq!(got, pattern(len as usize));
 }
@@ -101,13 +99,15 @@ fn chunked_put_is_byte_identical_direct_regime() {
 #[test]
 fn chunked_get_is_byte_identical_to_unchunked() {
     let len = 768 << 10;
-    let chunked = two_nodes(PlatformSpec::platform_a()).with_pipeline(PipelineConfig {
-        chunk_bytes: 100 << 10, // deliberately non-divisor: exercises the tail chunk
-        max_inflight: 2,
-        n_queues: 2,
-    });
+    let chunked = two_nodes(PlatformSpec::platform_a())
+        .with_pipeline(PipelineConfig {
+            chunk_bytes: 100 << 10, // deliberately non-divisor: exercises the tail chunk
+            max_inflight: 2,
+            n_queues: 2,
+        })
+        .build();
     let got_chunked = get_roundtrip(chunked, len);
-    let got_mono = get_roundtrip(two_nodes(PlatformSpec::platform_a()), len);
+    let got_mono = get_roundtrip(two_nodes(PlatformSpec::platform_a()).build(), len);
     assert_eq!(got_chunked, pattern(len as usize));
     assert_eq!(got_chunked, got_mono);
 }
@@ -120,13 +120,15 @@ fn chunked_gpi_put_round_robins_queues_and_fence_drains_them_all() {
     let len = 512 << 10;
     let cfg = two_nodes(PlatformSpec::platform_c())
         .with_conduit(Conduit::Gpi2)
-        .with_pipeline(PipelineConfig { chunk_bytes: 64 << 10, max_inflight: 4, n_queues: 4 });
+        .with_pipeline(PipelineConfig { chunk_bytes: 64 << 10, max_inflight: 4, n_queues: 4 })
+        .build();
     let (got, _) = put_roundtrip(cfg, len);
     assert_eq!(got, pattern(len as usize));
     let got_get = get_roundtrip(
         two_nodes(PlatformSpec::platform_c())
             .with_conduit(Conduit::Gpi2)
-            .with_pipeline(PipelineConfig { chunk_bytes: 96 << 10, max_inflight: 4, n_queues: 3 }),
+            .with_pipeline(PipelineConfig { chunk_bytes: 96 << 10, max_inflight: 4, n_queues: 3 })
+            .build(),
         len,
     );
     assert_eq!(got_get, pattern(len as usize));
@@ -161,9 +163,9 @@ fn pipelined_64mib_put_is_no_later_than_unpipelined() {
     // fact several times earlier.
     let len = 64 << 20;
     let base = |p: PlatformSpec| two_nodes(p).with_mode(DataMode::CostOnly).with_heap(256 << 20);
-    let mono_us = put_fence_us(base(PlatformSpec::platform_a()), len);
+    let mono_us = put_fence_us(base(PlatformSpec::platform_a()).build(), len);
     let piped_us = put_fence_us(
-        base(PlatformSpec::platform_a()).with_pipeline(PipelineConfig::enabled()),
+        base(PlatformSpec::platform_a()).with_pipeline(PipelineConfig::enabled()).build(),
         len,
     );
     assert!(
@@ -203,14 +205,16 @@ fn staged_get_on_host_capped_platform_is_byte_identical() {
     // through host bounce buffers + H2D uploads. Byte identity must hold
     // across the staging, including non-divisor tails and slot reuse.
     let len = 900 << 10;
-    let staged = two_nodes(PlatformSpec::platform_a()).with_pipeline(PipelineConfig {
-        chunk_bytes: 96 << 10, // 9 chunks + tail across 2 slots
-        max_inflight: 2,
-        n_queues: 1,
-    });
+    let staged = two_nodes(PlatformSpec::platform_a())
+        .with_pipeline(PipelineConfig {
+            chunk_bytes: 96 << 10, // 9 chunks + tail across 2 slots
+            max_inflight: 2,
+            n_queues: 1,
+        })
+        .build();
     let got = get_roundtrip(staged, len);
     assert_eq!(got, pattern(len as usize));
-    let got_mono = get_roundtrip(two_nodes(PlatformSpec::platform_a()), len);
+    let got_mono = get_roundtrip(two_nodes(PlatformSpec::platform_a()).build(), len);
     assert_eq!(got, got_mono);
 }
 
@@ -222,9 +226,10 @@ fn staged_get_costs_at_most_a_few_percent_over_monolithic() {
     // upload extends the tail.
     let len = 64 << 20;
     let base = |p: PlatformSpec| two_nodes(p).with_mode(DataMode::CostOnly).with_heap(256 << 20);
-    let mono_us = get_fence_us(base(PlatformSpec::platform_a()), len);
+    let mono_us = get_fence_us(base(PlatformSpec::platform_a()).build(), len);
     let tuned = PipelineConfig::auto(&PlatformSpec::platform_a(), Conduit::GasnetEx);
-    let staged_us = get_fence_us(base(PlatformSpec::platform_a()).with_pipeline(tuned), len);
+    let staged_us =
+        get_fence_us(base(PlatformSpec::platform_a()).with_pipeline(tuned).build(), len);
     assert!(
         staged_us <= mono_us * 1.05,
         "staged get must stay within 5% of monolithic: {staged_us:.1}µs vs {mono_us:.1}µs"
@@ -244,6 +249,7 @@ fn staged_get_stays_nonblocking_and_overlaps_compute() {
             .with_mode(DataMode::CostOnly)
             .with_heap(256 << 20)
             .tuned()
+            .build()
     };
     let get_alone_us = get_fence_us(base(), len);
     let times = Arc::new(Mutex::new((0.0f64, 0.0f64)));
@@ -277,24 +283,25 @@ fn staged_get_stays_nonblocking_and_overlaps_compute() {
 
 #[test]
 fn tuned_config_beats_capped_put_and_respects_precedence() {
-    // DiompConfig::tuned() must clear the Fig. 4a put cap like the
+    // The tuned build must clear the Fig. 4a put cap like the
     // explicit pipeline does, with parameters read off the tables…
     let len = 64 << 20;
     let base = |p: PlatformSpec| two_nodes(p).with_mode(DataMode::CostOnly).with_heap(256 << 20);
-    let mono_us = put_fence_us(base(PlatformSpec::platform_a()), len);
-    let tuned_us = put_fence_us(base(PlatformSpec::platform_a()).tuned(), len);
+    let mono_us = put_fence_us(base(PlatformSpec::platform_a()).build(), len);
+    let tuned_us = put_fence_us(base(PlatformSpec::platform_a()).tuned().build(), len);
     assert!(
         tuned_us * 3.0 < mono_us,
         "tuned put must clear the anomaly cap: {tuned_us:.1}µs vs {mono_us:.1}µs"
     );
     // …and the precedence chain is explicit > tuned > disabled.
-    let cfg = base(PlatformSpec::platform_a()).tuned();
+    let b = base(PlatformSpec::platform_a()).tuned();
+    let cfg = b.clone().build();
     assert!(cfg.pipeline.pipelines(cfg.pipeline.chunk_bytes + 1), "tuned enables the pipeline");
     assert!(matches!(cfg.coll_engine, diomp_core::CollEngine::Auto(_)));
-    let overridden = cfg.with_pipeline(PipelineConfig::disabled());
+    let overridden = b.with_pipeline(PipelineConfig::disabled()).build();
     assert_eq!(overridden.pipeline, PipelineConfig::disabled(), "explicit beats tuned");
     let mono_after_override_us = put_fence_us(
-        base(PlatformSpec::platform_a()).tuned().with_pipeline(PipelineConfig::disabled()),
+        base(PlatformSpec::platform_a()).tuned().with_pipeline(PipelineConfig::disabled()).build(),
         len,
     );
     assert_eq!(mono_after_override_us, mono_us, "explicit opt-out restores the published curve");
@@ -309,7 +316,9 @@ fn tuned_roundtrips_are_byte_identical_on_every_platform_and_conduit() {
         (PlatformSpec::platform_c(), Conduit::GasnetEx),
         (PlatformSpec::platform_c(), Conduit::Gpi2),
     ] {
-        let cfg = || two_nodes(platform.clone()).with_conduit(conduit).tuned().with_heap(16 << 20);
+        let cfg = || {
+            two_nodes(platform.clone()).with_conduit(conduit).tuned().with_heap(16 << 20).build()
+        };
         let (put_bytes, _) = put_roundtrip(cfg(), len);
         assert_eq!(put_bytes, pattern(len as usize), "{} {conduit:?} put", platform.name);
         let get_bytes = get_roundtrip(cfg(), len);
@@ -322,11 +331,9 @@ fn tuned_roundtrips_are_byte_identical_on_every_platform_and_conduit() {
 fn traced_chunked_run() -> (Vec<String>, u64, diomp_sim::SimTime) {
     let mut sim = Sim::new();
     sim.enable_trace();
-    let cfg = two_nodes(PlatformSpec::platform_a()).with_pipeline(PipelineConfig {
-        chunk_bytes: 32 << 10,
-        max_inflight: 2,
-        n_queues: 2,
-    });
+    let cfg = two_nodes(PlatformSpec::platform_a())
+        .with_pipeline(PipelineConfig { chunk_bytes: 32 << 10, max_inflight: 2, n_queues: 2 })
+        .build();
     let shared = DiompRuntime::build(&sim, cfg);
     for r in 0..shared.world.nranks {
         let shared = shared.clone();
@@ -382,8 +389,8 @@ fn many_put_fence(cfg: DiompConfig, n: usize) -> SimReport {
 fn batched_fence_processes_fewer_entries_at_identical_virtual_time() {
     let n = 300;
     let cfg = || two_nodes(PlatformSpec::platform_a()).with_mode(DataMode::CostOnly);
-    let batched = many_put_fence(cfg(), n);
-    let unbatched = many_put_fence(cfg().without_batched_fence(), n);
+    let batched = many_put_fence(cfg().build(), n);
+    let unbatched = many_put_fence(cfg().without_batched_fence().build(), n);
     assert_eq!(
         batched.end_time, unbatched.end_time,
         "fence batching must not change virtual-time results"

@@ -11,8 +11,12 @@ use diomp_core::{
 use diomp_device::{HostBuf, HostId, KernelCost, MapKind};
 use diomp_sim::{ClusterSpec, Dur, PlatformSpec, SimTime};
 
+fn builder_a(nodes: usize) -> diomp_core::DiompConfigBuilder {
+    DiompConfig::builder_on(PlatformSpec::platform_a(), nodes).with_heap(4 << 20)
+}
+
 fn cfg_a(nodes: usize) -> DiompConfig {
-    DiompConfig::on_platform(PlatformSpec::platform_a(), nodes).with_heap(4 << 20)
+    builder_a(nodes).build()
 }
 
 #[test]
@@ -90,7 +94,7 @@ fn sym_heap_exhaustion_reports_out_of_global_memory() {
 
 #[test]
 fn buddy_free_allows_reuse_across_phases() {
-    let cfg = cfg_a(1).with_allocator(AllocKind::Buddy);
+    let cfg = builder_a(1).with_allocator(AllocKind::Buddy).build();
     DiompRuntime::run(cfg, |ctx, rank| {
         let a = rank.alloc_sym(ctx, 1 << 20).unwrap();
         rank.free_sym(ctx, a);
@@ -199,10 +203,11 @@ fn disabling_p2p_falls_back_to_ipc_and_is_slower() {
     let measure = |use_p2p: bool| -> u64 {
         let out = Arc::new(AtomicU64::new(0));
         let out2 = out.clone();
-        let mut cfg = cfg_a(1);
+        let mut cfg = builder_a(1);
         if !use_p2p {
             cfg = cfg.without_p2p();
         }
+        let cfg = cfg.build();
         DiompRuntime::run(cfg, move |ctx, rank| {
             let ptr = rank.alloc_sym(ctx, 1 << 20).unwrap();
             if rank.rank == 0 {
@@ -223,9 +228,10 @@ fn disabling_p2p_falls_back_to_ipc_and_is_slower() {
 
 #[test]
 fn gpi_conduit_works_on_infiniband_platform() {
-    let cfg = DiompConfig::on_platform(PlatformSpec::platform_c(), 4)
+    let cfg = DiompConfig::builder_on(PlatformSpec::platform_c(), 4)
         .with_heap(4 << 20)
-        .with_conduit(Conduit::Gpi2);
+        .with_conduit(Conduit::Gpi2)
+        .build();
     DiompRuntime::run(cfg, |ctx, rank| {
         let ptr = rank.alloc_sym(ctx, 4096).unwrap();
         rank.write_local(rank.primary(), ptr, 0, &[rank.rank as u8 + 1; 32]);
@@ -309,7 +315,7 @@ fn ompccl_world_bcast_and_reduce() {
 fn single_process_multi_gpu_binding_runs_collectives_over_all_devices() {
     // Paper §3.3: RankPerNode binding — 1 rank drives 4 GPUs; OMPCCL
     // still reduces across all 8 devices of the 2-node job.
-    let cfg = cfg_a(2).with_binding(Binding::RankPerNode);
+    let cfg = builder_a(2).with_binding(Binding::RankPerNode).build();
     DiompRuntime::run(cfg, |ctx, rank| {
         assert_eq!(rank.nranks(), 2);
         assert_eq!(rank.my_devices().len(), 4);
@@ -405,9 +411,10 @@ fn diomp_runs_are_deterministic() {
 fn cost_only_mode_runs_the_same_code_path() {
     // Paper-scale configs run CostOnly; the control flow must be
     // identical, with no bytes moved.
-    let cfg = DiompConfig::new(ClusterSpec::full_nodes(PlatformSpec::platform_b(), 2))
+    let cfg = DiompConfig::builder(ClusterSpec::full_nodes(PlatformSpec::platform_b(), 2))
         .with_mode(diomp_device::DataMode::CostOnly)
-        .with_heap(1 << 30); // 1 GiB heap, no real backing
+        .with_heap(1 << 30)
+        .build(); // 1 GiB heap, no real backing
     DiompRuntime::run(cfg, |ctx, rank| {
         let ptr = rank.alloc_sym(ctx, 256 << 20).unwrap(); // 256 MiB "allocation"
         let right = (rank.rank + 1) % rank.nranks();

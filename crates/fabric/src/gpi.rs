@@ -56,7 +56,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use diomp_sim::{fault_key, BoardId, CtrlFault, Ctx, Dur, EventId, SimHandle};
+use diomp_sim::{fault_key, BoardId, CtrlFault, Ctx, Dur, EventId, SimHandle, Wait};
 use parking_lot::Mutex;
 
 use crate::error::FabricError;
@@ -223,51 +223,33 @@ pub fn read(
     Ok(())
 }
 
-/// Drain a queue: block until every posted operation on it has completed
-/// (`gaspi_wait`). One batched wait: the task parks once regardless of
-/// how many completions are pending.
-pub fn wait_queue(ctx: &mut Ctx, world: &Arc<FabricWorld>, rank: usize, queue: QueueId) {
-    let pending: Vec<EventId> = {
-        let mut q = world.gpi.queues.lock();
-        q[rank].get_mut(&queue).map(std::mem::take).unwrap_or_default()
-    };
-    ctx.wait_all_free(&pending);
-}
-
-/// Remove and return every pending completion event across *all* of
-/// `rank`'s queues, in queue order. Callers decide how to wait (the
-/// fence uses one batched `wait_all`; the unbatched ablation loops).
-pub fn take_pending_all(world: &Arc<FabricWorld>, rank: usize) -> Vec<EventId> {
-    let mut q = world.gpi.queues.lock();
-    let rankq = std::mem::take(&mut q[rank]);
-    rankq.into_values().flatten().collect()
-}
-
-/// Drain every queue of `rank` with a single batched wait
-/// (`gaspi_wait` over the whole queue set). Completions posted to *any*
-/// queue are awaited — not just queue 0.
-pub fn wait_all_queues(ctx: &mut Ctx, world: &Arc<FabricWorld>, rank: usize) {
-    let pending = take_pending_all(world, rank);
-    ctx.wait_all_free(&pending);
-}
-
-/// [`wait_queue`] with a virtual-time deadline (`gaspi_wait` with a
-/// timeout argument). On [`FabricError::Timeout`] the partial state is
-/// preserved, not discarded: operations that *did* complete are retired,
-/// the incomplete ones go back on the queue for a later wait (or a
-/// [`queue_purge`]).
-pub fn wait_queue_timeout(
+/// Drain a queue (`gaspi_wait`): wait until every posted operation on
+/// it has completed, under the given wait discipline — [`Wait::Block`]
+/// maps to `GASPI_BLOCK`, [`Wait::Until`] to a real timeout. Like the
+/// GASPI original, the timeout is part of the one signature, not a
+/// separate entry point.
+///
+/// One batched wait either way: the task parks once regardless of how
+/// many completions are pending. On [`FabricError::Timeout`] the
+/// partial state is preserved, not discarded: operations that *did*
+/// complete are retired, the incomplete ones go back on the queue for a
+/// later wait (or a [`queue_purge`]).
+pub fn wait_queue(
     ctx: &mut Ctx,
     world: &Arc<FabricWorld>,
     rank: usize,
     queue: QueueId,
-    timeout: Dur,
+    wait: Wait,
 ) -> Result<(), FabricError> {
     let pending: Vec<EventId> = {
         let mut q = world.gpi.queues.lock();
         q[rank].get_mut(&queue).map(std::mem::take).unwrap_or_default()
     };
-    match ctx.wait_all_timeout(&pending, timeout) {
+    if matches!(wait, Wait::Block) {
+        ctx.wait_all_free(&pending);
+        return Ok(());
+    }
+    match ctx.wait_all_with(&pending, wait) {
         Ok(()) => {
             for ev in pending {
                 ctx.handle().free_event(ev);
@@ -294,17 +276,34 @@ pub fn wait_queue_timeout(
     }
 }
 
-/// [`wait_all_queues`] with a virtual-time deadline. Same partial-
-/// completion contract as [`wait_queue_timeout`], per queue.
-pub fn wait_all_queues_timeout(
+/// Remove and return every pending completion event across *all* of
+/// `rank`'s queues, in queue order. Callers decide how to wait (the
+/// fence uses one batched `wait_all`; the unbatched ablation loops).
+pub fn take_pending_all(world: &Arc<FabricWorld>, rank: usize) -> Vec<EventId> {
+    let mut q = world.gpi.queues.lock();
+    let rankq = std::mem::take(&mut q[rank]);
+    rankq.into_values().flatten().collect()
+}
+
+/// Drain every queue of `rank` with a single batched wait
+/// (`gaspi_wait` over the whole queue set), under the given wait
+/// discipline. Completions posted to *any* queue are awaited — not just
+/// queue 0. Same partial-completion contract as [`wait_queue`] on
+/// timeout, per queue.
+pub fn wait_all_queues(
     ctx: &mut Ctx,
     world: &Arc<FabricWorld>,
     rank: usize,
-    timeout: Dur,
+    wait: Wait,
 ) -> Result<(), FabricError> {
+    if matches!(wait, Wait::Block) {
+        let pending = take_pending_all(world, rank);
+        ctx.wait_all_free(&pending);
+        return Ok(());
+    }
     let rankq: BTreeMap<QueueId, Vec<EventId>> = std::mem::take(&mut world.gpi.queues.lock()[rank]);
     let all: Vec<EventId> = rankq.values().flatten().copied().collect();
-    match ctx.wait_all_timeout(&all, timeout) {
+    match ctx.wait_all_with(&all, wait) {
         Ok(()) => {
             for ev in all {
                 ctx.handle().free_event(ev);
@@ -329,6 +328,29 @@ pub fn wait_all_queues_timeout(
             Err(t.into())
         }
     }
+}
+
+/// [`wait_queue`] with a virtual-time deadline.
+#[deprecated(note = "use `wait_queue(ctx, world, rank, queue, Wait::Until(timeout))`")]
+pub fn wait_queue_timeout(
+    ctx: &mut Ctx,
+    world: &Arc<FabricWorld>,
+    rank: usize,
+    queue: QueueId,
+    timeout: Dur,
+) -> Result<(), FabricError> {
+    wait_queue(ctx, world, rank, queue, Wait::Until(timeout))
+}
+
+/// [`wait_all_queues`] with a virtual-time deadline.
+#[deprecated(note = "use `wait_all_queues(ctx, world, rank, Wait::Until(timeout))`")]
+pub fn wait_all_queues_timeout(
+    ctx: &mut Ctx,
+    world: &Arc<FabricWorld>,
+    rank: usize,
+    timeout: Dur,
+) -> Result<(), FabricError> {
+    wait_all_queues(ctx, world, rank, Wait::Until(timeout))
 }
 
 /// Purge a queue (`gaspi_queue_purge`): abandon every operation posted
@@ -407,22 +429,29 @@ pub fn write_notify(
 /// ranges overlap. The task parks once on the whole range (a single
 /// generation-tagged wait group, [`diomp_sim::Ctx::board_waitsome`]), not
 /// once per id.
+///
+/// Like the GASPI original, the wait discipline is an argument of the
+/// one signature: [`Wait::Block`] is `GASPI_BLOCK` (cannot time out);
+/// [`Wait::Until`] returns [`FabricError::Timeout`] if nothing in the
+/// range is posted by the deadline — notifications arriving later stay
+/// on the board for the next wait, nothing is consumed on the error
+/// path.
 pub fn notify_waitsome(
     ctx: &mut Ctx,
     world: &Arc<FabricWorld>,
     rank: usize,
     first_id: u32,
     num_ids: u32,
-) -> (u32, u64) {
+    wait: Wait,
+) -> Result<(u32, u64), FabricError> {
     let b = board(ctx.handle(), world, rank);
-    ctx.board_waitsome(b, first_id, num_ids)
+    ctx.board_waitsome_with(b, first_id, num_ids, wait).map_err(Into::into)
 }
 
-/// [`notify_waitsome`] with a virtual-time deadline
-/// (`gaspi_notify_waitsome` with a real timeout instead of
-/// `GASPI_BLOCK`). Returns [`FabricError::Timeout`] if nothing in the
-/// range is posted by the deadline; notifications arriving later stay on
-/// the board for the next wait — nothing is consumed on the error path.
+/// [`notify_waitsome`] with a virtual-time deadline.
+#[deprecated(
+    note = "use `notify_waitsome(ctx, world, rank, first_id, num_ids, Wait::Until(timeout))`"
+)]
 pub fn notify_waitsome_timeout(
     ctx: &mut Ctx,
     world: &Arc<FabricWorld>,
@@ -431,8 +460,7 @@ pub fn notify_waitsome_timeout(
     num_ids: u32,
     timeout: Dur,
 ) -> Result<(u32, u64), FabricError> {
-    let b = board(ctx.handle(), world, rank);
-    ctx.board_waitsome_timeout(b, first_id, num_ids, timeout).map_err(Into::into)
+    notify_waitsome(ctx, world, rank, first_id, num_ids, Wait::Until(timeout))
 }
 
 /// Non-blocking consume of notification `id` (`gaspi_notify_reset`):
@@ -451,5 +479,5 @@ pub fn notify_reset(ctx: &Ctx, world: &Arc<FabricWorld>, rank: usize, id: u32) -
 /// wake and its re-check — arrival checking and value consumption happen
 /// atomically under the board lock.
 pub fn notify_wait(ctx: &mut Ctx, world: &Arc<FabricWorld>, rank: usize, id: u32) -> u64 {
-    notify_waitsome(ctx, world, rank, id, 1).1
+    notify_waitsome(ctx, world, rank, id, 1, Wait::Block).expect("GASPI_BLOCK cannot time out").1
 }

@@ -46,9 +46,21 @@
 //! | target-side signal     | active message ([`gasnet::am_request`]) | notification ([`gpi::write_notify`]) |
 //! | target-side wait       | AM handler side effects     | [`gpi::notify_waitsome`] / [`gpi::notify_wait`] |
 //! | signal consumption     | n/a (handler runs once)     | [`gpi::notify_reset`] (atomic take)       |
-//! | bounded wait           | — (events are infinite)     | `GASPI_TIMEOUT`: [`gpi::wait_queue_timeout`] / [`gpi::notify_waitsome_timeout`] → [`FabricError::Timeout`] |
 //! | fault visibility       | conduit aborts              | `gaspi_state_vec`: [`HealthVec`] ([`FabricWorld::health`]) |
 //! | queue recovery         | n/a                         | `gaspi_queue_purge`: [`gpi::queue_purge`] after [`FabricError::QueueError`] |
+//!
+//! **Bounded waits.** Every GASPI waiting primitive takes a timeout
+//! argument — `GASPI_BLOCK` to wait forever, `GASPI_TIMEOUT(ms)` for a
+//! deadline. The reproduction mirrors that shape *once*, with one
+//! parameter type instead of parallel `_timeout` entry points:
+//! [`gpi::wait_queue`], [`gpi::wait_all_queues`] and
+//! [`gpi::notify_waitsome`] all take a [`diomp_sim::Wait`] —
+//! [`diomp_sim::Wait::Block`] maps to `GASPI_BLOCK` (cannot fail),
+//! [`diomp_sim::Wait::Until`] maps to `GASPI_TIMEOUT` and surfaces
+//! [`FabricError::Timeout`] with the partial state preserved (completed
+//! queue entries retired, survivors re-queued; unconsumed notifications
+//! left posted). GASNet-EX events have no native bounded wait; the
+//! equivalent discipline is `Ctx::wait_all_with` over the event set.
 //!
 //! # Example: notified write, driven through the simulator
 //!
@@ -60,7 +72,7 @@
 //! use std::sync::Arc;
 //! use diomp_device::{DataMode, DeviceTable};
 //! use diomp_fabric::{gpi, FabricWorld, Loc};
-//! use diomp_sim::{ClusterSpec, PlatformSpec, Sim, Topology};
+//! use diomp_sim::{ClusterSpec, PlatformSpec, Sim, Topology, Wait};
 //!
 //! let mut sim = Sim::new();
 //! let spec = ClusterSpec { platform: PlatformSpec::platform_c(), nodes: 2, gpus_per_node: 1 };
@@ -74,11 +86,12 @@
 //!     w0.primary_dev(0).mem.write(0, &[7u8; 64]).unwrap();
 //!     gpi::write_notify(ctx, &w0, 0, gpi::QueueId(0), Loc::dev(0, 0), seg, 0, 64, 5, 42)
 //!         .unwrap();
-//!     gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0)); // initiator-side completion
+//!     // Initiator-side completion: GASPI_BLOCK cannot time out.
+//!     gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0), Wait::Block).unwrap();
 //! });
 //! let w1 = world.clone();
 //! sim.spawn("rank1", move |ctx| {
-//!     let (id, value) = gpi::notify_waitsome(ctx, &w1, 1, 0, 8);
+//!     let (id, value) = gpi::notify_waitsome(ctx, &w1, 1, 0, 8, Wait::Block).unwrap();
 //!     assert_eq!((id, value), (5, 42));
 //!     let bytes = w1.segment(seg).loc(0).snapshot(&w1.devs, 64).unwrap().unwrap();
 //!     assert_eq!(bytes, vec![7u8; 64]); // payload landed before the notification

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use diomp_device::{DataMode, DeviceTable, HostBuf};
 use diomp_fabric::{gasnet, gpi, FabricWorld, Loc, ReduceOp};
-use diomp_sim::{ClusterSpec, Dur, PlatformSpec, Sim, Topology};
+use diomp_sim::{ClusterSpec, Dur, PlatformSpec, Sim, Topology, Wait};
 
 /// Build a world of `nranks` ranks, one device each, on `platform`.
 fn boot(
@@ -166,7 +166,7 @@ fn gpi_write_notify_roundtrip_on_platform_c() {
         dev.mem.write(0, &[9u8; 128]).unwrap();
         gpi::write_notify(ctx, &w0, 0, gpi::QueueId(0), Loc::dev(0, 0), seg, 256, 128, 42, 7)
             .unwrap();
-        gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0));
+        gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0), Wait::Block).unwrap();
     });
     let w2 = world.clone();
     sim.spawn("rank2", move |ctx| {
@@ -204,13 +204,13 @@ fn gpi_wait_all_queues_drains_every_queue() {
             )
             .unwrap();
         }
-        gpi::wait_all_queues(ctx, &w0, 0);
+        gpi::wait_all_queues(ctx, &w0, 0, Wait::Block).unwrap();
         // After the drain every queue's data is visible at the target.
         let seg_obj = w0.segment(seg);
         let bytes = seg_obj.loc(0).snapshot(&w0.devs, 256).unwrap().unwrap();
         assert_eq!(bytes, vec![5u8; 256]);
         // And a second drain finds nothing pending (no deadlock, no-op).
-        gpi::wait_all_queues(ctx, &w0, 0);
+        gpi::wait_all_queues(ctx, &w0, 0, Wait::Block).unwrap();
     });
     sim.run().unwrap();
 }
@@ -244,14 +244,14 @@ fn gpi_notify_waitsome_drains_a_range_in_arrival_id_order() {
                 )
                 .unwrap();
             }
-            gpi::wait_queue(ctx, &w, src, gpi::QueueId(0));
+            gpi::wait_queue(ctx, &w, src, gpi::QueueId(0), Wait::Block).unwrap();
         });
     }
     let w2 = world.clone();
     sim.spawn("consumer", move |ctx| {
         let mut got = Vec::new();
         for _ in 0..4 {
-            let (id, v) = gpi::notify_waitsome(ctx, &w2, 2, 10, 4);
+            let (id, v) = gpi::notify_waitsome(ctx, &w2, 2, 10, 4, Wait::Block).unwrap();
             assert_eq!(v, id as u64 + 100, "value must travel with its id");
             got.push(id);
         }
@@ -294,7 +294,7 @@ fn gpi_concurrent_waiters_on_one_id_both_complete() {
             // lands (posting to an unconsumed id overwrites it).
             ctx.delay(Dur::millis(1.0));
         }
-        gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0));
+        gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0), Wait::Block).unwrap();
     });
     sim.run().unwrap();
     assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), 11, "both waiters woke");
@@ -315,7 +315,7 @@ fn gpi_notification_never_overtakes_its_payload() {
         let pattern: Vec<u8> = (0..len).map(|i| (i % 249) as u8).collect();
         dev.mem.write(0, &pattern).unwrap();
         gpi::write_notify(ctx, &w0, 0, gpi::QueueId(0), Loc::dev(0, 0), seg, 0, len, 3, 1).unwrap();
-        gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0));
+        gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0), Wait::Block).unwrap();
     });
     let w1 = world.clone();
     sim.spawn("rank1", move |ctx| {
@@ -639,10 +639,10 @@ fn gpi_wait_queue_timeout_then_blocking_wait_drains() {
     let w0 = world.clone();
     sim.spawn("rank0", move |ctx| {
         gpi::write(ctx, &w0, 0, gpi::QueueId(0), Loc::dev(0, 0), seg, 0, 1 << 14).unwrap();
-        let err = gpi::wait_queue_timeout(ctx, &w0, 0, gpi::QueueId(0), Dur::nanos(1))
+        let err = gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0), Wait::Until(Dur::nanos(1)))
             .expect_err("a cross-node write cannot finish in 1 ns");
         assert!(matches!(err, FabricError::Timeout { .. }), "{err:?}");
-        gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0));
+        gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0), Wait::Block).unwrap();
     });
     sim.run().unwrap();
 }
@@ -659,12 +659,12 @@ fn gpi_wait_timeout_retires_completed_ops_and_requeues_the_rest() {
     sim.spawn("rank0", move |ctx| {
         gpi::write(ctx, &w0, 0, gpi::QueueId(0), Loc::dev(0, 0), seg, 0, 8).unwrap();
         gpi::write(ctx, &w0, 0, gpi::QueueId(0), Loc::dev(0, 64), seg, 64, 1 << 20).unwrap();
-        let err = gpi::wait_all_queues_timeout(ctx, &w0, 0, Dur::micros(30.0))
+        let err = gpi::wait_all_queues(ctx, &w0, 0, Wait::Until(Dur::micros(30.0)))
             .expect_err("the 1 MiB write outlives a 30 µs deadline");
         assert!(matches!(err, FabricError::Timeout { .. }), "{err:?}");
         // The small write was retired by the timed wait; the big one is
         // still queued and must drain on the unbounded wait.
-        gpi::wait_all_queues(ctx, &w0, 0);
+        gpi::wait_all_queues(ctx, &w0, 0, Wait::Block).unwrap();
     });
     sim.run().unwrap();
 }
@@ -691,7 +691,7 @@ fn gpi_injected_queue_drop_errors_queue_until_purged() {
         gpi::queue_purge(ctx.handle(), &w0, 0, q);
         assert!(!gpi::queue_errored(&w0, 0, q));
         gpi::write(ctx, &w0, 0, q, Loc::dev(0, 0), seg, 0, 64).unwrap();
-        gpi::wait_all_queues(ctx, &w0, 0);
+        gpi::wait_all_queues(ctx, &w0, 0, Wait::Block).unwrap();
     });
     let h = sim.handle();
     sim.run().unwrap();
@@ -712,7 +712,7 @@ fn gpi_queue_purge_abandons_inflight_completions_without_leaking() {
         gpi::queue_purge(ctx.handle(), &w0, 0, gpi::QueueId(0));
         // Nothing left to wait on; an immediate drain returns at once.
         let t0 = ctx.now();
-        gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0));
+        gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0), Wait::Block).unwrap();
         assert_eq!(ctx.now(), t0, "purged queue has no completions to wait for");
     });
     sim.run().unwrap();
@@ -735,21 +735,21 @@ fn gpi_lost_notification_recovered_by_timeout_and_retry() {
         let dev = w0.primary_dev(0).clone();
         dev.mem.write(0, &[9u8; 64]).unwrap();
         gpi::write_notify(ctx, &w0, 0, gpi::QueueId(0), Loc::dev(0, 0), seg, 0, 64, 7, 77).unwrap();
-        gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0));
+        gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0), Wait::Block).unwrap();
         // Await the consumer's re-notify request (virtual-time poll).
         while !retry0.load(std::sync::atomic::Ordering::Relaxed) {
             ctx.delay(Dur::micros(20.0));
         }
         gpi::write_notify(ctx, &w0, 0, gpi::QueueId(0), Loc::dev(0, 0), seg, 0, 64, 7, 77).unwrap();
-        gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0));
+        gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0), Wait::Block).unwrap();
     });
     let w1 = world.clone();
     sim.spawn("consumer", move |ctx| {
-        let err = gpi::notify_waitsome_timeout(ctx, &w1, 1, 0, 16, Dur::millis(1.0))
+        let err = gpi::notify_waitsome(ctx, &w1, 1, 0, 16, Wait::Until(Dur::millis(1.0)))
             .expect_err("the first notification was dropped");
         assert!(matches!(err, FabricError::Timeout { .. }), "{err:?}");
         retry.store(true, std::sync::atomic::Ordering::Relaxed);
-        let (id, value) = gpi::notify_waitsome(ctx, &w1, 1, 0, 16);
+        let (id, value) = gpi::notify_waitsome(ctx, &w1, 1, 0, 16, Wait::Block).unwrap();
         assert_eq!((id, value), (7, 77));
         let bytes = w1.segment(seg).loc(0).snapshot(&w1.devs, 64).unwrap().unwrap();
         assert_eq!(bytes, vec![9u8; 64], "payload landed despite the lost notification");
@@ -812,7 +812,7 @@ fn gpi_concurrent_waiters_survive_injected_notification_delays() {
                 // under the injected skews above.
                 ctx.delay(Dur::millis(2.0));
             }
-            gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0));
+            gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0), Wait::Block).unwrap();
         });
         sim.run().unwrap();
         assert_eq!(

@@ -13,6 +13,34 @@ use crate::kernel::SimHandle;
 use crate::task::{TaskId, TaskStatus, YieldMsg};
 use crate::time::{Dur, SimTime};
 
+/// How long a blocking primitive may block: GASPI's timeout parameter as
+/// a type.
+///
+/// Every bounded-wait primitive in the stack — event waits here,
+/// queue/notification waits in the fabric layer, fences in the runtime —
+/// takes one `Wait` instead of growing a `_timeout` twin per method.
+/// [`Wait::Block`] is `GASPI_BLOCK` (wait forever; the call cannot fail),
+/// [`Wait::Until`] is `GASPI_TIMEOUT` with a virtual-time budget: if the
+/// wake condition is not met within the budget the primitive returns a
+/// timeout error and leaves partial completion intact for inspection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wait {
+    /// Block until the wake condition is met (`GASPI_BLOCK`).
+    Block,
+    /// Give up after this much virtual time (`GASPI_TIMEOUT`).
+    Until(Dur),
+}
+
+impl Wait {
+    /// The deadline budget, if bounded.
+    pub fn budget(self) -> Option<Dur> {
+        match self {
+            Wait::Block => None,
+            Wait::Until(d) => Some(d),
+        }
+    }
+}
+
 /// A blocking operation's virtual-time deadline fired before its wake
 /// condition was met (GASPI's `GASPI_TIMEOUT`). The waited state is left
 /// intact — events that completed before the deadline stay completed, so
@@ -145,29 +173,43 @@ impl Ctx {
         }
     }
 
-    /// Block until `ev` completes or `timeout` virtual time elapses.
+    /// Block until `ev` completes, or until `wait`'s budget elapses.
     ///
-    /// The timeout-taking twin of [`Ctx::wait`] — the kernel primitive
-    /// under GASPI's timed blocking calls. See [`Ctx::wait_all_timeout`]
-    /// for the mechanism.
-    pub fn wait_timeout(&mut self, ev: EventId, timeout: Dur) -> Result<(), WaitTimeout> {
-        self.wait_all_timeout(std::slice::from_ref(&ev), timeout)
+    /// The bounded-wait form of [`Ctx::wait`]; see [`Ctx::wait_all_with`]
+    /// for the mechanism. `Wait::Block` cannot fail.
+    pub fn wait_with(&mut self, ev: EventId, wait: Wait) -> Result<(), WaitTimeout> {
+        self.wait_all_with(std::slice::from_ref(&ev), wait)
     }
 
-    /// Block until *all* events complete or `timeout` virtual time
+    /// Block until `ev` completes or `timeout` virtual time elapses.
+    #[deprecated(note = "use `wait_with(ev, Wait::Until(timeout))`")]
+    pub fn wait_timeout(&mut self, ev: EventId, timeout: Dur) -> Result<(), WaitTimeout> {
+        self.wait_with(ev, Wait::Until(timeout))
+    }
+
+    /// Block until *all* events complete, or until `wait`'s budget
     /// elapses, whichever comes first.
     ///
-    /// Mechanism: one wait group over the pending set (as in
-    /// [`Ctx::wait_all`]) *plus* a timer wake at the deadline carrying the
-    /// same park sequence number. Whichever wake pops first resumes the
-    /// task; the loser is discarded by the stale-wake check. On timeout
-    /// the group is killed so later completions are inert, and the events
-    /// themselves are left untouched: completed ones stay completed, so
-    /// the caller can report partial completion ([`crate::SimHandle::event_done`])
-    /// and wait again or recover. A completion racing the deadline at the
-    /// exact same instant resolves deterministically by queue order
-    /// (earlier sequence number wins).
-    pub fn wait_all_timeout(&mut self, evs: &[EventId], timeout: Dur) -> Result<(), WaitTimeout> {
+    /// With [`Wait::Block`] this is exactly [`Ctx::wait_all`] (and cannot
+    /// fail). With [`Wait::Until`] the mechanism is: one wait group over
+    /// the pending set (as in [`Ctx::wait_all`]) *plus* a timer wake at
+    /// the deadline carrying the same park sequence number. Whichever
+    /// wake pops first resumes the task; the loser is discarded by the
+    /// stale-wake check. On timeout the group is killed so later
+    /// completions are inert, and the events themselves are left
+    /// untouched: completed ones stay completed, so the caller can report
+    /// partial completion ([`crate::SimHandle::event_done`]) and wait
+    /// again or recover. A completion racing the deadline at the exact
+    /// same instant resolves deterministically by queue order (earlier
+    /// sequence number wins).
+    pub fn wait_all_with(&mut self, evs: &[EventId], wait: Wait) -> Result<(), WaitTimeout> {
+        let timeout = match wait {
+            Wait::Block => {
+                self.wait_all(evs);
+                return Ok(());
+            }
+            Wait::Until(d) => d,
+        };
         let gref = {
             let mut st = self.handle.kernel.state.lock();
             let pending = evs.iter().filter(|&&ev| !st.events.get(ev).completed).count();
@@ -195,6 +237,13 @@ impl Ctx {
             st.kill_group(gref);
             Err(WaitTimeout { at: st.now() })
         }
+    }
+
+    /// Block until *all* events complete or `timeout` virtual time
+    /// elapses.
+    #[deprecated(note = "use `wait_all_with(evs, Wait::Until(timeout))`")]
+    pub fn wait_all_timeout(&mut self, evs: &[EventId], timeout: Dur) -> Result<(), WaitTimeout> {
+        self.wait_all_with(evs, Wait::Until(timeout))
     }
 
     /// Block until *any* of the events completes; returns the index of a
@@ -284,20 +333,25 @@ impl Ctx {
         }
     }
 
-    /// Block like [`Ctx::board_waitsome`], but give up once `timeout`
-    /// virtual time elapses without a consumable post in the range
-    /// (`gaspi_notify_waitsome` with a finite timeout returning
-    /// `GASPI_TIMEOUT`). The deadline is absolute across internal
-    /// re-parks: losing a post to a concurrent overlapping waiter does
-    /// not extend it.
-    pub fn board_waitsome_timeout(
+    /// Block like [`Ctx::board_waitsome`], bounded by `wait`'s budget:
+    /// with [`Wait::Until`] the call gives up once the budget elapses
+    /// without a consumable post in the range (`gaspi_notify_waitsome`
+    /// with a finite timeout returning `GASPI_TIMEOUT`). The deadline is
+    /// absolute across internal re-parks: losing a post to a concurrent
+    /// overlapping waiter does not extend it. [`Wait::Block`] cannot
+    /// fail.
+    pub fn board_waitsome_with(
         &mut self,
         board: BoardId,
         first: u32,
         num: u32,
-        timeout: Dur,
+        wait: Wait,
     ) -> Result<(u32, u64), WaitTimeout> {
-        assert!(num > 0, "board_waitsome_timeout on an empty range");
+        assert!(num > 0, "board_waitsome_with on an empty range");
+        let timeout = match wait {
+            Wait::Block => return Ok(self.board_waitsome(board, first, num)),
+            Wait::Until(d) => d,
+        };
         let deadline = self.handle.now() + timeout;
         loop {
             let gref = {
@@ -328,6 +382,18 @@ impl Ctx {
                 .retain(|w| !(w.group.gid == gref.gid && w.group.gen == gref.gen));
             st.kill_group(gref);
         }
+    }
+
+    /// Block like [`Ctx::board_waitsome`] with a virtual-time deadline.
+    #[deprecated(note = "use `board_waitsome_with(board, first, num, Wait::Until(timeout))`")]
+    pub fn board_waitsome_timeout(
+        &mut self,
+        board: BoardId,
+        first: u32,
+        num: u32,
+        timeout: Dur,
+    ) -> Result<(u32, u64), WaitTimeout> {
+        self.board_waitsome_with(board, first, num, Wait::Until(timeout))
     }
 
     /// Advance this task's virtual time by `d` (models local computation

@@ -34,6 +34,7 @@ use crate::board::{BoardId, BoardSlot};
 use crate::ctx::Ctx;
 use crate::event::{EventArena, EventId, GroupRef};
 use crate::fault::{CtrlFault, FaultPlan, FaultState};
+use crate::qos::{ContentionState, FlowSlot};
 use crate::resource::{ResSlot, ResourceId, Transfer};
 use crate::task::{TaskId, TaskSlot, TaskStatus, YieldMsg};
 use crate::time::{Dur, SimTime};
@@ -110,6 +111,13 @@ pub(crate) struct KState {
     /// default) keeps every hook on the one-branch fast path so clean
     /// runs are bit-identical with or without the subsystem compiled in.
     pub(crate) fault: Option<Box<FaultState>>,
+    /// Registered traffic flows (QoS weight + delivery stats). Always
+    /// present — flows tag transfers whether or not contention is armed.
+    pub(crate) flows: Vec<FlowSlot>,
+    /// Armed weighted-fair-queuing contention, mirroring `fault`: `None`
+    /// (the default) keeps `transfer_qos` on a path bit-identical to the
+    /// closed-form FIFO calls it replaced.
+    pub(crate) contention: Option<Box<ContentionState>>,
     n_done: usize,
     entries_processed: u64,
     trace: Option<Vec<TraceRec>>,
@@ -252,6 +260,8 @@ impl Sim {
                 boards: Vec::new(),
                 resources: Vec::new(),
                 fault: None,
+                flows: Vec::new(),
+                contention: None,
                 n_done: 0,
                 entries_processed: 0,
                 trace: None,
@@ -291,6 +301,16 @@ impl Sim {
     pub fn set_fault_plan(&self, plan: FaultPlan) {
         let mut st = self.handle.kernel.state.lock();
         st.fault = if plan.is_empty() { None } else { Some(Box::new(FaultState::new(plan))) };
+    }
+
+    /// Arm weighted-fair-queuing contention: flow-tagged transfers
+    /// ([`SimHandle::transfer_qos`]) on a shared link fair-share its
+    /// bandwidth by QoS weight instead of serialising FIFO. Disarmed
+    /// (the default), flow-tagged transfers replay bit-identically to
+    /// the closed-form FIFO model (the `qos` module docs spell out the
+    /// pricing rule).
+    pub fn enable_contention(&self) {
+        self.handle.kernel.state.lock().contention = Some(Box::<ContentionState>::default());
     }
 
     /// Spawn a task before the simulation starts. See [`SimHandle::spawn`].
@@ -426,6 +446,13 @@ impl SimHandle {
         let seq = st.seq;
         st.seq += 1;
         st.queue.push(Entry { t, seq, item });
+    }
+
+    /// Push a scheduled action (clamped to now) while already holding the
+    /// kernel lock. Crate-internal plumbing for the contention module.
+    pub(crate) fn push_action(&self, st: &mut KState, t: SimTime, f: Action) {
+        let t = t.max(st.now);
+        self.push(st, t, Item::Action(f));
     }
 
     /// Spawn a task during the simulation (e.g. a per-node progress
@@ -697,7 +724,7 @@ impl SimHandle {
     /// Shared reservation path: consult the fault injector (one `Option`
     /// branch when disarmed — the zero-cost guarantee) and fall through
     /// to the clean closed form when no window matches.
-    fn transfer_locked(
+    pub(crate) fn transfer_locked(
         &self,
         st: &mut KState,
         res: ResourceId,

@@ -38,6 +38,7 @@ mod event;
 mod fault;
 mod kernel;
 mod platform;
+mod qos;
 mod resource;
 mod rng;
 mod stats;
@@ -48,7 +49,7 @@ mod trace;
 
 pub use board::BoardId;
 pub use channel::SimChannel;
-pub use ctx::{Ctx, WaitTimeout};
+pub use ctx::{Ctx, Wait, WaitTimeout};
 pub use event::EventId;
 pub use fault::{fault_key, CtrlFault, FaultPlan};
 pub use kernel::{Action, Sim, SimError, SimHandle, SimReport};
@@ -56,6 +57,7 @@ pub use platform::{
     BwCurve, CollModels, CollProfile, GasnetModel, GpiModel, GpuSpec, IntraSpec, MpiP2pModel,
     MpiRmaModel, NetSpec, PlatformId, PlatformSpec,
 };
+pub use qos::{FlowId, FlowStats, QosClass};
 pub use resource::{gbits, gbps, ResourceId, Transfer};
 pub use rng::{derive_seed, rng_for};
 pub use stats::{bandwidth_gbps, Meter};

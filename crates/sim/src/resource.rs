@@ -95,6 +95,26 @@ impl ResSlot {
     pub(crate) fn free_at(&self) -> SimTime {
         self.free_at
     }
+
+    pub(crate) fn bytes_per_ns(&self) -> f64 {
+        self.bytes_per_ns
+    }
+
+    pub(crate) fn latency(&self) -> Dur {
+        self.latency
+    }
+
+    /// Count logical payload bytes for utilisation reporting without a
+    /// closed-form reservation (the WFQ path serves bytes fluidly).
+    pub(crate) fn note_bytes(&mut self, bytes: u64) {
+        self.total_bytes += bytes;
+    }
+
+    /// Advance the serial `free_at` watermark to a WFQ departure so the
+    /// fault injector's window estimate stays anchored to real activity.
+    pub(crate) fn bump_free_at(&mut self, t: SimTime) {
+        self.free_at = self.free_at.max(t);
+    }
 }
 
 /// Convert a link speed in GB/s (10^9 bytes per second) to the internal

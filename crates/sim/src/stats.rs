@@ -56,6 +56,31 @@ impl Meter {
             s[mid]
         }
     }
+
+    /// The `p`-th percentile sample in microseconds (0 if empty), with
+    /// `p` in `[0, 100]`. Nearest-rank method on the sorted samples, so
+    /// the result is always an observed value — the convention used for
+    /// the per-job latency quantiles in the multi-tenant benchmarks.
+    pub fn percentile_us(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        debug_assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((p / 100.0) * s.len() as f64).ceil() as usize;
+        s[rank.clamp(1, s.len()) - 1]
+    }
+
+    /// 50th-percentile (nearest-rank) sample in microseconds.
+    pub fn p50_us(&self) -> f64 {
+        self.percentile_us(50.0)
+    }
+
+    /// 99th-percentile (nearest-rank) sample in microseconds.
+    pub fn p99_us(&self) -> f64 {
+        self.percentile_us(99.0)
+    }
 }
 
 /// Achieved bandwidth for a transfer of `bytes` over `elapsed`.
@@ -83,6 +108,22 @@ mod tests {
         assert!((m.median_us() - 2.5).abs() < 1e-9);
         assert!((m.min_us() - 1.0).abs() < 1e-9);
         assert!((m.max_us() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut m = Meter::new();
+        for us in 1..=100 {
+            m.record(Dur::micros(us as f64));
+        }
+        assert!((m.p50_us() - 50.0).abs() < 1e-9);
+        assert!((m.p99_us() - 99.0).abs() < 1e-9);
+        assert!((m.percentile_us(100.0) - 100.0).abs() < 1e-9);
+        // A lone sample is every percentile.
+        let mut one = Meter::new();
+        one.record(Dur::micros(7.0));
+        assert!((one.p99_us() - 7.0).abs() < 1e-9);
+        assert_eq!(Meter::new().p99_us(), 0.0);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use diomp_sim::{Dur, Sim, SimChannel, SimError, SimTime};
+use diomp_sim::{Dur, Sim, SimChannel, SimError, SimTime, Wait};
 
 #[test]
 fn delays_accumulate_virtual_time() {
@@ -540,7 +540,7 @@ fn wait_timeout_returns_ok_before_the_deadline() {
     let ev = h.new_event();
     h.complete_in(ev, Dur::micros(2.0));
     sim.spawn("waiter", move |ctx| {
-        assert!(ctx.wait_timeout(ev, Dur::micros(10.0)).is_ok());
+        assert!(ctx.wait_with(ev, Wait::Until(Dur::micros(10.0))).is_ok());
         assert_eq!(ctx.now(), SimTime(2_000), "woken by completion, not deadline");
     });
     sim.run().unwrap();
@@ -553,7 +553,7 @@ fn wait_timeout_fires_at_the_deadline_and_leaves_the_event_pending() {
     let ev = h.new_event();
     h.complete_in(ev, Dur::micros(50.0));
     sim.spawn("waiter", move |ctx| {
-        let err = ctx.wait_timeout(ev, Dur::micros(5.0)).unwrap_err();
+        let err = ctx.wait_with(ev, Wait::Until(Dur::micros(5.0))).unwrap_err();
         assert_eq!(err.at, SimTime(5_000));
         assert_eq!(ctx.now(), SimTime(5_000));
         assert!(!ctx.event_done(ev), "event still in flight after the timeout");
@@ -577,7 +577,7 @@ fn wait_all_timeout_reports_partial_completion() {
     h.complete_in(evs[3], Dur::micros(30.0));
     let evs2 = evs.clone();
     sim.spawn("waiter", move |ctx| {
-        assert!(ctx.wait_all_timeout(&evs2, Dur::micros(5.0)).is_err());
+        assert!(ctx.wait_all_with(&evs2, Wait::Until(Dur::micros(5.0))).is_err());
         let done: Vec<bool> = evs2.iter().map(|&e| ctx.event_done(e)).collect();
         assert_eq!(done, vec![true, false, true, false], "partial state visible");
         // Draining the rest afterwards works: the dead group is inert.
@@ -600,7 +600,7 @@ fn timed_out_groups_do_not_leak_or_misfire_under_reuse() {
     }
     sim.spawn("waiter", move |ctx| {
         for _ in 0..16 {
-            assert!(ctx.wait_all_timeout(&slow, Dur::micros(1.0)).is_err());
+            assert!(ctx.wait_all_with(&slow, Wait::Until(Dur::micros(1.0))).is_err());
         }
         ctx.wait_all_free(&slow);
         assert_eq!(ctx.now(), SimTime(107_000));
@@ -619,10 +619,10 @@ fn board_waitsome_timeout_consumes_or_times_out() {
     });
     sim.spawn("consumer", move |ctx| {
         // First wait gives up before the post lands...
-        let err = ctx.board_waitsome_timeout(b, 0, 8, Dur::micros(2.0)).unwrap_err();
+        let err = ctx.board_waitsome_with(b, 0, 8, Wait::Until(Dur::micros(2.0))).unwrap_err();
         assert_eq!(err.at, SimTime(2_000));
         // ...the second sees it arrive inside the window.
-        let (id, v) = ctx.board_waitsome_timeout(b, 0, 8, Dur::micros(50.0)).unwrap();
+        let (id, v) = ctx.board_waitsome_with(b, 0, 8, Wait::Until(Dur::micros(50.0))).unwrap();
         assert_eq!((id, v), (3, 33));
         assert_eq!(ctx.now(), SimTime(8_000));
     });
@@ -642,7 +642,7 @@ fn board_waitsome_timeout_deadline_is_absolute_across_reparks() {
         }
     });
     sim.spawn("timed", move |ctx| {
-        let err = ctx.board_waitsome_timeout(b, 0, 8, Dur::micros(10.0)).unwrap_err();
+        let err = ctx.board_waitsome_with(b, 0, 8, Wait::Until(Dur::micros(10.0))).unwrap_err();
         assert_eq!(err.at, SimTime(10_000), "deadline must not slide");
     });
     sim.spawn("producer", move |ctx| {

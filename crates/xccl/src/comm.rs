@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
 use diomp_fabric::FabricWorld;
-use diomp_sim::{Ctx, Dur, SimTime};
+use diomp_sim::{Ctx, Dur, FlowId, QosClass, SimTime};
 use parking_lot::Mutex;
 
 use crate::dbt;
@@ -22,6 +22,46 @@ fn gate_for(id: UniqueId, n: usize) -> Arc<CollGate> {
     static GATES: OnceLock<Mutex<HashMap<u64, Arc<CollGate>>>> = OnceLock::new();
     let gates = GATES.get_or_init(|| Mutex::new(HashMap::new()));
     gates.lock().entry(id.bits()).or_insert_with(|| Arc::new(CollGate::new(n))).clone()
+}
+
+/// How communicator construction treats rails whose edges the health
+/// vector (`gaspi_state_vec`) marks dead.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RailPolicy {
+    /// Blacklist dead rails and re-split the payload over the survivors,
+    /// trading aggregate bandwidth for avoiding a 1000×-slow dead edge.
+    /// At least one rail always survives: with every rail condemned
+    /// there is no better topology to retreat to, so the layout stays
+    /// unchanged and the injector's replay makes the damage visible.
+    #[default]
+    AvoidDead,
+    /// Keep every rail regardless of health (measurement / debugging —
+    /// e.g. quantifying what the blacklist buys).
+    KeepAll,
+}
+
+/// Construction options for [`XcclComm::init`] — the one communicator
+/// constructor. `CommOpts::default()` reproduces the historical
+/// `init` behaviour (ring engine, normal QoS, dead rails avoided);
+/// override fields with struct-update syntax:
+///
+/// ```ignore
+/// XcclComm::init(ctx, &world, ranks, r, id, CommOpts {
+///     qos: QosClass::High,
+///     ..CommOpts::default()
+/// });
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CommOpts {
+    /// Completion-time engine (emergent ring protocol, DBT, LL/tree
+    /// auto-selection, or the calibrated profile).
+    pub engine: CollEngine,
+    /// QoS class of the owning job: fixes the weight this communicator's
+    /// chunk traffic carries in the per-link weighted fair queue when
+    /// contention is armed ([`diomp_sim::Sim::enable_contention`]).
+    pub qos: QosClass,
+    /// Degraded-rail handling at ring construction.
+    pub rail_policy: RailPolicy,
 }
 
 /// Ring topology summary produced by communicator initialisation.
@@ -51,38 +91,36 @@ pub struct XcclComm {
     /// Completion-time engine (emergent ring protocol or calibrated
     /// profile; see [`CollEngine`]).
     pub engine: CollEngine,
+    /// QoS class of the owning job (see [`CommOpts::qos`]).
+    pub qos: QosClass,
+    /// This rank's traffic flow: tags every chunk charge the collective
+    /// engines issue, so armed contention prices them at the
+    /// communicator's QoS weight.
+    flow: FlowId,
     /// Per-rail rotated ring orders with their edge link assignments.
     rails: Arc<Vec<Rail>>,
     gate: Arc<CollGate>,
 }
 
 impl XcclComm {
-    /// Collectively initialise a communicator over `ranks` with the
-    /// default engine (the chunk-pipelined ring protocol). See
-    /// [`XcclComm::init_with_engine`].
+    /// Collectively initialise a communicator over `ranks` (every listed
+    /// rank must call with the same `ranks`/`id`/`opts`). Charges the
+    /// library's initialisation cost (topology discovery, ring
+    /// construction, transport setup) and synchronises all participants.
+    ///
+    /// Engine, QoS weight and rail policy all ride in [`CommOpts`];
+    /// `CommOpts::default()` reproduces the historical default
+    /// constructor.
     pub fn init(
         ctx: &mut Ctx,
         world: &Arc<FabricWorld>,
         ranks: Vec<usize>,
         my_rank: usize,
         id: UniqueId,
-    ) -> Arc<XcclComm> {
-        Self::init_with_engine(ctx, world, ranks, my_rank, id, CollEngine::default())
-    }
-
-    /// Collectively initialise a communicator over `ranks` (every listed
-    /// rank must call with the same arguments). Charges the library's
-    /// initialisation cost (topology discovery, ring construction,
-    /// transport setup) and synchronises all participants.
-    pub fn init_with_engine(
-        ctx: &mut Ctx,
-        world: &Arc<FabricWorld>,
-        ranks: Vec<usize>,
-        my_rank: usize,
-        id: UniqueId,
-        engine: CollEngine,
+        opts: CommOpts,
     ) -> Arc<XcclComm> {
         assert!(ranks.contains(&my_rank));
+        let engine = opts.engine;
         // Topology discovery + transport setup (ncclCommInitRank).
         ctx.delay(Dur::micros(world.platform.coll.xccl_init_us));
 
@@ -95,35 +133,51 @@ impl XcclComm {
         let devs_per_node = order.len().div_ceil(nodes.max(1));
         let nrings = world.topo.nics_per_node().min(devs_per_node).max(1);
 
-        // Degradation awareness: rails whose edges ride a link the health
-        // vector (`gaspi_state_vec`) marks dead are blacklisted — the
-        // payload re-splits over the survivors, trading aggregate
-        // bandwidth for avoiding a 1000×-slow dead edge. At least one
-        // rail always survives (with every rail condemned there is no
-        // better topology to retreat to, so the layout stays unchanged
-        // and the injector's replay makes the damage visible instead).
-        // On a healthy fabric the filter drops nothing and the layout is
-        // bit-identical to the fault-free build.
+        // Degradation awareness (under `RailPolicy::AvoidDead`, the
+        // default): rails whose edges ride a link the health vector
+        // (`gaspi_state_vec`) marks dead are blacklisted — see
+        // [`RailPolicy`]. On a healthy fabric the filter drops nothing
+        // and the layout is bit-identical to the fault-free build.
         let mut rails = ring::build_rails(world, &order, nrings);
-        let health = world.health();
-        let alive: Vec<Rail> =
-            rails.iter().filter(|r| !r.uses_dead_link(&health)).cloned().collect();
-        if !alive.is_empty() {
-            rails = alive;
+        if opts.rail_policy == RailPolicy::AvoidDead {
+            let health = world.health();
+            let alive: Vec<Rail> =
+                rails.iter().filter(|r| !r.uses_dead_link(&health)).cloned().collect();
+            if !alive.is_empty() {
+                rails = alive;
+            }
         }
         let nrings = rails.len();
 
         let rails = Arc::new(rails);
         let gate = gate_for(id, ranks.len());
+        let flow = ctx.new_flow(opts.qos.weight_milli());
         Arc::new(XcclComm {
             world: world.clone(),
             ranks,
             id,
             ring: RingInfo { order, nodes, nrings },
             engine,
+            qos: opts.qos,
+            flow,
             rails,
             gate,
         })
+    }
+
+    /// Collectively initialise a communicator with an explicit engine.
+    #[deprecated(
+        note = "use `init(ctx, world, ranks, my_rank, id, CommOpts { engine, ..CommOpts::default() })`"
+    )]
+    pub fn init_with_engine(
+        ctx: &mut Ctx,
+        world: &Arc<FabricWorld>,
+        ranks: Vec<usize>,
+        my_rank: usize,
+        id: UniqueId,
+        engine: CollEngine,
+    ) -> Arc<XcclComm> {
+        Self::init(ctx, world, ranks, my_rank, id, CommOpts { engine, ..CommOpts::default() })
     }
 
     /// Position of a device in the ring.
@@ -205,6 +259,7 @@ impl XcclComm {
         let order = self.ring.order.clone();
         let n = order.len();
         let engine = self.engine;
+        let flow = self.flow;
         let rails = self.rails.clone();
         // Protocol selection happens here, through the same query the
         // public API exposes: None for single-protocol engines.
@@ -241,7 +296,16 @@ impl XcclComm {
                         // chunking as the ring fallback — one tuned
                         // config, both engines.
                         let root_flat = root_pos.map(|r| order[r]);
-                        dbt::execute(ctx, &world, &rails, op, root_flat, len, ac.ring_for(&op))
+                        dbt::execute(
+                            ctx,
+                            &world,
+                            &rails,
+                            flow,
+                            op,
+                            root_flat,
+                            len,
+                            ac.ring_for(&op),
+                        )
                     } else {
                         ring_semantics = true;
                         let root_flat = root_pos.map(|r| order[r]);
@@ -249,6 +313,7 @@ impl XcclComm {
                             ctx,
                             &world.platform,
                             &rails,
+                            flow,
                             op,
                             root_flat,
                             len,
@@ -262,10 +327,10 @@ impl XcclComm {
                     // total over ops.
                     if matches!(op, XcclOp::AllGather) {
                         ring_semantics = true;
-                        ring::execute(ctx, &world.platform, &rails, op, None, len, rc)
+                        ring::execute(ctx, &world.platform, &rails, flow, op, None, len, rc)
                     } else {
                         let root_flat = root_pos.map(|r| order[r]);
-                        dbt::execute(ctx, &world, &rails, op, root_flat, len, rc)
+                        dbt::execute(ctx, &world, &rails, flow, op, root_flat, len, rc)
                     }
                 }
                 CollEngine::Profile => {
@@ -289,7 +354,7 @@ impl XcclComm {
                     // arriving) task's context.
                     ring_semantics = true;
                     let root_flat = root_pos.map(|r| order[r]);
-                    ring::execute(ctx, &world.platform, &rails, op, root_flat, len, rc)
+                    ring::execute(ctx, &world.platform, &rails, flow, op, root_flat, len, rc)
                 }
             };
 

@@ -42,7 +42,7 @@
 //! [`crate::ll::crossover_bytes`], the LL/tree cut).
 
 use diomp_fabric::FabricWorld;
-use diomp_sim::{Ctx, Dur, PlatformSpec, ResourceId, SimTime};
+use diomp_sim::{Ctx, Dur, FlowId, PlatformSpec, ResourceId, SimTime};
 
 use crate::ll::{AutoConfig, SAFETY};
 use crate::ops::XcclOp;
@@ -237,10 +237,12 @@ struct Send {
 /// (each tree is rotated so its natural root lands on the requested
 /// device); the symmetric allreduce keeps the natural roots so the
 /// leaf/interior complementarity is exact.
+#[allow(clippy::too_many_arguments)] // one arg per schedule dimension; a struct would be ceremony
 pub(crate) fn execute(
     ctx: &mut Ctx,
     world: &FabricWorld,
     rails: &[Rail],
+    flow: FlowId,
     op: XcclOp,
     root_flat: Option<usize>,
     len: u64,
@@ -452,6 +454,7 @@ pub(crate) fn execute(
         ctx,
         &issues,
         &lanes,
+        flow,
         cfg.max_inflight,
         Dur::micros(t.step_us),
         &|si, arr| sends[si].deps.iter().flatten().all(|&d| arr[d as usize]),

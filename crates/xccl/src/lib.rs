@@ -77,7 +77,7 @@
 //! use diomp_device::{DataMode, DeviceTable};
 //! use diomp_fabric::{FabricWorld, ReduceOp};
 //! use diomp_sim::{ClusterSpec, PlatformSpec, Sim, Topology};
-//! use diomp_xccl::{DeviceBuf, UniqueId, XcclComm, XcclOp};
+//! use diomp_xccl::{CommOpts, DeviceBuf, UniqueId, XcclComm, XcclOp};
 //!
 //! let mut sim = Sim::new();
 //! let spec = ClusterSpec { platform: PlatformSpec::platform_a(), nodes: 1, gpus_per_node: 4 };
@@ -92,7 +92,14 @@
 //!         // Root generates the id; everyone receives it via bootstrap —
 //!         // the CPU-side channel NCCL calls the "unique id broadcast".
 //!         let bits = world.bootstrap.exchange(ctx, r, if r == 0 { id.bits() } else { 0 })[0];
-//!         let comm = XcclComm::init(ctx, &world, vec![0, 1, 2, 3], r, UniqueId::from_bits(bits));
+//!         let comm = XcclComm::init(
+//!             ctx,
+//!             &world,
+//!             vec![0, 1, 2, 3],
+//!             r,
+//!             UniqueId::from_bits(bits),
+//!             CommOpts::default(),
+//!         );
 //!         let dev = world.primary_dev(r);
 //!         let off = dev.malloc(64, 256).unwrap();
 //!         let vals: Vec<u8> = std::iter::repeat((r + 1) as f64)
@@ -128,10 +135,12 @@ mod ring;
 mod tree;
 mod unique_id;
 
-pub use comm::{RingInfo, XcclComm};
+pub use comm::{CommOpts, RailPolicy, RingInfo, XcclComm};
 pub use dbt::crossover_bytes as dbt_crossover_bytes;
 pub use gate::DeviceBuf;
 pub use ll::{crossover_bytes, AutoConfig};
 pub use ops::XcclOp;
 pub use ring::{default_nrings, CollEngine, RingConfig};
 pub use unique_id::UniqueId;
+
+pub use diomp_sim::QosClass;

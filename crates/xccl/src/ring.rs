@@ -27,7 +27,7 @@
 
 use diomp_device::{DataMode, DeviceTable};
 use diomp_fabric::FabricWorld;
-use diomp_sim::{BwCurve, Ctx, Dur, EventId, PlatformSpec, ResourceId, SimTime};
+use diomp_sim::{BwCurve, Ctx, Dur, EventId, FlowId, PlatformSpec, ResourceId, SimTime};
 
 use crate::gate::DeviceBuf;
 use crate::ops::XcclOp;
@@ -357,10 +357,12 @@ struct Send {
 ///
 /// `root_flat` is the flat device index of the broadcast/reduce root
 /// (ignored for symmetric ops).
+#[allow(clippy::too_many_arguments)] // one arg per schedule dimension; a struct would be ceremony
 pub(crate) fn execute(
     ctx: &mut Ctx,
     platform: &PlatformSpec,
     rails: &[Rail],
+    flow: FlowId,
     op: XcclOp,
     root_flat: Option<usize>,
     len: u64,
@@ -470,9 +472,15 @@ pub(crate) fn execute(
             }
         })
         .collect();
-    drive_schedule(ctx, &issues, &lanes, cfg.max_inflight, Dur::micros(t.step_us), &|si, arr| {
-        sends[si].dep.is_none_or(|d| arr[d as usize])
-    });
+    drive_schedule(
+        ctx,
+        &issues,
+        &lanes,
+        flow,
+        cfg.max_inflight,
+        Dur::micros(t.step_us),
+        &|si, arr| sends[si].dep.is_none_or(|d| arr[d as usize]),
+    );
     // Receive-side processing of the final chunk.
     ctx.delay(Dur::micros(t.step_us));
     ctx.now()
@@ -494,10 +502,16 @@ pub(crate) struct ChunkSend {
 /// per-chunk processing before the wire bytes occupy the resource.
 /// In-flight completions drain with [`Ctx::wait_any_batched`] — one
 /// wake per park — and arrivals enable downstream sends.
+///
+/// Chunks are charged to `flow` — the issuing communicator's QoS flow —
+/// so that on a contention-armed simulator concurrent collectives
+/// fair-share each link by QoS weight. Disarmed (the default), the
+/// charge is bit-identical to a plain FIFO `transfer_from`.
 pub(crate) fn drive_schedule(
     ctx: &mut Ctx,
     sends: &[ChunkSend],
     lanes: &[Vec<u32>],
+    flow: FlowId,
     window: usize,
     step_d: Dur,
     deps_met: &dyn Fn(usize, &[bool]) -> bool,
@@ -520,9 +534,7 @@ pub(crate) fn drive_schedule(
                 // Per-chunk processing (reduce / copy / flag check)
                 // before the chunk is injected on the edge's link.
                 let ready = ctx.now() + step_d;
-                let tr = ctx.handle().transfer_from(sends[si].res, ready, sends[si].wire);
-                let ev = ctx.new_event();
-                ctx.complete_at(ev, tr.arrive);
+                let ev = ctx.handle().transfer_qos(sends[si].res, flow, ready, sends[si].wire);
                 inflight.push((ev, si as u32));
                 lane_next[l] += 1;
                 lane_inflight[l] += 1;

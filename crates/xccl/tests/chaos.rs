@@ -25,7 +25,9 @@ use std::sync::Arc;
 use diomp_device::{DataMode, DeviceTable};
 use diomp_fabric::{FabricWorld, ReduceOp};
 use diomp_sim::{ClusterSpec, Dur, FaultPlan, PlatformSpec, ResourceId, Sim, SimTime, Topology};
-use diomp_xccl::{AutoConfig, CollEngine, DeviceBuf, RingConfig, UniqueId, XcclComm, XcclOp};
+use diomp_xccl::{
+    AutoConfig, CollEngine, CommOpts, DeviceBuf, RingConfig, UniqueId, XcclComm, XcclOp,
+};
 use parking_lot::Mutex;
 
 const NODES: usize = 2;
@@ -71,7 +73,23 @@ fn engines() -> Vec<CollEngine> {
 /// time and asserts byte-identity with the sequential reference on every
 /// rank.
 fn run_allreduce(engine: CollEngine, plan: &FaultPlan, len: u64, tag: &str) -> SimTime {
+    run_allreduce_contended(engine, plan, len, tag, false)
+}
+
+/// Same as [`run_allreduce`], but optionally with the per-link weighted
+/// fair queue armed — with a single tenant the WFQ must collapse to the
+/// serial closed form, so chaos traces replay to the same end time.
+fn run_allreduce_contended(
+    engine: CollEngine,
+    plan: &FaultPlan,
+    len: u64,
+    tag: &str,
+    armed: bool,
+) -> SimTime {
     let mut sim = Sim::new();
+    if armed {
+        sim.enable_contention();
+    }
     let world = boot(&sim, plan);
     let id = UniqueId::generate();
     let results: Arc<Mutex<Vec<Vec<f64>>>> = Arc::new(Mutex::new(vec![Vec::new(); NRANKS]));
@@ -80,13 +98,13 @@ fn run_allreduce(engine: CollEngine, plan: &FaultPlan, len: u64, tag: &str) -> S
         let results = results.clone();
         sim.spawn(format!("rank{r}"), move |ctx| {
             let bits = world.bootstrap.exchange(ctx, r, if r == 0 { id.bits() } else { 0 })[0];
-            let comm = XcclComm::init_with_engine(
+            let comm = XcclComm::init(
                 ctx,
                 &world,
                 (0..NRANKS).collect(),
                 r,
                 UniqueId::from_bits(bits),
-                engine,
+                CommOpts { engine, ..CommOpts::default() },
             );
             let dev = world.primary_dev(r);
             let off = dev.malloc(len, 256).unwrap();
@@ -151,6 +169,32 @@ fn same_seed_replays_the_same_trace() {
 }
 
 #[test]
+fn single_tenant_contention_replays_chaos_traces() {
+    // A single job on a contention-capable sim replays the chaos traces
+    // unchanged: disarmed, `transfer_qos` is call-for-call the legacy
+    // path; armed, a lone backlogged flow owns the full link share and
+    // the weighted fair queue collapses to the same closed form. Both
+    // runs must land on the same virtual end time for every engine,
+    // clean and under a randomized fault plan.
+    let probe = Sim::new();
+    let world = boot(&probe, &FaultPlan::new());
+    let links = all_links(&world);
+    drop(probe);
+    let faulted = FaultPlan::randomized(19, &links, &["rank6".to_string()], Dur::millis(5.0));
+    for plan in [FaultPlan::new(), faulted] {
+        for engine in engines() {
+            let tag = format!("single-tenant replay {engine:?} faulted={}", !plan.is_empty());
+            let disarmed = run_allreduce_contended(engine, &plan, 256 << 10, &tag, false);
+            let armed = run_allreduce_contended(engine, &plan, 256 << 10, &tag, true);
+            assert_eq!(
+                disarmed, armed,
+                "{tag}: arming contention moved a single-tenant chaos trace"
+            );
+        }
+    }
+}
+
+#[test]
 fn disabled_injection_leaves_the_trace_bit_identical() {
     // Zero cost when disabled, at the trace level: no plan, an empty
     // plan, and an armed plan whose windows open only after the run all
@@ -194,8 +238,14 @@ fn dead_link_blacklists_its_rails_and_the_collective_survives() {
         let nrings2 = nrings2.clone();
         sim.spawn(format!("rank{r}"), move |ctx| {
             let bits = world.bootstrap.exchange(ctx, r, if r == 0 { id.bits() } else { 0 })[0];
-            let comm =
-                XcclComm::init(ctx, &world, (0..NRANKS).collect(), r, UniqueId::from_bits(bits));
+            let comm = XcclComm::init(
+                ctx,
+                &world,
+                (0..NRANKS).collect(),
+                r,
+                UniqueId::from_bits(bits),
+                CommOpts::default(),
+            );
             if r == 0 {
                 *nrings2.lock() = comm.ring.nrings;
             }
@@ -248,8 +298,14 @@ fn every_rail_dead_keeps_the_full_layout() {
         let world = world.clone();
         sim.spawn(format!("rank{r}"), move |ctx| {
             let bits = world.bootstrap.exchange(ctx, r, if r == 0 { id.bits() } else { 0 })[0];
-            let comm =
-                XcclComm::init(ctx, &world, (0..NRANKS).collect(), r, UniqueId::from_bits(bits));
+            let comm = XcclComm::init(
+                ctx,
+                &world,
+                (0..NRANKS).collect(),
+                r,
+                UniqueId::from_bits(bits),
+                CommOpts::default(),
+            );
             assert_eq!(comm.ring.nrings, PER_NODE, "nothing to retreat to: keep every rail");
             let dev = world.primary_dev(r);
             let off = dev.malloc(64, 256).unwrap();
@@ -281,13 +337,18 @@ fn degraded_fabric_moves_auto_regimes_toward_the_ring() {
             let out2 = out2.clone();
             sim.spawn(format!("rank{r}"), move |ctx| {
                 let bits = world.bootstrap.exchange(ctx, r, if r == 0 { id.bits() } else { 0 })[0];
-                let comm = XcclComm::init_with_engine(
+                let comm = XcclComm::init(
                     ctx,
                     &world,
                     (0..NRANKS).collect(),
                     r,
                     UniqueId::from_bits(bits),
-                    CollEngine::Auto(AutoConfig::for_platform(&PlatformSpec::platform_a())),
+                    CommOpts {
+                        engine: CollEngine::Auto(AutoConfig::for_platform(
+                            &PlatformSpec::platform_a(),
+                        )),
+                        ..CommOpts::default()
+                    },
                 );
                 if r == 0 {
                     *out2.lock() = comm

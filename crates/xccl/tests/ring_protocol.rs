@@ -11,7 +11,9 @@ use std::sync::Arc;
 use diomp_device::{DataMode, DeviceTable};
 use diomp_fabric::{FabricWorld, ReduceOp};
 use diomp_sim::{ClusterSpec, PlatformSpec, Sim, SimTime, Topology};
-use diomp_xccl::{AutoConfig, CollEngine, DeviceBuf, RingConfig, UniqueId, XcclComm, XcclOp};
+use diomp_xccl::{
+    AutoConfig, CollEngine, CommOpts, DeviceBuf, RingConfig, UniqueId, XcclComm, XcclOp,
+};
 use proptest::prelude::*;
 
 fn boot(
@@ -51,13 +53,13 @@ fn with_engine(
         let f = f.clone();
         sim.spawn(format!("rank{r}"), move |ctx| {
             let bits = world.bootstrap.exchange(ctx, r, if r == 0 { id.bits() } else { 0 })[0];
-            let comm = XcclComm::init_with_engine(
+            let comm = XcclComm::init(
                 ctx,
                 &world,
                 (0..world.nranks).collect(),
                 r,
                 UniqueId::from_bits(bits),
-                engine,
+                CommOpts { engine, ..CommOpts::default() },
             );
             f(ctx, &world, &comm, r);
         });

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use diomp_device::{DataMode, DeviceTable};
 use diomp_fabric::{FabricWorld, ReduceOp};
 use diomp_sim::{ClusterSpec, PlatformSpec, Sim, SimTime, Topology};
-use diomp_xccl::{DeviceBuf, UniqueId, XcclComm, XcclOp};
+use diomp_xccl::{CommOpts, DeviceBuf, UniqueId, XcclComm, XcclOp};
 
 fn boot(
     sim: &Sim,
@@ -44,6 +44,7 @@ fn with_comm(
                 (0..world.nranks).collect(),
                 r,
                 UniqueId::from_bits(bits),
+                CommOpts::default(),
             );
             f(ctx, &world, &comm, r);
         });

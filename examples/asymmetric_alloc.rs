@@ -9,7 +9,7 @@ use diomp::core::{DiompConfig, DiompRuntime};
 use diomp::sim::PlatformSpec;
 
 fn main() {
-    let cfg = DiompConfig::on_platform(PlatformSpec::platform_a(), 2).with_heap(8 << 20);
+    let cfg = DiompConfig::builder_on(PlatformSpec::platform_a(), 2).with_heap(8 << 20).build();
     DiompRuntime::run(cfg, |ctx, rank| {
         let me = rank.rank;
 

@@ -8,7 +8,7 @@ use diomp::core::{group_merge, group_split, DiompConfig, DiompRuntime, ReduceOp}
 use diomp::sim::PlatformSpec;
 
 fn main() {
-    let cfg = DiompConfig::on_platform(PlatformSpec::platform_a(), 2).with_heap(8 << 20);
+    let cfg = DiompConfig::builder_on(PlatformSpec::platform_a(), 2).with_heap(8 << 20).build();
     DiompRuntime::run(cfg, |ctx, rank| {
         let world = rank.shared.world_group();
         let me = rank.rank;

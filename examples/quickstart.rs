@@ -10,7 +10,7 @@ use diomp::sim::PlatformSpec;
 fn main() {
     // Two Platform-A nodes (4×A100 + 4×Slingshot-11 NICs each): 8 ranks,
     // one GPU per rank.
-    let cfg = DiompConfig::on_platform(PlatformSpec::platform_a(), 2).with_heap(8 << 20);
+    let cfg = DiompConfig::builder_on(PlatformSpec::platform_a(), 2).with_heap(8 << 20).build();
 
     let report = DiompRuntime::run(cfg, |ctx, rank| {
         let n = rank.nranks();

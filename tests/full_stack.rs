@@ -49,9 +49,10 @@ fn matmul_correct_on_every_platform() {
 fn full_runtime_boot_on_every_platform_and_binding() {
     for platform in PlatformSpec::all() {
         for binding in [Binding::DevicePerRank, Binding::RankPerNode] {
-            let cfg = DiompConfig::on_platform(platform.clone(), 2)
+            let cfg = DiompConfig::builder_on(platform.clone(), 2)
                 .with_binding(binding)
-                .with_heap(4 << 20);
+                .with_heap(4 << 20)
+                .build();
             DiompRuntime::run(cfg, |ctx, rank| {
                 let ptr = rank.alloc_sym(ctx, 1024).unwrap();
                 let peer = (rank.rank + 1) % rank.nranks();
@@ -69,9 +70,10 @@ fn both_conduits_run_the_same_program_on_infiniband() {
     let run = |conduit: Conduit| -> u64 {
         let t = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
         let t2 = t.clone();
-        let cfg = DiompConfig::on_platform(PlatformSpec::platform_c(), 4)
+        let cfg = DiompConfig::builder_on(PlatformSpec::platform_c(), 4)
             .with_conduit(conduit)
-            .with_heap(4 << 20);
+            .with_heap(4 << 20)
+            .build();
         DiompRuntime::run(cfg, move |ctx, rank| {
             let ptr = rank.alloc_sym(ctx, 64 << 10).unwrap();
             let right = (rank.rank + 1) % rank.nranks();
@@ -94,7 +96,7 @@ fn both_conduits_run_the_same_program_on_infiniband() {
 #[test]
 fn ompccl_collectives_match_host_reference_across_platforms() {
     for platform in PlatformSpec::all() {
-        let cfg = DiompConfig::on_platform(platform.clone(), 2).with_heap(4 << 20);
+        let cfg = DiompConfig::builder_on(platform.clone(), 2).with_heap(4 << 20).build();
         DiompRuntime::run(cfg, |ctx, rank| {
             let world = rank.shared.world_group();
             let n = rank.nranks();
