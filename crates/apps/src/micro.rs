@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use diomp_core::{CollEngine, Conduit, DiompConfig, DiompRuntime, PipelineConfig};
+use diomp_core::{CollEngine, Conduit, DiompConfig, DiompRuntime, PipelineConfig, ServerSpec};
 use diomp_device::{DataMode, DeviceTable};
 use diomp_fabric::{gasnet, gpi, FabricWorld, Loc, MpiRank, ReduceOp};
 use diomp_sim::{bandwidth_gbps, ClusterSpec, PlatformSpec, Sim, SimTime, Topology, Wait};
@@ -271,6 +271,30 @@ pub fn diomp_collective_dbt(
     diomp_collective_full(platform, nodes, kind, sizes, engine)
 }
 
+/// Like [`diomp_collective`] but on a cluster whose trailing
+/// `server_nodes` nodes are carved out as data-passive in-network
+/// reduction servers, pinned to the reduction-server engine
+/// (`CollEngine::ReductionServer`) with its table-derived chunking.
+/// Only allreduce has a server schedule; other ops fall back to the
+/// ring over the full communicator. Returns the full-fidelity
+/// `(size, µs, entries)` rows; used by `bench_gate` to lock the
+/// server-offload win region.
+pub fn diomp_collective_rserver(
+    platform: &PlatformSpec,
+    nodes: usize,
+    server_nodes: usize,
+    kind: CollKind,
+    sizes: &[u64],
+) -> Vec<(u64, f64, u64)> {
+    let op = match kind {
+        CollKind::Broadcast => diomp_core::XcclOp::Broadcast { root: 0 },
+        CollKind::AllReduce => diomp_core::XcclOp::AllReduce { op: ReduceOp::SumF32 },
+    };
+    let nrings = diomp_core::default_nrings(platform);
+    let engine = CollEngine::ReductionServer(diomp_core::RingConfig::auto(platform, &op, nrings));
+    diomp_collective_served(platform, nodes, server_nodes, kind, sizes, engine)
+}
+
 /// Like [`diomp_collective`] but through the calibrated whole-collective
 /// profiles — the curve-fit ablation baseline the emergent ring curves
 /// are asserted against.
@@ -297,6 +321,24 @@ pub fn diomp_collective_full(
     sizes: &[u64],
     engine: CollEngine,
 ) -> Vec<(u64, f64, u64)> {
+    diomp_collective_served(platform, nodes, 0, kind, sizes, engine)
+}
+
+/// Like [`diomp_collective_rserver`] but with the engine chosen by the
+/// caller: the same `nodes`-node cluster with its trailing
+/// `server_nodes` carved out as reduction servers, run under any
+/// [`CollEngine`]. This is what makes the bench gate's win-region
+/// comparison fair — ring, DBT and the server schedule are timed on the
+/// *same* hardware with the *same* communicator membership, differing
+/// only in which protocol moves the bytes.
+pub fn diomp_collective_served(
+    platform: &PlatformSpec,
+    nodes: usize,
+    server_nodes: usize,
+    kind: CollKind,
+    sizes: &[u64],
+    engine: CollEngine,
+) -> Vec<(u64, f64, u64)> {
     sizes
         .iter()
         .map(|&size| {
@@ -305,6 +347,7 @@ pub fn diomp_collective_full(
                 .with_mode(DataMode::CostOnly)
                 .with_heap(heap)
                 .with_coll_engine(engine)
+                .with_coll_servers(ServerSpec::tail(server_nodes))
                 .build();
             let done = Arc::new(Mutex::new((SimTime::ZERO, SimTime::ZERO)));
             let done2 = done.clone();

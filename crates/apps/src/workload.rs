@@ -17,7 +17,10 @@
 
 use std::sync::Arc;
 
-use diomp_core::{DeviceBuf, JobSpec, QosClass, ReduceOp, UniqueId, XcclComm, XcclOp};
+use diomp_core::{
+    default_nrings, CollEngine, DeviceBuf, JobSpec, QosClass, ReduceOp, RingConfig, ServerSpec,
+    UniqueId, XcclComm, XcclOp,
+};
 use diomp_device::{DataMode, DeviceTable};
 use diomp_fabric::FabricWorld;
 use diomp_sim::{derive_seed, ClusterSpec, Dur, Meter, PlatformSpec, Sim, SimTime, Topology};
@@ -65,6 +68,12 @@ pub struct JobResult {
     /// The platform table's per-NIC wire bandwidth, GB/s — the ceiling
     /// `achieved_gbps` is reported against.
     pub table_gbps: f64,
+    /// Wire bytes delivered on the job's reduction-server fan-back flow
+    /// (the flow its carved server NICs charge; see
+    /// `XcclComm::server_flow`). Zero for a job without servers — the
+    /// flow is only created when servers are provisioned, so per-job
+    /// fabric accounting attributes every server byte to its tenant.
+    pub server_flow_bytes: u64,
 }
 
 /// Whole-workload outcome.
@@ -123,12 +132,21 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadReport {
         meter: Meter,
         wire_bytes: f64,
         busy: Dur,
+        // Every rank's comm registers its own server flow; the schedule
+        // is driven by whichever rank arrives at the gate last, so the
+        // job's fan-back bytes are the sum over all of them.
+        server_flows: Vec<diomp_sim::FlowId>,
     }
     let accs: Vec<Arc<Mutex<JobAcc>>> = spec
         .jobs
         .iter()
         .map(|_| {
-            Arc::new(Mutex::new(JobAcc { meter: Meter::new(), wire_bytes: 0.0, busy: Dur::ZERO }))
+            Arc::new(Mutex::new(JobAcc {
+                meter: Meter::new(),
+                wire_bytes: 0.0,
+                busy: Dur::ZERO,
+                server_flows: Vec::new(),
+            }))
         })
         .collect();
 
@@ -153,6 +171,9 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadReport {
                     job.comm_opts(),
                 );
                 let off = world.primary_dev(r).malloc(max_size.max(64), 256).unwrap();
+                if let Some(f) = comm.server_flow() {
+                    acc.lock().server_flows.push(f);
+                }
                 for i in 0..iters {
                     let (op, size) = draw(seed, j, i, &sizes);
                     let t0 = ctx.now();
@@ -169,8 +190,8 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadReport {
             });
         }
     }
+    let handle = sim.handle();
     let rep = sim.run().expect("workload simulation deadlocked");
-
     let jobs = spec
         .jobs
         .iter()
@@ -186,6 +207,7 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadReport {
                 p99_us: a.meter.p99_us(),
                 achieved_gbps: if busy_ns == 0 { 0.0 } else { a.wire_bytes / busy_ns as f64 },
                 table_gbps: spec.platform.net.nic_gbps,
+                server_flow_bytes: a.server_flows.iter().map(|&f| handle.flow_stats(f).bytes).sum(),
             }
         })
         .collect();
@@ -248,6 +270,33 @@ pub fn canonical_idle_workload(contended: bool) -> WorkloadSpec {
     spec
 }
 
+/// The server-offload contention scenario `bench_gate` gates alongside
+/// the canonical one: the same 8-tenant mix on a three-node platform-A
+/// fabric, with one Normal tenant provisioned a reduction-server node
+/// and pinned to the server engine. Its fan-back bytes are charged to
+/// its own server flow, so `flow_stats` attributes every wire byte —
+/// client and server side — to the owning tenant, and the other seven
+/// jobs' QoS accounting is undisturbed.
+pub fn server_workload(contended: bool) -> WorkloadSpec {
+    let mut spec = canonical_workload(contended);
+    spec.nodes = 3;
+    let p = &spec.platform;
+    let rc = RingConfig::auto(p, &XcclOp::AllReduce { op: ReduceOp::SumF32 }, default_nrings(p));
+    spec.jobs[1] = spec.jobs[1]
+        .clone()
+        .with_engine(CollEngine::ReductionServer(rc))
+        .with_servers(ServerSpec::tail(1));
+    spec
+}
+
+/// The single-tenant reference for the server scenario: only the
+/// server-equipped job, alone on the fabric.
+pub fn server_idle_workload(contended: bool) -> WorkloadSpec {
+    let mut spec = server_workload(contended);
+    spec.jobs = vec![spec.jobs[1].clone()];
+    spec
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +334,40 @@ mod tests {
         let armed = run_workload(&canonical_idle_workload(true));
         assert_eq!(disarmed.end_time, armed.end_time);
         assert_eq!(disarmed.jobs[0].p99_us, armed.jobs[0].p99_us);
+    }
+
+    #[test]
+    fn single_server_job_workload_is_contention_invariant() {
+        // The flow-partition invariant at workload level: a lone tenant
+        // with carved servers splits its traffic across a client flow
+        // (client NICs + ports) and a server flow (server NICs), but no
+        // single wire ever carries both — so arming the fair queue still
+        // changes nothing.
+        let disarmed = run_workload(&server_idle_workload(false));
+        let armed = run_workload(&server_idle_workload(true));
+        assert_eq!(disarmed.end_time, armed.end_time);
+        assert_eq!(disarmed.jobs[0].p99_us, armed.jobs[0].p99_us);
+        assert_eq!(disarmed.jobs[0].server_flow_bytes, armed.jobs[0].server_flow_bytes);
+    }
+
+    #[test]
+    fn server_fan_back_is_charged_to_the_owning_tenant_only() {
+        let mut spec = server_workload(true);
+        spec.iters = 6;
+        let rep = run_workload(&spec);
+        assert_eq!(rep.jobs.len(), 8);
+        for (i, j) in rep.jobs.iter().enumerate() {
+            assert_eq!(j.samples, 6, "{}: every iteration must be sampled", j.name);
+            assert!(j.p99_us >= j.p50_us && j.p50_us > 0.0);
+            if i == 1 {
+                assert!(
+                    j.server_flow_bytes > 0,
+                    "the server job's fan-back must land on its server flow"
+                );
+            } else {
+                assert_eq!(j.server_flow_bytes, 0, "{}: no servers, no server flow", j.name);
+            }
+        }
     }
 
     #[test]

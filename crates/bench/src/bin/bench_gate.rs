@@ -26,8 +26,8 @@
 //! and prints a before/after diff of every row it refreshed.
 
 use diomp_apps::micro::{
-    diomp_collective_auto, diomp_collective_dbt, diomp_collective_full, diomp_p2p_full,
-    diomp_p2p_latency, fig6_nodes, CollKind, RmaOp,
+    diomp_collective_auto, diomp_collective_dbt, diomp_collective_full, diomp_collective_rserver,
+    diomp_collective_served, diomp_p2p_full, diomp_p2p_latency, fig6_nodes, CollKind, RmaOp,
 };
 use diomp_apps::minimod::{self, HaloStyle, MinimodConfig};
 use diomp_bench::report::{
@@ -503,6 +503,141 @@ fn measure() -> Vec<BenchRecord> {
             unit: "x".into(),
             entries_processed: None,
         });
+    }
+
+    // (h) In-network reduction offload (ISSUE 8 tentpole): on a cluster
+    // whose trailing half is carved out as data-passive reduction
+    // servers, the server schedule must beat both client-side protocols
+    // outright at the injection-bound sizes — every client NIC moves
+    // each byte once instead of ≈2× — and the four-regime Auto
+    // dispatcher must track the best engine within 5 % across the whole
+    // size range. All engines are timed on the *same* server-equipped
+    // communicator (same membership, same client-only fold), differing
+    // only in which protocol moves the bytes; the ring and DBT run
+    // their table-tuned chunking so the baseline is the strongest
+    // client-side configuration.
+    for (tag, platform, clients, servers) in
+        [("A", PlatformSpec::platform_a(), 8usize, 8usize), ("C", PlatformSpec::platform_c(), 8, 8)]
+    {
+        let nodes = clients + servers;
+        let op = diomp_core::XcclOp::AllReduce { op: diomp_core::ReduceOp::SumF32 };
+        let rc =
+            diomp_core::RingConfig::auto(&platform, &op, diomp_core::default_nrings(&platform));
+        let sizes = [256u64 << 10, 1 << 20, 16 << 20, 64 << 20];
+        let ring = diomp_collective_served(
+            &platform,
+            nodes,
+            servers,
+            CollKind::AllReduce,
+            &sizes,
+            CollEngine::Ring(rc),
+        );
+        let dbt = diomp_collective_served(
+            &platform,
+            nodes,
+            servers,
+            CollKind::AllReduce,
+            &sizes,
+            CollEngine::Dbt(rc),
+        );
+        let rsv = diomp_collective_rserver(&platform, nodes, servers, CollKind::AllReduce, &sizes);
+        let auto_engine = diomp_core::Tuner::new(&platform, Conduit::GasnetEx).coll_engine();
+        let auto = diomp_collective_served(
+            &platform,
+            nodes,
+            servers,
+            CollKind::AllReduce,
+            &sizes,
+            auto_engine,
+        );
+        for i in 0..sizes.len() {
+            let (s, ring_us, ring_entries) = ring[i];
+            let (_, dbt_us, _) = dbt[i];
+            let (_, rsv_us, rsv_entries) = rsv[i];
+            let (_, auto_us, auto_entries) = auto[i];
+            let sz = size_label(s);
+            let best_client = ring_us.min(dbt_us);
+            if s >= 16 << 20 {
+                assert!(
+                    rsv_us < best_client,
+                    "rserver/{tag}@{sz}: the server schedule ({rsv_us:.1}µs) must beat the best \
+                     client-side protocol (ring {ring_us:.1}µs, dbt {dbt_us:.1}µs) at \
+                     injection-bound sizes"
+                );
+            }
+            // No-harm across the whole range: below its server band the
+            // dispatcher prices among the client-side protocols (the
+            // fourth regime only opens above the DBT boundary, by
+            // design), so the reference there is the ring fallback —
+            // the same engine section (b) gates Auto against on
+            // server-free communicators; inside the win region it must
+            // track the best of all three — i.e. actually take the
+            // offload.
+            let best = if s >= 16 << 20 { best_client.min(rsv_us) } else { ring_us };
+            assert!(
+                auto_us <= best * 1.05,
+                "rserver/{tag}@{sz}: Auto ({auto_us:.1}µs) must stay within 5% of the best \
+                 engine ({best:.1}µs) on a server-equipped communicator"
+            );
+            records.push(BenchRecord::with_entries(
+                format!("rserver/allred_{tag}_{sz}/rsv"),
+                rsv_us,
+                "us",
+                rsv_entries,
+            ));
+            records.push(BenchRecord::with_entries(
+                format!("rserver/allred_{tag}_{sz}/auto"),
+                auto_us,
+                "us",
+                auto_entries,
+            ));
+            // The client-side reference at the asserted win cells, so
+            // the offload margin stays visible in CI history.
+            if s >= 16 << 20 {
+                records.push(BenchRecord::with_entries(
+                    format!("rserver/allred_{tag}_{sz}/ring"),
+                    ring_us,
+                    "us",
+                    ring_entries,
+                ));
+            }
+        }
+    }
+
+    // The server-offload tenant scenario: the canonical 8-job mix with
+    // one tenant provisioned a reduction-server node. Its fan-back
+    // bytes must land on its own server flow (per-tenant fabric
+    // accounting stays total) and nobody else's; the single-tenant
+    // armed==disarmed identity must survive the second flow.
+    {
+        use diomp_apps::workload::{run_workload, server_idle_workload, server_workload};
+        let disarmed = run_workload(&server_idle_workload(false));
+        let armed = run_workload(&server_idle_workload(true));
+        assert_eq!(
+            disarmed.end_time, armed.end_time,
+            "a lone server-equipped tenant must replay bit-identically under the fair queue"
+        );
+        let loaded = run_workload(&server_workload(true));
+        for (i, j) in loaded.jobs.iter().enumerate() {
+            if i == 1 {
+                assert!(
+                    j.server_flow_bytes > 0,
+                    "the server tenant's fan-back must be charged to its server flow"
+                );
+            } else {
+                assert_eq!(
+                    j.server_flow_bytes, 0,
+                    "{}: a serverless tenant must never be charged server traffic",
+                    j.name
+                );
+            }
+        }
+        records.push(BenchRecord::with_entries(
+            "rserver/8job_server_flow_bytes",
+            loaded.jobs[1].server_flow_bytes as f64,
+            "bytes",
+            loaded.entries_processed,
+        ));
     }
     records
 }

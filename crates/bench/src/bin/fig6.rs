@@ -88,6 +88,7 @@ fn run_op(
             CollEngine::Ring(_) => "diomp",
             CollEngine::Dbt(_) => "diomp_dbt",
             CollEngine::Auto(_) => "diomp_auto",
+            CollEngine::ReductionServer(_) => "diomp_rserver",
         };
         for (i, &(s, us, entries)) in full.iter().enumerate() {
             let sz = size_label(s);

@@ -11,7 +11,7 @@
 
 use diomp_device::DataMode;
 use diomp_sim::{ClusterSpec, PlatformSpec, QosClass};
-use diomp_xccl::CollEngine;
+use diomp_xccl::{CollEngine, ServerSpec};
 
 use crate::galloc::AllocKind;
 
@@ -147,6 +147,15 @@ pub struct DiompConfig {
     /// [`CollEngine::Auto`], or the calibrated whole-collective profiles
     /// (the curve-fit path, kept for ablation).
     pub coll_engine: CollEngine,
+    /// Dedicated in-network reduction servers (paper-style SHARP-like
+    /// offload): carve this many nodes out of every communicator as
+    /// data-passive reduction servers. Disabled by default — the
+    /// published single-job curves carry no server nodes. With servers
+    /// provisioned, large allreduces offload onto them (the fourth
+    /// [`CollEngine::Auto`] regime, or [`CollEngine::ReductionServer`]
+    /// explicitly); every other op, and every degraded case, falls back
+    /// to the client-side schedules.
+    pub coll_servers: ServerSpec,
     /// QoS class of this job's collective traffic on a shared fabric.
     /// Communicators created by the runtime charge their chunk transfers
     /// to a flow with this class's weight; on a contention-armed
@@ -184,6 +193,7 @@ impl DiompConfig {
             max_rma_retries: 3,
             retry_backoff_us: 50.0,
             coll_engine: CollEngine::default(),
+            coll_servers: ServerSpec::default(),
             qos: QosClass::default(),
             pipeline_explicit: false,
             coll_engine_explicit: false,
@@ -387,6 +397,7 @@ pub struct DiompConfigBuilder {
     batched_fence: Option<bool>,
     rma_retry: Option<(u32, f64)>,
     coll_engine: Option<CollEngine>,
+    coll_servers: Option<ServerSpec>,
     qos: Option<QosClass>,
     tuned: bool,
 }
@@ -408,6 +419,7 @@ impl DiompConfigBuilder {
             batched_fence: None,
             rma_retry: None,
             coll_engine: None,
+            coll_servers: None,
             qos: None,
             tuned: false,
         }
@@ -514,6 +526,15 @@ impl DiompConfigBuilder {
         self.with_coll_engine(CollEngine::Profile)
     }
 
+    /// Provision dedicated in-network reduction servers (see
+    /// [`DiompConfig::coll_servers`]). Server nodes must come out of the
+    /// cluster's node budget; every communicator the runtime creates
+    /// carves them from its membership.
+    pub fn with_coll_servers(mut self, s: ServerSpec) -> Self {
+        self.coll_servers = Some(s);
+        self
+    }
+
     /// Set the job's QoS class for shared-fabric contention (see
     /// [`DiompConfig::qos`]).
     pub fn with_qos(mut self, q: QosClass) -> Self {
@@ -568,6 +589,9 @@ impl DiompConfigBuilder {
         }
         if let Some(e) = self.coll_engine {
             cfg.coll_engine = e;
+        }
+        if let Some(s) = self.coll_servers {
+            cfg.coll_servers = s;
         }
         if let Some(q) = self.qos {
             cfg.qos = q;

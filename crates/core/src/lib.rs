@@ -53,8 +53,9 @@ pub mod tune;
 
 pub use config::{Binding, Conduit, DiompConfig, DiompConfigBuilder, PipelineConfig};
 pub use diomp_xccl::{
-    crossover_bytes, dbt_crossover_bytes, default_nrings, AutoConfig, CollEngine, CommOpts,
-    DeviceBuf, QosClass, RailPolicy, RingConfig, UniqueId, XcclComm, XcclOp,
+    crossover_bytes, dbt_crossover_bytes, default_nrings, rserver_crossover_bytes, AutoConfig,
+    CollEngine, CommOpts, DeviceBuf, QosClass, RailPolicy, RingConfig, ServerLayout,
+    ServerPlacement, ServerSpec, UniqueId, XcclComm, XcclOp,
 };
 pub use error::DiompError;
 pub use galloc::{AllocKind, BuddyAlloc, LinearAlloc, PtrCache, WRAPPER_BYTES};

@@ -48,6 +48,7 @@ impl DiompRank {
             UniqueId::from_bits(bits),
             CommOpts {
                 engine: self.shared.cfg.coll_engine,
+                servers: self.shared.cfg.coll_servers,
                 qos: self.shared.cfg.qos,
                 ..CommOpts::default()
             },

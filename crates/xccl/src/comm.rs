@@ -12,6 +12,7 @@ use crate::gate::{CollGate, DeviceBuf};
 use crate::ll;
 use crate::ops::XcclOp;
 use crate::ring::{self, CollEngine, Rail};
+use crate::rserver::{self, ServerLayout, ServerPlacement, ServerSet, ServerSpec};
 use crate::unique_id::UniqueId;
 
 /// Process-global gate registry: every rank constructs its own
@@ -62,6 +63,14 @@ pub struct CommOpts {
     pub qos: QosClass,
     /// Degraded-rail handling at ring construction.
     pub rail_policy: RailPolicy,
+    /// Reduction-server designation: how many whole nodes of the
+    /// communicator are dedicated in-network reduction servers (see
+    /// [`ServerSpec`]; the default disables the server path). Server
+    /// ranks are members — they arrive at the gate — but are
+    /// *infrastructure*: allreduce on a server-equipped communicator
+    /// reduces over the **client** ranks only, and their fan-back
+    /// traffic is charged to a dedicated QoS flow.
+    pub servers: ServerSpec,
 }
 
 /// Ring topology summary produced by communicator initialisation.
@@ -99,6 +108,10 @@ pub struct XcclComm {
     flow: FlowId,
     /// Per-rail rotated ring orders with their edge link assignments.
     rails: Arc<Vec<Rail>>,
+    /// Resolved reduction-server set (None when [`CommOpts::servers`]
+    /// is disabled — the communicator then behaves exactly as before
+    /// the server engine existed, including flow-id allocation).
+    servers: Option<Arc<ServerSet>>,
     gate: Arc<CollGate>,
 }
 
@@ -149,6 +162,39 @@ impl XcclComm {
         }
         let nrings = rails.len();
 
+        // Reduction-server carving: whole node blocks from the requested
+        // end of the node-major order become infrastructure (at least
+        // one client node always remains). Server devices whose NIC the
+        // health vector marks dead are blacklisted — the stripes
+        // re-split over the survivors, and with *every* server dead the
+        // set is empty and the engines fall back to the ring schedule:
+        // degrade, never hang. The dedicated server flow is allocated
+        // only when servers are configured, so server-free communicators
+        // keep their historical flow-id sequence bit for bit.
+        let servers = if opts.servers.enabled() && nodes > 1 {
+            let mut node_ids: Vec<usize> =
+                order.iter().map(|&f| world.devs.dev(f).loc.node).collect();
+            node_ids.dedup();
+            let nsrv = opts.servers.nodes.min(nodes - 1);
+            let srv_nodes: Vec<usize> = match opts.servers.placement {
+                ServerPlacement::Tail => node_ids[nodes - nsrv..].to_vec(),
+                ServerPlacement::Head => node_ids[..nsrv].to_vec(),
+            };
+            let health = world.health();
+            let devs: Vec<usize> = order
+                .iter()
+                .copied()
+                .filter(|&f| {
+                    let d = world.devs.dev(f);
+                    srv_nodes.contains(&d.loc.node) && health.link_factor_milli(d.nic) != 0
+                })
+                .collect();
+            let flow = ctx.new_flow(opts.qos.weight_milli());
+            Some(Arc::new(ServerSet { nodes: srv_nodes, devs, flow }))
+        } else {
+            None
+        };
+
         let rails = Arc::new(rails);
         let gate = gate_for(id, ranks.len());
         let flow = ctx.new_flow(opts.qos.weight_milli());
@@ -161,6 +207,7 @@ impl XcclComm {
             qos: opts.qos,
             flow,
             rails,
+            servers,
             gate,
         })
     }
@@ -190,16 +237,69 @@ impl XcclComm {
         self.ring.order.len()
     }
 
+    /// Node ids dedicated as reduction servers (empty when
+    /// [`CommOpts::servers`] is disabled). These nodes' ranks are
+    /// communicator members but contribute no data to allreduce.
+    pub fn server_nodes(&self) -> &[usize] {
+        self.servers.as_ref().map_or(&[], |s| &s.nodes)
+    }
+
+    /// Live reduction-server devices (flat indices): the stripe owners
+    /// after dead-NIC blacklisting. Empty when no servers are
+    /// configured *or* every server NIC is dead (ring fallback).
+    pub fn live_server_devices(&self) -> &[usize] {
+        self.servers.as_ref().map_or(&[], |s| &s.devs)
+    }
+
+    /// The dedicated QoS flow server fan-back traffic is charged to
+    /// (None when no servers are configured). Pass it to
+    /// [`diomp_sim::SimHandle::flow_stats`] to observe server traffic
+    /// separately from the communicator's client flow.
+    pub fn server_flow(&self) -> Option<FlowId> {
+        self.servers.as_ref().map(|s| s.flow)
+    }
+
+    /// The NIC-level shape [`rserver::crossover_bytes`] prices this
+    /// communicator's server schedule from, reflecting the *live*
+    /// server set (dead-NIC blacklisting shrinks `server_devs` /
+    /// `server_nics` and the crossover retreats accordingly). None when
+    /// no servers are configured.
+    pub fn server_layout(&self) -> Option<ServerLayout> {
+        let srv = self.servers.as_ref()?;
+        let mut nics: Vec<usize> =
+            srv.devs.iter().map(|&f| self.world.devs.dev(f).nic.index()).collect();
+        nics.sort_unstable();
+        nics.dedup();
+        let client_blocks = self.ring.nodes - srv.nodes.len();
+        let client_devs = self
+            .ring
+            .order
+            .iter()
+            .filter(|&&f| !srv.nodes.contains(&self.world.devs.dev(f).loc.node))
+            .count();
+        Some(ServerLayout {
+            client_blocks,
+            server_devs: srv.devs.len(),
+            server_nics: nics.len(),
+            chain: client_devs.div_ceil(client_blocks.max(1)),
+        })
+    }
+
     /// The regime boundaries of this communicator's engine for `op`:
-    /// `Some((ll_cut, dbt_cut))` under [`CollEngine::Auto`], `None` for
-    /// the single-protocol engines. Payloads up to `ll_cut` bytes run
-    /// the LL/tree fast path, payloads in `(ll_cut, dbt_cut]` run the
-    /// double-binary-tree engine, and everything above falls back to
-    /// the configured ring; `dbt_cut >= ll_cut` always (an empty mid
-    /// band collapses onto the lower boundary). Both boundaries are
-    /// derived from the platform tables at query time — see
-    /// [`ll::crossover_bytes`] and [`dbt::crossover_bytes`].
-    pub fn auto_regimes(&self, op: &XcclOp) -> Option<(u64, u64)> {
+    /// `Some((ll_cut, dbt_cut, rsv_cut))` under [`CollEngine::Auto`],
+    /// `None` for the single-protocol engines. Payloads up to `ll_cut`
+    /// bytes run the LL/tree fast path, payloads in `(ll_cut, dbt_cut]`
+    /// run the double-binary-tree engine, payloads of `rsv_cut` bytes
+    /// and above run the reduction-server schedule when the
+    /// communicator has live servers (`rsv_cut == 0` means the fourth
+    /// regime is closed — no servers, or they never win), and
+    /// everything in between falls back to the configured ring;
+    /// `dbt_cut >= ll_cut` always, and an open `rsv_cut` always sits
+    /// strictly above `dbt_cut` (an empty mid band collapses onto the
+    /// lower boundary). All boundaries are derived from the platform
+    /// tables at query time — see [`ll::crossover_bytes`],
+    /// [`dbt::crossover_bytes`] and [`rserver::crossover_bytes`].
+    pub fn auto_regimes(&self, op: &XcclOp) -> Option<(u64, u64, u64)> {
         match self.engine {
             CollEngine::Auto(ac) => {
                 let n = self.ndevices();
@@ -225,7 +325,31 @@ impl XcclComm {
                 let ll_cut = ll::crossover_bytes(platform, op, n, self.ring.nrings, &ac);
                 let dbt_cut =
                     dbt::crossover_bytes(platform, op, n, self.ring.nrings, &ac).max(ll_cut);
-                Some((ll_cut, dbt_cut))
+                // The fourth regime: priced from the *live* server set
+                // (dead-NIC blacklisting shrinks the layout and the
+                // crossover retreats) on the same degradation-scaled
+                // platform as the other boundaries. An open cut always
+                // sits strictly above the mid band so the regimes stay
+                // totally ordered.
+                let rsv_cut = match self.server_layout() {
+                    Some(layout) if layout.server_devs > 0 => {
+                        let c = rserver::crossover_bytes(
+                            platform,
+                            op,
+                            n,
+                            self.ring.nrings,
+                            &layout,
+                            &ac,
+                        );
+                        if c == 0 {
+                            0
+                        } else {
+                            c.max(dbt_cut.max(ll_cut) + 1)
+                        }
+                    }
+                    _ => 0,
+                };
+                Some((ll_cut, dbt_cut, rsv_cut))
             }
             _ => None,
         }
@@ -237,7 +361,7 @@ impl XcclComm {
     /// all-gather), `None` for the single-protocol engines — the lower
     /// boundary of [`XcclComm::auto_regimes`].
     pub fn auto_crossover(&self, op: &XcclOp) -> Option<u64> {
-        self.auto_regimes(op).map(|(ll_cut, _)| ll_cut)
+        self.auto_regimes(op).map(|(ll_cut, _, _)| ll_cut)
     }
 
     /// Launch a collective. Every participating rank calls this with the
@@ -261,6 +385,7 @@ impl XcclComm {
         let engine = self.engine;
         let flow = self.flow;
         let rails = self.rails.clone();
+        let servers = self.servers.clone();
         // Protocol selection happens here, through the same query the
         // public API exposes: None for single-protocol engines.
         let auto_cuts = self.auto_regimes(&op);
@@ -281,13 +406,37 @@ impl XcclComm {
                 XcclOp::Broadcast { root } | XcclOp::Reduce { root, .. } => Some(root),
                 _ => None,
             };
+            // Membership semantics of a server-equipped communicator:
+            // allreduce reduces over the *client* ranks only (in ring
+            // order — the sequential reference association), delivered
+            // to every client; server buffers pass through untouched.
+            // This is a property of the communicator, not of the engine
+            // that happens to run, so every engine on such a
+            // communicator stays byte-comparable — and the ring
+            // fallback for a dead server set produces the same bytes
+            // the server schedule would have.
+            let client_bufs: Option<Vec<DeviceBuf>> =
+                servers.as_ref().filter(|_| matches!(op, XcclOp::AllReduce { .. })).map(|srv| {
+                    order
+                        .iter()
+                        .zip(&bufs)
+                        .filter(|&(&f, _)| !srv.nodes.contains(&world.devs.dev(f).loc.node))
+                        .map(|(_, b)| *b)
+                        .collect()
+                });
+            // Live server set, when the schedule can actually run.
+            let live_srv = servers
+                .as_ref()
+                .filter(|s| !s.devs.is_empty() && matches!(op, XcclOp::AllReduce { .. }));
             // Which semantics the completion action must apply: the ring
-            // engine combines in ring chain order; the profile, LL/tree
-            // and DBT paths keep the sequential reference order.
+            // engine combines in ring chain order; the profile, LL/tree,
+            // DBT and reduction-server paths keep the sequential
+            // reference order (`client_bufs`, when present, overrides
+            // both with the client-only fold).
             let mut ring_semantics = false;
             let done = match engine {
                 CollEngine::Auto(ac) => {
-                    let (ll_cut, dbt_cut) =
+                    let (ll_cut, dbt_cut, rsv_cut) =
                         auto_cuts.expect("Auto engine always has regime boundaries");
                     if len <= ll_cut {
                         ll::execute(ctx, &world, &order, op, root_pos, len, ac)
@@ -306,6 +455,12 @@ impl XcclComm {
                             len,
                             ac.ring_for(&op),
                         )
+                    } else if let Some(srv) = live_srv.filter(|_| rsv_cut > 0 && len >= rsv_cut) {
+                        // The fourth regime: clients are injection-bound
+                        // at these sizes, so hand the fold to the
+                        // server ranks — on the same live chunking as
+                        // the ring either side of the boundary.
+                        rserver::execute(ctx, &world, &rails, flow, srv, op, len, ac.ring_for(&op))
                     } else {
                         ring_semantics = true;
                         let root_flat = root_pos.map(|r| order[r]);
@@ -321,6 +476,18 @@ impl XcclComm {
                         )
                     }
                 }
+                CollEngine::ReductionServer(rc) => match live_srv {
+                    Some(srv) => rserver::execute(ctx, &world, &rails, flow, srv, op, len, rc),
+                    // No live servers (never configured, or every
+                    // server NIC dead) or no server schedule for this
+                    // op: the ring runs with the same chunking, so the
+                    // engine stays total — degrade, never hang.
+                    None => {
+                        ring_semantics = true;
+                        let root_flat = root_pos.map(|r| order[r]);
+                        ring::execute(ctx, &world.platform, &rails, flow, op, root_flat, len, rc)
+                    }
+                },
                 CollEngine::Dbt(rc) => {
                     // All-gather has no tree schedule: fall back to the
                     // ring with the same chunking so the engine stays
@@ -364,11 +531,15 @@ impl XcclComm {
             // sequential reference order (tree reductions fold whole
             // payloads with the root's contribution first — the
             // reference association, property-tested byte-identical to
-            // the sequential fold).
+            // the sequential fold). On a server-equipped communicator
+            // the client-only fold overrides both (membership
+            // semantics — uniform across engines).
             let devs = world.devs.clone();
             let rails2 = rails.clone();
             ctx.handle().schedule_at(done, move |_| {
-                if ring_semantics {
+                if let Some(cb) = &client_bufs {
+                    op.apply(&devs, cb, len)
+                } else if ring_semantics {
                     ring::apply(&devs, &rails2, op, &bufs, len)
                 } else {
                     op.apply(&devs, &bufs, len)

@@ -448,13 +448,13 @@ pub(crate) fn execute(
             res: s.res,
             lane: s.lane,
             wire: ((s.bytes as f64 / s.eff).ceil() as u64).max(1),
+            flow,
         })
         .collect();
     ring::drive_schedule(
         ctx,
         &issues,
         &lanes,
-        flow,
         cfg.max_inflight,
         Dur::micros(t.step_us),
         &|si, arr| sends[si].deps.iter().flatten().all(|&d| arr[d as usize]),

@@ -16,7 +16,7 @@
 //!   per-step / link-efficiency scalars come from the calibrated
 //!   [`diomp_sim::CollProfile`] tables,
 //! * [`CollEngine::Auto`] layers NCCL's protocol selection on top as a
-//!   **three-regime dispatcher**, both boundaries priced per
+//!   **four-regime dispatcher**, every boundary priced per
 //!   (platform, op, device count) from the same tables against the
 //!   live ring configuration: small messages run as LL-style fused
 //!   payload+flag eager sends over binomial trees (`⌈log2 n⌉` rounds —
@@ -27,7 +27,12 @@
 //!   logarithmic depth at the ring's per-NIC wire load;
 //!   [`dbt_crossover_bytes`]); larger payloads — and all-gather, which
 //!   has no latency-bound regime — fall back to the table-tuned ring
-//!   ([`RingConfig::auto`]) unchanged.
+//!   ([`RingConfig::auto`]) unchanged, unless the communicator carries
+//!   dedicated **reduction servers** ([`CommOpts::servers`],
+//!   [`CollEngine::ReductionServer`]): above
+//!   [`rserver_crossover_bytes`] the allreduce offloads onto the server
+//!   ranks — each client NIC moves every byte once instead of
+//!   `2(n−1)/n` times, and the fold leaves the client ranks entirely.
 //!
 //! Collective calls are rank-collective: every participating rank calls
 //! the same operation in the same order; the data results are computed on
@@ -132,6 +137,7 @@ mod gate;
 mod ll;
 mod ops;
 mod ring;
+mod rserver;
 mod tree;
 mod unique_id;
 
@@ -141,6 +147,10 @@ pub use gate::DeviceBuf;
 pub use ll::{crossover_bytes, AutoConfig};
 pub use ops::XcclOp;
 pub use ring::{default_nrings, CollEngine, RingConfig};
+pub use rserver::{
+    crossover_bytes as rserver_crossover_bytes, model_time_us as rserver_model_time_us,
+    ServerLayout, ServerPlacement, ServerSpec,
+};
 pub use unique_id::UniqueId;
 
 pub use diomp_sim::QosClass;

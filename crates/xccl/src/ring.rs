@@ -128,14 +128,25 @@ pub enum CollEngine {
     /// per size. All-gather has no tree schedule and falls back to the
     /// ring with the same chunking under this engine.
     Dbt(RingConfig),
+    /// Chunk-pipelined reduction-server offload (the `rserver` module):
+    /// the communicator's dedicated server ranks
+    /// ([`CommOpts::servers`](crate::CommOpts)) receive partitioned
+    /// stripes from every client, fold them, and fan results back, so
+    /// each client NIC moves every byte once instead of `2(n−1)/n`
+    /// times. Only allreduce has a server schedule; other ops — and
+    /// allreduce on a communicator with no live servers — fall back to
+    /// the ring with the same chunking.
+    ReductionServer(RingConfig),
     /// Protocol auto-selection (the transport autotuner's engine): a
-    /// three-regime dispatcher priced per (op, size, device count) from
+    /// four-regime dispatcher priced per (op, size, device count) from
     /// the platform tables (configured by
     /// [`AutoConfig`](crate::ll::AutoConfig)). Small collectives run as
     /// LL-style fused eager sends over binomial trees (the LL engine);
     /// the mid band runs the double-binary-tree protocol; above the
     /// upper crossover — and always for all-gather — the configured ring
-    /// takes over unchanged.
+    /// takes over, unless the communicator has live reduction servers
+    /// and the payload clears the server crossover, in which case the
+    /// reduction-server schedule takes the top band.
     Auto(crate::ll::AutoConfig),
 }
 
@@ -469,41 +480,41 @@ pub(crate) fn execute(
                 res: s.res,
                 lane: s.lane,
                 wire: ((s.bytes as f64 / eff).ceil() as u64).max(1),
+                flow,
             }
         })
         .collect();
-    drive_schedule(
-        ctx,
-        &issues,
-        &lanes,
-        flow,
-        cfg.max_inflight,
-        Dur::micros(t.step_us),
-        &|si, arr| sends[si].dep.is_none_or(|d| arr[d as usize]),
-    );
+    drive_schedule(ctx, &issues, &lanes, cfg.max_inflight, Dur::micros(t.step_us), &|si, arr| {
+        sends[si].dep.is_none_or(|d| arr[d as usize])
+    });
     // Receive-side processing of the final chunk.
     ctx.delay(Dur::micros(t.step_us));
     ctx.now()
 }
 
 /// One chunk transfer as the shared progress loop sees it: the link
-/// resource it occupies, its FIFO lane, and its wire bytes (payload
-/// already scaled by the edge's link efficiency).
+/// resource it occupies, its FIFO lane, its wire bytes (payload already
+/// scaled by the edge's link efficiency), and the QoS flow the transfer
+/// is charged to.
 pub(crate) struct ChunkSend {
     pub(crate) res: ResourceId,
     pub(crate) lane: u32,
     pub(crate) wire: u64,
+    pub(crate) flow: FlowId,
 }
 
 /// Drive a chunked send schedule to completion — the progress loop
-/// shared by the ring and DBT engines. Every lane is a FIFO of send
-/// indices; a lane head is issued once `deps_met(send, arrived)` holds
-/// and the lane has a free slot (`window`), charging `step_d` of
-/// per-chunk processing before the wire bytes occupy the resource.
-/// In-flight completions drain with [`Ctx::wait_any_batched`] — one
-/// wake per park — and arrivals enable downstream sends.
+/// shared by the ring, DBT and reduction-server engines. Every lane is a
+/// FIFO of send indices; a lane head is issued once
+/// `deps_met(send, arrived)` holds and the lane has a free slot
+/// (`window`), charging `step_d` of per-chunk processing before the wire
+/// bytes occupy the resource. In-flight completions drain with
+/// [`Ctx::wait_any_batched`] — one wake per park — and arrivals enable
+/// downstream sends.
 ///
-/// Chunks are charged to `flow` — the issuing communicator's QoS flow —
+/// Each chunk is charged to its own [`ChunkSend::flow`] — normally the
+/// issuing communicator's QoS flow, but the reduction-server engine
+/// charges server fan-back to the communicator's dedicated server flow —
 /// so that on a contention-armed simulator concurrent collectives
 /// fair-share each link by QoS weight. Disarmed (the default), the
 /// charge is bit-identical to a plain FIFO `transfer_from`.
@@ -511,7 +522,6 @@ pub(crate) fn drive_schedule(
     ctx: &mut Ctx,
     sends: &[ChunkSend],
     lanes: &[Vec<u32>],
-    flow: FlowId,
     window: usize,
     step_d: Dur,
     deps_met: &dyn Fn(usize, &[bool]) -> bool,
@@ -534,7 +544,8 @@ pub(crate) fn drive_schedule(
                 // Per-chunk processing (reduce / copy / flag check)
                 // before the chunk is injected on the edge's link.
                 let ready = ctx.now() + step_d;
-                let ev = ctx.handle().transfer_qos(sends[si].res, flow, ready, sends[si].wire);
+                let ev =
+                    ctx.handle().transfer_qos(sends[si].res, sends[si].flow, ready, sends[si].wire);
                 inflight.push((ev, si as u32));
                 lane_next[l] += 1;
                 lane_inflight[l] += 1;

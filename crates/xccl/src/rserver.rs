@@ -1,0 +1,617 @@
+//! The reduction-server engine: in-network allreduce offload onto
+//! dedicated server ranks ([`CollEngine::ReductionServer`]).
+//!
+//! DiOMP's thesis is moving work off the host critical path; this engine
+//! takes it to the logical end by offloading the *collective itself*.
+//! Optcast-style reduction servers (a Rust NCCL-plugin design) dedicate
+//! aggregation ranks with their own NICs: every GPU client sends each
+//! byte **once** (a partitioned stripe to the server that owns it) and
+//! receives each result byte **once**, instead of circulating the
+//! payload `2(n−1)/n` times around a ring — and the reduce arithmetic
+//! leaves the GPU ranks entirely.
+//!
+//! The schedule, per rail (the communicator's existing multi-NIC rail
+//! machinery — rail rotation varies each node's *leader*, spreading the
+//! upload across the node's NICs exactly like the ring's boundary
+//! crossings):
+//!
+//! 1. **Chain up** — each client node block chain-reduces its members'
+//!    contributions over the intra-node GPU fabric into the block's
+//!    leader (sending the whole rail slice to the servers from every
+//!    GPU would multiply the client NIC load `gpus_per_node`-fold and
+//!    lose to the ring outright in the sender-charged link model).
+//! 2. **Upload** — the leader stripes the rail slice across the live
+//!    server devices and injects each stripe chunk on its NIC: `s /
+//!    nrings` outbound bytes per client NIC, *half* the ring's
+//!    `≈ 2s/nrings`.
+//! 3. **Fold** — the stripe's owner reduces the arriving client copies;
+//!    the per-chunk fold is charged at the engine's calibrated step cost
+//!    when the result chunk is issued.
+//! 4. **Fan back** — the owner sends the reduced chunk to every client
+//!    leader on its *own* NIC (`client_blocks · s / server_nics` per
+//!    server NIC — the dimension server provisioning buys down), charged
+//!    to the communicator's dedicated **server flow** so multi-tenant
+//!    WFQ accounting stays per-job but server traffic is separately
+//!    observable in `flow_stats`.
+//! 5. **Chain down** — the leader chain-broadcasts the chunk through
+//!    its block.
+//!
+//! Everything is chunk-pipelined through the shared
+//! [`ring::drive_schedule`] progress loop (per-edge FIFO lanes, bounded
+//! in-flight windows, completions drained with the batched wait-any):
+//! stripe `k` folds while stripe `k+1` is on the wire.
+//!
+//! **Membership semantics.** Server ranks are communicator members — they
+//! arrive at the collective gate like everyone else — but they are
+//! *infrastructure*: for allreduce on a server-equipped communicator the
+//! data result is the element-wise reduction over the **client** ranks'
+//! buffers (in ring order — the sequential reference association, like
+//! the DBT engine), delivered to every client; server buffers pass
+//! through untouched. This holds for every engine on such a
+//! communicator, so engines stay byte-comparable. Ops other than
+//! allreduce (and allreduce with every server dead) fall back to the
+//! ring schedule over the full rails — the engine degrades, it never
+//! hangs.
+//!
+//! [`crossover_bytes`] prices this schedule against the **live** ring
+//! configuration from the same calibrated tables (the PR 5 rule: the
+//! switch point and the fallback may never diverge);
+//! [`CollEngine::Auto`](crate::CollEngine::Auto) uses it as the *fourth*
+//! regime above the double-binary-tree band when the communicator has
+//! live servers.
+//!
+//! [`CollEngine::ReductionServer`]: crate::CollEngine::ReductionServer
+
+use diomp_fabric::FabricWorld;
+use diomp_sim::{Ctx, Dur, FlowId, PlatformSpec, ResourceId, SimTime};
+
+use crate::ll::{AutoConfig, SAFETY};
+use crate::ops::XcclOp;
+use crate::ring::{self, Rail, RingConfig};
+
+/// Finest useful split of one server's share of a rail slice, in
+/// chunks. Chunks are dealt round-robin across the live servers, so
+/// each server's fan-back starts as soon as its first chunk lands and
+/// pipelines through the whole upload; a few chunks per server is
+/// enough overlap grain (contiguous per-server stripes instead would
+/// serialise the tail: the last stripe's owner only starts fanning back
+/// once the upload is essentially complete, costing a second full
+/// wire pass — measured, that erases the entire win). Beyond this
+/// floor, finer splits multiply scheduler entries — the gated
+/// wall-clock cost — without buying overlap, the same trade the ring
+/// engine's segment floor makes.
+const STRIPE_CHUNKS: u64 = 4;
+
+/// Floor on the dealt-chunk grain: below this, per-chunk step cost on
+/// the leaders' upload lanes outweighs the overlap a finer deal buys.
+const MIN_GRAIN: u64 = 4 << 10;
+
+/// The emergent schedule's overhead over the pure bandwidth bound, like
+/// the DBT crossover's fill penalty: uploads from many leaders interleave
+/// on each server NIC and the fold turn-around couples the two wire
+/// legs. The shared `SAFETY` margin absorbs the spread.
+const FILL_PENALTY: f64 = 1.5;
+
+/// Where the dedicated server nodes are carved from the communicator's
+/// node-major ring order.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServerPlacement {
+    /// The last nodes of the ring order (default — keeps client ranks'
+    /// ring positions, and therefore existing rooted-op root indices,
+    /// stable when servers are added).
+    #[default]
+    Tail,
+    /// The first nodes of the ring order.
+    Head,
+}
+
+/// Reduction-server designation for a communicator
+/// ([`CommOpts::servers`](crate::CommOpts)): how many whole nodes of the
+/// communicator are dedicated server nodes, and where they are carved
+/// from. `nodes == 0` (the default) disables the server path entirely —
+/// the communicator behaves exactly as before this engine existed.
+///
+/// Servers are designated in node granularity because the win condition
+/// is about NICs: every device of a server node serves (owns stripes on
+/// its own NIC), and at least one node always remains a client.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerSpec {
+    /// Number of whole nodes dedicated as reduction servers (capped at
+    /// `nodes − 1` so at least one client node remains; 0 disables).
+    pub nodes: usize,
+    /// Which end of the node-major order the server nodes come from.
+    pub placement: ServerPlacement,
+}
+
+impl ServerSpec {
+    /// Designate `nodes` tail nodes as reduction servers.
+    pub fn tail(nodes: usize) -> Self {
+        ServerSpec { nodes, placement: ServerPlacement::Tail }
+    }
+
+    /// Is the server path enabled at all?
+    pub fn enabled(&self) -> bool {
+        self.nodes > 0
+    }
+}
+
+/// The resolved server set a communicator carries (None when
+/// [`ServerSpec::nodes`] is 0): which nodes are infrastructure, which
+/// devices are live stripe owners, and the dedicated QoS flow their
+/// fan-back traffic is charged to.
+pub(crate) struct ServerSet {
+    /// Node ids carved out as reduction servers — the *membership*
+    /// boundary: these nodes' ranks are excluded from allreduce data
+    /// semantics regardless of link health.
+    pub(crate) nodes: Vec<usize>,
+    /// Live stripe owners (flat device indices): server devices whose
+    /// NIC the health vector marked alive at init. Dead servers are
+    /// blacklisted and the stripes re-split over the survivors; empty
+    /// means every server is dead and the schedule falls back to the
+    /// ring.
+    pub(crate) devs: Vec<usize>,
+    /// Dedicated flow for server fan-back traffic: same QoS weight as
+    /// the owning job (WFQ accounting stays per-job) but separately
+    /// observable in `flow_stats`.
+    pub(crate) flow: FlowId,
+}
+
+/// The NIC-level shape of a server-equipped communicator — the inputs
+/// [`crossover_bytes`] prices the schedule from. Derived live by the
+/// communicator (so dead-server blacklisting re-prices the crossover),
+/// or built explicitly by tests and the autotuner's documented tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServerLayout {
+    /// Client node blocks (each chain-reduces to a rotated leader).
+    pub client_blocks: usize,
+    /// Live server devices — the stripe owners.
+    pub server_devs: usize,
+    /// Distinct NICs among the live server devices: the fan-back
+    /// dimension (`client_blocks · s / server_nics` per server NIC).
+    pub server_nics: usize,
+    /// Devices per client block (the intra-node chain length).
+    pub chain: usize,
+}
+
+impl ServerLayout {
+    /// The layout a full-node communicator on `platform` with
+    /// `client_nodes + server_nodes` nodes resolves to when every server
+    /// NIC is healthy — what the autotuner's documented tables and the
+    /// bench clusters use.
+    pub fn full_nodes(platform: &PlatformSpec, client_nodes: usize, server_nodes: usize) -> Self {
+        let gpn = platform.gpus_per_node.max(1);
+        ServerLayout {
+            client_blocks: client_nodes,
+            server_devs: server_nodes * gpn,
+            server_nics: server_nodes * platform.net.nics_per_node.max(1),
+            chain: gpn,
+        }
+    }
+}
+
+/// Closed-form estimate of the reduction-server schedule's completion
+/// time for an `s`-byte allreduce, in µs — same calibrated scalars
+/// (`ring::tuning_for`) as the ring and DBT models, so the fourth
+/// regime is priced from the same tables as the other three.
+///
+/// Structure: the two wire legs — `s/nrings` upload per client leader
+/// NIC and `client_blocks·s/server_nics` fan-back per server NIC —
+/// overlap almost entirely in the pipelined schedule (the estimate is
+/// the larger plus a 30 % residual of the smaller, the ring model's
+/// overlap rule), plus the pipeline fill: the intra-node chains up and
+/// down, one upload and one fan-back hop carrying a stripe chunk, and
+/// the fold step, inflated by the shared fill penalty.
+pub fn model_time_us(
+    platform: &PlatformSpec,
+    op: &XcclOp,
+    nrings: usize,
+    layout: &ServerLayout,
+    chunk_bytes: u64,
+    s: f64,
+) -> f64 {
+    let t = ring::tuning_for(platform, op, nrings);
+    let lat = platform.net.latency_us;
+    let bw = platform.net.nic_gbps * t.inter_eff * 1e3; // B/µs per edge
+    let nrings_f = nrings.max(1) as f64;
+    let nb = layout.client_blocks.max(1) as f64;
+    let nics = layout.server_nics.max(1) as f64;
+    let chain = layout.chain.saturating_sub(1) as f64;
+    let up = s / nrings_f / bw;
+    let down = nb * s / nics / bw;
+    let stripe = s / (nrings_f * layout.server_devs.max(1) as f64);
+    let cw = stripe.min(chunk_bytes.max(1) as f64);
+    let fill = 2.0 * chain * (t.step_us + lat) + 2.0 * (t.step_us + lat + cw / bw) + t.step_us;
+    let (hi, lo) = if up > down { (up, down) } else { (down, up) };
+    hi + 0.3 * lo + FILL_PENALTY * fill
+}
+
+/// The size from which
+/// [`CollEngine::Auto`](crate::CollEngine::Auto) hands `op` to the
+/// reduction servers — the *lower* boundary of the fourth regime, in
+/// bytes. `0` means the servers never win (no live servers, too few
+/// NICs for the fan-back to beat the ring's circulation, or a
+/// non-allreduce op — only the symmetric allreduce has a server
+/// schedule).
+///
+/// Both sides are priced from the platform tables on the **live**
+/// ring chunking ([`AutoConfig::ring_for`]) — the PR 5 rule. The
+/// fourth regime is a *top* band, so the crossover is the start of the
+/// winning run that extends to the top of the scan: the smallest
+/// power-of-two size from which the server estimate, inflated by the
+/// shared 25 % safety margin, undercuts the ring estimate at **every**
+/// larger size. A transient small-size latency win that loses the
+/// bandwidth race at scale (the starved-fan-back case) does not open
+/// the band. Because the layout is an argument, the boundary moves
+/// with the live server set: fewer live server NICs → slower fan-back
+/// → a vanished crossover; and the dispatcher clamps an open cut above
+/// the live DBT/ring boundaries, so the comm-level band also moves
+/// with the live ring configuration.
+pub fn crossover_bytes(
+    platform: &PlatformSpec,
+    op: &XcclOp,
+    n: usize,
+    nrings: usize,
+    layout: &ServerLayout,
+    ac: &AutoConfig,
+) -> u64 {
+    if n < 2
+        || layout.server_devs == 0
+        || layout.client_blocks == 0
+        || !matches!(op, XcclOp::AllReduce { .. })
+    {
+        return 0;
+    }
+    let ring_chunk = ac.ring_for(op).chunk_bytes;
+    let mut cut = 0u64;
+    for shift in 10..=40u32 {
+        let s = 1u64 << shift;
+        let t_rsv = model_time_us(platform, op, nrings, layout, ring_chunk, s as f64);
+        let t_ring = ring::model_time_us(platform, op, n, nrings, ring_chunk, s as f64);
+        if t_rsv * SAFETY <= t_ring {
+            if cut == 0 {
+                cut = s;
+            }
+        } else {
+            // A loss anywhere above resets the band: the top band must
+            // win from its boundary all the way up.
+            cut = 0;
+        }
+    }
+    cut
+}
+
+/// One chunk transfer of the server schedule.
+struct Send {
+    res: ResourceId,
+    lane: u32,
+    bytes: u64,
+    /// Link efficiency at this edge (intra-node fabric or NIC share).
+    eff: f64,
+    /// Flow the transfer is charged to: the communicator flow for client
+    /// traffic, the dedicated server flow for fan-back.
+    flow: FlowId,
+    /// Chain predecessor / fan-back arrival enabling this send.
+    dep: Option<u32>,
+    /// Fan-in group (index into the group table): a fan-back send is
+    /// enabled only once *every* client upload of its (stripe, chunk)
+    /// has arrived — the fold's inputs.
+    fanin: Option<u32>,
+}
+
+/// Execute the reduction-server allreduce schedule in the calling task's
+/// context, advancing virtual time to the emergent completion instant.
+/// Mirrors `ring::execute`/`dbt::execute`: per-rail payload slices,
+/// per-edge FIFO lanes, `cfg.max_inflight` chunks outstanding per lane,
+/// completions drained with the batched wait-any.
+#[allow(clippy::too_many_arguments)] // one arg per schedule dimension; a struct would be ceremony
+pub(crate) fn execute(
+    ctx: &mut Ctx,
+    world: &FabricWorld,
+    rails: &[Rail],
+    flow: FlowId,
+    srv: &ServerSet,
+    op: XcclOp,
+    len: u64,
+    cfg: RingConfig,
+) -> SimTime {
+    debug_assert!(matches!(op, XcclOp::AllReduce { .. }), "only allreduce has a server schedule");
+    let platform = &world.platform;
+    let t = ring::tuning_for(platform, &op, rails.len());
+    ctx.delay(Dur::micros(t.launch_us));
+    let n = rails.first().map_or(0, |r| r.order.len());
+    if n <= 1 || len == 0 || srv.devs.is_empty() {
+        return ctx.now();
+    }
+    let health = world.health();
+    let elem = op.elem_align();
+    let slices = ring::split_aligned(len, rails.len(), elem);
+    let chunk_bytes = cfg.chunk_bytes.max(1);
+
+    // Per-edge FIFO lane kinds, keyed by the *sending* rail position:
+    // intra-node chain hops up and down, the leader's stripe uploads,
+    // and the server's fan-back (charged on its own NIC).
+    const CHAIN_UP: usize = 0;
+    const UP: usize = 1;
+    const DOWN: usize = 2;
+    const CHAIN_DOWN: usize = 3;
+    let nlanes = rails.len() * n * 4;
+    let mut sends: Vec<Send> = Vec::new();
+    let mut fanins: Vec<Vec<u32>> = Vec::new();
+    for (ri, rail) in rails.iter().enumerate() {
+        let (_, slen) = slices[ri];
+        if slen == 0 {
+            continue;
+        }
+        // Rail position of every flat device (servers included — rails
+        // span the full communicator).
+        let mut pos = vec![u32::MAX; world.devs.len()];
+        for (i, &f) in rail.order.iter().enumerate() {
+            pos[f] = i as u32;
+        }
+        // Client node blocks in this rail's rotated order; server nodes
+        // are infrastructure and contribute no data, so they form no
+        // blocks. Each block is rotated so a live-NIC member leads
+        // (the rail rotation already varies the natural leader per
+        // rail — that is what spreads the upload across the node's
+        // NICs; the health rotation only steps in when a leader's NIC
+        // is dead).
+        let mut blocks: Vec<Vec<usize>> = Vec::new();
+        for i in 0..n {
+            let node = world.devs.dev(rail.order[i]).loc.node;
+            if srv.nodes.contains(&node) {
+                continue;
+            }
+            match blocks.last_mut() {
+                Some(b) if world.devs.dev(rail.order[*b.last().unwrap()]).loc.node == node => {
+                    b.push(i)
+                }
+                _ => blocks.push(vec![i]),
+            }
+        }
+        for b in &mut blocks {
+            if let Some(k) = b
+                .iter()
+                .position(|&p| health.link_factor_milli(world.devs.dev(rail.order[p]).nic) != 0)
+            {
+                b.rotate_left(k);
+            }
+        }
+        if blocks.is_empty() {
+            continue;
+        }
+        let lane_of = |p: usize, kind: usize| (((ri * n) + p) * 4 + kind) as u32;
+        let edge = |src: usize, dst: usize| -> (ResourceId, f64) {
+            let sd = world.devs.dev(rail.order[src]);
+            let dd = world.devs.dev(rail.order[dst]);
+            if sd.loc.node == dd.loc.node {
+                (sd.port, t.intra_eff)
+            } else {
+                (sd.nic, t.inter_eff)
+            }
+        };
+        // Round-robin chunk striping (optcast's layout): chunk `c` of
+        // the rail slice belongs to server `c mod ndevs`, so every
+        // server's inbound chunks — and therefore its fan-back — are
+        // spread evenly across the upload timeline.
+        // Grain: aim for STRIPE_CHUNKS chunks per server (the dealing
+        // only smooths the tail if each server owns several), floored so
+        // per-chunk step cost stays negligible and capped at the ring
+        // chunk so an explicitly coarse config is honoured.
+        let ndevs = srv.devs.len();
+        let raw = slen.div_ceil(STRIPE_CHUNKS * ndevs as u64);
+        let grain = raw.clamp(MIN_GRAIN.min(slen.max(1)), chunk_bytes.max(MIN_GRAIN));
+        let nchunks = slen.div_ceil(grain) as usize;
+        for (c, &(_, cb)) in ring::split_aligned(slen, nchunks, elem).iter().enumerate() {
+            if cb == 0 {
+                continue;
+            }
+            let sp = pos[srv.devs[c % ndevs]] as usize;
+            {
+                let group = fanins.len() as u32;
+                fanins.push(Vec::with_capacity(blocks.len()));
+                // Chain up + upload: every client block reduces this
+                // chunk to its leader, which injects it toward the
+                // stripe's owner on its NIC.
+                for m in &blocks {
+                    let mut prev: Option<u32> = None;
+                    for k in (1..m.len()).rev() {
+                        let (res, eff) = edge(m[k], m[k - 1]);
+                        let idx = sends.len() as u32;
+                        sends.push(Send {
+                            res,
+                            lane: lane_of(m[k], CHAIN_UP),
+                            bytes: cb,
+                            eff,
+                            flow,
+                            dep: prev,
+                            fanin: None,
+                        });
+                        prev = Some(idx);
+                    }
+                    let (res, eff) = edge(m[0], sp);
+                    let idx = sends.len() as u32;
+                    sends.push(Send {
+                        res,
+                        lane: lane_of(m[0], UP),
+                        bytes: cb,
+                        eff,
+                        flow,
+                        dep: prev,
+                        fanin: None,
+                    });
+                    fanins[group as usize].push(idx);
+                }
+                // Fold + fan back + chain down: once every block's copy
+                // of this chunk has arrived, the owner issues the
+                // reduced chunk to each leader (paying the fold's step
+                // cost at issue), and leaders chain it through their
+                // blocks.
+                for m in &blocks {
+                    let (res, eff) = edge(sp, m[0]);
+                    let idx = sends.len() as u32;
+                    sends.push(Send {
+                        res,
+                        lane: lane_of(sp, DOWN),
+                        bytes: cb,
+                        eff,
+                        flow: srv.flow,
+                        dep: None,
+                        fanin: Some(group),
+                    });
+                    let mut prev = Some(idx);
+                    for k in 1..m.len() {
+                        let (res, eff) = edge(m[k - 1], m[k]);
+                        let i2 = sends.len() as u32;
+                        sends.push(Send {
+                            res,
+                            lane: lane_of(m[k - 1], CHAIN_DOWN),
+                            bytes: cb,
+                            eff,
+                            flow,
+                            dep: prev,
+                            fanin: None,
+                        });
+                        prev = Some(i2);
+                    }
+                }
+            }
+        }
+    }
+    if sends.is_empty() {
+        return ctx.now();
+    }
+
+    // ---- per-edge FIFO lanes (generation order is already FIFO) ----
+    let mut lanes: Vec<Vec<u32>> = vec![Vec::new(); nlanes];
+    for (i, s) in sends.iter().enumerate() {
+        lanes[s.lane as usize].push(i as u32);
+    }
+
+    // ---- progress loop (shared with the ring and DBT engines) ----
+    let issues: Vec<ring::ChunkSend> = sends
+        .iter()
+        .map(|s| ring::ChunkSend {
+            res: s.res,
+            lane: s.lane,
+            wire: ((s.bytes as f64 / s.eff).ceil() as u64).max(1),
+            flow: s.flow,
+        })
+        .collect();
+    ring::drive_schedule(
+        ctx,
+        &issues,
+        &lanes,
+        cfg.max_inflight,
+        Dur::micros(t.step_us),
+        &|si, arr| {
+            let s = &sends[si];
+            s.dep.is_none_or(|d| arr[d as usize])
+                && s.fanin.is_none_or(|g| fanins[g as usize].iter().all(|&u| arr[u as usize]))
+        },
+    );
+    // Receive-side processing of the final chunk.
+    ctx.delay(Dur::micros(t.step_us));
+    ctx.now()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diomp_fabric::ReduceOp;
+
+    fn allred() -> XcclOp {
+        XcclOp::AllReduce { op: ReduceOp::SumF32 }
+    }
+
+    #[test]
+    fn crossover_is_zero_without_servers_or_for_non_allreduce() {
+        let p = PlatformSpec::platform_a();
+        let ac = AutoConfig::for_platform(&p);
+        let none = ServerLayout { client_blocks: 8, server_devs: 0, server_nics: 0, chain: 4 };
+        assert_eq!(crossover_bytes(&p, &allred(), 32, 4, &none, &ac), 0);
+        let live = ServerLayout::full_nodes(&p, 8, 8);
+        assert_eq!(crossover_bytes(&p, &XcclOp::Broadcast { root: 0 }, 64, 4, &live, &ac), 0);
+        assert_eq!(crossover_bytes(&p, &XcclOp::AllGather, 64, 4, &live, &ac), 0);
+    }
+
+    #[test]
+    fn provisioned_servers_win_at_large_sizes_on_every_platform() {
+        // The bench clusters: client nodes matched by server nodes. The
+        // fourth regime must open at or below 16 MiB — the size the
+        // bench gate hard-asserts the emergent win at.
+        for (p, c, s) in [
+            (PlatformSpec::platform_a(), 8usize, 8usize),
+            (PlatformSpec::platform_b(), 4, 4),
+            (PlatformSpec::platform_c(), 8, 8),
+        ] {
+            let ac = AutoConfig::for_platform(&p);
+            let gpn = p.gpus_per_node;
+            let layout = ServerLayout::full_nodes(&p, c, s);
+            let nrings = crate::ring::default_nrings(&p);
+            let cut = crossover_bytes(&p, &allred(), (c + s) * gpn, nrings, &layout, &ac);
+            assert!(
+                cut > 0 && cut <= 16 << 20,
+                "{}: server crossover {cut} must open by 16 MiB",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn starved_server_nics_never_win() {
+        // One server node against many clients: the fan-back NIC
+        // serialises every client's result and the model must refuse
+        // the switch at any size.
+        let p = PlatformSpec::platform_a();
+        let ac = AutoConfig::for_platform(&p);
+        let layout = ServerLayout::full_nodes(&p, 15, 1);
+        assert_eq!(crossover_bytes(&p, &allred(), 64, 4, &layout, &ac), 0);
+    }
+
+    #[test]
+    fn open_band_never_loses_above_its_boundary() {
+        // The top-band invariant behind the scan rule: wherever the
+        // crossover opens, the modelled server time keeps undercutting
+        // the modelled ring time (with the safety margin) at every
+        // larger power of two — no re-entrant ring band above it.
+        let p = PlatformSpec::platform_a();
+        let ac = AutoConfig::for_platform(&p);
+        let layout = ServerLayout::full_nodes(&p, 8, 8);
+        let chunk = ac.ring_allred.chunk_bytes;
+        let cut = crossover_bytes(&p, &allred(), 64, 4, &layout, &ac);
+        assert!(cut > 0);
+        let mut s = cut;
+        while s <= 1 << 30 {
+            let t_rsv = model_time_us(&p, &allred(), 4, &layout, chunk, s as f64);
+            let t_ring = ring::model_time_us(&p, &allred(), 64, 4, chunk, s as f64);
+            assert!(t_rsv * SAFETY <= t_ring, "loss inside the open band at {s} bytes");
+            s *= 2;
+        }
+    }
+
+    #[test]
+    fn crossover_tracks_the_live_server_set() {
+        // The other live config: blacklisting server NICs slows the
+        // fan-back, so the crossover must retreat (rise or vanish) as
+        // the live server set shrinks — dead-server re-pricing.
+        let p = PlatformSpec::platform_a();
+        let ac = AutoConfig::for_platform(&p);
+        let full = ServerLayout::full_nodes(&p, 8, 8);
+        let cut_full = crossover_bytes(&p, &allred(), 64, 4, &full, &ac);
+        let half = ServerLayout { server_devs: 16, server_nics: 16, ..full };
+        let cut_half = crossover_bytes(&p, &allred(), 64, 4, &half, &ac);
+        assert!(cut_full > 0);
+        assert!(
+            cut_half > cut_full || cut_half == 0,
+            "fewer live server NICs must delay the crossover: {cut_half} vs {cut_full}"
+        );
+    }
+
+    #[test]
+    fn server_spec_defaults_disabled_and_caps_nothing() {
+        let d = ServerSpec::default();
+        assert!(!d.enabled());
+        assert_eq!(d.placement, ServerPlacement::Tail);
+        assert!(ServerSpec::tail(2).enabled());
+    }
+}

@@ -26,7 +26,7 @@ use diomp_device::{DataMode, DeviceTable};
 use diomp_fabric::{FabricWorld, ReduceOp};
 use diomp_sim::{ClusterSpec, Dur, FaultPlan, PlatformSpec, ResourceId, Sim, SimTime, Topology};
 use diomp_xccl::{
-    AutoConfig, CollEngine, CommOpts, DeviceBuf, RingConfig, UniqueId, XcclComm, XcclOp,
+    AutoConfig, CollEngine, CommOpts, DeviceBuf, RingConfig, ServerSpec, UniqueId, XcclComm, XcclOp,
 };
 use parking_lot::Mutex;
 
@@ -57,13 +57,16 @@ fn all_links(world: &FabricWorld) -> Vec<ResourceId> {
 }
 
 /// The engines under test. `Auto` covers the LL/tree and DBT bands too
-/// once payload sizes span its regime boundaries.
+/// once payload sizes span its regime boundaries. `ReductionServer` on
+/// this server-free comm exercises its ring-fallback path; the offload
+/// schedule itself is chaos-tested on the server comm below.
 fn engines() -> Vec<CollEngine> {
     let p = PlatformSpec::platform_a();
     vec![
         CollEngine::Profile,
         CollEngine::Ring(RingConfig::default()),
         CollEngine::Dbt(RingConfig::default()),
+        CollEngine::ReductionServer(RingConfig::default()),
         CollEngine::Auto(AutoConfig::for_platform(&p)),
     ]
 }
@@ -137,6 +140,76 @@ fn run_allreduce_contended(
     end
 }
 
+/// Chaos runner for the reduction-server offload: the same 2-node world
+/// carved into one client node and one server node (`ServerSpec::tail`).
+/// Asserts the server-comm membership semantics under the plan — client
+/// ranks receive the fold over *client* contributions only, server
+/// buffers pass through untouched — and returns the virtual end time.
+fn run_server_allreduce(
+    engine: CollEngine,
+    plan: &FaultPlan,
+    len: u64,
+    tag: &str,
+    armed: bool,
+) -> SimTime {
+    let mut sim = Sim::new();
+    if armed {
+        sim.enable_contention();
+    }
+    let world = boot(&sim, plan);
+    let id = UniqueId::generate();
+    let results: Arc<Mutex<Vec<Vec<f64>>>> = Arc::new(Mutex::new(vec![Vec::new(); NRANKS]));
+    for r in 0..NRANKS {
+        let world = world.clone();
+        let results = results.clone();
+        sim.spawn(format!("rank{r}"), move |ctx| {
+            let bits = world.bootstrap.exchange(ctx, r, if r == 0 { id.bits() } else { 0 })[0];
+            let comm = XcclComm::init(
+                ctx,
+                &world,
+                (0..NRANKS).collect(),
+                r,
+                UniqueId::from_bits(bits),
+                CommOpts { engine, servers: ServerSpec::tail(1), ..CommOpts::default() },
+            );
+            let dev = world.primary_dev(r);
+            let off = dev.malloc(len, 256).unwrap();
+            let vals: Vec<u8> = (0..len / 8)
+                .flat_map(|i| (((r as u64 + 1) * (i % 13 + 1)) as f64).to_le_bytes())
+                .collect();
+            dev.mem.write(off, &vals).unwrap();
+            comm.collective(
+                ctx,
+                r,
+                vec![DeviceBuf { flat: r, off }],
+                XcclOp::AllReduce { op: ReduceOp::SumF64 },
+                len,
+            );
+            let mut out = vec![0u8; len as usize];
+            dev.mem.read(off, &mut out).unwrap();
+            results.lock()[r] =
+                out.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect();
+        });
+    }
+    let end = sim.run().unwrap().end_time;
+    // Tail placement on the node-major order: the first node's ranks are
+    // clients, the second node's are servers.
+    let nclients = PER_NODE;
+    let expect_client: Vec<f64> = (0..len / 8)
+        .map(|i| (1..=nclients as u64).map(|r| (r * (i % 13 + 1)) as f64).sum())
+        .collect();
+    for (r, got) in results.lock().iter().enumerate() {
+        if r < nclients {
+            assert_eq!(got, &expect_client, "{tag}: client rank {r} diverged from the reference");
+        } else {
+            let mine: Vec<f64> =
+                (0..len / 8).map(|i| ((r as u64 + 1) * (i % 13 + 1)) as f64).collect();
+            assert_eq!(got, &mine, "{tag}: server rank {r} buffer must pass through untouched");
+        }
+    }
+    end
+}
+
 #[test]
 fn randomized_fault_plans_complete_byte_identical_on_every_engine() {
     // Fixed seeds — the plans (and therefore the whole run) are
@@ -166,6 +239,74 @@ fn same_seed_replays_the_same_trace() {
     let a = run_allreduce(engine, &plan, 512 << 10, "determinism run A");
     let b = run_allreduce(engine, &plan, 512 << 10, "determinism run B");
     assert_eq!(a, b, "same seed must replay the same virtual-time trace");
+}
+
+#[test]
+fn randomized_fault_plans_complete_byte_identical_on_the_server_comm() {
+    // The offload schedule under chaos: randomized plans perturb the
+    // upload, reduce and fan-back lanes (straggler prefixes name both a
+    // client and a server rank) but the run still terminates and the
+    // client-only fold stays bit-exact on every rank.
+    let probe = Sim::new();
+    let world = boot(&probe, &FaultPlan::new());
+    let links = all_links(&world);
+    drop(probe);
+    let prefixes = vec!["rank2".to_string(), "rank5".to_string()];
+    let engine = CollEngine::ReductionServer(RingConfig::default());
+    for seed in [11u64, 29, 43] {
+        let plan = FaultPlan::randomized(seed, &links, &prefixes, Dur::millis(5.0));
+        run_server_allreduce(engine, &plan, 256 << 10, &format!("server seed {seed}"), false);
+    }
+}
+
+#[test]
+fn same_seed_replays_the_same_server_trace() {
+    // Two-run determinism for the offload schedule under a faulted plan.
+    let probe = Sim::new();
+    let world = boot(&probe, &FaultPlan::new());
+    let links = all_links(&world);
+    drop(probe);
+    let plan = FaultPlan::randomized(7, &links, &["rank6".to_string()], Dur::millis(5.0));
+    let engine = CollEngine::ReductionServer(RingConfig::default());
+    let a = run_server_allreduce(engine, &plan, 512 << 10, "server determinism A", false);
+    let b = run_server_allreduce(engine, &plan, 512 << 10, "server determinism B", false);
+    assert_eq!(a, b, "same seed must replay the same server-offload trace");
+}
+
+#[test]
+fn dead_servers_degrade_the_offload_to_the_ring_under_chaos() {
+    // Kill every server-node NIC *and* run a randomized plan on top: the
+    // live server set comes up empty, the engine falls back to the ring
+    // over the client rails, and completion + membership semantics hold.
+    let probe = Sim::new();
+    let world = boot(&probe, &FaultPlan::new());
+    let links = all_links(&world);
+    let mut plan = FaultPlan::randomized(23, &links, &["rank1".to_string()], Dur::millis(5.0));
+    for f in PER_NODE..NRANKS {
+        plan = plan.kill_link(world.devs.dev(f).nic);
+    }
+    drop(probe);
+    let engine = CollEngine::ReductionServer(RingConfig::default());
+    run_server_allreduce(engine, &plan, 256 << 10, "all servers dead under chaos", false);
+}
+
+#[test]
+fn single_tenant_server_comm_replays_contended_traces() {
+    // The flow-partition invariant under chaos: client and server flows
+    // never share a link, so arming the per-link WFQ on a single-tenant
+    // server comm must not move the trace — clean or faulted.
+    let probe = Sim::new();
+    let world = boot(&probe, &FaultPlan::new());
+    let links = all_links(&world);
+    drop(probe);
+    let faulted = FaultPlan::randomized(19, &links, &["rank6".to_string()], Dur::millis(5.0));
+    let engine = CollEngine::ReductionServer(RingConfig::default());
+    for plan in [FaultPlan::new(), faulted] {
+        let tag = format!("server single-tenant replay faulted={}", !plan.is_empty());
+        let disarmed = run_server_allreduce(engine, &plan, 256 << 10, &tag, false);
+        let armed = run_server_allreduce(engine, &plan, 256 << 10, &tag, true);
+        assert_eq!(disarmed, armed, "{tag}: arming contention moved the single-tenant trace");
+    }
 }
 
 #[test]
@@ -330,7 +471,7 @@ fn degraded_fabric_moves_auto_regimes_toward_the_ring() {
         let mut sim = Sim::new();
         let world = boot(&sim, plan);
         let id = UniqueId::generate();
-        let out = Arc::new(Mutex::new((0u64, 0u64)));
+        let out = Arc::new(Mutex::new((0u64, 0u64, 0u64)));
         let out2 = out.clone();
         for r in 0..NRANKS {
             let world = world.clone();

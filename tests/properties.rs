@@ -706,6 +706,305 @@ fn auto_dispatch_has_no_cliff_at_regime_boundaries() {
     }
 }
 
+// ---------- ISSUE 8: in-network reduction offload ----------
+
+/// Boot a server-equipped Auto communicator (trailing `servers` nodes
+/// carved out via `ServerSpec::tail`) under `plan` and return its live
+/// regime triple `(ll_cut, dbt_cut, rsv_cut)` — the boundaries the
+/// dispatcher actually prices at query time, health vector included.
+fn server_cuts(
+    platform: &diomp::sim::PlatformSpec,
+    clients: usize,
+    servers: usize,
+    plan: &diomp::sim::FaultPlan,
+) -> (u64, u64, u64) {
+    use diomp::device::{DataMode, DeviceTable};
+    use diomp::fabric::{FabricWorld, ReduceOp};
+    use diomp::sim::{ClusterSpec, Topology};
+    use diomp::xccl::{AutoConfig, CollEngine, CommOpts, ServerSpec, UniqueId, XcclComm, XcclOp};
+    use std::sync::Arc;
+
+    let nodes = clients + servers;
+    let gpn = platform.gpus_per_node;
+    let nranks = nodes * gpn;
+    let mut sim = Sim::new();
+    sim.set_fault_plan(plan.clone());
+    let spec = ClusterSpec { platform: platform.clone(), nodes, gpus_per_node: gpn };
+    let topo = Arc::new(Topology::build(&sim.handle(), spec));
+    let devs = DeviceTable::build(&sim.handle(), topo.clone(), DataMode::CostOnly, Some(1 << 20));
+    let world = FabricWorld::new(topo, devs, nranks);
+    world.refresh_health_from_plan(plan);
+    let id = UniqueId::generate();
+    let out = Arc::new(parking_lot::Mutex::new((0u64, 0u64, 0u64)));
+    let out2 = out.clone();
+    let ac = AutoConfig::for_platform(platform);
+    for r in 0..nranks {
+        let world = world.clone();
+        let out2 = out2.clone();
+        sim.spawn(format!("rank{r}"), move |ctx| {
+            let bits = world.bootstrap.exchange(ctx, r, if r == 0 { id.bits() } else { 0 })[0];
+            let comm = XcclComm::init(
+                ctx,
+                &world,
+                (0..nranks).collect(),
+                r,
+                UniqueId::from_bits(bits),
+                CommOpts {
+                    engine: CollEngine::Auto(ac),
+                    servers: ServerSpec::tail(servers),
+                    ..CommOpts::default()
+                },
+            );
+            if r == 0 {
+                *out2.lock() = comm
+                    .auto_regimes(&XcclOp::AllReduce { op: ReduceOp::SumF32 })
+                    .expect("Auto engine always has regimes");
+            }
+        });
+    }
+    sim.run().unwrap();
+    let v = *out.lock();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The reduction-server offload changes *where* the fold runs, never
+    /// its result: across random payload lengths, dtypes, cluster sizes
+    /// and server counts, every client rank lands bytes identical to the
+    /// sequential client-order fold, every server buffer passes through
+    /// untouched, and the same inputs replay the same virtual-time trace.
+    #[test]
+    fn rserver_offload_is_byte_identical_and_deterministic(
+        nodes in 3usize..5,
+        servers in 1usize..3,
+        elems in 1usize..64,
+        which in 0u8..4,
+    ) {
+        use diomp::device::{DataMode, DeviceTable};
+        use diomp::fabric::{FabricWorld, ReduceOp};
+        use diomp::sim::{ClusterSpec, PlatformSpec, SimTime, Topology};
+        use diomp::xccl::{
+            CollEngine, CommOpts, DeviceBuf, RingConfig, ServerSpec, UniqueId, XcclComm, XcclOp,
+        };
+        use std::sync::Arc;
+
+        let dtype =
+            [ReduceOp::SumF64, ReduceOp::SumF32, ReduceOp::MaxF64, ReduceOp::SumU64]
+                [which as usize];
+        let platform = PlatformSpec::platform_a();
+        let gpn = platform.gpus_per_node;
+        let nranks = nodes * gpn;
+        let nclients = (nodes - servers) * gpn;
+        let len = (elems * 8) as u64;
+        // Integer-valued payloads small enough to be exact in f32, so
+        // every association order the schedule produces is bit-exact.
+        let gen = |r: usize, i: usize| ((r as u64 + 1) * (i as u64 % 13 + 1)) as f64;
+        let encode = |r: usize| -> Vec<u8> {
+            match dtype {
+                ReduceOp::SumF32 => {
+                    (0..elems * 2).flat_map(|i| (gen(r, i) as f32).to_le_bytes()).collect()
+                }
+                ReduceOp::SumU64 => {
+                    (0..elems).flat_map(|i| (gen(r, i) as u64).to_le_bytes()).collect()
+                }
+                _ => (0..elems).flat_map(|i| gen(r, i).to_le_bytes()).collect(),
+            }
+        };
+        let fold = |i: usize| -> f64 {
+            match dtype {
+                ReduceOp::MaxF64 => gen(nclients - 1, i),
+                _ => (0..nclients).map(|r| gen(r, i)).sum(),
+            }
+        };
+        let expect_client: Vec<u8> = match dtype {
+            ReduceOp::SumF32 => {
+                (0..elems * 2).flat_map(|i| (fold(i) as f32).to_le_bytes()).collect()
+            }
+            ReduceOp::SumU64 => (0..elems).flat_map(|i| (fold(i) as u64).to_le_bytes()).collect(),
+            _ => (0..elems).flat_map(|i| fold(i).to_le_bytes()).collect(),
+        };
+
+        let run = || -> (SimTime, Vec<Vec<u8>>) {
+            let mut sim = Sim::new();
+            let spec = ClusterSpec { platform: platform.clone(), nodes, gpus_per_node: gpn };
+            let topo = Arc::new(Topology::build(&sim.handle(), spec));
+            let devs =
+                DeviceTable::build(&sim.handle(), topo.clone(), DataMode::Functional, Some(1 << 20));
+            let world = FabricWorld::new(topo, devs, nranks);
+            let id = UniqueId::generate();
+            let results = Arc::new(parking_lot::Mutex::new(vec![Vec::new(); nranks]));
+            for r in 0..nranks {
+                let world = world.clone();
+                let results = results.clone();
+                let bytes = encode(r);
+                sim.spawn(format!("rank{r}"), move |ctx| {
+                    let bits =
+                        world.bootstrap.exchange(ctx, r, if r == 0 { id.bits() } else { 0 })[0];
+                    let comm = XcclComm::init(
+                        ctx,
+                        &world,
+                        (0..nranks).collect(),
+                        r,
+                        UniqueId::from_bits(bits),
+                        CommOpts {
+                            engine: CollEngine::ReductionServer(RingConfig::default()),
+                            servers: ServerSpec::tail(servers),
+                            ..CommOpts::default()
+                        },
+                    );
+                    let dev = world.primary_dev(r);
+                    let off = dev.malloc(len, 256).unwrap();
+                    dev.mem.write(off, &bytes).unwrap();
+                    comm.collective(
+                        ctx,
+                        r,
+                        vec![DeviceBuf { flat: r, off }],
+                        XcclOp::AllReduce { op: dtype },
+                        len,
+                    );
+                    let mut out = vec![0u8; len as usize];
+                    dev.mem.read(off, &mut out).unwrap();
+                    results.lock()[r] = out;
+                });
+            }
+            let end = sim.run().unwrap().end_time;
+            let rows = results.lock().clone();
+            (end, rows)
+        };
+        let (end_a, rows) = run();
+        for (r, got) in rows.iter().enumerate() {
+            if r < nclients {
+                prop_assert_eq!(
+                    got, &expect_client,
+                    "client rank {} diverged from the client-order fold ({:?})", r, dtype
+                );
+            } else {
+                prop_assert_eq!(
+                    got, &encode(r),
+                    "server rank {} buffer must pass through untouched ({:?})", r, dtype
+                );
+            }
+        }
+        let (end_b, rows_b) = run();
+        prop_assert_eq!(end_a, end_b, "same inputs must replay the same virtual-time trace");
+        prop_assert_eq!(rows, rows_b);
+    }
+}
+
+/// The fourth regime boundary is seamless too: at the power-of-two
+/// sizes straddling the live `rsv_cut` on a server-provisioned cluster,
+/// the modelled latency may not cliff, and `Auto` never loses to the
+/// pure ring engine on either side — on all three paper platforms.
+#[test]
+fn auto_dispatch_has_no_cliff_at_the_server_boundary() {
+    use diomp::apps::micro::{diomp_collective_served, CollKind};
+    use diomp::core::{CollEngine, Conduit, Tuner};
+    use diomp::sim::{FaultPlan, PlatformSpec};
+
+    for (platform, clients, servers) in [
+        (PlatformSpec::platform_a(), 8usize, 8usize),
+        (PlatformSpec::platform_b(), 4, 4),
+        (PlatformSpec::platform_c(), 8, 8),
+    ] {
+        let (_, dbt_cut, rsv_cut) = server_cuts(&platform, clients, servers, &FaultPlan::new());
+        assert!(
+            rsv_cut > dbt_cut,
+            "{}: a provisioned {clients}+{servers} layout must open the server regime \
+             strictly above the mid band (rsv_cut {rsv_cut} vs dbt_cut {dbt_cut})",
+            platform.name
+        );
+        let above = rsv_cut.next_power_of_two();
+        let sizes = [above / 2, above];
+        let nodes = clients + servers;
+        let tuner = Tuner::new(&platform, Conduit::GasnetEx);
+        let auto = diomp_collective_served(
+            &platform,
+            nodes,
+            servers,
+            CollKind::AllReduce,
+            &sizes,
+            tuner.coll_engine(),
+        );
+        let ring = diomp_collective_served(
+            &platform,
+            nodes,
+            servers,
+            CollKind::AllReduce,
+            &sizes,
+            CollEngine::default(),
+        );
+        let (below_us, above_us) = (auto[0].1, auto[1].1);
+        assert!(
+            above_us <= 4.0 * below_us,
+            "{} boundary {rsv_cut}: latency cliffs {below_us:.1}µs -> {above_us:.1}µs",
+            platform.name
+        );
+        for (&(s, auto_us, _), &(_, ring_us, _)) in auto.iter().zip(&ring) {
+            assert!(
+                auto_us <= ring_us * 1.01,
+                "{} @{s}: Auto ({auto_us:.1}µs) must not lose to the ring ({ring_us:.1}µs) \
+                 at the server boundary",
+                platform.name
+            );
+        }
+    }
+}
+
+/// The fourth boundary is priced from the *live* configuration, not a
+/// frozen table: shrinking the live server set to the point where the
+/// servers are injection-bound closes the regime outright, and a
+/// degraded fabric (which reprices the ring/DBT terms the boundary is
+/// clamped against) retreats it toward smaller sizes.
+#[test]
+fn server_crossover_tracks_the_live_ring_and_server_config() {
+    use diomp::device::{DataMode, DeviceTable};
+    use diomp::sim::{ClusterSpec, FaultPlan, PlatformSpec, SimTime, Topology};
+    use std::sync::Arc;
+
+    let platform = PlatformSpec::platform_a();
+    let (clients, servers) = (8usize, 8usize);
+    let gpn = platform.gpus_per_node;
+    let healthy = server_cuts(&platform, clients, servers, &FaultPlan::new());
+    assert!(healthy.2 > healthy.1, "healthy 8+8 must open the server regime: {healthy:?}");
+
+    // Build the fault plans against a probe topology (same shape the
+    // runs boot, so flat device ids line up).
+    let probe = Sim::new();
+    let spec =
+        ClusterSpec { platform: platform.clone(), nodes: clients + servers, gpus_per_node: gpn };
+    let topo = Arc::new(Topology::build(&probe.handle(), spec));
+    let devs = DeviceTable::build(&probe.handle(), topo.clone(), DataMode::CostOnly, Some(1 << 20));
+    let mut half = FaultPlan::new();
+    for f in (clients + servers / 2) * gpn..(clients + servers) * gpn {
+        half = half.kill_link(devs.dev(f).nic);
+    }
+    let mut degraded = FaultPlan::new();
+    for f in 0..(clients + servers) * gpn {
+        degraded = degraded.degrade_link(devs.dev(f).nic, SimTime::ZERO, SimTime(u64::MAX), 50);
+    }
+    drop(probe);
+
+    // Half the server nodes dead: 32 client NICs feed 16 server NICs,
+    // the servers are injection-bound, the priced win region vanishes —
+    // the dispatcher must close the regime rather than offload at a loss.
+    let shrunk = server_cuts(&platform, clients, servers, &half);
+    assert_eq!(
+        shrunk.2, 0,
+        "an injection-bound live server set must close the fourth regime: {shrunk:?}"
+    );
+
+    // A fabric degraded to 5% of nominal bandwidth reprices every
+    // boundary; the server cut must move with the live pricing (here:
+    // retreat with the clamped mid band), never stay frozen.
+    let repriced = server_cuts(&platform, clients, servers, &degraded);
+    assert!(
+        repriced.2 > 0 && repriced.2 < healthy.2,
+        "a 20x slower wire must retreat the server boundary: {repriced:?} vs {healthy:?}"
+    );
+}
+
 // ---------- ISSUE 7: multi-tenant shared-fabric contention ----------
 
 proptest! {
