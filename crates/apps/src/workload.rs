@@ -18,12 +18,14 @@
 use std::sync::Arc;
 
 use diomp_core::{
-    default_nrings, CollEngine, DeviceBuf, JobSpec, QosClass, ReduceOp, RingConfig, ServerSpec,
-    UniqueId, XcclComm, XcclOp,
+    default_nrings, Checkpoint, CollEngine, DeviceBuf, JobSpec, QosClass, RecoveryConfig, ReduceOp,
+    RingConfig, ServerSpec, UniqueId, XcclComm, XcclOp,
 };
 use diomp_device::{DataMode, DeviceTable};
 use diomp_fabric::FabricWorld;
-use diomp_sim::{derive_seed, ClusterSpec, Dur, Meter, PlatformSpec, Sim, SimTime, Topology};
+use diomp_sim::{
+    derive_seed, ClusterSpec, Dur, FaultPlan, Meter, PlatformSpec, Sim, SimTime, Topology, Wait,
+};
 use parking_lot::Mutex;
 
 /// A multi-tenant workload: which jobs share the fabric, and what each
@@ -46,6 +48,18 @@ pub struct WorkloadSpec {
     /// Arm the per-link weighted fair queue. Disarmed, transfers take
     /// the legacy serial link path bit for bit.
     pub contended: bool,
+    /// Fault plan installed before the run (`None` = healthy fabric).
+    /// Rank-kill entries are what the recovery loop reacts to.
+    pub faults: Option<FaultPlan>,
+    /// Arm elastic rank-failure recovery. `None` (the default scenarios)
+    /// runs the historical blocking path — bit for bit, even with a
+    /// fault plan installed. `Some` bounds every rendezvous park by
+    /// [`RecoveryConfig::collective_timeout`], snapshots buffers every
+    /// [`RecoveryConfig::checkpoint_every`] iterations, and on a
+    /// confirmed member death shrinks the job's communicator to the
+    /// agreed survivors, rolls back, and re-runs — up to each job's
+    /// [`JobSpec::max_retries`].
+    pub recovery: Option<RecoveryConfig>,
 }
 
 /// Per-job outcome of a workload run.
@@ -74,6 +88,13 @@ pub struct JobResult {
     /// flow is only created when servers are provisioned, so per-job
     /// fabric accounting attributes every server byte to its tenant.
     pub server_flow_bytes: u64,
+    /// Communicator shrink/rebuild rounds this job rode out (0 on a
+    /// healthy fabric or with recovery disarmed).
+    pub retries: u32,
+    /// Virtual time from the first aborted collective to the first
+    /// completed collective on the shrunk communicator, µs — the job's
+    /// end-to-end recovery latency. 0 when nothing aborted.
+    pub recovery_us: f64,
 }
 
 /// Whole-workload outcome.
@@ -116,6 +137,9 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadReport {
     if spec.contended {
         sim.enable_contention();
     }
+    if let Some(plan) = &spec.faults {
+        sim.set_fault_plan(plan.clone());
+    }
     let cluster = ClusterSpec {
         platform: spec.platform.clone(),
         nodes: spec.nodes,
@@ -125,6 +149,9 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadReport {
     let heap = (spec.jobs.len() as u64 * 2 * max_size + (1 << 20)).next_power_of_two();
     let devs = DeviceTable::build(&sim.handle(), topo.clone(), DataMode::CostOnly, Some(heap));
     let world = FabricWorld::new(topo, devs, nranks);
+    // Attach the simulator so the health vector derives live from the
+    // installed plan and rank kills arm their dead windows.
+    world.attach_sim(&sim.handle());
 
     // Per-job accumulators: latency meter + wire-byte/busy-time totals,
     // filled in by the job's rank-0 task.
@@ -136,6 +163,8 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadReport {
         // is driven by whichever rank arrives at the gate last, so the
         // job's fan-back bytes are the sum over all of them.
         server_flows: Vec<diomp_sim::FlowId>,
+        retries: u32,
+        recovery: Dur,
     }
     let accs: Vec<Arc<Mutex<JobAcc>>> = spec
         .jobs
@@ -146,6 +175,8 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadReport {
                 wire_bytes: 0.0,
                 busy: Dur::ZERO,
                 server_flows: Vec::new(),
+                retries: 0,
+                recovery: Dur::ZERO,
             }))
         })
         .collect();
@@ -160,9 +191,10 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadReport {
             let job = job.clone();
             let acc = accs[j].clone();
             let (iters, sizes, seed) = (spec.iters, spec.sizes.clone(), spec.seed);
+            let recovery = spec.recovery;
             sim.spawn(format!("job{j}-{}-rank{r}", job.name), move |ctx| {
                 ctx.delay(job.arrival);
-                let comm = XcclComm::init(
+                let mut comm = XcclComm::init(
                     ctx,
                     &world,
                     (0..world.nranks).collect(),
@@ -170,21 +202,99 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadReport {
                     id,
                     job.comm_opts(),
                 );
-                let off = world.primary_dev(r).malloc(max_size.max(64), 256).unwrap();
+                let buf_len = max_size.max(64);
+                let off = world.primary_dev(r).malloc(buf_len, 256).unwrap();
                 if let Some(f) = comm.server_flow() {
                     acc.lock().server_flows.push(f);
                 }
-                for i in 0..iters {
+                let Some(rc) = recovery else {
+                    // Disarmed: the historical blocking path, bit for bit.
+                    for i in 0..iters {
+                        let (op, size) = draw(seed, j, i, &sizes);
+                        let t0 = ctx.now();
+                        let wire = op.wire_factor(world.nranks) * size as f64;
+                        comm.collective(ctx, r, vec![DeviceBuf { flat: r, off }], op, size);
+                        if r == 0 {
+                            let d = ctx.now().since(t0);
+                            let mut a = acc.lock();
+                            a.meter.record(d);
+                            a.wire_bytes += wire;
+                            a.busy += d;
+                        }
+                    }
+                    return;
+                };
+                // Armed: bounded rendezvous parks, checkpoint epochs,
+                // shrink + rollback + exponential-backoff retry. Doomed
+                // ranks always complete comm init (a process that dies
+                // mid-run had joined), then leave at the first collective
+                // boundary past their kill time.
+                let my_kill = ctx.handle().fault_plan().and_then(|p| p.kill_time(r as u32));
+                let bufs = [(r, off, buf_len)];
+                let mut ck = Checkpoint::take(ctx, &world, &bufs, 0);
+                let mut attempt = 0u32;
+                // Iterations already sampled: rollback re-runs an epoch's
+                // tail, which must not double-count latency or bytes.
+                let mut recorded = 0usize;
+                let mut abort_at: Option<SimTime> = None;
+                let mut i = 0usize;
+                while i < iters {
+                    if my_kill.is_some_and(|t| t <= ctx.now()) {
+                        return;
+                    }
                     let (op, size) = draw(seed, j, i, &sizes);
                     let t0 = ctx.now();
-                    let wire = op.wire_factor(world.nranks) * size as f64;
-                    comm.collective(ctx, r, vec![DeviceBuf { flat: r, off }], op, size);
-                    if r == 0 {
-                        let d = ctx.now().since(t0);
-                        let mut a = acc.lock();
-                        a.meter.record(d);
-                        a.wire_bytes += wire;
-                        a.busy += d;
+                    let wire = op.wire_factor(comm.ranks.len()) * size as f64;
+                    match comm.try_collective(
+                        ctx,
+                        r,
+                        vec![DeviceBuf { flat: r, off }],
+                        op,
+                        size,
+                        Wait::Until(rc.collective_timeout),
+                    ) {
+                        Ok(_) => {
+                            if r == 0 && i >= recorded {
+                                let d = ctx.now().since(t0);
+                                let mut a = acc.lock();
+                                a.meter.record(d);
+                                a.wire_bytes += wire;
+                                a.busy += d;
+                                if let Some(at) = abort_at.take() {
+                                    a.recovery += ctx.now().since(at);
+                                }
+                                recorded = i + 1;
+                            }
+                            i += 1;
+                            if i < iters && (i as u32).is_multiple_of(rc.checkpoint_every) {
+                                ck = Checkpoint::take(ctx, &world, &bufs, i as u64);
+                            }
+                        }
+                        Err(abort) => {
+                            // A rank the plan dooms is dead in the agreed
+                            // survivor set even before its kill time
+                            // (two kills straddling a detection window
+                            // must not split the survivors) — it exits
+                            // instead of shrinking.
+                            if my_kill.is_some() {
+                                return;
+                            }
+                            if attempt >= job.max_retries {
+                                return; // retry budget exhausted: job gives up
+                            }
+                            let health = world.converged_health();
+                            ck.restore(ctx, &world);
+                            ctx.delay(rc.backoff_for(attempt));
+                            comm = comm.shrink(ctx, &health, r);
+                            if r == 0 {
+                                acc.lock().retries += 1;
+                                if abort_at.is_none() {
+                                    abort_at = Some(abort.at);
+                                }
+                            }
+                            attempt += 1;
+                            i = ck.iter as usize;
+                        }
                     }
                 }
             });
@@ -208,6 +318,8 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadReport {
                 achieved_gbps: if busy_ns == 0 { 0.0 } else { a.wire_bytes / busy_ns as f64 },
                 table_gbps: spec.platform.net.nic_gbps,
                 server_flow_bytes: a.server_flows.iter().map(|&f| handle.flow_stats(f).bytes).sum(),
+                retries: a.retries,
+                recovery_us: a.recovery.as_nanos() as f64 / 1000.0,
             }
         })
         .collect();
@@ -257,6 +369,8 @@ pub fn canonical_workload(contended: bool) -> WorkloadSpec {
         sizes: vec![256 << 10, 1 << 20, 4 << 20],
         seed: 0xD10_1417,
         contended,
+        faults: None,
+        recovery: None,
     }
 }
 
@@ -294,6 +408,37 @@ pub fn server_workload(contended: bool) -> WorkloadSpec {
 pub fn server_idle_workload(contended: bool) -> WorkloadSpec {
     let mut spec = server_workload(contended);
     spec.jobs = vec![spec.jobs[1].clone()];
+    spec
+}
+
+/// The elastic-recovery scenario `bench_gate` gates: the canonical
+/// 8-job contention mix with recovery armed and rank 3 killed at
+/// roughly 50% of the fault-free makespan. Every job detects the death
+/// at its next collective boundary (bounded park → `gaspi_state_vec`
+/// probe), shrinks its communicator to the agreed survivors, rolls back
+/// one checkpoint epoch, and completes over the shrunk world.
+pub fn recovery_workload() -> WorkloadSpec {
+    let mut spec = canonical_workload(true);
+    for job in &mut spec.jobs {
+        *job = job.clone().with_max_retries(2);
+    }
+    // Half-way through the collective stream: the canonical run spends
+    // its first ~90 ms in NCCL-style communicator init
+    // (`xccl_init_us`) and runs its 12 iterations over ≈ 90–95 ms, so
+    // the kill lands with roughly half of each job's iterations
+    // committed and the rest re-run after the shrink.
+    spec.faults = Some(FaultPlan::new().kill_rank(3, SimTime(92_500_000)));
+    spec.recovery = Some(RecoveryConfig::default());
+    spec
+}
+
+/// The fault-free armed reference for the recovery scenario: recovery
+/// armed (checkpoints and bounded parks included), nothing killed. The
+/// bench gate holds its makespan within 1.05× of the disarmed canonical
+/// run — checkpoint epochs must not tax a healthy fabric.
+pub fn recovery_idle_workload() -> WorkloadSpec {
+    let mut spec = recovery_workload();
+    spec.faults = None;
     spec
 }
 
@@ -367,6 +512,52 @@ mod tests {
             } else {
                 assert_eq!(j.server_flow_bytes, 0, "{}: no servers, no server flow", j.name);
             }
+        }
+    }
+
+    #[test]
+    fn recovery_scenario_completes_every_job_over_the_survivors() {
+        let rep = run_workload(&recovery_workload());
+        assert_eq!(rep.jobs.len(), 8);
+        let mut shrunk = 0;
+        for j in &rep.jobs {
+            assert_eq!(j.samples, 12, "{}: every iteration must complete", j.name);
+            if j.retries > 0 {
+                shrunk += 1;
+                assert!(
+                    j.recovery_us > 0.0,
+                    "{}: a job that shrank must report its recovery latency",
+                    j.name
+                );
+            } else {
+                // A job whose collective stream finished before the
+                // death was detectable never pays for recovery.
+                assert_eq!(j.recovery_us, 0.0, "{}: no shrink, no recovery time", j.name);
+            }
+        }
+        assert!(shrunk >= 4, "most tenants must ride out the mid-run kill (got {shrunk})");
+    }
+
+    #[test]
+    fn recovery_scenario_replays_bit_identically() {
+        let a = run_workload(&recovery_workload());
+        let b = run_workload(&recovery_workload());
+        assert_eq!(a.end_time, b.end_time);
+        assert_eq!(a.entries_processed, b.entries_processed);
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.retries, y.retries, "{}: shrink count must replay", x.name);
+            assert_eq!(x.recovery_us, y.recovery_us, "{}: recovery time must replay", x.name);
+            assert_eq!(x.p99_us, y.p99_us, "{}: latency must replay", x.name);
+        }
+    }
+
+    #[test]
+    fn armed_recovery_on_a_healthy_fabric_never_shrinks() {
+        let rep = run_workload(&recovery_idle_workload());
+        for j in &rep.jobs {
+            assert_eq!(j.samples, 12);
+            assert_eq!(j.retries, 0, "{}: nothing died, nothing shrinks", j.name);
+            assert_eq!(j.recovery_us, 0.0);
         }
     }
 

@@ -639,6 +639,73 @@ fn measure() -> Vec<BenchRecord> {
             loaded.entries_processed,
         ));
     }
+
+    // (i) Elastic rank-failure recovery (ISSUE 9 tentpole): the
+    // canonical 8-job mix with rank 3 killed halfway through the
+    // collective stream. Hard-asserted relations: arming the recovery
+    // layer on a healthy fabric costs at most 5% (the checkpoint-epoch
+    // no-harm bound — checkpoints charge real modelled copy time at HBM
+    // rate) and never shrinks or retries; under the kill every
+    // surviving job still completes all its iterations, the affected
+    // tenants shrink, and the worst per-job recovery latency stays
+    // inside the honest rebuild cost (detection timeout + rollback +
+    // backoff + a full communicator re-init, which `xccl_init_us`
+    // dominates at ~90 ms). The recovery makespan, worst recovery
+    // latency and checkpoint overhead are locked in the baseline.
+    {
+        use diomp_apps::workload::{
+            canonical_workload, recovery_idle_workload, recovery_workload, run_workload,
+        };
+        let disarmed = run_workload(&canonical_workload(true));
+        let armed_idle = run_workload(&recovery_idle_workload());
+        let overhead = armed_idle.end_time.as_us() / disarmed.end_time.as_us();
+        assert!(
+            overhead <= 1.05,
+            "recovery: an armed-but-idle recovery layer costs {overhead:.4}x (must stay ≤ 1.05x)"
+        );
+        assert!(
+            armed_idle.jobs.iter().all(|j| j.retries == 0 && j.recovery_us == 0.0),
+            "recovery: a healthy fabric must never shrink or retry"
+        );
+        records.push(BenchRecord {
+            name: "recovery/checkpoint_overhead".into(),
+            value: overhead,
+            unit: "x".into(),
+            entries_processed: None,
+        });
+
+        let rec = run_workload(&recovery_workload());
+        let shrunk = rec.jobs.iter().filter(|j| j.retries > 0).count();
+        assert!(
+            shrunk >= 4,
+            "recovery: the mid-stream kill must force most tenants to shrink (saw {shrunk}/8)"
+        );
+        let worst = rec.jobs.iter().map(|j| j.recovery_us).fold(0.0, f64::max);
+        assert!(worst > 0.0, "recovery: a shrink must report a nonzero recovery latency");
+        assert!(
+            worst <= 120_000.0,
+            "recovery: worst per-job recovery latency {worst:.0}µs exceeds the rebuild bound"
+        );
+        for j in &rec.jobs {
+            assert_eq!(
+                j.samples, 12,
+                "recovery/{}: every surviving job must complete all its iterations",
+                j.name
+            );
+        }
+        records.push(BenchRecord::with_entries(
+            "recovery/8job_makespan",
+            rec.makespan_us,
+            "us",
+            rec.entries_processed,
+        ));
+        records.push(BenchRecord {
+            name: "recovery/worst_recovery_us".into(),
+            value: worst,
+            unit: "us".into(),
+            entries_processed: None,
+        });
+    }
     records
 }
 

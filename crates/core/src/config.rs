@@ -7,7 +7,7 @@
 //! pair, then explicit settings on top. Precedence (**explicit > tuned >
 //! default**) is therefore order-independent by construction rather than
 //! by careful re-derivation inside each setter, which is what the
-//! deprecated mutate-in-place setters on [`DiompConfig`] had to do.
+//! (since-removed) mutate-in-place setters on [`DiompConfig`] had to do.
 
 use diomp_device::DataMode;
 use diomp_sim::{ClusterSpec, PlatformSpec, QosClass};
@@ -163,15 +163,6 @@ pub struct DiompConfig {
     /// (see `diomp_sim::QosClass`). Irrelevant — and bit-neutral — when
     /// the simulator runs a single job or contention is disarmed.
     pub qos: QosClass,
-    /// Was the pipeline set explicitly (`with_pipeline`)? Explicit
-    /// settings are pinned against [`DiompConfig::tuned`] re-derivation.
-    pipeline_explicit: bool,
-    /// Was the collective engine set explicitly?
-    coll_engine_explicit: bool,
-    /// Has [`DiompConfig::tuned`] been applied? Conduit changes then
-    /// re-derive the non-explicit transport parameters for the new
-    /// conduit instead of keeping stale ones.
-    tuned: bool,
 }
 
 impl DiompConfig {
@@ -195,9 +186,6 @@ impl DiompConfig {
             coll_engine: CollEngine::default(),
             coll_servers: ServerSpec::default(),
             qos: QosClass::default(),
-            pipeline_explicit: false,
-            coll_engine_explicit: false,
-            tuned: false,
         }
     }
 
@@ -217,140 +205,12 @@ impl DiompConfig {
         DiompConfigBuilder::new(ClusterSpec::full_nodes(platform, nodes))
     }
 
-    /// Apply the transport autotuner: derive the RMA pipeline and the
-    /// collective engine ([`CollEngine::Auto`]) from the platform tables
-    /// for the active conduit. Precedence is **explicit > tuned >
-    /// disabled** and is *order-independent*: `with_pipeline` /
-    /// `with_coll_engine` pin their field whether called before or after
-    /// `tuned()`, a later [`Self::with_conduit`] re-derives the tuned
-    /// (non-pinned) parameters for the new conduit, and without
-    /// `tuned()` the defaults stay disabled/ring (the paper's published
-    /// configuration).
-    #[deprecated(
-        note = "use DiompConfig::builder(..).tuned().build() — resolution then happens once, at build()"
-    )]
-    pub fn tuned(mut self) -> Self {
-        self.tuned = true;
-        self.apply_tuning();
-        self
-    }
-
-    /// Re-derive the non-explicit transport parameters for the current
-    /// `(platform, conduit)` pair.
-    fn apply_tuning(&mut self) {
-        let t = crate::tune::Tuner::new(&self.cluster.platform, self.conduit);
-        if !self.pipeline_explicit {
-            self.pipeline = t.pipeline();
-        }
-        if !self.coll_engine_explicit {
-            self.coll_engine = t.coll_engine();
-        }
-    }
-
     /// Number of ranks implied by the binding.
     pub fn nranks(&self) -> usize {
         match self.binding {
             Binding::DevicePerRank => self.cluster.total_gpus(),
             Binding::RankPerNode => self.cluster.nodes,
         }
-    }
-
-    /// Builder-style setters.
-    #[deprecated(note = "use DiompConfigBuilder::with_binding")]
-    pub fn with_binding(mut self, b: Binding) -> Self {
-        self.binding = b;
-        self
-    }
-
-    /// Select the conduit. On a tuned config this re-derives the tuned
-    /// (non-explicit) transport parameters for the new conduit.
-    #[deprecated(note = "use DiompConfigBuilder::with_conduit")]
-    pub fn with_conduit(mut self, c: Conduit) -> Self {
-        self.conduit = c;
-        if self.tuned {
-            self.apply_tuning();
-        }
-        self
-    }
-
-    /// Set the per-device global heap size.
-    #[deprecated(note = "use DiompConfigBuilder::with_heap")]
-    pub fn with_heap(mut self, bytes: u64) -> Self {
-        self.heap_bytes = bytes;
-        self
-    }
-
-    /// Set the symmetric allocator strategy.
-    #[deprecated(note = "use DiompConfigBuilder::with_allocator")]
-    pub fn with_allocator(mut self, k: AllocKind) -> Self {
-        self.allocator = k;
-        self
-    }
-
-    /// Set the data mode.
-    #[deprecated(note = "use DiompConfigBuilder::with_mode")]
-    pub fn with_mode(mut self, m: DataMode) -> Self {
-        self.mode = m;
-        self
-    }
-
-    /// Cap the modelled device memory (test OOM paths).
-    #[deprecated(note = "use DiompConfigBuilder::with_mem_capacity")]
-    pub fn with_mem_capacity(mut self, cap: u64) -> Self {
-        self.mem_capacity = Some(cap);
-        self
-    }
-
-    /// Force the IPC path by disabling GPUDirect P2P.
-    #[deprecated(note = "use DiompConfigBuilder::without_p2p")]
-    pub fn without_p2p(mut self) -> Self {
-        self.use_p2p = false;
-        self
-    }
-
-    /// Configure large-message pipelining explicitly (see
-    /// [`PipelineConfig`]); pins the pipeline against `tuned()`
-    /// re-derivation regardless of call order.
-    #[deprecated(note = "use DiompConfigBuilder::with_pipeline")]
-    pub fn with_pipeline(mut self, p: PipelineConfig) -> Self {
-        self.pipeline = p;
-        self.pipeline_explicit = true;
-        self
-    }
-
-    /// Drain fences event-by-event (the pre-`wait_all` behaviour); used
-    /// by the scheduler-cost ablation.
-    #[deprecated(note = "use DiompConfigBuilder::without_batched_fence")]
-    pub fn without_batched_fence(mut self) -> Self {
-        self.batched_fence = false;
-        self
-    }
-
-    /// Configure the GASPI recovery loop for GPI-2 posts: retry budget
-    /// and initial (doubling) backoff. `max_retries = 0` disables
-    /// recovery — the first queue error propagates.
-    #[deprecated(note = "use DiompConfigBuilder::with_rma_retry")]
-    pub fn with_rma_retry(mut self, max_retries: u32, backoff_us: f64) -> Self {
-        self.max_rma_retries = max_retries;
-        self.retry_backoff_us = backoff_us;
-        self
-    }
-
-    /// Select the OMPCCL completion-time engine explicitly; pins it
-    /// against `tuned()` re-derivation regardless of call order.
-    #[deprecated(note = "use DiompConfigBuilder::with_coll_engine")]
-    pub fn with_coll_engine(mut self, e: CollEngine) -> Self {
-        self.coll_engine = e;
-        self.coll_engine_explicit = true;
-        self
-    }
-
-    /// Price collectives with the calibrated whole-collective profiles
-    /// instead of the emergent ring protocol (the ablation baseline).
-    #[deprecated(note = "use DiompConfigBuilder::with_profile_collectives")]
-    #[allow(deprecated)]
-    pub fn with_profile_collectives(self) -> Self {
-        self.with_coll_engine(CollEngine::Profile)
     }
 }
 
@@ -681,25 +541,20 @@ mod tests {
     }
 
     #[test]
-    fn builder_matches_legacy_setters() {
-        // The deprecated in-place setters and the staged builder must
-        // resolve to the same configuration for the same choices.
-        #[allow(deprecated)]
-        let old = DiompConfig::on_platform(PlatformSpec::platform_c(), 2)
-            .with_conduit(Conduit::Gpi2)
-            .tuned()
-            .with_heap(64 << 20)
-            .with_mode(DataMode::CostOnly);
-        let new = base()
+    fn tuned_build_matches_the_tuner_tables() {
+        // A tuned build must resolve exactly to what the autotuner
+        // derives for the final (platform, conduit) pair.
+        let cfg = base()
             .with_conduit(Conduit::Gpi2)
             .tuned()
             .with_heap(64 << 20)
             .with_mode(DataMode::CostOnly)
             .build();
-        assert_eq!(old.pipeline, new.pipeline);
-        assert_eq!(old.coll_engine, new.coll_engine);
-        assert_eq!(old.heap_bytes, new.heap_bytes);
-        assert_eq!(old.conduit, new.conduit);
+        let t = crate::tune::Tuner::new(&cfg.cluster.platform, Conduit::Gpi2);
+        assert_eq!(cfg.pipeline, t.pipeline());
+        assert_eq!(cfg.coll_engine, t.coll_engine());
+        assert_eq!(cfg.heap_bytes, 64 << 20);
+        assert_eq!(cfg.conduit, Conduit::Gpi2);
     }
 
     #[test]

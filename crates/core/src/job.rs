@@ -30,6 +30,14 @@ pub struct JobSpec {
     /// servers gets a second flow for its server fan-back traffic, so
     /// per-job fabric accounting still attributes every byte.
     pub servers: ServerSpec,
+    /// Elastic-recovery retry budget: how many times a collective the
+    /// job lost to a member death may be re-run on the shrunk
+    /// communicator before the job is declared failed. Each retry backs
+    /// off exponentially in *virtual* time (base backoff doubling per
+    /// attempt), modelling the reconnection storms a real rebuild rides
+    /// out. 0 (the default) disables job-level retry: the first
+    /// detected death fails the job.
+    pub max_retries: u32,
 }
 
 impl JobSpec {
@@ -42,6 +50,7 @@ impl JobSpec {
             arrival,
             engine: CollEngine::default(),
             servers: ServerSpec::default(),
+            max_retries: 0,
         }
     }
 
@@ -54,6 +63,13 @@ impl JobSpec {
     /// Provision in-network reduction servers on the job's communicator.
     pub fn with_servers(mut self, s: ServerSpec) -> Self {
         self.servers = s;
+        self
+    }
+
+    /// Set the elastic-recovery retry budget (see
+    /// [`JobSpec::max_retries`]).
+    pub fn with_max_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
         self
     }
 

@@ -45,6 +45,7 @@ mod group;
 mod job;
 mod notify;
 mod ompccl;
+pub mod recovery;
 mod rma;
 mod runtime;
 mod sync;
@@ -62,6 +63,7 @@ pub use galloc::{AllocKind, BuddyAlloc, LinearAlloc, PtrCache, WRAPPER_BYTES};
 pub use gptr::{AsymPtr, GPtr};
 pub use group::{group_merge, group_split, DiompGroup, GroupRegistry, GroupShared};
 pub use job::JobSpec;
+pub use recovery::{survivors, BufSpec, Checkpoint, RecoveryConfig};
 pub use runtime::{DiompRank, DiompRuntime, DiompShared};
 pub use sync::FenceTimeout;
 pub use target::DiompTarget;

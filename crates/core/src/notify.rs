@@ -17,7 +17,7 @@
 //! which a single conduit write guarantees by FIFO link order.
 
 use diomp_fabric::gpi;
-use diomp_sim::{Ctx, Dur, Wait};
+use diomp_sim::{Ctx, Wait};
 
 use crate::config::Conduit;
 use crate::error::DiompError;
@@ -126,18 +126,6 @@ impl DiompRank {
     pub fn notify_reset(&self, ctx: &Ctx, id: u32) -> Option<u64> {
         self.require_gpi2("notify_reset");
         gpi::notify_reset(ctx, &self.shared.world, self.rank, id)
-    }
-
-    /// [`DiompRank::notify_waitsome`] with a virtual-time deadline.
-    #[deprecated(note = "use `notify_waitsome_with(ctx, first_id, num_ids, Wait::Until(timeout))`")]
-    pub fn notify_waitsome_timeout(
-        &mut self,
-        ctx: &mut Ctx,
-        first_id: u32,
-        num_ids: u32,
-        timeout: Dur,
-    ) -> Result<(u32, u64), DiompError> {
-        self.notify_waitsome_with(ctx, first_id, num_ids, Wait::Until(timeout))
     }
 
     /// The fabric's per-rank health vector (`gaspi_state_vec`).

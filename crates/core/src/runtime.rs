@@ -79,10 +79,13 @@ impl DiompRuntime {
         let devs = DeviceTable::build(&h, topo.clone(), cfg.mode, cfg.mem_capacity);
         let nranks = cfg.nranks();
         let world = FabricWorld::new(topo, devs, nranks);
-        // With a fault plan armed, seed the health vector (gaspi_state_vec)
-        // from it so degradation-aware layers (rail blacklisting, regime
-        // re-pricing) see the faults the injector will replay. A clean
-        // fabric skips the refresh entirely.
+        // Attach the simulator: the health vector (gaspi_state_vec) then
+        // derives *live* from whichever fault plan is installed when it
+        // is read — degradation-aware layers (rail blacklisting, regime
+        // re-pricing) see faults armed after build too, not a build-time
+        // snapshot — and any rank-kill events are expanded into kernel
+        // dead windows over the doomed ranks' exclusive links.
+        world.attach_sim(&h);
         if let Some(plan) = h.fault_plan() {
             world.refresh_health_from_plan(&plan);
         }

@@ -1,6 +1,6 @@
 //! Synchronisation: `ompx_fence` and `ompx_barrier` (paper §3.2–3.3).
 
-use diomp_sim::{Ctx, Dur, EventId, SimTime, Wait};
+use diomp_sim::{Ctx, EventId, SimTime, Wait};
 
 use crate::config::Conduit;
 use crate::group::DiompGroup;
@@ -120,12 +120,6 @@ impl DiompRank {
                 Err(FenceTimeout { at: t.at, completed, in_flight })
             }
         }
-    }
-
-    /// `ompx_fence` with a virtual-time deadline.
-    #[deprecated(note = "use `fence_with(ctx, Wait::Until(timeout))`")]
-    pub fn fence_timeout(&mut self, ctx: &mut Ctx, timeout: Dur) -> Result<(), FenceTimeout> {
-        self.fence_with(ctx, Wait::Until(timeout))
     }
 
     /// `ompx_barrier()`: world barrier.

@@ -221,3 +221,39 @@ fn healthy_fabric_never_counts_retries() {
     );
     assert_eq!(retries, vec![0, 0]);
 }
+
+#[test]
+fn notify_waitsome_with_against_a_killed_peer_times_out_at_the_deadline() {
+    // The producer is killed before it can post: the consumer's timed
+    // waitsome must surface `FabricError::Timeout` exactly at its
+    // deadline — GASPI's contract that the budget, not a parked
+    // transfer, bounds failure detection — and the follow-up
+    // `gaspi_state_vec` probe names the corpse.
+    use diomp_core::RankHealth;
+    use diomp_sim::SimTime;
+    let mut sim = Sim::new();
+    sim.set_fault_plan(FaultPlan::new().kill_rank(0, SimTime::ZERO));
+    let cfg = two_nodes(PlatformSpec::platform_c()).with_conduit(Conduit::Gpi2).build();
+    let shared = DiompRuntime::build(&sim, cfg);
+    sim.spawn("diomp-rank0", move |_ctx| {
+        // Dead from t = 0: never posts its notification.
+    });
+    let shared1 = shared.clone();
+    sim.spawn("diomp-rank1", move |ctx| {
+        let mut rank =
+            DiompRank { shared: shared1, rank: 1, cache: PtrCache::new(), rma_retries: 0 };
+        let t0 = ctx.now();
+        let budget = Dur::millis(1.0);
+        let err = rank
+            .notify_waitsome_with(ctx, 7, 1, Wait::Until(budget))
+            .expect_err("no notification can arrive from a killed producer");
+        assert!(matches!(err, DiompError::Fabric(FabricError::Timeout { .. })), "{err:?}");
+        assert_eq!(ctx.now(), t0 + budget, "the timeout fires at the deadline");
+        assert_eq!(
+            rank.shared.world.probe_health().rank_health(0),
+            RankHealth::Dead,
+            "the expired deadline's state-vec probe names the corpse"
+        );
+    });
+    sim.run().unwrap();
+}

@@ -36,10 +36,15 @@
 //! `GASPI_ERROR`), and `gaspi_queue_purge` abandons the queue's
 //! outstanding operations and re-arms it. The conduit mirrors all three:
 //!
-//! * [`wait_queue_timeout`] / [`wait_all_queues_timeout`] /
-//!   [`notify_waitsome_timeout`] return [`FabricError::Timeout`] when the
+//! * [`wait_queue`] / [`wait_all_queues`] / [`notify_waitsome`] called
+//!   with [`Wait::Until`] return [`FabricError::Timeout`] when the
 //!   virtual-time deadline fires, leaving already-completed operations
-//!   retired and incomplete ones re-queued for a later wait.
+//!   retired and incomplete ones re-queued for a later wait. Every
+//!   expired deadline also probes the `gaspi_state_vec`
+//!   ([`FabricWorld::probe_health`]): a timeout is GASPI's failure
+//!   *signal*, and the probe is how a rank-kill becomes visible as
+//!   [`crate::RankHealth::Dead`] mid-run so survivors can shrink and
+//!   rebuild instead of re-waiting forever.
 //! * [`write()`](write()) / [`read()`](read) consult the deterministic fault injector
 //!   ([`diomp_sim::FaultPlan::ctrl_fault`] keyed
 //!   `fault_key("gpi-queue", rank, queue)`) — an injected `Drop` errors
@@ -265,12 +270,15 @@ pub fn wait_queue(
                     left.push(ev);
                 }
             }
-            let mut q = world.gpi.queues.lock();
-            let slot = q[rank].entry(queue).or_default();
-            // Anything posted while we were parked stays behind the
-            // survivors: queue order is completion-tracking order.
-            left.append(slot);
-            *slot = left;
+            {
+                let mut q = world.gpi.queues.lock();
+                let slot = q[rank].entry(queue).or_default();
+                // Anything posted while we were parked stays behind the
+                // survivors: queue order is completion-tracking order.
+                left.append(slot);
+                *slot = left;
+            }
+            world.probe_health();
             Err(t.into())
         }
     }
@@ -321,36 +329,16 @@ pub fn wait_all_queues(
                     }
                 }
             }
-            let mut q = world.gpi.queues.lock();
-            for (qu, ev) in survivors {
-                q[rank].entry(qu).or_default().push(ev);
+            {
+                let mut q = world.gpi.queues.lock();
+                for (qu, ev) in survivors {
+                    q[rank].entry(qu).or_default().push(ev);
+                }
             }
+            world.probe_health();
             Err(t.into())
         }
     }
-}
-
-/// [`wait_queue`] with a virtual-time deadline.
-#[deprecated(note = "use `wait_queue(ctx, world, rank, queue, Wait::Until(timeout))`")]
-pub fn wait_queue_timeout(
-    ctx: &mut Ctx,
-    world: &Arc<FabricWorld>,
-    rank: usize,
-    queue: QueueId,
-    timeout: Dur,
-) -> Result<(), FabricError> {
-    wait_queue(ctx, world, rank, queue, Wait::Until(timeout))
-}
-
-/// [`wait_all_queues`] with a virtual-time deadline.
-#[deprecated(note = "use `wait_all_queues(ctx, world, rank, Wait::Until(timeout))`")]
-pub fn wait_all_queues_timeout(
-    ctx: &mut Ctx,
-    world: &Arc<FabricWorld>,
-    rank: usize,
-    timeout: Dur,
-) -> Result<(), FabricError> {
-    wait_all_queues(ctx, world, rank, Wait::Until(timeout))
 }
 
 /// Purge a queue (`gaspi_queue_purge`): abandon every operation posted
@@ -445,22 +433,15 @@ pub fn notify_waitsome(
     wait: Wait,
 ) -> Result<(u32, u64), FabricError> {
     let b = board(ctx.handle(), world, rank);
-    ctx.board_waitsome_with(b, first_id, num_ids, wait).map_err(Into::into)
-}
-
-/// [`notify_waitsome`] with a virtual-time deadline.
-#[deprecated(
-    note = "use `notify_waitsome(ctx, world, rank, first_id, num_ids, Wait::Until(timeout))`"
-)]
-pub fn notify_waitsome_timeout(
-    ctx: &mut Ctx,
-    world: &Arc<FabricWorld>,
-    rank: usize,
-    first_id: u32,
-    num_ids: u32,
-    timeout: Dur,
-) -> Result<(u32, u64), FabricError> {
-    notify_waitsome(ctx, world, rank, first_id, num_ids, Wait::Until(timeout))
+    match ctx.board_waitsome_with(b, first_id, num_ids, wait) {
+        Ok(hit) => Ok(hit),
+        Err(t) => {
+            // GASPI discipline: an expired deadline is the failure
+            // signal — probe the state vector before surfacing it.
+            world.probe_health();
+            Err(t.into())
+        }
+    }
 }
 
 /// Non-blocking consume of notification `id` (`gaspi_notify_reset`):

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use std::collections::BTreeMap;
 
 use diomp_device::{Device, DeviceTable, MemError};
-use diomp_sim::{Dur, FaultPlan, PlatformSpec, Topology};
+use diomp_sim::{Dur, FaultPlan, PlatformSpec, SimHandle, Topology};
 use parking_lot::Mutex;
 
 use crate::barrier::BarrierDomain;
@@ -44,6 +44,11 @@ pub struct FabricWorld {
     /// Per-rank health vector (`gaspi_state_vec`), refreshed from the
     /// installed fault plan via [`FabricWorld::refresh_health_from_plan`].
     health: Mutex<HealthVec>,
+    /// Simulator handle, when attached ([`FabricWorld::attach_sim`]).
+    /// With a handle present, [`FabricWorld::health`] derives from the
+    /// *currently installed* fault plan at the *current* virtual time —
+    /// the live `gaspi_state_vec` — instead of the build-time snapshot.
+    sim: Mutex<Option<SimHandle>>,
 }
 
 impl FabricWorld {
@@ -71,12 +76,115 @@ impl FabricWorld {
             am: crate::gasnet::AmRegistry::new(nranks),
             gpi: crate::gpi::GpiState::new(nranks),
             health: Mutex::new(HealthVec::healthy(nranks)),
+            sim: Mutex::new(None),
         })
     }
 
+    /// Attach the simulator to the world, switching [`FabricWorld::health`]
+    /// to the live refresh path and expanding any rank-kill events in the
+    /// installed fault plan into kernel-side dead windows over the
+    /// rank's *exclusively owned* link resources (its PCIe lanes, fabric
+    /// port, copy engine — and its NIC only when no surviving rank
+    /// shares it). Transfers still targeting a dead rank then crawl at
+    /// 1000× slowdown, tripping the GASPI timeout surfaces, while
+    /// shared node NICs stay live for the survivors. Call once, at
+    /// build, after the plan is installed.
+    pub fn attach_sim(&self, h: &SimHandle) {
+        if let Some(plan) = h.fault_plan() {
+            let owners = self.link_owners();
+            let mut windows = Vec::new();
+            for (rank, at) in plan.rank_kills() {
+                let rank = rank as usize;
+                if rank >= self.nranks {
+                    continue;
+                }
+                for flat in self.devices_of(rank) {
+                    let d = self.devs.dev(flat);
+                    for res in [d.nic, d.pcie, d.port, d.d2d_engine] {
+                        let exclusive =
+                            owners.get(&res.index()).is_none_or(|rs| rs.iter().all(|&r| r == rank));
+                        if exclusive && !windows.contains(&(res, at)) {
+                            windows.push((res, at));
+                        }
+                    }
+                }
+            }
+            h.arm_rank_kill_windows(&windows);
+        }
+        *self.sim.lock() = Some(h.clone());
+    }
+
     /// Current health vector (`gaspi_state_vec`): one entry per rank.
+    ///
+    /// With a simulator attached ([`FabricWorld::attach_sim`]) this is
+    /// *live*: the stored vector is merged with the currently installed
+    /// fault plan — whole-run-worst link degradations plus every
+    /// rank-kill whose time has come marked [`RankHealth::Dead`](crate::health::RankHealth::Dead)
+    /// (`now >= kill_at`). Health only worsens, GASPI-style: a rank once
+    /// observed corrupt stays corrupt. Without a handle it is the stored
+    /// snapshot, exactly as before attachment existed.
     pub fn health(&self) -> HealthVec {
-        self.health.lock().clone()
+        self.derive_live().unwrap_or_else(|| self.health.lock().clone())
+    }
+
+    /// GASPI `gaspi_state_vec` probe: recompute live health *and commit
+    /// it* to the stored vector, so the death transition persists even
+    /// for later un-attached reads. The conduit timeout surfaces
+    /// ([`crate::gpi::wait_queue`], [`crate::gpi::notify_waitsome`]) call
+    /// this on every expired deadline — the GASPI discipline of
+    /// `gaspi_wait(timeout) == GASPI_TIMEOUT ⇒ gaspi_state_vec_get`.
+    pub fn probe_health(&self) -> HealthVec {
+        match self.derive_live() {
+            Some(v) => {
+                *self.health.lock() = v.clone();
+                v
+            }
+            None => self.health.lock().clone(),
+        }
+    }
+
+    /// The survivor-agreement fixpoint: live health with *every* planned
+    /// rank kill applied, including those whose time has not yet come.
+    /// A pure function of the installed fault plan, identical on every
+    /// rank that computes it at any time — so all survivors of a failure
+    /// deterministically agree on the same shrunk world without a
+    /// consensus round, and chaos runs replay bit-identically.
+    pub fn converged_health(&self) -> HealthVec {
+        let mut v = self.health();
+        if let Some(h) = self.sim.lock().clone() {
+            if let Some(plan) = h.fault_plan() {
+                for (rank, _) in plan.rank_kills() {
+                    if (rank as usize) < self.nranks {
+                        v.observe(rank as usize, 0);
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    /// Live derivation: stored vector ⊔ current plan (worst-wins merge),
+    /// or `None` when no simulator is attached / no plan is installed.
+    fn derive_live(&self) -> Option<HealthVec> {
+        let h = self.sim.lock().clone()?;
+        let plan = h.fault_plan()?;
+        let now = h.now();
+        let mut v = self.health.lock().clone();
+        let owners = self.link_owners();
+        for (res, factor) in plan.degraded_links() {
+            v.observe_link(res, factor);
+            if let Some(ranks) = owners.get(&res.index()) {
+                for &r in ranks {
+                    v.observe(r, factor);
+                }
+            }
+        }
+        for (rank, at) in plan.rank_kills() {
+            if now >= at && (rank as usize) < self.nranks {
+                v.observe(rank as usize, 0);
+            }
+        }
+        Some(v)
     }
 
     /// Replace the health vector wholesale (tests, external monitors).
@@ -85,11 +193,10 @@ impl FabricWorld {
         *self.health.lock() = v;
     }
 
-    /// Rebuild the health vector from a fault plan: each degraded link is
-    /// attributed to every rank owning a device endpoint on it (NIC,
-    /// PCIe, fabric port, copy engine — NICs are commonly shared by all
-    /// ranks of a node, so one dead NIC degrades several ranks).
-    pub fn refresh_health_from_plan(&self, plan: &FaultPlan) {
+    /// The ranks owning a device endpoint on each link resource (NICs are
+    /// commonly shared by all ranks of a node; PCIe lanes, fabric ports
+    /// and copy engines are per-device).
+    fn link_owners(&self) -> BTreeMap<usize, Vec<usize>> {
         let mut owners: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for flat in 0..self.devs.len() {
             let d = self.devs.dev(flat);
@@ -101,6 +208,15 @@ impl FabricWorld {
                 }
             }
         }
+        owners
+    }
+
+    /// Rebuild the health vector from a fault plan: each degraded link is
+    /// attributed to every rank owning a device endpoint on it (NIC,
+    /// PCIe, fabric port, copy engine — NICs are commonly shared by all
+    /// ranks of a node, so one dead NIC degrades several ranks).
+    pub fn refresh_health_from_plan(&self, plan: &FaultPlan) {
+        let owners = self.link_owners();
         let mut v = HealthVec::healthy(self.nranks);
         for (res, factor) in plan.degraded_links() {
             v.observe_link(res, factor);

@@ -822,3 +822,38 @@ fn gpi_concurrent_waiters_survive_injected_notification_delays() {
         );
     }
 }
+
+#[test]
+fn gpi_timed_wait_against_a_killed_peer_times_out_at_the_deadline() {
+    // Rank 1 is killed before rank 0 reads from its segment: the kill's
+    // dead windows replay the corpse's links 1000× slow, so the
+    // transfer sourced at its NIC cannot complete inside the bounded
+    // wait. The timed wait (GASPI_TIMEOUT discipline via
+    // `wait_all_with(Wait::Until)`) must surface `FabricError::Timeout`
+    // *exactly at the deadline* — the budget bounds detection, not the
+    // stretched transfer — and a later blocking wait still drains it
+    // (dead links are slow, never wedged).
+    let mut sim = Sim::new();
+    sim.set_fault_plan(FaultPlan::new().kill_rank(1, SimTime::ZERO));
+    let world = boot(&sim, PlatformSpec::platform_c(), 2, 1, 2);
+    // Attach the simulator so the rank kill expands into dead link
+    // windows (what the runtime does at build).
+    world.attach_sim(&sim.handle());
+    let seg = world.attach_device_segment(1, 1, 1 << 16).unwrap();
+    let w0 = world.clone();
+    sim.spawn("rank0", move |ctx| {
+        gpi::read(ctx, &w0, 0, gpi::QueueId(0), Loc::dev(0, 0), seg, 0, 1 << 16).unwrap();
+        let t0 = ctx.now();
+        let budget = Dur::micros(200.0);
+        let err = gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0), Wait::Until(budget))
+            .expect_err("a read sourced at a killed peer cannot finish inside the budget");
+        assert!(matches!(err, FabricError::Timeout { .. }), "{err:?}");
+        assert_eq!(
+            ctx.now(),
+            t0 + budget,
+            "the timeout fires at the deadline, not after the 1000x-stretched transfer"
+        );
+        gpi::wait_queue(ctx, &w0, 0, gpi::QueueId(0), Wait::Block).unwrap();
+    });
+    sim.run().unwrap();
+}

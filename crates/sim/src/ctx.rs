@@ -181,12 +181,6 @@ impl Ctx {
         self.wait_all_with(std::slice::from_ref(&ev), wait)
     }
 
-    /// Block until `ev` completes or `timeout` virtual time elapses.
-    #[deprecated(note = "use `wait_with(ev, Wait::Until(timeout))`")]
-    pub fn wait_timeout(&mut self, ev: EventId, timeout: Dur) -> Result<(), WaitTimeout> {
-        self.wait_with(ev, Wait::Until(timeout))
-    }
-
     /// Block until *all* events complete, or until `wait`'s budget
     /// elapses, whichever comes first.
     ///
@@ -237,13 +231,6 @@ impl Ctx {
             st.kill_group(gref);
             Err(WaitTimeout { at: st.now() })
         }
-    }
-
-    /// Block until *all* events complete or `timeout` virtual time
-    /// elapses.
-    #[deprecated(note = "use `wait_all_with(evs, Wait::Until(timeout))`")]
-    pub fn wait_all_timeout(&mut self, evs: &[EventId], timeout: Dur) -> Result<(), WaitTimeout> {
-        self.wait_all_with(evs, Wait::Until(timeout))
     }
 
     /// Block until *any* of the events completes; returns the index of a
@@ -382,18 +369,6 @@ impl Ctx {
                 .retain(|w| !(w.group.gid == gref.gid && w.group.gen == gref.gen));
             st.kill_group(gref);
         }
-    }
-
-    /// Block like [`Ctx::board_waitsome`] with a virtual-time deadline.
-    #[deprecated(note = "use `board_waitsome_with(board, first, num, Wait::Until(timeout))`")]
-    pub fn board_waitsome_timeout(
-        &mut self,
-        board: BoardId,
-        first: u32,
-        num: u32,
-        timeout: Dur,
-    ) -> Result<(u32, u64), WaitTimeout> {
-        self.board_waitsome_with(board, first, num, Wait::Until(timeout))
     }
 
     /// Advance this task's virtual time by `d` (models local computation

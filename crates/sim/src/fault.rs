@@ -53,6 +53,13 @@ struct LinkWindow {
     extra: Dur,
     /// Transfers starting inside the window are held until it closes.
     flap: bool,
+    /// Window was expanded from a rank-kill event rather than declared
+    /// on the link directly. Kill windows replay like any other dead
+    /// window but are excluded from whole-run link health
+    /// ([`FaultPlan::degraded_links`]): a rank that dies at t is not a
+    /// degraded link at build time — it is a *live* rank until t, and
+    /// the time-aware rank-kill health path owns that transition.
+    rank_kill: bool,
 }
 
 impl LinkWindow {
@@ -87,6 +94,11 @@ pub struct FaultPlan {
     links: BTreeMap<u32, Vec<LinkWindow>>,
     stragglers: Vec<(String, u32)>,
     ctrl: BTreeMap<u64, Vec<CtrlFault>>,
+    /// Mid-run rank deaths: rank → virtual kill time. The sim kernel has
+    /// no notion of ranks; layers that do (the fabric) expand each entry
+    /// into `[at, ∞)` dead windows over the rank's link resources via
+    /// [`crate::SimHandle::arm_rank_kill_windows`].
+    rank_kills: BTreeMap<u32, SimTime>,
 }
 
 impl FaultPlan {
@@ -97,7 +109,10 @@ impl FaultPlan {
 
     /// True when the plan schedules no faults at all.
     pub fn is_empty(&self) -> bool {
-        self.links.is_empty() && self.stragglers.is_empty() && self.ctrl.is_empty()
+        self.links.is_empty()
+            && self.stragglers.is_empty()
+            && self.ctrl.is_empty()
+            && self.rank_kills.is_empty()
     }
 
     /// Scale a link's bandwidth to `factor_milli`/1000 of nominal inside
@@ -117,6 +132,7 @@ impl FaultPlan {
             factor_milli,
             extra: Dur::ZERO,
             flap: false,
+            rank_kill: false,
         });
         self
     }
@@ -137,6 +153,7 @@ impl FaultPlan {
             factor_milli: 1000,
             extra: Dur::ZERO,
             flap: true,
+            rank_kill: false,
         });
         self
     }
@@ -156,6 +173,7 @@ impl FaultPlan {
             factor_milli: 1000,
             extra,
             flap: false,
+            rank_kill: false,
         });
         self
     }
@@ -176,6 +194,29 @@ impl FaultPlan {
         self
     }
 
+    /// Kill `rank` at virtual time `at`: from that instant every one of
+    /// the rank's NICs and queues is dead. The kernel replays the death
+    /// as `[at, ∞)` dead windows over the rank's link resources (expanded
+    /// by the fabric, which knows the rank → resource map); health layers
+    /// report the rank `Dead` only once the clock
+    /// reaches `at` — a doomed rank is healthy until its kill time.
+    /// Killing the same rank twice keeps the earlier time.
+    pub fn kill_rank(mut self, rank: u32, at: SimTime) -> FaultPlan {
+        let e = self.rank_kills.entry(rank).or_insert(at);
+        *e = (*e).min(at);
+        self
+    }
+
+    /// The virtual time at which the plan kills `rank`, if it does.
+    pub fn kill_time(&self, rank: u32) -> Option<SimTime> {
+        self.rank_kills.get(&rank).copied()
+    }
+
+    /// Every rank the plan kills, with its kill time (ordered by rank).
+    pub fn rank_kills(&self) -> Vec<(u32, SimTime)> {
+        self.rank_kills.iter().map(|(&r, &t)| (r, t)).collect()
+    }
+
     /// The worst bandwidth factor (in thousandths of nominal) any window
     /// of this plan applies to `res`, over the whole run. 1000 means the
     /// link is never degraded; 0 means it is marked dead. This is the
@@ -183,17 +224,26 @@ impl FaultPlan {
     pub fn worst_factor_milli(&self, res: ResourceId) -> u32 {
         self.links
             .get(&res.0)
-            .map(|ws| ws.iter().map(|w| w.factor_milli).min().unwrap_or(1000))
+            .map(|ws| {
+                ws.iter().filter(|w| !w.rank_kill).map(|w| w.factor_milli).min().unwrap_or(1000)
+            })
             .unwrap_or(1000)
     }
 
     /// Every link the plan touches, with its worst factor over the run
     /// (ordered by resource id). Health vectors are built from this.
+    /// Windows expanded from rank-kill events are excluded: rank death
+    /// is reported time-aware through [`FaultPlan::kill_time`], not as a
+    /// whole-run link degradation.
     pub fn degraded_links(&self) -> Vec<(ResourceId, u32)> {
         self.links
             .iter()
-            .map(|(&r, ws)| {
-                (ResourceId(r), ws.iter().map(|w| w.factor_milli).min().unwrap_or(1000))
+            .filter_map(|(&r, ws)| {
+                let ws: Vec<_> = ws.iter().filter(|w| !w.rank_kill).collect();
+                if ws.is_empty() {
+                    return None;
+                }
+                Some((ResourceId(r), ws.iter().map(|w| w.factor_milli).min().unwrap_or(1000)))
             })
             .collect()
     }
@@ -244,6 +294,33 @@ impl FaultPlan {
         }
         plan
     }
+
+    /// Optionally extend a plan with randomized mid-run rank kills: each
+    /// rank in `1..nranks` is killed with probability 0.2 at a uniform
+    /// time inside `[horizon/4, 3·horizon/4)`, capped at `nranks / 2`
+    /// kills so a survivor majority always remains. Rank 0 is never
+    /// sampled — a deterministic anchor for result collection. Draws
+    /// come from a split RNG stream disjoint from
+    /// [`FaultPlan::randomized`]'s, so chaining this onto a randomized
+    /// plan leaves the link/straggler sample for the same seed unchanged
+    /// — existing seeded chaos suites replay bit-identically unless a
+    /// caller opts in.
+    pub fn randomized_rank_kills(mut self, seed: u64, nranks: u32, horizon: Dur) -> FaultPlan {
+        let h = horizon.as_nanos().max(4);
+        let mut killed = 0u32;
+        for rank in 1..nranks {
+            let mut rng = rng_for(seed, derive_seed(0x4B11, rank as u64));
+            if killed >= nranks / 2 {
+                break;
+            }
+            if rng.gen_bool(0.2) {
+                let at = rng.gen_range(h / 4..h * 3 / 4);
+                self = self.kill_rank(rank, SimTime(at));
+                killed += 1;
+            }
+        }
+        self
+    }
 }
 
 /// Combined perturbation for one reservation: hold the start until
@@ -273,9 +350,29 @@ impl FaultState {
         FaultState { plan, task_factor: HashMap::new(), ctrl_left, injected: 0 }
     }
 
-    /// The installed plan (immutable once armed).
+    /// The installed plan (immutable once armed, except for rank-kill
+    /// window expansion at fabric build — see
+    /// [`FaultState::extend_kill_windows`]).
     pub(crate) fn plan(&self) -> &FaultPlan {
         &self.plan
+    }
+
+    /// Expand rank-kill events into `[at, ∞)` dead windows over concrete
+    /// link resources. Called by the fabric (via
+    /// [`crate::SimHandle::arm_rank_kill_windows`]) at build time, before
+    /// any transfer consults the plan, so determinism is unaffected: the
+    /// expansion is itself a pure function of the plan and the topology.
+    pub(crate) fn extend_kill_windows(&mut self, windows: &[(ResourceId, SimTime)]) {
+        for &(res, at) in windows {
+            self.plan.links.entry(res.0).or_default().push(LinkWindow {
+                from: at,
+                until: SimTime(u64::MAX),
+                factor_milli: 0,
+                extra: Dur::ZERO,
+                flap: false,
+                rank_kill: true,
+            });
+        }
     }
 
     /// Resolve and cache the straggle factor for a task at spawn time.
@@ -396,6 +493,54 @@ mod tests {
         st.resolve_task(TaskId(1), "diomp-rank2");
         assert_eq!(st.scale_delay(TaskId(0), Dur::nanos(1000)), Dur::nanos(1500));
         assert_eq!(st.scale_delay(TaskId(1), Dur::nanos(1000)), Dur::nanos(1000));
+    }
+
+    #[test]
+    fn rank_kills_keep_earliest_time_and_arm_the_plan() {
+        let plan = FaultPlan::new()
+            .kill_rank(3, SimTime(500))
+            .kill_rank(3, SimTime(900))
+            .kill_rank(1, SimTime(200));
+        assert!(!plan.is_empty(), "a kill-only plan must arm the injector");
+        assert_eq!(plan.kill_time(3), Some(SimTime(500)), "earlier kill wins");
+        assert_eq!(plan.kill_time(0), None);
+        assert_eq!(plan.rank_kills(), vec![(1, SimTime(200)), (3, SimTime(500))]);
+    }
+
+    #[test]
+    fn kill_windows_replay_dead_but_hide_from_link_health() {
+        let mut st = FaultState::new(FaultPlan::new().kill_rank(2, SimTime(100)));
+        st.extend_kill_windows(&[(rid(7), SimTime(100))]);
+        // Before the kill instant the link is untouched.
+        assert!(st.perturb(rid(7), SimTime(50)).is_none());
+        // After it, transfers replay 1000× slow (finite, like kill_link).
+        assert_eq!(st.perturb(rid(7), SimTime(150)).unwrap().factor_milli, 1);
+        // Whole-run link health never sees the expansion: the rank was
+        // live until t=100, so build-time health must not report a dead
+        // link — only the time-aware rank-kill path reports the death.
+        assert_eq!(st.plan().worst_factor_milli(rid(7)), 1000);
+        assert!(st.plan().degraded_links().is_empty());
+    }
+
+    #[test]
+    fn randomized_rank_kills_replay_by_seed_and_spare_rank_zero() {
+        let links: Vec<ResourceId> = (0..8).map(rid).collect();
+        let base = FaultPlan::randomized(7, &links, &[], Dur::millis(10.0));
+        let a = base.clone().randomized_rank_kills(7, 8, Dur::millis(10.0));
+        let b = base.clone().randomized_rank_kills(7, 8, Dur::millis(10.0));
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "same seed, same kills");
+        // Opt-in: not chaining the sampler leaves the plan untouched.
+        assert!(base.rank_kills().is_empty());
+        // Over many seeds: rank 0 is never killed and a majority survives.
+        let mut any = false;
+        for seed in 0..64u64 {
+            let p = FaultPlan::new().randomized_rank_kills(seed, 8, Dur::millis(10.0));
+            let kills = p.rank_kills();
+            any |= !kills.is_empty();
+            assert!(p.kill_time(0).is_none(), "rank 0 is the deterministic anchor");
+            assert!(kills.len() as u32 <= 4, "at most nranks/2 kills");
+        }
+        assert!(any, "the sampler should kill something across 64 seeds");
     }
 
     #[test]

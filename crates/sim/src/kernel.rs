@@ -788,6 +788,21 @@ impl SimHandle {
         self.kernel.state.lock().fault.as_ref().map(|f| f.plan().clone())
     }
 
+    /// Expand rank-kill events into `[at, ∞)` dead windows over concrete
+    /// link resources. The kernel has no notion of ranks, so the layer
+    /// that owns the rank → resource map (the fabric) performs the
+    /// expansion at build time and hands the windows down here. A no-op
+    /// when no plan is armed — a plan with rank kills is never empty, so
+    /// the injector is always armed when this matters. Deterministic:
+    /// called once, at a fixed point of the event order, before any
+    /// transfer consults the plan.
+    pub fn arm_rank_kill_windows(&self, windows: &[(ResourceId, SimTime)]) {
+        let mut st = self.kernel.state.lock();
+        if let Some(f) = st.fault.as_mut() {
+            f.extend_kill_windows(windows);
+        }
+    }
+
     /// Next time the resource is free (for diagnostics / tests).
     pub fn resource_free_at(&self, res: ResourceId) -> SimTime {
         self.kernel.state.lock().resources[res.index()].free_at()

@@ -3,12 +3,12 @@
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
-use diomp_fabric::FabricWorld;
-use diomp_sim::{Ctx, Dur, FlowId, QosClass, SimTime};
+use diomp_fabric::{FabricWorld, HealthVec, RankHealth};
+use diomp_sim::{derive_seed, Ctx, Dur, FlowId, QosClass, SimTime, Wait};
 use parking_lot::Mutex;
 
 use crate::dbt;
-use crate::gate::{CollGate, DeviceBuf};
+use crate::gate::{CollAbort, CollGate, DeviceBuf};
 use crate::ll;
 use crate::ops::XcclOp;
 use crate::ring::{self, CollEngine, Rail};
@@ -113,6 +113,9 @@ pub struct XcclComm {
     /// the server engine existed, including flow-id allocation).
     servers: Option<Arc<ServerSet>>,
     gate: Arc<CollGate>,
+    /// Construction options, kept verbatim so [`XcclComm::shrink`] can
+    /// re-initialise the survivor communicator with the same policy.
+    opts: CommOpts,
 }
 
 impl XcclComm {
@@ -209,22 +212,37 @@ impl XcclComm {
             rails,
             servers,
             gate,
+            opts,
         })
     }
 
-    /// Collectively initialise a communicator with an explicit engine.
-    #[deprecated(
-        note = "use `init(ctx, world, ranks, my_rank, id, CommOpts { engine, ..CommOpts::default() })`"
-    )]
-    pub fn init_with_engine(
-        ctx: &mut Ctx,
-        world: &Arc<FabricWorld>,
-        ranks: Vec<usize>,
-        my_rank: usize,
-        id: UniqueId,
-        engine: CollEngine,
-    ) -> Arc<XcclComm> {
-        Self::init(ctx, world, ranks, my_rank, id, CommOpts { engine, ..CommOpts::default() })
+    /// Shrink the communicator onto the survivors of a failure:
+    /// every rank the health vector marks [`RankHealth::Dead`] is
+    /// dropped, and the survivor set is collectively re-initialised —
+    /// rails, reduction-server carving, QoS flows and all four Auto
+    /// regime boundaries are re-derived for the reduced topology by the
+    /// one constructor ([`XcclComm::init`]) with the *original*
+    /// construction options.
+    ///
+    /// Deterministic by construction: the replacement [`UniqueId`] is
+    /// derived from the old communicator's id
+    /// ([`diomp_sim::derive_seed`]), so every survivor — each calling
+    /// `shrink` with the *same* health vector, e.g. the survivor
+    /// agreement fixpoint ([`FabricWorld::converged_health`]) — lands on
+    /// the same fresh rendezvous gate without any extra bootstrap
+    /// round. Each survivor must call this collectively, like `init`.
+    ///
+    /// Panics if `my_rank` is itself marked dead or no rank survives.
+    pub fn shrink(&self, ctx: &mut Ctx, health: &HealthVec, my_rank: usize) -> Arc<XcclComm> {
+        let survivors: Vec<usize> = self
+            .ranks
+            .iter()
+            .copied()
+            .filter(|&r| health.rank_health(r) != RankHealth::Dead)
+            .collect();
+        assert!(survivors.contains(&my_rank), "a dead rank cannot shrink a communicator");
+        let id = UniqueId::from_bits(derive_seed(self.id.bits(), 0x0541_814C));
+        XcclComm::init(ctx, &self.world, survivors, my_rank, id, self.opts)
     }
 
     /// Position of a device in the ring.
@@ -378,6 +396,33 @@ impl XcclComm {
         op: XcclOp,
         len: u64,
     ) -> SimTime {
+        match self.try_collective(ctx, my_rank, my_bufs, op, len, Wait::Block) {
+            Ok(done) => done,
+            Err(_) => unreachable!("a blocking collective cannot abort"),
+        }
+    }
+
+    /// [`XcclComm::collective`] under a wait discipline — the elastic
+    /// entry point. [`Wait::Block`] is exactly `collective` (bit-
+    /// identical park and completion). With [`Wait::Until`] every park
+    /// at the rendezvous gate is bounded; when a deadline expires before
+    /// the gate fills, the `gaspi_state_vec` probe runs
+    /// ([`FabricWorld::probe_health`]) and the fault plan is consulted:
+    /// a member rank whose kill time has passed means the gate can never
+    /// fill, so the arrival is withdrawn — buffers untouched, since data
+    /// semantics only ever run when a gate fills — and [`CollAbort`] is
+    /// returned for the caller to [`XcclComm::shrink`] and re-run.
+    /// A timeout *without* a confirmed death re-parks: slowness is
+    /// straggling, not failure.
+    pub fn try_collective(
+        &self,
+        ctx: &mut Ctx,
+        my_rank: usize,
+        my_bufs: Vec<DeviceBuf>,
+        op: XcclOp,
+        len: u64,
+        wait: Wait,
+    ) -> Result<SimTime, CollAbort> {
         let idx = self.ranks.iter().position(|&r| r == my_rank).expect("rank not in communicator");
         let world = self.world.clone();
         let order = self.ring.order.clone();
@@ -389,7 +434,19 @@ impl XcclComm {
         // Protocol selection happens here, through the same query the
         // public API exposes: None for single-protocol engines.
         let auto_cuts = self.auto_regimes(&op);
-        self.gate.arrive(ctx, idx, my_bufs, move |ctx, arrivals| {
+        let dead = |ctx: &mut Ctx| {
+            // GASPI discipline: the expired deadline is the failure
+            // signal; probe the state vector (committing any death
+            // transition), then ask the plan whether a member's kill
+            // time has passed. Degraded-but-alive members are
+            // stragglers and never abort.
+            self.world.probe_health();
+            let now = ctx.now();
+            ctx.handle().fault_plan().is_some_and(|p| {
+                self.ranks.iter().any(|&r| p.kill_time(r as u32).is_some_and(|t| t <= now))
+            })
+        };
+        self.gate.arrive_with(ctx, idx, my_bufs, wait, dead, move |ctx, arrivals| {
             // Assemble buffers in ring order.
             let mut by_flat: Vec<Option<DeviceBuf>> = vec![None; world.devs.len()];
             for a in arrivals {

@@ -8,8 +8,20 @@
 
 use std::collections::VecDeque;
 
-use diomp_sim::{Ctx, EventId, SimTime};
+use diomp_sim::{Ctx, EventId, SimTime, Wait};
 use parking_lot::Mutex;
+
+/// A collective abandoned at the rendezvous gate: a member rank died
+/// before arriving, so the gate can never fill. Surviving callers get
+/// this instead of a completion time; no buffer byte has been touched —
+/// data semantics only ever run when the gate fills — so the caller can
+/// shrink the communicator and re-run the collective from its last
+/// checkpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CollAbort {
+    /// Virtual time at which the survivor gave up waiting.
+    pub at: SimTime,
+}
 
 /// One device-resident buffer contributed to a collective.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,6 +42,10 @@ struct Episode {
     arrived: usize,
     inside: usize,
     done_at: Option<SimTime>,
+    /// A survivor abandoned this episode after a timeout confirmed a
+    /// dead member. Aborted episodes can never fill; later calls open a
+    /// fresh episode instead of joining this one.
+    aborted: bool,
 }
 
 /// Rendezvous gate over `n` ranks.
@@ -43,21 +59,37 @@ impl CollGate {
         CollGate { n, episodes: Mutex::new(VecDeque::new()) }
     }
 
-    /// Arrive with this rank's buffers. When the gate fills, `finish` is
-    /// called once (by the last arrival, in task context) with all
-    /// arrivals in rank order; it returns the collective completion time.
-    /// Every participant blocks until then. Returns the completion time.
-    pub(crate) fn arrive(
+    /// Arrive with this rank's buffers under a wait discipline. When the
+    /// gate fills, `finish` is called once (by the last arrival, in task
+    /// context) with all arrivals in rank order; it returns the
+    /// collective completion time, and every participant blocks until
+    /// then.
+    ///
+    /// With [`Wait::Block`] a call cannot fail — one event, one park per
+    /// rank, the historical rendezvous. With [`Wait::Until`]
+    /// each park is bounded: when the deadline fires before the gate
+    /// fills, `dead` is consulted (the caller's health probe). If it
+    /// confirms a dead member the arrival is withdrawn — the episode is
+    /// marked aborted, this rank's buffers are removed untouched, and
+    /// [`CollAbort`] is returned. Otherwise the rank re-parks for
+    /// another budget: a slow peer is a straggler, not a corpse. An
+    /// episode that already filled is never aborted — the collective is
+    /// in flight and completes normally (rank kills take effect at
+    /// collective boundaries, which is what keeps chaos replay
+    /// deterministic).
+    pub(crate) fn arrive_with(
         &self,
         ctx: &mut Ctx,
         idx: usize,
         bufs: Vec<DeviceBuf>,
+        wait: Wait,
+        mut dead: impl FnMut(&mut Ctx) -> bool,
         finish: impl FnOnce(&mut Ctx, &[Arrival]) -> SimTime,
-    ) -> SimTime {
+    ) -> Result<SimTime, CollAbort> {
         assert!(idx < self.n);
         let ev = {
             let mut eps = self.episodes.lock();
-            let needs_new = eps.back().map(|e| e.arrived == self.n).unwrap_or(true);
+            let needs_new = eps.back().map(|e| e.arrived == self.n || e.aborted).unwrap_or(true);
             if needs_new {
                 eps.push_back(Episode {
                     ev: ctx.new_event(),
@@ -65,6 +97,7 @@ impl CollGate {
                     arrived: 0,
                     inside: 0,
                     done_at: None,
+                    aborted: false,
                 });
             }
             let ep = eps.back_mut().unwrap();
@@ -101,7 +134,35 @@ impl CollGate {
             }
             ctx.complete_at(ev, done);
         }
-        ctx.wait(ev);
+        loop {
+            match ctx.wait_with(ev, wait) {
+                Ok(()) => break,
+                Err(_) => {
+                    // Full by arrival count, not by done_at: the last
+                    // arrival may still be inside `finish` (virtual time
+                    // passes while it prices and schedules the data
+                    // movement), and an episode every rank reached is in
+                    // flight even before its completion time is known.
+                    let filled =
+                        self.episodes.lock().iter().any(|e| e.ev == ev && e.arrived == self.n);
+                    // A filled episode is in flight: the deadline only
+                    // means the collective outlives the budget. Re-park.
+                    if !filled && dead(ctx) {
+                        let mut eps = self.episodes.lock();
+                        let pos = eps.iter().position(|e| e.ev == ev).expect("episode vanished");
+                        let ep = &mut eps[pos];
+                        ep.aborted = true;
+                        ep.inside -= 1;
+                        if ep.inside == 0 {
+                            let ep = eps.remove(pos).unwrap();
+                            // Never completed: release, don't free.
+                            ctx.handle().release_event(ep.ev);
+                        }
+                        return Err(CollAbort { at: ctx.now() });
+                    }
+                }
+            }
+        }
         let mut eps = self.episodes.lock();
         let pos = eps.iter().position(|e| e.ev == ev).expect("episode vanished");
         let done = eps[pos].done_at.expect("episode completed without a time");
@@ -110,6 +171,6 @@ impl CollGate {
             let ep = eps.remove(pos).unwrap();
             ctx.free_event(ep.ev);
         }
-        done
+        Ok(done)
     }
 }

@@ -143,6 +143,7 @@ mod unique_id;
 
 pub use comm::{CommOpts, RailPolicy, RingInfo, XcclComm};
 pub use dbt::crossover_bytes as dbt_crossover_bytes;
+pub use gate::CollAbort;
 pub use gate::DeviceBuf;
 pub use ll::{crossover_bytes, AutoConfig};
 pub use ops::XcclOp;

@@ -41,6 +41,10 @@ fn boot(sim: &Sim, plan: &FaultPlan) -> Arc<FabricWorld> {
     let topo = Arc::new(Topology::build(&sim.handle(), spec));
     let devs = DeviceTable::build(&sim.handle(), topo.clone(), DataMode::Functional, Some(8 << 20));
     let world = FabricWorld::new(topo, devs, NRANKS);
+    // Attach the simulator so the health vector derives live from the
+    // installed plan (what the runtime does): faults armed after build
+    // are visible too, and rank-kill windows reach the kernel.
+    world.attach_sim(&sim.handle());
     world.refresh_health_from_plan(plan);
     world
 }
@@ -519,5 +523,65 @@ fn degraded_fabric_moves_auto_regimes_toward_the_ring() {
     assert!(
         degraded.0 < healthy.0,
         "a 20× slower wire must retreat the LL boundary: {degraded:?} vs {healthy:?}"
+    );
+}
+
+#[test]
+fn faults_armed_after_build_still_reprice_auto_regimes() {
+    // The stale-health regression: `gaspi_state_vec` derives *live*
+    // from whichever plan is installed when it is read, not from a
+    // build-time snapshot — so a degradation armed after the world is
+    // built must move the Auto dispatcher's priced crossovers exactly
+    // like one armed before it.
+    let cuts = |degrade_after_build: bool| {
+        let mut sim = Sim::new();
+        let world = boot(&sim, &FaultPlan::new());
+        if degrade_after_build {
+            let mut plan = FaultPlan::new();
+            for f in 0..world.devs.len() {
+                plan =
+                    plan.degrade_link(world.devs.dev(f).nic, SimTime::ZERO, SimTime(u64::MAX), 50);
+            }
+            sim.set_fault_plan(plan);
+        }
+        let id = UniqueId::generate();
+        let out = Arc::new(Mutex::new((0u64, 0u64, 0u64)));
+        let out2 = out.clone();
+        for r in 0..NRANKS {
+            let world = world.clone();
+            let out2 = out2.clone();
+            sim.spawn(format!("rank{r}"), move |ctx| {
+                let bits = world.bootstrap.exchange(ctx, r, if r == 0 { id.bits() } else { 0 })[0];
+                let comm = XcclComm::init(
+                    ctx,
+                    &world,
+                    (0..NRANKS).collect(),
+                    r,
+                    UniqueId::from_bits(bits),
+                    CommOpts {
+                        engine: CollEngine::Auto(AutoConfig::for_platform(
+                            &PlatformSpec::platform_a(),
+                        )),
+                        ..CommOpts::default()
+                    },
+                );
+                if r == 0 {
+                    *out2.lock() = comm
+                        .auto_regimes(&XcclOp::AllReduce { op: ReduceOp::SumF64 })
+                        .expect("Auto engine has regimes");
+                }
+            });
+        }
+        sim.run().unwrap();
+        let v = *out.lock();
+        v
+    };
+    let healthy = cuts(false);
+    let late_degraded = cuts(true);
+    assert!(healthy.0 > 0, "healthy LL regime must be non-trivial: {healthy:?}");
+    assert!(
+        late_degraded.0 < healthy.0,
+        "a degradation armed after build must retreat the LL boundary: \
+         {late_degraded:?} vs {healthy:?}"
     );
 }
