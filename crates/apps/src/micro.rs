@@ -504,3 +504,110 @@ fn _conduit_api_surface(
     gpi::wait_queue(ctx, world, 0, gpi::QueueId(0), Wait::Block).unwrap();
     gpi::wait_all_queues(ctx, world, 0, Wait::Block).unwrap();
 }
+
+/// Which engine a scale-sweep cell runs (`fig_scale`, the O(10k)-rank
+/// allreduce sweep).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScaleEngine {
+    /// Chunk-pipelined ring, table-tuned chunking.
+    Ring,
+    /// Double binary tree, table-tuned chunking.
+    Dbt,
+    /// The four-regime Auto dispatcher.
+    Auto,
+}
+
+impl ScaleEngine {
+    /// Stable row tag used in `BENCH_scale.json` record names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ScaleEngine::Ring => "ring",
+            ScaleEngine::Dbt => "dbt",
+            ScaleEngine::Auto => "auto",
+        }
+    }
+
+    fn engine(self, platform: &PlatformSpec) -> CollEngine {
+        let op = diomp_core::XcclOp::AllReduce { op: ReduceOp::SumF32 };
+        match self {
+            ScaleEngine::Ring => CollEngine::Ring(diomp_core::RingConfig::auto(platform, &op, 1)),
+            ScaleEngine::Dbt => CollEngine::Dbt(diomp_core::RingConfig::auto(platform, &op, 1)),
+            ScaleEngine::Auto => CollEngine::Auto(diomp_core::AutoConfig::for_platform(platform)),
+        }
+    }
+}
+
+/// One scale-sweep measurement: the virtual end time plus the
+/// simulator's *own* scheduler cost for the run.
+pub struct ScaleRun {
+    /// Virtual end-of-run time in nanoseconds — bit-comparable between
+    /// the coalesced and forced-explicit arms.
+    pub end_ns: u64,
+    /// Scheduler heap entries popped over the whole run.
+    pub entries: u64,
+    /// Chunk completions credited to coalesced wake entries (0 on the
+    /// forced-explicit arm).
+    pub coalesced: u64,
+    /// Wall-clock milliseconds the scheduler loop itself took.
+    pub sim_wall_ms: f64,
+}
+
+/// Run one `bytes`-byte allreduce over `nranks` single-GPU nodes of the
+/// NDR-IB platform (C) in cost-only mode — one `fig_scale` cell. Every
+/// rank is its own node, so the ring is single-rail and every edge
+/// crosses the network; rank count, not node fan-out, is the swept
+/// variable. With `forced_explicit` the run pins the per-chunk event
+/// driver ([`Sim::force_explicit_schedules`]) — the uncoalesced
+/// reference arm; virtual time must be bit-identical either way, which
+/// `fig_scale` and the bench gate assert wherever both arms run.
+pub fn scale_allreduce(
+    nranks: usize,
+    sel: ScaleEngine,
+    bytes: u64,
+    forced_explicit: bool,
+) -> ScaleRun {
+    use diomp_core::{CommOpts, DeviceBuf, UniqueId, XcclComm, XcclOp};
+    let platform = PlatformSpec::platform_c();
+    let mut sim = Sim::new();
+    if forced_explicit {
+        sim.force_explicit_schedules(true);
+    }
+    let spec = ClusterSpec { platform: platform.clone(), nodes: nranks, gpus_per_node: 1 };
+    let topo = Arc::new(Topology::build(&sim.handle(), spec));
+    let heap = (2 * bytes + (1 << 20)).next_power_of_two();
+    let devs = DeviceTable::build(&sim.handle(), topo.clone(), DataMode::CostOnly, Some(heap));
+    let world = FabricWorld::new(topo, devs, nranks);
+    let engine = sel.engine(&platform);
+    let id = UniqueId::generate();
+    let ranks: Arc<Vec<usize>> = Arc::new((0..nranks).collect());
+    for r in 0..nranks {
+        let world = world.clone();
+        let ranks = ranks.clone();
+        sim.spawn(format!("rank{r}"), move |ctx| {
+            let comm = XcclComm::init(
+                ctx,
+                &world,
+                ranks.as_ref().clone(),
+                r,
+                id,
+                CommOpts { engine, ..CommOpts::default() },
+            );
+            let dev = world.primary_dev(r);
+            let off = dev.malloc(bytes.max(64), 256).unwrap();
+            comm.collective(
+                ctx,
+                r,
+                vec![DeviceBuf { flat: r, off }],
+                XcclOp::AllReduce { op: ReduceOp::SumF32 },
+                bytes,
+            );
+        });
+    }
+    let rep = sim.run().expect("scale sweep deadlocked");
+    ScaleRun {
+        end_ns: rep.end_time.nanos(),
+        entries: rep.entries_processed,
+        coalesced: rep.coalesced_chunks,
+        sim_wall_ms: rep.sim_wall_ms,
+    }
+}

@@ -161,8 +161,11 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadReport {
         busy: Dur,
         // Every rank's comm registers its own server flow; the schedule
         // is driven by whichever rank arrives at the gate last, so the
-        // job's fan-back bytes are the sum over all of them.
+        // job's fan-back bytes are the sum over all of them. A shrink
+        // releases the old comm's flow slots (stats reset on reuse), so
+        // the recovery path banks a flow's bytes here before retiring it.
         server_flows: Vec<diomp_sim::FlowId>,
+        server_flow_retired: u64,
         retries: u32,
         recovery: Dur,
     }
@@ -175,6 +178,7 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadReport {
                 wire_bytes: 0.0,
                 busy: Dur::ZERO,
                 server_flows: Vec::new(),
+                server_flow_retired: 0,
                 retries: 0,
                 recovery: Dur::ZERO,
             }))
@@ -285,7 +289,21 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadReport {
                             let health = world.converged_health();
                             ck.restore(ctx, &world);
                             ctx.delay(rc.backoff_for(attempt));
+                            // Shrink releases this rank's server flow
+                            // slot for reuse: bank its bytes and drop
+                            // the soon-stale id first, then track the
+                            // replacement comm's flow.
+                            if let Some(f) = comm.server_flow() {
+                                let mut a = acc.lock();
+                                if let Some(pos) = a.server_flows.iter().position(|&x| x == f) {
+                                    a.server_flows.swap_remove(pos);
+                                    a.server_flow_retired += ctx.handle().flow_stats(f).bytes;
+                                }
+                            }
                             comm = comm.shrink(ctx, &health, r);
+                            if let Some(f) = comm.server_flow() {
+                                acc.lock().server_flows.push(f);
+                            }
                             if r == 0 {
                                 acc.lock().retries += 1;
                                 if abort_at.is_none() {
@@ -317,7 +335,8 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadReport {
                 p99_us: a.meter.p99_us(),
                 achieved_gbps: if busy_ns == 0 { 0.0 } else { a.wire_bytes / busy_ns as f64 },
                 table_gbps: spec.platform.net.nic_gbps,
-                server_flow_bytes: a.server_flows.iter().map(|&f| handle.flow_stats(f).bytes).sum(),
+                server_flow_bytes: a.server_flow_retired
+                    + a.server_flows.iter().map(|&f| handle.flow_stats(f).bytes).sum::<u64>(),
                 retries: a.retries,
                 recovery_us: a.recovery.as_nanos() as f64 / 1000.0,
             }

@@ -27,7 +27,8 @@
 
 use diomp_apps::micro::{
     diomp_collective_auto, diomp_collective_dbt, diomp_collective_full, diomp_collective_rserver,
-    diomp_collective_served, diomp_p2p_full, diomp_p2p_latency, fig6_nodes, CollKind, RmaOp,
+    diomp_collective_served, diomp_p2p_full, diomp_p2p_latency, fig6_nodes, scale_allreduce,
+    CollKind, RmaOp, ScaleEngine,
 };
 use diomp_apps::minimod::{self, HaloStyle, MinimodConfig};
 use diomp_bench::report::{
@@ -171,6 +172,7 @@ fn measure() -> Vec<BenchRecord> {
             value: lat[0].1,
             unit: "us".into(),
             entries_processed: None,
+            sim_wall_ms: None,
         });
     }
 
@@ -427,6 +429,7 @@ fn measure() -> Vec<BenchRecord> {
                 value: p99,
                 unit: "us".into(),
                 entries_processed: (tag == "high").then_some(loaded.entries_processed),
+                sim_wall_ms: None,
             });
         }
         let qos_factor = class_p99(QosClass::High) / idle_p99;
@@ -439,6 +442,7 @@ fn measure() -> Vec<BenchRecord> {
             value: qos_factor,
             unit: "x".into(),
             entries_processed: None,
+            sim_wall_ms: None,
         });
         records.push(BenchRecord::with_entries(
             "tenancy/8job_makespan",
@@ -458,6 +462,7 @@ fn measure() -> Vec<BenchRecord> {
             value: high.achieved_gbps / high.table_gbps,
             unit: "x".into(),
             entries_processed: None,
+            sim_wall_ms: None,
         });
     }
 
@@ -502,6 +507,7 @@ fn measure() -> Vec<BenchRecord> {
             value: frac,
             unit: "x".into(),
             entries_processed: None,
+            sim_wall_ms: None,
         });
     }
 
@@ -672,6 +678,7 @@ fn measure() -> Vec<BenchRecord> {
             value: overhead,
             unit: "x".into(),
             entries_processed: None,
+            sim_wall_ms: None,
         });
 
         let rec = run_workload(&recovery_workload());
@@ -704,7 +711,98 @@ fn measure() -> Vec<BenchRecord> {
             value: worst,
             unit: "us".into(),
             entries_processed: None,
+            sim_wall_ms: None,
         });
+    }
+
+    // (j) Simulator scale-out (ISSUE 10 tentpole): the coalesced
+    // schedule drivers at O(10k) ranks. Hard-asserted relations: the
+    // coalesced arm's virtual time is bit-identical to the
+    // forced-explicit driver at every cell where the explicit arm is
+    // still tractable; the 4096-rank DBT cell — the largest scale the
+    // uncoalesced path can still reach — shows ≥50× fewer scheduler
+    // entries; the 4096-rank ring/auto cells (whose explicit schedule
+    // is ~33.5M sends, beyond any smoke budget) are bounded
+    // analytically against that send count; and under optimized builds
+    // every 4096-rank coalesced cell finishes inside an absolute
+    // simulator wall-clock budget. Virtual time and entry counts are
+    // machine-independent and locked in the baseline; `sim_wall_ms`
+    // rides along in the JSON for CI history but is never
+    // baseline-compared.
+    {
+        const SCALE_PAYLOAD: u64 = 16 << 20;
+        // The uncoalesced ring/auto schedule at n ranks: 2(n−1) steps ×
+        // n tokens (one chunk per token at this payload).
+        let ring_sends = |n: u64| 2 * (n - 1) * n;
+        let mut cell = |n: usize, eng: ScaleEngine, explicit_arm: bool| {
+            let fast = scale_allreduce(n, eng, SCALE_PAYLOAD, false);
+            let tag = format!("scale/allred16MB_{n}_{}", eng.tag());
+            assert!(
+                fast.coalesced > 0,
+                "{tag}: the coalesced drivers must run (0 chunks coalesced)"
+            );
+            records.push(BenchRecord::with_sim_cost(
+                format!("{tag}/coalesced"),
+                fast.end_ns as f64 / 1000.0,
+                "us",
+                fast.entries,
+                fast.sim_wall_ms,
+            ));
+            if explicit_arm {
+                let ex = scale_allreduce(n, eng, SCALE_PAYLOAD, true);
+                assert_eq!(
+                    ex.end_ns, fast.end_ns,
+                    "{tag}: coalesced virtual time must be bit-identical to the explicit driver"
+                );
+                assert_eq!(ex.coalesced, 0, "{tag}: the forced-explicit arm must not coalesce");
+                let ratio = ex.entries as f64 / fast.entries as f64;
+                assert!(
+                    ratio >= 50.0,
+                    "{tag}: only {ratio:.1}x fewer scheduler entries than the explicit driver \
+                     (must be ≥ 50x: {} vs {})",
+                    fast.entries,
+                    ex.entries
+                );
+                records.push(BenchRecord {
+                    name: format!("{tag}/entry_ratio"),
+                    value: ratio,
+                    unit: "x".into(),
+                    entries_processed: None,
+                    sim_wall_ms: None,
+                });
+            } else {
+                // Explicit arm intractable: bound the coalesced entry
+                // count against the schedule's known send count.
+                let bound = ring_sends(n as u64) / 50;
+                assert!(
+                    fast.entries <= bound,
+                    "{tag}: {} entries exceeds 1/50th of the {} uncoalesced sends",
+                    fast.entries,
+                    ring_sends(n as u64)
+                );
+            }
+            fast
+        };
+        for eng in [ScaleEngine::Ring, ScaleEngine::Dbt, ScaleEngine::Auto] {
+            cell(256, eng, true);
+        }
+        let big_ring = cell(4096, ScaleEngine::Ring, false);
+        let big_dbt = cell(4096, ScaleEngine::Dbt, true);
+        let big_auto = cell(4096, ScaleEngine::Auto, false);
+        // Absolute simulator wall-clock budget for the 4096-rank sweep,
+        // only meaningful on optimized builds (CI runs the gate with
+        // --release). Local release runs finish each cell in 3–10 s;
+        // 60 s/cell absorbs slow shared runners.
+        if !cfg!(debug_assertions) {
+            for (eng, run) in [("ring", &big_ring), ("dbt", &big_dbt), ("auto", &big_auto)] {
+                assert!(
+                    run.sim_wall_ms < 60_000.0,
+                    "scale/allred16MB_4096_{eng}: simulator took {:.0} ms wall \
+                     (budget 60000 ms)",
+                    run.sim_wall_ms
+                );
+            }
+        }
     }
     records
 }

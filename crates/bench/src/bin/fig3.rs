@@ -50,6 +50,7 @@ fn main() {
                     value: row[i].1,
                     unit: "us".into(),
                     entries_processed: None,
+                    sim_wall_ms: None,
                 });
             }
         }

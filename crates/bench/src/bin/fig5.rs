@@ -44,6 +44,7 @@ fn main() {
                 value: row[i].1,
                 unit: "GB/s".into(),
                 entries_processed: None,
+                sim_wall_ms: None,
             });
         }
     }

@@ -103,12 +103,14 @@ fn run_op(
                 value: mpi[i].1,
                 unit: "us".into(),
                 entries_processed: None,
+                sim_wall_ms: None,
             });
             records.push(BenchRecord {
                 name: format!("fig6/{op_tag}_{tag}_{sz}/log_ratio"),
                 value: ratio[i].1,
                 unit: "log10".into(),
                 entries_processed: None,
+                sim_wall_ms: None,
             });
         }
     }

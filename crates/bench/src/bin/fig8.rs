@@ -62,6 +62,7 @@ fn main() {
                     value: v,
                     unit: "x".into(),
                     entries_processed: None,
+                    sim_wall_ms: None,
                 });
             }
             last = (d, m);

@@ -108,6 +108,7 @@ fn main() {
             value: (ord - ws) as f64,
             unit: "entries".into(),
             entries_processed: None,
+            sim_wall_ms: None,
         });
     }
     println!("\nwaitsome < ordered scheduler entries at every rank count ≥ 4: OK");

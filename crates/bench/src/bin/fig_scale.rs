@@ -1,0 +1,115 @@
+//! Scale sweep — scheduler cost of the simulator itself at O(10k)
+//! ranks: one 16 MB allreduce over {256, 1024, 4096} single-GPU nodes
+//! × {ring, dbt, auto}, in cost-only mode on the NDR-IB platform.
+//!
+//! Each cell runs the **coalesced** drivers (closed-form phase fast
+//! paths + chunk-event coalescing) and, wherever the uncoalesced path
+//! is still tractable, a **forced-explicit** reference arm
+//! ([`diomp_sim::Sim::force_explicit_schedules`]). The sweep
+//! hard-asserts that virtual time is bit-identical between the two arms
+//! at every scale both run — the coalesced march is an optimisation of
+//! the scheduler, never of the model — and reports the entry reduction
+//! and the simulator's own wall-clock side by side.
+//!
+//! The explicit ring arm is skipped at 4096 ranks: its schedule is
+//! ~33.5 M chunk sends (2(n−1) steps × n tokens), which is exactly the
+//! regime the coalesced march exists for. The DBT schedule stays
+//! O(n·chunks), so its explicit arm runs at every scale and carries the
+//! measured ≥50× entry-reduction gate at 4096.
+//!
+//! `--json PATH` emits every cell as `BENCH_*.json` records with the
+//! run's entry count and simulator wall-clock.
+
+use diomp_apps::micro::{scale_allreduce, ScaleEngine, ScaleRun};
+use diomp_bench::report::{json_path_from_args, BenchRecord};
+
+/// Swept rank counts (= node counts: one GPU per node).
+pub const SCALES: [usize; 3] = [256, 1024, 4096];
+/// Swept engines.
+pub const ENGINES: [ScaleEngine; 3] = [ScaleEngine::Ring, ScaleEngine::Dbt, ScaleEngine::Auto];
+/// Fixed payload: 16 MB splits into uniform per-rank tokens at every
+/// swept scale (2^24 / 4-byte elements divides by 256, 1024 and 4096).
+pub const PAYLOAD: u64 = 16 << 20;
+
+/// Is the uncoalesced reference arm tractable for this cell? Ring-shaped
+/// schedules (ring itself, and Auto at this payload) materialise
+/// 2(n−1)·n sends — ~33.5 M at 4096 ranks, beyond a smoke budget — so
+/// their explicit arms stop at 1024. DBT is O(n·chunks) and runs
+/// everywhere.
+pub fn explicit_feasible(nranks: usize, eng: ScaleEngine) -> bool {
+    match eng {
+        ScaleEngine::Dbt => true,
+        ScaleEngine::Ring | ScaleEngine::Auto => nranks <= 1024,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = json_path_from_args(&args);
+    let mut records = Vec::new();
+    println!("fig_scale — 16MB allreduce, platform C, 1 GPU/node, cost-only");
+    println!(
+        "{:>6} {:>5} {:>12} {:>12} {:>12} {:>8} {:>10} {:>10}",
+        "ranks", "eng", "virt_ms", "entries", "entries_ex", "ratio", "wall_ms", "wall_ex_ms"
+    );
+    for &n in &SCALES {
+        for &eng in &ENGINES {
+            let fast = scale_allreduce(n, eng, PAYLOAD, false);
+            let tag = format!("fig_scale/allred16MB_{n}_{}", eng.tag());
+            records.push(BenchRecord::with_sim_cost(
+                format!("{tag}/coalesced"),
+                fast.end_ns as f64 / 1000.0,
+                "us",
+                fast.entries,
+                fast.sim_wall_ms,
+            ));
+            records.push(BenchRecord {
+                name: format!("{tag}/coalesced_chunks"),
+                value: fast.coalesced as f64,
+                unit: "chunks".into(),
+                entries_processed: None,
+                sim_wall_ms: None,
+            });
+            let explicit: Option<ScaleRun> = explicit_feasible(n, eng).then(|| {
+                let ex = scale_allreduce(n, eng, PAYLOAD, true);
+                assert_eq!(
+                    ex.end_ns, fast.end_ns,
+                    "{tag}: coalesced virtual time diverged from the explicit driver \
+                     ({} vs {} ns)",
+                    fast.end_ns, ex.end_ns
+                );
+                records.push(BenchRecord::with_sim_cost(
+                    format!("{tag}/explicit"),
+                    ex.end_ns as f64 / 1000.0,
+                    "us",
+                    ex.entries,
+                    ex.sim_wall_ms,
+                ));
+                records.push(BenchRecord {
+                    name: format!("{tag}/entry_ratio"),
+                    value: ex.entries as f64 / fast.entries as f64,
+                    unit: "x".into(),
+                    entries_processed: None,
+                    sim_wall_ms: None,
+                });
+                ex
+            });
+            let (ex_e, ratio, ex_w) = match &explicit {
+                Some(ex) => (
+                    format!("{}", ex.entries),
+                    format!("{:.1}", ex.entries as f64 / fast.entries as f64),
+                    format!("{:.1}", ex.sim_wall_ms),
+                ),
+                None => ("-".into(), "-".into(), "-".into()),
+            };
+            println!(
+                "{n:>6} {:>5} {:>12.3} {:>12} {ex_e:>12} {ratio:>8} {:>10.1} {ex_w:>10}",
+                eng.tag(),
+                fast.end_ns as f64 / 1e6,
+                fast.entries,
+                fast.sim_wall_ms,
+            );
+        }
+    }
+    diomp_bench::report::write_if_requested(json_path.as_deref(), &records);
+}

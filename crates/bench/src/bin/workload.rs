@@ -40,18 +40,21 @@ fn main() {
                 value: j.p50_us,
                 unit: "us".into(),
                 entries_processed: None,
+                sim_wall_ms: None,
             });
             records.push(BenchRecord {
                 name: format!("workload/{scenario}/{}_p99", j.name),
                 value: j.p99_us,
                 unit: "us".into(),
                 entries_processed: None,
+                sim_wall_ms: None,
             });
             records.push(BenchRecord {
                 name: format!("workload/{scenario}/{}_achieved_gbps", j.name),
                 value: j.achieved_gbps,
                 unit: "GB/s".into(),
                 entries_processed: None,
+                sim_wall_ms: None,
             });
         }
         println!(

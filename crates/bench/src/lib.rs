@@ -127,6 +127,11 @@ pub mod report {
         pub unit: String,
         /// `SimReport::entries_processed` of the backing run, when known.
         pub entries_processed: Option<u64>,
+        /// `SimReport::sim_wall_ms` of the backing run, when known: the
+        /// simulator's *own* wall-clock cost in milliseconds, tracked
+        /// next to the entry count so the scale sweep can gate both the
+        /// algorithmic metric (entries) and its realised cost (wall).
+        pub sim_wall_ms: Option<f64>,
     }
 
     impl BenchRecord {
@@ -142,6 +147,25 @@ pub mod report {
                 value,
                 unit: unit.into(),
                 entries_processed: Some(entries),
+                sim_wall_ms: None,
+            }
+        }
+
+        /// Row carrying the backing run's full scheduler cost: entry
+        /// count *and* simulator wall-clock.
+        pub fn with_sim_cost(
+            name: impl Into<String>,
+            value: f64,
+            unit: impl Into<String>,
+            entries: u64,
+            sim_wall_ms: f64,
+        ) -> Self {
+            BenchRecord {
+                name: name.into(),
+                value,
+                unit: unit.into(),
+                entries_processed: Some(entries),
+                sim_wall_ms: Some(sim_wall_ms),
             }
         }
 
@@ -152,6 +176,9 @@ pub mod report {
             s.push_str(&format!("\"unit\":\"{}\"", escape(&self.unit)));
             if let Some(e) = self.entries_processed {
                 s.push_str(&format!(",\"entries_processed\":{e}"));
+            }
+            if let Some(w) = self.sim_wall_ms {
+                s.push_str(&format!(",\"sim_wall_ms\":{}", fmt_f64(w)));
             }
             s.push('}');
             s
@@ -244,7 +271,14 @@ pub mod report {
                 ),
                 None => None,
             };
-            out.push(BenchRecord { name, value, unit, entries_processed });
+            let sim_wall_ms = match field_raw(&row, "sim_wall_ms") {
+                Some(raw) if raw.trim() == "null" => Some(f64::NAN),
+                Some(raw) => {
+                    Some(raw.trim().parse::<f64>().map_err(|e| format!("bad wall in {row}: {e}"))?)
+                }
+                None => None,
+            };
+            out.push(BenchRecord { name, value, unit, entries_processed, sim_wall_ms });
         }
         Ok(out)
     }
@@ -449,19 +483,21 @@ mod tests {
     fn bench_records_serialise_with_entries() {
         use crate::report::{to_json, BenchRecord};
         let rows = vec![
-            BenchRecord::with_entries("fig4a/put_16mb", 3.15, "GB/s", 1234),
+            BenchRecord::with_sim_cost("fig4a/put_16mb", 3.15, "GB/s", 1234, 0.5),
             BenchRecord {
                 name: "x\"y".into(),
                 value: 2.0,
                 unit: "us".into(),
                 entries_processed: None,
+                sim_wall_ms: None,
             },
         ];
         let json = to_json(&rows);
         assert_eq!(
             json,
             "[{\"name\":\"fig4a/put_16mb\",\"value\":3.15,\"unit\":\"GB/s\",\
-             \"entries_processed\":1234},{\"name\":\"x\\\"y\",\"value\":2,\"unit\":\"us\"}]"
+             \"entries_processed\":1234,\"sim_wall_ms\":0.5},\
+             {\"name\":\"x\\\"y\",\"value\":2,\"unit\":\"us\"}]"
         );
     }
 
@@ -475,6 +511,7 @@ mod tests {
                 value: -2.5,
                 unit: "us".into(),
                 entries_processed: None,
+                sim_wall_ms: None,
             },
         ];
         let back = parse_json(&to_json(&rows)).unwrap();
@@ -488,6 +525,7 @@ mod tests {
             value: f64::NAN,
             unit: "us".into(),
             entries_processed: None,
+            sim_wall_ms: None,
         }];
         let parsed = parse_json(&to_json(&nan_row)).unwrap();
         assert_eq!(parsed.len(), 1);

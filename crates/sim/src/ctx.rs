@@ -400,6 +400,30 @@ impl Ctx {
         self.park();
     }
 
+    /// Block until the virtual clock reaches `t`, charging the single
+    /// heap entry as standing in for `coalesced` per-chunk completions.
+    ///
+    /// This is the coalesced-event primitive behind the closed-form
+    /// collective fast paths: a run of same-edge chunk completions whose
+    /// times were priced arithmetically (no per-chunk events) ends in one
+    /// wake carrying the count, which [`crate::SimReport::coalesced_chunks`]
+    /// aggregates for entry accounting. If `t` is already past, the count
+    /// is still credited (the chunks were still priced without events).
+    pub fn sleep_until_coalesced(&mut self, t: SimTime, coalesced: u64) {
+        {
+            let mut st = self.handle.kernel.state.lock();
+            if t <= st_now(&st) {
+                st.coalesced_chunks += coalesced;
+                return;
+            }
+            let park_seq = st.park_seqs[self.id.index()] + 1;
+            st.park_seqs[self.id.index()] = park_seq;
+            st.tasks[self.id.index()].status = TaskStatus::Blocked;
+            self.handle.push_wake_coalesced(&mut st, t, self.id, park_seq, coalesced);
+        }
+        self.park();
+    }
+
     /// Re-queue this task at the current virtual time, letting every
     /// already-queued same-time entry run first. Deterministic fairness
     /// point for polling loops.

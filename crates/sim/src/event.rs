@@ -83,10 +83,19 @@ pub(crate) struct EventArena {
 impl EventArena {
     pub(crate) fn alloc(&mut self) -> EventId {
         if let Some(index) = self.free.pop() {
+            // Reset in place: `free` already verified the waiter vectors
+            // are empty, so clearing fields (rather than overwriting the
+            // slot wholesale) keeps their heap capacity for reuse — event
+            // churn in the collective engines is allocation-free at
+            // steady state.
             let slot = &mut self.slots[index as usize];
-            let gen = slot.gen.wrapping_add(1);
-            *slot = EventSlot::fresh(gen);
-            EventId { index, gen }
+            slot.gen = slot.gen.wrapping_add(1);
+            slot.completed = false;
+            slot.waiters.clear();
+            slot.group_waiters.clear();
+            slot.live = true;
+            slot.auto_free = false;
+            EventId { index, gen: slot.gen }
         } else {
             let index = self.slots.len() as u32;
             self.slots.push(EventSlot::fresh(0));

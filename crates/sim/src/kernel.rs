@@ -34,7 +34,7 @@ use crate::board::{BoardId, BoardSlot};
 use crate::ctx::Ctx;
 use crate::event::{EventArena, EventId, GroupRef};
 use crate::fault::{CtrlFault, FaultPlan, FaultState};
-use crate::qos::{ContentionState, FlowSlot};
+use crate::qos::{ContentionState, FlowId, FlowSlot};
 use crate::resource::{ResSlot, ResourceId, Transfer};
 use crate::task::{TaskId, TaskSlot, TaskStatus, YieldMsg};
 use crate::time::{Dur, SimTime};
@@ -45,9 +45,14 @@ pub type Action = Box<dyn FnOnce(&SimHandle) + Send + 'static>;
 
 enum Item {
     /// Resume task if it is still parked on the park numbered `park_seq`.
+    /// `coalesced` counts how many per-chunk completions this single heap
+    /// entry stands for (0 for ordinary wakes): the closed-form collective
+    /// fast paths retire a whole run of same-edge chunk arrivals with one
+    /// entry carrying the run length instead of one entry per chunk.
     Wake {
         task: TaskId,
         park_seq: u64,
+        coalesced: u64,
     },
     Action(Action),
 }
@@ -106,6 +111,11 @@ pub(crate) struct KState {
     free_wait_groups: Vec<u32>,
     /// Notification boards (range-waitable id → value slots).
     pub(crate) boards: Vec<BoardSlot>,
+    /// Freed board slots awaiting reuse (see [`SimHandle::free_board`]).
+    free_boards: Vec<u32>,
+    /// Scratch buffer for `board_post`'s fired-waiter sweep, reused across
+    /// calls so the hot notification path allocates nothing.
+    board_fired: Vec<GroupRef>,
     pub(crate) resources: Vec<ResSlot>,
     /// Armed fault injector, if a plan was installed. `None` (the
     /// default) keeps every hook on the one-branch fast path so clean
@@ -114,12 +124,21 @@ pub(crate) struct KState {
     /// Registered traffic flows (QoS weight + delivery stats). Always
     /// present — flows tag transfers whether or not contention is armed.
     pub(crate) flows: Vec<FlowSlot>,
+    /// Freed flow slots awaiting reuse (see [`SimHandle::release_flow`]).
+    pub(crate) free_flows: Vec<u32>,
     /// Armed weighted-fair-queuing contention, mirroring `fault`: `None`
     /// (the default) keeps `transfer_qos` on a path bit-identical to the
     /// closed-form FIFO calls it replaced.
     pub(crate) contention: Option<Box<ContentionState>>,
     n_done: usize,
     entries_processed: u64,
+    /// Total per-chunk completions that were folded into coalesced wake
+    /// entries instead of costing one heap entry each.
+    pub(crate) coalesced_chunks: u64,
+    /// When set, the collective fast paths stand down and every schedule
+    /// runs through the explicit per-chunk event driver (equivalence
+    /// testing and the uncoalesced bench arms).
+    pub(crate) force_explicit: bool,
     trace: Option<Vec<TraceRec>>,
     limit_entries: Option<u64>,
     limit_time: Option<SimTime>,
@@ -190,6 +209,13 @@ pub struct SimReport {
     pub end_time: SimTime,
     /// Total queue entries processed (wakes + actions, including stale).
     pub entries_processed: u64,
+    /// Per-chunk completions folded into coalesced wake entries by the
+    /// collective fast paths — work the scheduler priced without paying
+    /// one heap entry per chunk. `0` when no fast path ran.
+    pub coalesced_chunks: u64,
+    /// Wall-clock milliseconds the scheduler loop itself took — the cost
+    /// of the *simulator*, as opposed to the simulated virtual time.
+    pub sim_wall_ms: f64,
     /// Number of tasks that ran to completion.
     pub tasks_completed: usize,
     /// Event trace, if tracing was enabled.
@@ -258,12 +284,17 @@ impl Sim {
                 wait_groups: Vec::new(),
                 free_wait_groups: Vec::new(),
                 boards: Vec::new(),
+                free_boards: Vec::new(),
+                board_fired: Vec::new(),
                 resources: Vec::new(),
                 fault: None,
                 flows: Vec::new(),
+                free_flows: Vec::new(),
                 contention: None,
                 n_done: 0,
                 entries_processed: 0,
+                coalesced_chunks: 0,
+                force_explicit: false,
                 trace: None,
                 limit_entries: None,
                 limit_time: None,
@@ -313,6 +344,14 @@ impl Sim {
         self.handle.kernel.state.lock().contention = Some(Box::<ContentionState>::default());
     }
 
+    /// Force every collective schedule through the explicit per-chunk
+    /// event driver, disabling the closed-form/coalesced fast paths. The
+    /// equivalence tests and the uncoalesced arms of the scale benches
+    /// run with this on; virtual time must be bit-identical either way.
+    pub fn force_explicit_schedules(&self, on: bool) {
+        self.handle.kernel.state.lock().force_explicit = on;
+    }
+
     /// Spawn a task before the simulation starts. See [`SimHandle::spawn`].
     pub fn spawn<F>(&mut self, name: impl Into<String>, f: F) -> TaskId
     where
@@ -329,6 +368,7 @@ impl Sim {
     /// when the queue drains with tasks still blocked, or re-raises the
     /// panic of any task that panicked.
     pub fn run(mut self) -> Result<SimReport, SimError> {
+        let wall_start = std::time::Instant::now();
         loop {
             let action_or_wake = {
                 let mut st = self.handle.kernel.state.lock();
@@ -356,10 +396,11 @@ impl Sim {
                             }
                         }
                         match entry.item {
-                            Item::Wake { task, park_seq } => {
+                            Item::Wake { task, park_seq, coalesced } => {
                                 let fresh = st.tasks[task.index()].status == TaskStatus::Blocked
                                     && st.park_seqs[task.index()] == park_seq;
                                 if fresh {
+                                    st.coalesced_chunks += coalesced;
                                     st.tasks[task.index()].status = TaskStatus::Running;
                                     if st.trace.is_some() {
                                         let name = st.tasks[task.index()].name.clone();
@@ -408,6 +449,8 @@ impl Sim {
         let report = SimReport {
             end_time: st.now,
             entries_processed: st.entries_processed,
+            coalesced_chunks: st.coalesced_chunks,
+            sim_wall_ms: wall_start.elapsed().as_secs_f64() * 1e3,
             tasks_completed: st.n_done,
             trace: st.trace.take().unwrap_or_default(),
         };
@@ -483,7 +526,7 @@ impl SimHandle {
             }
             // Initial wake resumes park_seq 0 (the task's startup park).
             let t = st.now;
-            self.push(&mut st, t, Item::Wake { task: id, park_seq: 0 });
+            self.push(&mut st, t, Item::Wake { task: id, park_seq: 0, coalesced: 0 });
             id
         };
         let handle = self.clone();
@@ -546,7 +589,11 @@ impl SimHandle {
         let auto_free = slot.auto_free;
         let now = st.now;
         for w in waiters {
-            self.push(&mut st, now, Item::Wake { task: w.task, park_seq: w.park_seq });
+            self.push(
+                &mut st,
+                now,
+                Item::Wake { task: w.task, park_seq: w.park_seq, coalesced: 0 },
+            );
         }
         // Batched waiters: only the registration that brings a group to
         // zero produces a wake entry. Stale references — wait-any groups
@@ -591,16 +638,45 @@ impl SimHandle {
             g.live = false;
             let (task, park_seq) = (g.task, g.park_seq);
             st.free_wait_groups.push(gref.gid);
-            self.push(st, now, Item::Wake { task, park_seq });
+            self.push(st, now, Item::Wake { task, park_seq, coalesced: 0 });
         }
     }
 
     /// Create a notification board (see [`crate::Ctx::board_waitsome`]).
+    /// Freed slots ([`SimHandle::free_board`]) are reused before the board
+    /// table grows.
     pub fn new_board(&self) -> BoardId {
         let mut st = self.kernel.state.lock();
+        if let Some(i) = st.free_boards.pop() {
+            debug_assert!(st.boards[i as usize].values.is_empty());
+            return BoardId(i);
+        }
         let id = BoardId(st.boards.len() as u32);
         st.boards.push(BoardSlot::default());
         id
+    }
+
+    /// Retire a board, recycling its slot for the next
+    /// [`SimHandle::new_board`]. The board must be quiescent — no parked waiters —
+    /// and the handle must not be used again: `BoardId`s carry no
+    /// generation tag, so a stale handle would alias the slot's next
+    /// owner. Unconsumed values are dropped. This is what communicator
+    /// teardown/rebuild cycles call so repeated `shrink`/re-init does not
+    /// leak board slots.
+    pub fn free_board(&self, board: BoardId) {
+        let mut st = self.kernel.state.lock();
+        let slot = &mut st.boards[board.index()];
+        assert!(slot.waiters.is_empty(), "freeing a board with parked waiters");
+        slot.values.clear();
+        debug_assert!(!st.free_boards.contains(&board.0), "double free of board {board:?}");
+        st.free_boards.push(board.0);
+    }
+
+    /// Number of board slots currently in use (allocated minus freed) —
+    /// slot-leak regression tests watch this across rebuild cycles.
+    pub fn boards_in_use(&self) -> usize {
+        let st = self.kernel.state.lock();
+        st.boards.len() - st.free_boards.len()
     }
 
     /// Post notification `id` with `value` on a board, waking every task
@@ -613,10 +689,13 @@ impl SimHandle {
         let now = st.now();
         st.boards[board.index()].values.insert(id, value);
         // Fire (and drop) every parked waiter whose range covers the id;
-        // waiters outside the range keep their registration.
-        let matching: Vec<GroupRef> = {
+        // waiters outside the range keep their registration. The fired
+        // list lives on the kernel state and is reused across posts so
+        // the notification hot path allocates nothing per call.
+        let mut fired = std::mem::take(&mut st.board_fired);
+        fired.clear();
+        {
             let slot = &mut st.boards[board.index()];
-            let mut fired = Vec::new();
             slot.waiters.retain(|w| {
                 if w.contains(id) {
                     fired.push(w.group);
@@ -625,11 +704,11 @@ impl SimHandle {
                     true
                 }
             });
-            fired
-        };
-        for gref in matching {
+        }
+        for &gref in &fired {
             self.fire_group_ref(&mut st, gref, now);
         }
+        st.board_fired = fired;
     }
 
     /// Lowest posted, unconsumed id in `[first, first + num)` and its
@@ -721,6 +800,80 @@ impl SimHandle {
         self.transfer_locked(&mut st, res, at, bytes)
     }
 
+    /// Reserve a flow-tagged transfer *without* allocating a completion
+    /// event: exactly the resource arithmetic and flow-stat update of the
+    /// disarmed [`SimHandle::transfer_qos`] path, minus the event and the
+    /// completion action. The collective fast paths use this to price a
+    /// whole chunk schedule arithmetically — fault-plan perturbation
+    /// included, per edge, via the shared `transfer_locked` path — and
+    /// then park once on the final arrival instant.
+    ///
+    /// Callers must ensure contention is disarmed
+    /// ([`SimHandle::contention_armed`]): under WFQ, completion order is
+    /// event-driven and cannot be priced call-by-call.
+    pub fn transfer_flow(
+        &self,
+        res: ResourceId,
+        flow: FlowId,
+        at: SimTime,
+        bytes: u64,
+    ) -> Transfer {
+        let mut st = self.kernel.state.lock();
+        debug_assert!(st.contention.is_none(), "transfer_flow requires disarmed contention");
+        let at = at.max(st.now);
+        let tr = self.transfer_locked(&mut st, res, at, bytes);
+        let fs = &mut st.flows[flow.index()];
+        fs.stats.bytes += bytes;
+        fs.stats.first_start = Some(fs.stats.first_start.unwrap_or(tr.start).min(tr.start));
+        fs.stats.last_depart = fs.stats.last_depart.max(tr.depart);
+        tr
+    }
+
+    /// Bulk-advance a resource by `steps` identical reservations of
+    /// `bytes_per_step` whose departures are spaced exactly `shift`
+    /// apart: `free_at += steps·shift`, `total_bytes += steps·bytes`.
+    ///
+    /// This is the steady-state jump primitive: when a schedule's whole
+    /// per-edge state has advanced by one uniform scalar `shift` across
+    /// consecutive steps, max-plus shift-invariance makes replaying the
+    /// remaining steps equivalent to adding `steps·shift` everywhere —
+    /// so the fast path charges them in one call instead of `steps`
+    /// reservations. Exactness requires the caller to have verified the
+    /// uniform shift (the ring fast path's jump detector does).
+    pub fn bulk_advance_resource(
+        &self,
+        res: ResourceId,
+        shift: Dur,
+        steps: u64,
+        bytes_per_step: u64,
+    ) {
+        let mut st = self.kernel.state.lock();
+        st.resources[res.index()].bulk_advance(shift, steps, bytes_per_step);
+    }
+
+    /// Credit a flow with `bytes` delivered and a final departure instant
+    /// in one call — the flow-stat half of a steady-state jump
+    /// ([`SimHandle::bulk_advance_resource`]). Sum/max arithmetic only,
+    /// so bulk application equals per-transfer application exactly.
+    pub fn bulk_charge_flow(&self, flow: FlowId, bytes: u64, last_depart: SimTime) {
+        let mut st = self.kernel.state.lock();
+        let fs = &mut st.flows[flow.index()];
+        fs.stats.bytes += bytes;
+        fs.stats.last_depart = fs.stats.last_depart.max(last_depart);
+    }
+
+    /// Are the collective fast paths forced off
+    /// ([`Sim::force_explicit_schedules`])?
+    pub fn explicit_schedules_forced(&self) -> bool {
+        self.kernel.state.lock().force_explicit
+    }
+
+    /// Per-chunk completions folded into coalesced wake entries so far
+    /// (mirrors [`SimReport::coalesced_chunks`] mid-run).
+    pub fn coalesced_chunks(&self) -> u64 {
+        self.kernel.state.lock().coalesced_chunks
+    }
+
     /// Shared reservation path: consult the fault injector (one `Option`
     /// branch when disarmed — the zero-cost guarantee) and fall through
     /// to the clean closed form when no window matches.
@@ -781,6 +934,14 @@ impl SimHandle {
         self.kernel.state.lock().fault.as_ref().map_or(0, |f| f.injected)
     }
 
+    /// Is a fault plan armed? Cheaper than [`SimHandle::fault_plan`] (no
+    /// clone) — the collective fast paths consult this to decide whether
+    /// the steady-state jump is safe (perturbation windows make steps
+    /// non-uniform, so an armed plan keeps per-step pricing).
+    pub fn fault_armed(&self) -> bool {
+        self.kernel.state.lock().fault.is_some()
+    }
+
     /// The installed fault plan, if any (a clone — plans are immutable
     /// once armed). Health monitors derive `state_vec`-style views from
     /// it; `None` when the fabric is clean.
@@ -823,7 +984,20 @@ impl SimHandle {
     }
 
     pub(crate) fn push_wake(&self, st: &mut KState, t: SimTime, task: TaskId, park_seq: u64) {
-        self.push(st, t, Item::Wake { task, park_seq });
+        self.push(st, t, Item::Wake { task, park_seq, coalesced: 0 });
+    }
+
+    /// Push a wake entry that stands for `coalesced` per-chunk completions
+    /// (see [`crate::Ctx::sleep_until_coalesced`]).
+    pub(crate) fn push_wake_coalesced(
+        &self,
+        st: &mut KState,
+        t: SimTime,
+        task: TaskId,
+        park_seq: u64,
+        coalesced: u64,
+    ) {
+        self.push(st, t, Item::Wake { task, park_seq, coalesced });
     }
 }
 

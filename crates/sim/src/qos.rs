@@ -212,9 +212,39 @@ impl SimHandle {
     pub fn new_flow(&self, weight_milli: u32) -> FlowId {
         assert!(weight_milli > 0, "flow weight must be positive");
         let mut st = self.kernel.state.lock();
+        if let Some(idx) = st.free_flows.pop() {
+            let slot = &mut st.flows[idx as usize];
+            slot.weight_milli = weight_milli;
+            slot.stats = FlowStats::default();
+            return FlowId(idx);
+        }
         let id = FlowId(st.flows.len() as u32);
         st.flows.push(FlowSlot { weight_milli, stats: FlowStats::default() });
         id
+    }
+
+    /// Return a flow's slot to the free list for reuse by a later
+    /// [`SimHandle::new_flow`]. The flow's accumulated statistics are
+    /// discarded, so callers that report per-flow bandwidth must read
+    /// [`SimHandle::flow_stats`] *before* releasing. `FlowId` carries no
+    /// generation tag: the caller must not use the handle after release.
+    pub fn release_flow(&self, flow: FlowId) {
+        let mut st = self.kernel.state.lock();
+        debug_assert!(!st.free_flows.contains(&flow.0), "double release of flow {}", flow.0);
+        if let Some(c) = st.contention.as_ref() {
+            debug_assert!(
+                c.links.values().all(|ls| ls.queues.get(&flow.0).is_none_or(|q| q.is_empty())),
+                "released flow {} still backlogged on an armed link",
+                flow.0
+            );
+        }
+        st.free_flows.push(flow.0);
+    }
+
+    /// Number of live (allocated, not yet released) flow slots.
+    pub fn flows_in_use(&self) -> usize {
+        let st = self.kernel.state.lock();
+        st.flows.len() - st.free_flows.len()
     }
 
     /// Delivery statistics accumulated by a flow so far.

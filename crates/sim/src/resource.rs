@@ -115,6 +115,16 @@ impl ResSlot {
     pub(crate) fn bump_free_at(&mut self, t: SimTime) {
         self.free_at = self.free_at.max(t);
     }
+
+    /// Apply `steps` structurally identical reservations in one charge:
+    /// the `free_at` watermark advances by `shift` per step and the
+    /// utilisation counter absorbs `bytes_per_step` per step. Used by the
+    /// steady-state jump in closed-form collective schedules, where the
+    /// per-step busy time is constant and the queue never drains.
+    pub(crate) fn bulk_advance(&mut self, shift: Dur, steps: u64, bytes_per_step: u64) {
+        self.free_at += Dur::nanos(shift.as_nanos() * steps);
+        self.total_bytes += bytes_per_step * steps;
+    }
 }
 
 /// Convert a link speed in GB/s (10^9 bytes per second) to the internal

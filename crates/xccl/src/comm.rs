@@ -242,6 +242,18 @@ impl XcclComm {
             .collect();
         assert!(survivors.contains(&my_rank), "a dead rank cannot shrink a communicator");
         let id = UniqueId::from_bits(derive_seed(self.id.bits(), 0x0541_814C));
+        // Retire the dying communicator's QoS flow slots *before* the
+        // survivor re-init so the replacement communicator reuses them —
+        // repeated shrink cycles hold the kernel's flow table at a
+        // constant size instead of leaking a slot pair per retry.
+        // Accumulated [`diomp_sim::FlowStats`] are discarded with the
+        // slot; callers attributing bytes across a shrink must read
+        // [`diomp_sim::SimHandle::flow_stats`] first (the workload
+        // harness does).
+        ctx.release_flow(self.flow);
+        if let Some(srv) = &self.servers {
+            ctx.release_flow(srv.flow);
+        }
         XcclComm::init(ctx, &self.world, survivors, my_rank, id, self.opts)
     }
 

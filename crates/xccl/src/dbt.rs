@@ -44,6 +44,7 @@
 use diomp_fabric::FabricWorld;
 use diomp_sim::{Ctx, Dur, FlowId, PlatformSpec, ResourceId, SimTime};
 
+use crate::drive;
 use crate::ll::{AutoConfig, SAFETY};
 use crate::ops::XcclOp;
 use crate::ring::{self, Rail, RingConfig};
@@ -442,23 +443,25 @@ pub(crate) fn execute(
     }
 
     // ---- progress loop (shared with the ring engine) ----
-    let issues: Vec<ring::ChunkSend> = sends
+    let issues: Vec<drive::ChunkSend> = sends
         .iter()
-        .map(|s| ring::ChunkSend {
+        .map(|s| drive::ChunkSend {
             res: s.res,
             lane: s.lane,
             wire: ((s.bytes as f64 / s.eff).ceil() as u64).max(1),
             flow,
         })
         .collect();
-    ring::drive_schedule(
-        ctx,
-        &issues,
-        &lanes,
-        cfg.max_inflight,
-        Dur::micros(t.step_us),
-        &|si, arr| sends[si].deps.iter().flatten().all(|&d| arr[d as usize]),
-    );
+    let mut deps = drive::DepTable::with_capacity(sends.len(), 2 * sends.len());
+    for s in &sends {
+        deps.push_row(s.deps.iter().flatten().copied());
+    }
+    let step = Dur::micros(t.step_us);
+    if drive::fast_path_ok(ctx) {
+        drive::drive_schedule_fast(ctx, &issues, &lanes, cfg.max_inflight, step, &deps);
+    } else {
+        drive::drive_schedule(ctx, &issues, &lanes, cfg.max_inflight, step, &deps);
+    }
     // Receive-side processing of the final chunk.
     ctx.delay(Dur::micros(t.step_us));
     ctx.now()

@@ -133,6 +133,7 @@
 
 mod comm;
 mod dbt;
+mod drive;
 mod gate;
 mod ll;
 mod ops;

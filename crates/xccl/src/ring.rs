@@ -25,10 +25,14 @@
 //! per park instead of one per pending event, which is what makes a
 //! 64-GPU, thousands-of-chunks collective cheap to schedule.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use diomp_device::{DataMode, DeviceTable};
 use diomp_fabric::FabricWorld;
-use diomp_sim::{BwCurve, Ctx, Dur, EventId, FlowId, PlatformSpec, ResourceId, SimTime};
+use diomp_sim::{BwCurve, Ctx, Dur, FlowId, PlatformSpec, ResourceId, SimTime};
 
+use crate::drive::{self, ChunkSend, DepTable};
 use crate::gate::DeviceBuf;
 use crate::ops::XcclOp;
 
@@ -390,6 +394,28 @@ pub(crate) fn execute(
     let elem = op.elem_align();
     let slices = split_aligned(len, rails.len(), elem);
     let chunk_bytes = cfg.chunk_bytes.max(1);
+
+    // Scale-out fast path: a single-rail allreduce owns one lane per
+    // ring edge, each on a private link resource, so the schedule can
+    // be marched h-major in closed form without materialising the
+    // O(n²·chunks) send table at all (33.5M sends at 4096 ranks). The
+    // march prices every chunk through the same kernel reservation
+    // calls as the explicit driver — bit-identical virtual time — and
+    // jumps the structurally identical steady-state rows in one charge.
+    if matches!(op, XcclOp::AllReduce { .. })
+        && rails.len() == 1
+        && drive::fast_path_ok(ctx)
+        && distinct_edge_resources(&rails[0])
+    {
+        let (_, slen) = slices[0];
+        if slen == 0 {
+            return ctx.now();
+        }
+        march_allreduce(ctx, &rails[0], flow, slen, elem, chunk_bytes, &cfg, &t);
+        // Receive-side processing of the final chunk.
+        ctx.delay(Dur::micros(t.step_us));
+        return ctx.now();
+    }
     let mut sends: Vec<Send> = Vec::new();
     for (ri, rail) in rails.iter().enumerate() {
         let (_, slen) = slices[ri];
@@ -484,94 +510,236 @@ pub(crate) fn execute(
             }
         })
         .collect();
-    drive_schedule(ctx, &issues, &lanes, cfg.max_inflight, Dur::micros(t.step_us), &|si, arr| {
-        sends[si].dep.is_none_or(|d| arr[d as usize])
-    });
+    let mut deps = DepTable::with_capacity(sends.len(), sends.len());
+    for s in &sends {
+        deps.push_row(s.dep);
+    }
+    let step = Dur::micros(t.step_us);
+    if drive::fast_path_ok(ctx) {
+        drive::drive_schedule_fast(ctx, &issues, &lanes, cfg.max_inflight, step, &deps);
+    } else {
+        drive::drive_schedule(ctx, &issues, &lanes, cfg.max_inflight, step, &deps);
+    }
     // Receive-side processing of the final chunk.
     ctx.delay(Dur::micros(t.step_us));
     ctx.now()
 }
 
-/// One chunk transfer as the shared progress loop sees it: the link
-/// resource it occupies, its FIFO lane, its wire bytes (payload already
-/// scaled by the edge's link efficiency), and the QoS flow the transfer
-/// is charged to.
-pub(crate) struct ChunkSend {
-    pub(crate) res: ResourceId,
-    pub(crate) lane: u32,
-    pub(crate) wire: u64,
-    pub(crate) flow: FlowId,
+/// Every ring edge of the rail transmits on its own link resource (no
+/// port or NIC carries two edges). This is what makes the h-major march
+/// exact with a per-lane free-list of reservations: lanes never contend
+/// for a resource, so pricing them row-major instead of in global issue
+/// order commutes. A single rail satisfies this on every paper platform
+/// (one boundary NIC per node block, one fabric port per device); the
+/// guard keeps the fast path honest on exotic topologies.
+fn distinct_edge_resources(rail: &Rail) -> bool {
+    let mut ids: Vec<usize> = rail.edges.iter().map(|e| e.res.index()).collect();
+    ids.sort_unstable();
+    ids.windows(2).all(|w| w[0] != w[1])
 }
 
-/// Drive a chunked send schedule to completion — the progress loop
-/// shared by the ring, DBT and reduction-server engines. Every lane is a
-/// FIFO of send indices; a lane head is issued once
-/// `deps_met(send, arrived)` holds and the lane has a free slot
-/// (`window`), charging `step_d` of per-chunk processing before the wire
-/// bytes occupy the resource. In-flight completions drain with
-/// [`Ctx::wait_any_batched`] — one wake per park — and arrivals enable
-/// downstream sends.
+/// March the single-rail ring-allreduce schedule h-major — hop by hop,
+/// one row of `n` tokens per hop — pricing every chunk with
+/// [`diomp_sim::SimHandle::transfer_flow`] instead of events.
 ///
-/// Each chunk is charged to its own [`ChunkSend::flow`] — normally the
-/// issuing communicator's QoS flow, but the reduction-server engine
-/// charges server fan-back to the communicator's dedicated server flow —
-/// so that on a contention-armed simulator concurrent collectives
-/// fair-share each link by QoS weight. Disarmed (the default), the
-/// charge is bit-identical to a plain FIFO `transfer_from`.
-pub(crate) fn drive_schedule(
+/// Exactness: the explicit driver issues a send at the first wake
+/// instant where (a) the same chunk's upstream arrival has landed,
+/// (b) the lane's in-flight window has a free slot, and (c) the lane's
+/// FIFO predecessor has issued. All three enabling instants are known
+/// in closed form one row ahead — (a) is the previous row's arrival on
+/// the upstream lane, (b) is the `(p−window+1)`-th earliest arrival on
+/// this lane (a per-lane min-heap of pending arrivals yields them in
+/// time order), (c) is tracked per lane — so the issue instant is their
+/// max and the reservation arithmetic (`free_at` serialisation,
+/// rounding, fault perturbation) is shared with the event path.
+///
+/// Steady state: with a fault-free plan and uniform tokens, every row
+/// applies the same max-plus update with per-edge constants, so as soon
+/// as two consecutive rows differ by one rigid time shift `δ`, every
+/// later row is the previous plus `δ` (shift covariance of max-plus
+/// maps). The remaining rows are then applied in one charge: per-edge
+/// `free_at` watermarks advance `m·δ` ([`diomp_sim::SimHandle::bulk_advance_resource`]),
+/// the flow absorbs `m` rows of wire bytes, and the final-row arrivals
+/// are the detected row's plus `m·δ`. An armed fault plan disables only
+/// the jump — the per-row march still prices faulted edges exactly
+/// (per-edge disarm, not per-run).
+#[allow(clippy::too_many_arguments)]
+fn march_allreduce(
     ctx: &mut Ctx,
-    sends: &[ChunkSend],
-    lanes: &[Vec<u32>],
-    window: usize,
-    step_d: Dur,
-    deps_met: &dyn Fn(usize, &[bool]) -> bool,
+    rail: &Rail,
+    flow: FlowId,
+    slen: u64,
+    elem: u64,
+    chunk_bytes: u64,
+    cfg: &RingConfig,
+    t: &Tuning,
 ) {
-    let window = window.max(1);
-    let nlanes = lanes.len();
-    let mut lane_next = vec![0usize; nlanes];
-    let mut lane_inflight = vec![0usize; nlanes];
-    let mut arrived = vec![false; sends.len()];
-    let mut inflight: Vec<(EventId, u32)> = Vec::new();
-    loop {
-        // Issue every lane head whose dependencies have arrived, up to
-        // the per-edge slot window.
-        for l in 0..nlanes {
-            while lane_next[l] < lanes[l].len() && lane_inflight[l] < window {
-                let si = lanes[l][lane_next[l]] as usize;
-                if !deps_met(si, &arrived) {
+    let n = rail.order.len();
+    let hops = 2 * (n - 1);
+    let window = cfg.max_inflight.max(1);
+    let step_d = Dur::micros(t.step_us);
+    let t0 = ctx.now();
+
+    // Token j (the ring segment starting on edge j): bytes, chunk grain
+    // and chunk count — the same split `execute` materialises.
+    let token_bytes: Vec<u64> = split_aligned(slen, n, elem).into_iter().map(|(_, l)| l).collect();
+    let tok_chunk: Vec<u64> =
+        token_bytes.iter().map(|&b| chunk_bytes.max(b.div_ceil(ALLRED_TOKEN_CHUNKS))).collect();
+    let nchunks: Vec<usize> = token_bytes
+        .iter()
+        .zip(&tok_chunk)
+        .map(|(&b, &tc)| if b == 0 { 0 } else { b.div_ceil(tc) as usize })
+        .collect();
+
+    // Per-lane march state (lane = ring edge of the single rail).
+    let mut arr_prev: Vec<Vec<SimTime>> = vec![Vec::new(); n];
+    let mut arr_cur: Vec<Vec<SimTime>> = vec![Vec::new(); n];
+    let mut free_m: Vec<SimTime> = vec![SimTime::ZERO; n];
+    let mut last_issue: Vec<SimTime> = vec![SimTime::ZERO; n];
+    let mut win: Vec<BinaryHeap<Reverse<SimTime>>> = (0..n).map(|_| BinaryHeap::new()).collect();
+    let mut total_sends: u64 = 0;
+    let mut t_last = t0;
+
+    // Steady-state jump eligibility: uniform tokens (identical chunk
+    // pattern on every lane every row) and no armed fault plan (a
+    // degradation window firing mid-run would break row rigidity).
+    let uniform = slen > 0 && slen.is_multiple_of(elem) && (slen / elem).is_multiple_of(n as u64);
+    let can_jump = uniform && !ctx.fault_armed();
+    let mut prev_state: Vec<u64> = Vec::new();
+    let mut prev_shape: Vec<u32> = Vec::new();
+    let mut cur_state: Vec<u64> = Vec::new();
+    let mut cur_shape: Vec<u32> = Vec::new();
+
+    let mut h = 0usize;
+    while h < hops {
+        let mut t0_bound = false;
+        for e in 0..n {
+            arr_cur[e].clear();
+            let j = (e + n - (h % n)) % n;
+            let nc = nchunks[j];
+            if nc == 0 {
+                continue;
+            }
+            let bytes = token_bytes[j];
+            let tc = tok_chunk[j];
+            let eff = if rail.edges[e].inter { t.inter_eff } else { t.intra_eff };
+            let up = (e + n - 1) % n;
+            // `c` indexes the upstream lane's previous-row arrivals, not
+            // an iterable of this loop — keep the index form.
+            #[allow(clippy::needless_range_loop)]
+            for c in 0..nc {
+                let cb = tc.min(bytes - c as u64 * tc);
+                let wire = ((cb as f64 / eff).ceil() as u64).max(1);
+                let dep = if h == 0 { SimTime::ZERO } else { arr_prev[up][c] };
+                let w = if win[e].len() >= window {
+                    win[e].pop().expect("window heap underflow").0
+                } else {
+                    SimTime::ZERO
+                };
+                let ti = dep.max(w).max(last_issue[e]).max(t0);
+                if ti == t0 {
+                    t0_bound = true;
+                }
+                let tr = ctx.handle().transfer_flow(rail.edges[e].res, flow, ti + step_d, wire);
+                arr_cur[e].push(tr.arrive);
+                win[e].push(Reverse(tr.arrive));
+                free_m[e] = tr.depart;
+                last_issue[e] = ti;
+                t_last = t_last.max(tr.arrive);
+                total_sends += 1;
+            }
+        }
+        // Jump detection: capture this row's full timing state and
+        // compare against the previous row's. `t0_bound` rows are
+        // excluded — the `.max(t0)` clamp is the one term of the row
+        // update that is not shift-covariant.
+        if can_jump && h + 1 < hops && !t0_bound {
+            cur_state.clear();
+            cur_shape.clear();
+            for e in 0..n {
+                cur_shape.push(arr_cur[e].len() as u32);
+                cur_shape.push(win[e].len() as u32);
+                cur_state.extend(arr_cur[e].iter().map(|a| a.nanos()));
+                cur_state.push(free_m[e].nanos());
+                cur_state.push(last_issue[e].nanos());
+                let mut wv: Vec<u64> = win[e].iter().map(|r| r.0.nanos()).collect();
+                wv.sort_unstable();
+                cur_state.extend(wv);
+            }
+            if !prev_state.is_empty()
+                && prev_shape == cur_shape
+                && prev_state.len() == cur_state.len()
+            {
+                let delta = cur_state[0] - prev_state[0];
+                let rigid =
+                    delta > 0 && prev_state.iter().zip(&cur_state).all(|(&p, &c)| c == p + delta);
+                if rigid {
+                    let m = (hops - 1 - h) as u64;
+                    jump_rows(ctx, rail, flow, t, &token_bytes, &tok_chunk, &nchunks, delta, m);
+                    for e in 0..n {
+                        for a in &arr_cur[e] {
+                            t_last = t_last.max(*a + Dur::nanos(delta * m));
+                        }
+                        total_sends += m * nchunks[(e + n - (h % n)) % n] as u64;
+                    }
                     break;
                 }
-                // Per-chunk processing (reduce / copy / flag check)
-                // before the chunk is injected on the edge's link.
-                let ready = ctx.now() + step_d;
-                let ev =
-                    ctx.handle().transfer_qos(sends[si].res, sends[si].flow, ready, sends[si].wire);
-                inflight.push((ev, si as u32));
-                lane_next[l] += 1;
-                lane_inflight[l] += 1;
             }
+            std::mem::swap(&mut prev_state, &mut cur_state);
+            std::mem::swap(&mut prev_shape, &mut cur_shape);
+        } else {
+            // A non-comparable row (t0-clamped or final) invalidates the
+            // captured baseline; rigidity must be re-established.
+            prev_state.clear();
+            prev_shape.clear();
         }
-        if inflight.is_empty() {
-            assert!(
-                lane_next.iter().zip(lanes).all(|(&nx, l)| nx == l.len()),
-                "chunk schedule stalled with sends outstanding"
-            );
-            break;
-        }
-        let evs: Vec<EventId> = inflight.iter().map(|&(ev, _)| ev).collect();
-        let _ = ctx.wait_any_batched(&evs);
-        // Retire everything that completed at this instant.
-        inflight.retain(|&(ev, si)| {
-            if ctx.event_done(ev) {
-                ctx.free_event(ev);
-                arrived[si as usize] = true;
-                lane_inflight[sends[si as usize].lane as usize] -= 1;
-                false
-            } else {
-                true
-            }
-        });
+        std::mem::swap(&mut arr_prev, &mut arr_cur);
+        h += 1;
     }
+    // One coalesced wake standing in for every per-chunk completion.
+    ctx.sleep_until_coalesced(t_last, total_sends);
+}
+
+/// Apply `m` steady-state rows in one charge: advance every edge's
+/// `free_at` watermark by `m·δ` with the matching utilisation bytes,
+/// and credit the flow with `m` rows of wire bytes and the final
+/// departure watermark. Called only under a rigid-shift detection, so
+/// the updates land the exact state the per-row march would have.
+#[allow(clippy::too_many_arguments)] // one arg per jump dimension; a struct would be ceremony
+fn jump_rows(
+    ctx: &Ctx,
+    rail: &Rail,
+    flow: FlowId,
+    t: &Tuning,
+    token_bytes: &[u64],
+    tok_chunk: &[u64],
+    nchunks: &[usize],
+    delta: u64,
+    m: u64,
+) {
+    if m == 0 {
+        return;
+    }
+    let n = rail.order.len();
+    let d = Dur::nanos(delta);
+    let mut row_wire_total = 0u64;
+    let mut depart_final = SimTime::ZERO;
+    for (e, edge) in rail.edges.iter().enumerate() {
+        // Uniform tokens: any token's chunk split prices a row on this
+        // edge (index by lane for clarity, the values coincide).
+        let j = e % n;
+        let (bytes, tc, nc) = (token_bytes[j], tok_chunk[j], nchunks[j]);
+        let eff = if edge.inter { t.inter_eff } else { t.intra_eff };
+        let mut row_wire = 0u64;
+        for c in 0..nc {
+            let cb = tc.min(bytes - c as u64 * tc);
+            row_wire += ((cb as f64 / eff).ceil() as u64).max(1);
+        }
+        ctx.handle().bulk_advance_resource(edge.res, d, m, row_wire);
+        row_wire_total += row_wire;
+        depart_final = depart_final.max(ctx.handle().resource_free_at(edge.res));
+    }
+    ctx.handle().bulk_charge_flow(flow, m * row_wire_total, depart_final);
 }
 
 pub(crate) fn rail_pos(rail: &Rail, root_flat: Option<usize>) -> usize {

@@ -585,3 +585,80 @@ fn faults_armed_after_build_still_reprice_auto_regimes() {
          {late_degraded:?} vs {healthy:?}"
     );
 }
+
+/// Slot-recycling regression for the elastic path: every
+/// [`XcclComm::shrink`] releases the dying communicator's QoS flow
+/// slots before the survivor re-init, so repeated shrink / re-init
+/// cycles must hold the kernel's flow table at a constant size instead
+/// of leaking a slot pair per retry (the pre-slab behaviour). Wait
+/// boards recycle through their own free list, so quiescence must
+/// leave zero boards in use no matter how many collectives ran.
+#[test]
+fn repeated_shrink_cycles_recycle_flow_and_board_slots() {
+    const KILLS: [usize; 2] = [7, 6]; // one node-1 casualty per cycle
+    let mut sim = Sim::new();
+    let world = boot(&sim, &FaultPlan::new());
+    let id = UniqueId::generate();
+    let handle = sim.handle();
+    // Flow-table watermark recorded by rank 0 after the initial
+    // collective and after each shrink cycle's collective (collectives
+    // synchronise, so every survivor has re-inited by then).
+    let marks: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    for r in 0..NRANKS {
+        let world = world.clone();
+        let marks = marks.clone();
+        let handle = handle.clone();
+        sim.spawn(format!("rank{r}"), move |ctx| {
+            let bits = world.bootstrap.exchange(ctx, r, if r == 0 { id.bits() } else { 0 })[0];
+            let mut comm = XcclComm::init(
+                ctx,
+                &world,
+                (0..NRANKS).collect(),
+                r,
+                UniqueId::from_bits(bits),
+                CommOpts {
+                    engine: CollEngine::Ring(RingConfig::default()),
+                    servers: ServerSpec::tail(1),
+                    ..CommOpts::default()
+                },
+            );
+            let dev = world.primary_dev(r);
+            let off = dev.malloc(4096, 256).unwrap();
+            let vals: Vec<u8> =
+                (0..512u64).flat_map(|i| ((r as u64 + i) as f64).to_le_bytes()).collect();
+            dev.mem.write(off, &vals).unwrap();
+            let op = XcclOp::AllReduce { op: ReduceOp::SumF64 };
+            comm.collective(ctx, r, vec![DeviceBuf { flat: r, off }], op, 4096);
+            if r == 0 {
+                marks.lock().push(handle.flows_in_use());
+            }
+            let mut health = diomp_fabric::HealthVec::healthy(NRANKS);
+            for &k in &KILLS {
+                health.observe(k, 0);
+                if r == k {
+                    // The casualty leaves without releasing its slots —
+                    // a dead process frees nothing; the watermark still
+                    // must not grow.
+                    return;
+                }
+                comm = comm.shrink(ctx, &health, r);
+                comm.collective(ctx, r, vec![DeviceBuf { flat: r, off }], op, 4096);
+                if r == 0 {
+                    marks.lock().push(handle.flows_in_use());
+                }
+            }
+        });
+    }
+    sim.run().unwrap();
+    let marks = marks.lock();
+    assert_eq!(marks.len(), KILLS.len() + 1, "rank 0 must survive every cycle");
+    let f0 = marks[0];
+    for (c, &f) in marks.iter().enumerate().skip(1) {
+        assert_eq!(
+            f, f0,
+            "shrink cycle {c} changed the flow-table watermark: {f} vs {f0} slots in use \
+             (survivor re-init must reuse the slots shrink released)"
+        );
+    }
+    assert_eq!(handle.boards_in_use(), 0, "quiescence must recycle every wait board");
+}
